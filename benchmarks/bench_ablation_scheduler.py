@@ -1,0 +1,62 @@
+"""Ablation — runtime-scheduler policy sensitivity (Section VII modeling).
+
+The paper observes that BD and BDP yield different wall-clock times despite
+inducing the same task DAG, attributing it to task *submission order*
+affecting the OpenMP runtime's decisions.  This bench quantifies that
+sensitivity in the simulator: FIFO vs LIFO ready queues and task-creation
+throttling windows, across all colorings of one STKDE configuration.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.algorithms.registry import ALGORITHMS, color_with
+from repro.stkde.runtime import default_costs, simulate_schedule
+from repro.stkde.tasks import STKDEProblem
+
+from benchmarks.conftest import emit
+
+MODES = [
+    ("fifo", dict(policy="fifo")),
+    ("lifo", dict(policy="lifo")),
+    ("fifo w=32", dict(policy="fifo", creation_window=32)),
+    ("lifo w=32", dict(policy="lifo", creation_window=32)),
+]
+
+
+def test_ablation_scheduler(benchmark, datasets):
+    ds = {d.name: d for d in datasets}["PollenUS"]
+    box_dims = (16, 7, 16)
+    h_space = min(
+        ds.axis_length(0) / (2 * box_dims[0]), ds.axis_length(1) / (2 * box_dims[1])
+    )
+    h_time = ds.axis_length(2) / (2 * box_dims[2])
+    problem = STKDEProblem(ds, (8, 8, 8), h_space, h_time, box_dims)
+    instance = problem.instance
+    costs = default_costs(instance, per_point=1.0, overhead=0.02)
+
+    def run():
+        rows = []
+        for alg in ALGORITHMS:
+            coloring = color_with(instance, alg)
+            makespans = [
+                simulate_schedule(coloring, num_workers=6, costs=costs, **kwargs).makespan
+                for _label, kwargs in MODES
+            ]
+            rows.append((alg, coloring.maxcolor, *makespans))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = format_table(
+        ("algorithm", "maxcolor", *(label for label, _ in MODES)), rows
+    ) + (
+        "\n\nsame DAG, different queue policies: submission-order sensitivity"
+        " is the paper's explanation for BD vs BDP wall-clock differences."
+    )
+    emit("ablation scheduler", body)
+    # Sanity: every policy respects the work/critical-path lower bounds, so
+    # no mode can beat the unthrottled FIFO by more than numerical noise
+    # ... actually any list schedule is valid; just check spread is bounded.
+    for row in rows:
+        makespans = np.array(row[2:], dtype=float)
+        assert makespans.max() <= 2.0 * makespans.min() + 1e-9

@@ -1,0 +1,57 @@
+"""Extension heuristics vs the paper's seven (future-work exploration).
+
+The paper's conclusion asks whether better heuristics exist.  This bench
+pits the extension set — greedy smallest-last (GSL), post-optimized GLF
+(GLF+P), iterated fixed-point BD post-optimization (BD+IP), and SGK's
+weight-sorted shortcut everywhere (SGK-ws) — against the original seven on
+the 2D suite.
+"""
+
+import numpy as np
+
+from repro.analysis.performance_profiles import profile_to_text
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import mean_ratio_to
+from repro.core.algorithms.registry import EXTENDED_ALGORITHMS
+from repro.experiments import run_suite
+
+from benchmarks.conftest import emit
+
+
+def test_extension_algorithms(benchmark, suite2d):
+    sample = suite2d[:: max(1, len(suite2d) // 120)]
+
+    def run():
+        return run_suite(sample, algorithms=list(EXTENDED_ALGORITHMS))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    prof = result.profile()
+    lbs = [float(b) for b in result.lower_bounds]
+    rows = [
+        (
+            name,
+            mean_ratio_to([float(v) for v in result.maxcolors[name]], lbs),
+            float(np.sum(result.times[name])),
+        )
+        for name in result.algorithms
+    ]
+    body = "\n".join(
+        [
+            f"instances: {result.num_instances}",
+            "",
+            profile_to_text(prof),
+            "",
+            format_table(("algorithm", "mean ratio to LB", "total s"), rows),
+        ]
+    )
+    emit("extensions vs paper algorithms", body)
+    # Extensions must honor their construction guarantees.
+    glf = np.array(result.maxcolors["GLF"])
+    glfp = np.array(result.maxcolors["GLF+P"])
+    bdp = np.array(result.maxcolors["BDP"])
+    bdip = np.array(result.maxcolors["BD+IP"])
+    assert np.all(glfp <= glf)
+    assert np.all(bdip <= np.array(result.maxcolors["BD"]))
+    # Iterated post-optimization should be at least as good as one pass on
+    # aggregate (it starts from the same BD coloring).
+    assert bdip.sum() <= bdp.sum() + 1e-9

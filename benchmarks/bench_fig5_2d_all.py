@@ -1,0 +1,67 @@
+"""Figures 5a/5b — 2D results over all instances, plus the §VI.B statistics.
+
+* ``test_fig5a_runtime_*`` — pytest-benchmark times each algorithm over a
+  fixed sample of suite instances (the runtime-comparison bars of Fig. 5a).
+* ``test_fig5b_profile`` — emits the performance profile over the full 2D
+  suite (Fig. 5b) and the §VI.B text statistics via
+  :mod:`repro.reports`.
+"""
+
+import pytest
+
+from repro.analysis.stats import runtime_summary
+from repro.core.algorithms.registry import ALGORITHMS
+from repro.reports import (
+    bd_improvement_report,
+    suite_quality_report,
+    suite_runtime_report,
+)
+
+from benchmarks.conftest import emit, emit_svg
+
+
+@pytest.fixture(scope="module")
+def sample2d(suite2d):
+    """A deterministic sample of mid-sized instances for kernel timing."""
+    mid = [i for i in suite2d if 64 <= i.num_vertices <= 512]
+    return (mid or suite2d)[:20]
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig5a_runtime(benchmark, sample2d, algorithm):
+    fn = ALGORITHMS[algorithm]
+
+    def run_all():
+        return [fn(inst).maxcolor for inst in sample2d]
+
+    benchmark(run_all)
+
+
+def test_fig5b_profile_and_stats(benchmark, result2d):
+    def report():
+        return "\n\n".join(
+            [
+                suite_quality_report(result2d, "K4 LB"),
+                bd_improvement_report(result2d),
+            ]
+        )
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    emit("fig5b 2d performance profile", body)
+    emit("fig5a 2d runtime summary", suite_runtime_report(result2d))
+
+    from repro.analysis.svgplot import bars_svg, profile_svg
+
+    emit_svg(
+        "fig5b 2d performance profile",
+        profile_svg(result2d.profile(), title="Fig 5b — 2D performance profile"),
+    )
+    summary = runtime_summary(result2d.times)
+    emit_svg(
+        "fig5a 2d runtime comparison",
+        bars_svg(
+            list(summary),
+            [s["total"] for s in summary.values()],
+            title="Fig 5a — 2D total runtime per algorithm",
+        ),
+    )

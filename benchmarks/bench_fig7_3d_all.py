@@ -1,0 +1,69 @@
+"""Figures 7a/7b — 3D results over all instances, plus the §VI.C statistics.
+
+The paper's 3D findings: GLF and SGK lead on quality, GLF is much faster,
+SGK is the slowest, and BDP loses the dominance it had in 2D.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import relative_slowdown, runtime_summary
+from repro.core.algorithms.registry import ALGORITHMS
+from repro.reports import suite_quality_report, suite_runtime_report
+
+from benchmarks.conftest import emit, emit_svg
+
+
+@pytest.fixture(scope="module")
+def sample3d(suite3d):
+    mid = [i for i in suite3d if 64 <= i.num_vertices <= 512]
+    return (mid or suite3d)[:15]
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig7a_runtime(benchmark, sample3d, algorithm):
+    fn = ALGORITHMS[algorithm]
+
+    def run_all():
+        return [fn(inst).maxcolor for inst in sample3d]
+
+    benchmark(run_all)
+
+
+def test_fig7b_profile_and_stats(benchmark, result3d):
+    def report():
+        sgk = np.array(result3d.maxcolors["SGK"], dtype=float)
+        glf = np.array(result3d.maxcolors["GLF"], dtype=float)
+        bdp = np.array(result3d.maxcolors["BDP"], dtype=float)
+        extras = "\n".join(
+            [
+                f"SGK vs GLF mean quality gain: {(1 - sgk.sum() / glf.sum()) * 100:.2f}% "
+                "(paper: SGK ~0.57% better)",
+                f"GLF speed advantage over SGK: "
+                f"{relative_slowdown(result3d.times, 'SGK', 'GLF'):.0f}% slower SGK "
+                "(paper: GLF 142% faster)",
+                f"instances where BDP strictly beats SGK: "
+                f"{float(np.mean(bdp < sgk)) * 100:.1f}% (paper: 18.1%)",
+            ]
+        )
+        return suite_quality_report(result3d, "K8 LB") + "\n\n" + extras
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    emit("fig7b 3d performance profile", body)
+    emit("fig7a 3d runtime summary", suite_runtime_report(result3d))
+
+    from repro.analysis.svgplot import bars_svg, profile_svg
+
+    emit_svg(
+        "fig7b 3d performance profile",
+        profile_svg(result3d.profile(), title="Fig 7b — 3D performance profile"),
+    )
+    summary = runtime_summary(result3d.times)
+    emit_svg(
+        "fig7a 3d runtime comparison",
+        bars_svg(
+            list(summary),
+            [s["total"] for s in summary.values()],
+            title="Fig 7a — 3D total runtime per algorithm",
+        ),
+    )

@@ -1,0 +1,29 @@
+"""Figure 8 — 3D performance profiles broken down per dataset."""
+
+from repro.analysis.performance_profiles import profile_to_text
+
+from benchmarks.conftest import emit, emit_svg
+
+DATASETS = ("Dengue", "FluAnimal", "Pollen", "PollenUS")
+
+
+def test_fig8_profiles_by_dataset(benchmark, result3d):
+    def report():
+        from repro.reports import per_dataset_report
+
+        return per_dataset_report(result3d, DATASETS)
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    emit("fig8 3d profiles by dataset", body)
+    from repro.analysis.svgplot import profile_svg
+
+    for name in DATASETS:
+        idx = result3d.indices_by_metadata("dataset", name)
+        if idx:
+            emit_svg(
+                f"fig8 3d profile {name}",
+                profile_svg(
+                    result3d.subset(idx).profile(),
+                    title=f"Fig 8 — 3D profile, {name}",
+                ),
+            )

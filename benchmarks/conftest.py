@@ -1,0 +1,89 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every file in this directory regenerates one table/figure of the paper (see
+DESIGN.md §4).  Conventions:
+
+* Suites are built once per session (fixtures below) and shared across
+  benches; sizes scale with ``REPRO_BENCH_SCALE`` (default 1.0) and the
+  dimension caps with ``REPRO_BENCH_DIM_CAP_{2D,3D}``.
+* Quality tables are emitted straight to the terminal (bypassing pytest's
+  capture, so ``pytest benchmarks/ --benchmark-only | tee`` records them)
+  and also written under ``benchmarks/out/``.
+* pytest-benchmark times the algorithm kernels themselves, which is the
+  runtime-comparison half of Figures 5a/7a.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
+from repro.data.synthetic import standard_datasets
+from repro.experiments import run_suite
+
+OUT_DIR = Path(__file__).parent / "out"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+DIM_CAP_2D = int(os.environ.get("REPRO_BENCH_DIM_CAP_2D", "16"))
+DIM_CAP_3D = int(os.environ.get("REPRO_BENCH_DIM_CAP_3D", "8"))
+
+
+def _slug(title: str) -> str:
+    return title.lower().replace(" ", "_").replace("/", "-")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a report block and save it to out/.
+
+    Under pytest's default fd-level capture the printed block is swallowed
+    for passing tests (run with ``-s`` to stream reports live); the
+    authoritative copies always land in ``benchmarks/out/*.txt``.
+    """
+    text = f"\n=== {title} ===\n{body}\n"
+    sys.__stdout__.write(text)
+    sys.__stdout__.flush()
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{_slug(title)}.txt").write_text(body + "\n")
+
+
+def emit_svg(title: str, svg: str) -> None:
+    """Save a rendered SVG figure to out/ (the graphical half of a figure)."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{_slug(title)}.svg"
+    path.write_text(svg)
+    sys.__stdout__.write(f"[figure saved: {path}]\n")
+    sys.__stdout__.flush()
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The four synthetic datasets at benchmark scale."""
+    return standard_datasets(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def suite2d(datasets):
+    """The 2DS-IVC instance suite (Section VI.A construction)."""
+    return build_suite_2d(datasets, SuiteConfig(dim_cap=DIM_CAP_2D, max_cells=1024))
+
+
+@pytest.fixture(scope="session")
+def suite3d(datasets):
+    """The 3DS-IVC instance suite."""
+    return build_suite_3d(datasets, SuiteConfig(dim_cap=DIM_CAP_3D, max_cells=1024))
+
+
+@pytest.fixture(scope="session")
+def result2d(suite2d):
+    """All seven algorithms run over the 2D suite (shared by figs 5, 6, 9)."""
+    return run_suite(suite2d)
+
+
+@pytest.fixture(scope="session")
+def result3d(suite3d):
+    """All seven algorithms run over the 3D suite (shared by figs 7, 8, 9)."""
+    return run_suite(suite3d)

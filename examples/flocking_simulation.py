@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Boids flocking scheduled by interval coloring (the paper's §I example).
+
+Runs a flock for a number of steps.  Every step the space decomposition is
+rebuilt (boids move between regions), the 9-pt stencil task graph is
+recolored, and the in-place velocity updates execute on real threads
+following the colored DAG — race-free because neighboring regions are
+serialized.  Determinism is demonstrated by comparing against the
+sequential execution of the same DAG.
+"""
+
+import numpy as np
+
+from repro.apps.flocking import random_flock
+from repro.core.algorithms.registry import color_with
+
+
+def main() -> None:
+    flock = random_flock(num_boids=400, extent_size=50.0, radius=2.5, seed=11)
+    flock.alignment = 0.2
+    reference = flock.copy()
+    print(f"{flock.num_boids} boids, regions {flock.grid_dims}, "
+          f"initial polarization {flock.polarization():.3f}")
+
+    steps = 30
+    for step in range(steps):
+        instance, members = flock.build_instance()
+        coloring = color_with(instance, "BDP")
+        flock.step_threaded(coloring, members, dt=0.5, num_workers=4)
+
+        instance_ref, members_ref = reference.build_instance()
+        reference.step_sequential(coloring.with_algorithm("BDP"), members_ref, dt=0.5)
+
+        if (step + 1) % 10 == 0:
+            same = np.array_equal(flock.positions, reference.positions)
+            print(f"step {step + 1:>3}: maxcolor={coloring.maxcolor:>4}  "
+                  f"polarization={flock.polarization():.3f}  "
+                  f"threaded==sequential: {same}")
+
+    print(f"\nfinal polarization {flock.polarization():.3f} "
+          f"(alignment emerged from local rules under parallel execution)")
+
+
+if __name__ == "__main__":
+    main()

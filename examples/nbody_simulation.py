@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Short-range n-body simulation scheduled by interval coloring.
+
+The scenario of the paper's Figure 1: particles in a 2D box interact within
+a cutoff radius; a rectilinear decomposition into regions at least twice the
+cutoff wide yields a 9-pt stencil task graph whose weights are the actual
+pair-interaction counts.  Each timestep we recolor the task graph, execute
+the force pass on real threads following the colored DAG, and verify the
+forces against the O(N²) serial reference.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.apps.nbody import NBodySystem
+from repro.core.algorithms.registry import ALGORITHMS, color_with
+from repro.core.bounds import lower_bound
+from repro.stkde.runtime import simulate_schedule
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    extent = np.array([[0.0, 60.0], [0.0, 45.0]])
+    # Clustered particles: three blobs plus background, like Figure 1.
+    blobs = [
+        rng.normal([15, 12], 3.0, size=(500, 2)),
+        rng.normal([45, 30], 4.0, size=(700, 2)),
+        rng.normal([30, 20], 2.0, size=(300, 2)),
+        rng.uniform([0, 0], [60, 45], size=(200, 2)),
+    ]
+    positions = np.clip(np.vstack(blobs), extent[:, 0], extent[:, 1])
+    system = NBodySystem(positions=positions, cutoff=2.0, extent=extent)
+    instance = system.instance
+    print(f"{system.num_particles} particles, regions {system.grid_dims}, "
+          f"{instance.total_weight} interacting pairs, "
+          f"lower bound {lower_bound(instance)}")
+
+    rows = []
+    for name in ALGORITHMS:
+        coloring = color_with(instance, name)
+        trace = simulate_schedule(coloring, num_workers=6)
+        rows.append((name, coloring.maxcolor, trace.makespan, trace.parallel_efficiency))
+    print(format_table(("algorithm", "maxcolor", "sim makespan", "efficiency"), rows))
+
+    coloring = color_with(instance, "GLF")
+    threaded = system.forces_threaded(coloring, num_workers=4)
+    serial = system.forces_serial()
+    print(f"\nthreaded forces match O(N^2) reference: "
+          f"{np.allclose(threaded, serial)}")
+
+    # A few dynamic steps, recoloring as particles move between regions.
+    velocities = np.zeros_like(system.positions)
+    for step in range(3):
+        coloring = color_with(system.instance, "GLF")
+        velocities = system.step(velocities, dt=0.05, coloring=coloring)
+        print(f"step {step + 1}: recolored with maxcolor={coloring.maxcolor}, "
+              f"mean speed {np.sqrt((velocities ** 2).sum(axis=1)).mean():.4f}")
+
+
+if __name__ == "__main__":
+    main()

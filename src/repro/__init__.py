@@ -1,0 +1,66 @@
+"""repro — interval vertex coloring of 9-pt and 27-pt stencil graphs.
+
+A faithful reproduction of *“Coloring the Vertices of 9-pt and 27-pt
+Stencils with Intervals”* (Durrman & Saule, IPPS 2022): the combinatorial
+problem, its lower bounds and exact special cases, the seven heuristics of
+the paper's evaluation (GLL, GZO, GLF, GKF, SGK, BD, BDP), exact MILP and
+branch-and-bound solvers, the NAE-3SAT NP-completeness reduction, the
+spatio-temporal instance pipeline, and the STKDE application integration.
+
+Quick start::
+
+    import numpy as np
+    from repro import IVCInstance, color_with, lower_bound
+
+    weights = np.random.default_rng(0).integers(0, 50, size=(32, 32))
+    instance = IVCInstance.from_grid_2d(weights)
+    coloring = color_with(instance, "BDP").check()
+    print(coloring.maxcolor, ">=", lower_bound(instance))
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    Coloring,
+    IVCInstance,
+    bipartite_decomposition,
+    bipartite_decomposition_post,
+    clique_block_bound,
+    color_with,
+    greedy_color,
+    greedy_largest_clique_first,
+    greedy_largest_first,
+    greedy_line_by_line,
+    greedy_zorder,
+    lower_bound,
+    maxpair_bound,
+    odd_cycle_bound,
+    smart_greedy_largest_clique_first,
+)
+from repro.experiments import SuiteResult, run_suite
+from repro.stencil import StencilGrid2D, StencilGrid3D
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Coloring",
+    "IVCInstance",
+    "StencilGrid2D",
+    "StencilGrid3D",
+    "SuiteResult",
+    "__version__",
+    "bipartite_decomposition",
+    "bipartite_decomposition_post",
+    "clique_block_bound",
+    "color_with",
+    "greedy_color",
+    "greedy_largest_clique_first",
+    "greedy_largest_first",
+    "greedy_line_by_line",
+    "greedy_zorder",
+    "lower_bound",
+    "maxpair_bound",
+    "odd_cycle_bound",
+    "run_suite",
+    "smart_greedy_largest_clique_first",
+]

@@ -1,0 +1,40 @@
+"""Experiment analysis: performance profiles, summary statistics, regression.
+
+These utilities reproduce the presentation layer of Sections VI and VII:
+performance profiles (Dolan–Moré tau curves) for Figures 5–9, the textual
+statistics of VI.B–VI.D, and the colors-vs-runtime linear fits of Figure 10.
+"""
+
+from repro.analysis.instance_stats import WeightStats, weight_stats
+from repro.analysis.performance_profiles import (
+    PerformanceProfile,
+    performance_profile,
+    profile_to_text,
+)
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import (
+    fraction_best,
+    fraction_matching,
+    mean_ratio_to,
+    runtime_summary,
+)
+from repro.analysis.svgplot import bars_svg, profile_svg, scatter_svg
+
+__all__ = [
+    "LinearFit",
+    "PerformanceProfile",
+    "WeightStats",
+    "bars_svg",
+    "format_table",
+    "fraction_best",
+    "fraction_matching",
+    "linear_fit",
+    "mean_ratio_to",
+    "performance_profile",
+    "profile_svg",
+    "profile_to_text",
+    "runtime_summary",
+    "scatter_svg",
+    "weight_stats",
+]

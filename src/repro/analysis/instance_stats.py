@@ -1,0 +1,85 @@
+"""Weight-distribution statistics for instances.
+
+The ranking of the coloring heuristics depends on the *regime* of an
+instance's weights (see EXPERIMENTS.md and
+``bench_ablation_weight_regime.py``): smooth dense grids favor the BD
+family, sparse/heavy-tailed grids favor weight-driven first fit.  This
+module quantifies the regime so experiment reports can explain rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import IVCInstance
+
+
+@dataclass(frozen=True)
+class WeightStats:
+    """Summary of an instance's weight distribution.
+
+    Attributes
+    ----------
+    occupancy:
+        Fraction of vertices with positive weight.
+    skew:
+        Max positive weight over the median positive weight (1.0 for
+        constant weights; large for heavy tails).  0 when all weights are 0.
+    cv:
+        Coefficient of variation of the positive weights.
+    block_imbalance:
+        Max block weight over the mean block weight (stencil instances):
+        how much one clique dominates.
+    """
+
+    occupancy: float
+    skew: float
+    cv: float
+    block_imbalance: float
+
+    @property
+    def regime(self) -> str:
+        """Coarse regime label: ``smooth``, ``mixed``, or ``spiky``.
+
+        Thresholds follow the controlled regimes of the weight-regime
+        ablation: near-constant/uniform grids classify as smooth, power-law
+        or sparse grids as spiky.
+        """
+        if self.occupancy >= 0.9 and self.skew <= 4.0:
+            return "smooth"
+        if self.occupancy < 0.4 or self.skew > 10.0:
+            return "spiky"
+        return "mixed"
+
+
+def weight_stats(instance: IVCInstance) -> WeightStats:
+    """Compute :class:`WeightStats` for an instance (vectorized)."""
+    w = instance.weights
+    if instance.num_vertices == 0:
+        return WeightStats(0.0, 0.0, 0.0, 0.0)
+    positive = w[w > 0]
+    occupancy = float(len(positive) / len(w))
+    if len(positive) == 0:
+        return WeightStats(0.0, 0.0, 0.0, 0.0)
+    skew = float(positive.max() / np.median(positive))
+    mean = float(positive.mean())
+    cv = float(positive.std() / mean) if mean > 0 else 0.0
+    block_imbalance = 0.0
+    if instance.geometry is not None:
+        sums = instance.geometry.block_weight_sums(w)
+        if len(sums) and sums.mean() > 0:
+            block_imbalance = float(sums.max() / sums.mean())
+    return WeightStats(
+        occupancy=occupancy, skew=skew, cv=cv, block_imbalance=block_imbalance
+    )
+
+
+def suite_regime_table(instances) -> list[tuple[str, str, float, float]]:
+    """Per-instance ``(name, regime, occupancy, skew)`` rows for reports."""
+    rows = []
+    for inst in instances:
+        stats = weight_stats(inst)
+        rows.append((inst.name, stats.regime, stats.occupancy, stats.skew))
+    return rows

@@ -1,0 +1,111 @@
+"""Performance profiles (Dolan–Moré curves) as used in Figures 5–9.
+
+For each instance, ``tau`` is the ratio of an algorithm's ``maxcolor`` to the
+best ``maxcolor`` any algorithm achieved on that instance.  An algorithm's
+curve value at ``tau`` is the fraction of instances on which its ratio is at
+most ``tau`` — curves further up-left are better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """A family of tau curves over a shared instance set.
+
+    Attributes
+    ----------
+    algorithms:
+        Curve labels, in input order.
+    taus:
+        The tau grid (increasing, starting at 1.0).
+    curves:
+        ``(len(algorithms), len(taus))`` array of cumulative fractions.
+    ratios:
+        ``(len(algorithms), num_instances)`` array of per-instance ratios to
+        the per-instance best.
+    """
+
+    algorithms: tuple[str, ...]
+    taus: np.ndarray
+    curves: np.ndarray
+    ratios: np.ndarray
+
+    @property
+    def num_instances(self) -> int:
+        """Number of instances the profile aggregates."""
+        return self.ratios.shape[1]
+
+    def value_at(self, algorithm: str, tau: float) -> float:
+        """Fraction of instances where ``algorithm`` is within ``tau`` of best."""
+        i = self.algorithms.index(algorithm)
+        return float(np.mean(self.ratios[i] <= tau + 1e-12))
+
+    def auc(self, algorithm: str) -> float:
+        """Area under the curve over the tau grid (higher is better)."""
+        i = self.algorithms.index(algorithm)
+        return float(np.trapezoid(self.curves[i], self.taus))
+
+    def winner(self) -> str:
+        """Algorithm with the highest area under its curve."""
+        aucs = [self.auc(a) for a in self.algorithms]
+        return self.algorithms[int(np.argmax(aucs))]
+
+
+def performance_profile(
+    values: dict[str, list[float]],
+    taus: np.ndarray | None = None,
+    best: list[float] | None = None,
+) -> PerformanceProfile:
+    """Build a profile from per-algorithm value lists (lower is better).
+
+    Parameters
+    ----------
+    values:
+        ``{algorithm: [value per instance]}``; all lists the same length.
+    taus:
+        Tau grid; defaults to 256 points covering the observed ratio range.
+    best:
+        Per-instance reference values (e.g. the MILP optimum for Figure 9);
+        defaults to the per-instance minimum across algorithms.
+    """
+    algorithms = tuple(values)
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    mat = np.asarray([values[a] for a in algorithms], dtype=np.float64)
+    if mat.ndim != 2 or mat.shape[1] == 0:
+        raise ValueError("need at least one instance")
+    if best is None:
+        reference = mat.min(axis=0)
+    else:
+        reference = np.asarray(best, dtype=np.float64)
+        if len(reference) != mat.shape[1]:
+            raise ValueError("best must have one value per instance")
+    if np.any(reference <= 0):
+        # Zero-color instances are trivially solved by everyone: ratio 1.
+        reference = np.where(reference <= 0, 1.0, reference)
+        mat = np.where(mat <= 0, 1.0, mat)
+    ratios = mat / reference
+    if taus is None:
+        hi = max(1.05, float(np.quantile(ratios, 0.99)) * 1.02)
+        taus = np.linspace(1.0, hi, 256)
+    curves = (ratios[:, None, :] <= taus[None, :, None] + 1e-12).mean(axis=2)
+    return PerformanceProfile(
+        algorithms=algorithms, taus=np.asarray(taus), curves=curves, ratios=ratios
+    )
+
+
+def profile_to_text(
+    profile: PerformanceProfile, sample_taus: tuple[float, ...] = (1.0, 1.02, 1.05, 1.1, 1.25, 1.5)
+) -> str:
+    """Fixed-width rendering of a profile at a few tau samples."""
+    header = "algorithm  " + "".join(f"  tau<={t:<6g}" for t in sample_taus) + "  AUC"
+    lines = [header, "-" * len(header)]
+    for a in profile.algorithms:
+        cells = "".join(f"  {profile.value_at(a, t):>9.3f}" for t in sample_taus)
+        lines.append(f"{a:<11}{cells}  {profile.auc(a):.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section banner used between benchmark blocks."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"

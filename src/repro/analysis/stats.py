@@ -1,0 +1,59 @@
+"""Summary statistics matching the textual claims of Sections VI.B–VI.D."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_ratio_to(values: list[float], reference: list[float]) -> float:
+    """Mean of ``value / reference`` over instances (e.g. BDP vs the K4 bound).
+
+    Instances whose reference is 0 are trivially optimal and count as ratio 1.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    r = np.asarray(reference, dtype=np.float64)
+    if v.shape != r.shape:
+        raise ValueError("values and reference must align")
+    ratios = np.where(r > 0, v / np.where(r > 0, r, 1.0), 1.0)
+    return float(ratios.mean())
+
+
+def fraction_best(values: dict[str, list[float]], algorithm: str) -> float:
+    """Fraction of instances where ``algorithm`` ties the best value."""
+    mat = np.asarray([values[a] for a in values], dtype=np.float64)
+    target = np.asarray(values[algorithm], dtype=np.float64)
+    return float(np.mean(target <= mat.min(axis=0) + 1e-12))
+
+
+def fraction_matching(values: list[float], reference: list[float]) -> float:
+    """Fraction of instances where value equals the reference (e.g. == LB,
+    i.e. provably optimal)."""
+    v = np.asarray(values, dtype=np.float64)
+    r = np.asarray(reference, dtype=np.float64)
+    return float(np.mean(np.abs(v - r) <= 1e-9))
+
+
+def runtime_summary(times: dict[str, list[float]]) -> dict[str, dict[str, float]]:
+    """Per-algorithm total/mean/max runtimes (the Figure 5a/7a bars)."""
+    out = {}
+    for name, values in times.items():
+        arr = np.asarray(values, dtype=np.float64)
+        out[name] = {
+            "total": float(arr.sum()),
+            "mean": float(arr.mean()) if len(arr) else 0.0,
+            "max": float(arr.max()) if len(arr) else 0.0,
+        }
+    return out
+
+
+def relative_slowdown(times: dict[str, list[float]], a: str, b: str) -> float:
+    """How much slower ``a`` is than ``b`` in total time, as a percentage.
+
+    Matches the paper's phrasing "SGK was 154% slower than GLL": returns
+    ``(total_a / total_b - 1) * 100``.
+    """
+    ta = float(np.sum(times[a]))
+    tb = float(np.sum(times[b]))
+    if tb <= 0:
+        return float("inf") if ta > 0 else 0.0
+    return (ta / tb - 1.0) * 100.0

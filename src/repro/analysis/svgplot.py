@@ -1,0 +1,211 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The environment has no plotting stack, so this module generates the figure
+artifacts (performance-profile curves, colors-vs-runtime scatters, runtime
+bars) as standalone SVG documents.  The drawing model is deliberately tiny:
+a :class:`SVGCanvas` with a data-space→pixel mapping, and three figure
+builders matching the paper's plot types.
+
+All output is valid XML (the tests parse it back); files render in any
+browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+#: Color cycle for algorithm series (colorblind-safe-ish hex palette).
+PALETTE = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+)
+
+
+@dataclass
+class SVGCanvas:
+    """A minimal SVG surface with a linear data→pixel transform.
+
+    Attributes
+    ----------
+    width, height:
+        Pixel dimensions of the document.
+    margin:
+        Pixels reserved on every side for axes and labels.
+    xlim, ylim:
+        Data-space extents mapped onto the plotting area.
+    """
+
+    width: int = 640
+    height: int = 420
+    margin: int = 56
+    xlim: tuple[float, float] = (0.0, 1.0)
+    ylim: tuple[float, float] = (0.0, 1.0)
+    elements: list[str] = field(default_factory=list)
+
+    def px(self, x: float) -> float:
+        """Data x → pixel x."""
+        lo, hi = self.xlim
+        span = hi - lo or 1.0
+        return self.margin + (x - lo) / span * (self.width - 2 * self.margin)
+
+    def py(self, y: float) -> float:
+        """Data y → pixel y (SVG y grows downward)."""
+        lo, hi = self.ylim
+        span = hi - lo or 1.0
+        return self.height - self.margin - (y - lo) / span * (self.height - 2 * self.margin)
+
+    # ------------------------------------------------------------ primitives
+    def line(self, x1, y1, x2, y2, color="#888888", width=1.0, dash: str = "") -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{self.px(x1):.1f}" y1="{self.py(y1):.1f}" '
+            f'x2="{self.px(x2):.1f}" y2="{self.py(y2):.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, xs: Sequence[float], ys: Sequence[float], color: str, width=1.8) -> None:
+        pts = " ".join(f"{self.px(x):.1f},{self.py(y):.1f}" for x, y in zip(xs, ys))
+        self.elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float, color: str) -> None:
+        self.elements.append(
+            f'<circle cx="{self.px(x):.1f}" cy="{self.py(y):.1f}" r="{r}" '
+            f'fill="{color}"/>'
+        )
+
+    def rect_px(self, x: float, y: float, w: float, h: float, color: str) -> None:
+        """Rectangle in raw pixel coordinates (used by bars and legends)."""
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}"/>'
+        )
+
+    def text(self, x_px: float, y_px: float, s: str, size=11, anchor="start", color="#222222") -> None:
+        self.elements.append(
+            f'<text x="{x_px:.1f}" y="{y_px:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif">{escape(s)}</text>'
+        )
+
+    # ----------------------------------------------------------------- frame
+    def axes(self, xlabel: str, ylabel: str, title: str = "", xticks=None, yticks=None) -> None:
+        """Draw the plot frame, tick marks, and labels."""
+        x0, x1 = self.xlim
+        y0, y1 = self.ylim
+        self.line(x0, y0, x1, y0, color="#222222")
+        self.line(x0, y0, x0, y1, color="#222222")
+        for tick in xticks if xticks is not None else np.linspace(x0, x1, 5):
+            self.text(self.px(tick), self.height - self.margin + 16, f"{tick:g}", anchor="middle")
+            self.line(tick, y0, tick, y1, color="#eeeeee")
+        for tick in yticks if yticks is not None else np.linspace(y0, y1, 5):
+            self.text(self.margin - 6, self.py(tick) + 4, f"{tick:g}", anchor="end")
+            self.line(x0, tick, x1, tick, color="#eeeeee")
+        self.text(self.width / 2, self.height - 12, xlabel, anchor="middle", size=13)
+        self.elements.append(
+            f'<text x="14" y="{self.height / 2:.1f}" font-size="13" text-anchor="middle" '
+            f'fill="#222222" font-family="sans-serif" '
+            f'transform="rotate(-90 14 {self.height / 2:.1f})">{escape(ylabel)}</text>'
+        )
+        if title:
+            self.text(self.width / 2, 20, title, anchor="middle", size=14)
+
+    def legend(self, labels: Sequence[str], colors: Sequence[str]) -> None:
+        """Stacked legend swatches in the top-right corner."""
+        x = self.width - self.margin - 110
+        y = self.margin + 4
+        for label, color in zip(labels, colors):
+            self.rect_px(x, y - 8, 18, 4, color)
+            self.text(x + 24, y - 3, label)
+            y += 16
+
+    def render(self) -> str:
+        """Serialize the document."""
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def profile_svg(profile, title: str = "Performance profile") -> str:
+    """Render a :class:`~repro.analysis.performance_profiles.PerformanceProfile`
+    as the paper's tau-curve plot (Figures 5b–9)."""
+    taus = profile.taus
+    canvas = SVGCanvas(xlim=(float(taus[0]), float(taus[-1])), ylim=(0.0, 1.02))
+    canvas.axes("tau", "proportion of instances", title=title)
+    colors = []
+    for i, name in enumerate(profile.algorithms):
+        color = PALETTE[i % len(PALETTE)]
+        colors.append(color)
+        canvas.polyline(taus, profile.curves[i], color)
+    canvas.legend(profile.algorithms, colors)
+    return canvas.render()
+
+
+def scatter_svg(
+    x: Sequence[float],
+    y: Sequence[float],
+    labels: Sequence[str],
+    fit=None,
+    title: str = "",
+    xlabel: str = "number of colors",
+    ylabel: str = "simulated runtime",
+) -> str:
+    """Render a Figure-10-style scatter with an optional regression line."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) == 0:
+        raise ValueError("empty scatter")
+    pad_x = (x.max() - x.min() or 1.0) * 0.1
+    pad_y = (y.max() - y.min() or 1.0) * 0.15
+    canvas = SVGCanvas(
+        xlim=(x.min() - pad_x, x.max() + pad_x),
+        ylim=(y.min() - pad_y, y.max() + pad_y),
+    )
+    canvas.axes(xlabel, ylabel, title=title)
+    if fit is not None:
+        xs = np.array([x.min(), x.max()])
+        canvas.polyline(xs, fit.predict(xs), "#888888", width=1.2)
+    for i, (xi, yi, label) in enumerate(zip(x, y, labels)):
+        color = PALETTE[i % len(PALETTE)]
+        canvas.circle(xi, yi, 4.0, color)
+        canvas.text(canvas.px(xi) + 6, canvas.py(yi) - 6, label, size=10)
+    return canvas.render()
+
+
+def bars_svg(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    ylabel: str = "total runtime (s)",
+) -> str:
+    """Render a Figure-5a/7a-style runtime comparison bar chart."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("empty bar chart")
+    top = float(values.max()) * 1.1 or 1.0
+    canvas = SVGCanvas(xlim=(0.0, float(len(values))), ylim=(0.0, top))
+    canvas.axes("", ylabel, title=title, xticks=[])
+    slot = (canvas.width - 2 * canvas.margin) / len(values)
+    for i, (label, value) in enumerate(zip(labels, values)):
+        x_px = canvas.margin + i * slot + slot * 0.15
+        y_px = canvas.py(float(value))
+        canvas.rect_px(
+            x_px,
+            y_px,
+            slot * 0.7,
+            canvas.py(0.0) - y_px,
+            PALETTE[i % len(PALETTE)],
+        )
+        canvas.text(x_px + slot * 0.35, canvas.height - canvas.margin + 16, label, anchor="middle")
+        canvas.text(x_px + slot * 0.35, y_px - 4, f"{value:.3g}", anchor="middle", size=10)
+    return canvas.render()

@@ -1,0 +1,22 @@
+"""Motivating applications from the paper's introduction.
+
+Section I motivates stencil interval coloring with applications "where
+objects are located in space and can impact the state of nearby objects" —
+naming n-body solvers and bird-flocking simulations explicitly.  This
+subpackage implements both on top of the coloring library:
+
+* :mod:`~repro.apps.nbody` — short-range (cutoff) particle interactions
+  with symmetric force accumulation; regions are 9-pt stencil tasks whose
+  weights are pair-interaction counts.
+* :mod:`~repro.apps.flocking` — a boids simulation whose in-place updates
+  create read/write conflicts between Moore-neighbor regions.
+
+Both expose the same pattern as the STKDE integration of Section VII: build
+the region task graph, color it, and execute race-free on real threads via
+the oriented task DAG.
+"""
+
+from repro.apps.flocking import FlockingSimulation
+from repro.apps.nbody import NBodySystem
+
+__all__ = ["FlockingSimulation", "NBodySystem"]

@@ -1,0 +1,258 @@
+"""Boids flocking simulation scheduled by stencil interval coloring.
+
+The paper's introduction names bird-flocking simulations (Reynolds' boids)
+as a motivating application: each boid steers by separation/alignment/
+cohesion against neighbors within a perception radius.  Partitioning space
+into regions at least twice that radius wide makes every interaction local
+to a region and its 8 Moore neighbors.
+
+Updates here are **in place**: a region task rewrites its own boids'
+velocities from the *current* state of nearby boids.  Two neighboring
+regions therefore race (one reads what the other writes), while regions two
+apart never touch each other's perception range — the conflict graph is the
+9-pt stencil, and a coloring orients a race-free task DAG.  For a fixed
+coloring the DAG fixes every neighbor ordering, so the threaded execution is
+bit-reproducible and equals the sequential creation-order execution (the
+property the tests check).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.stkde.runtime import task_dag_from_coloring
+
+
+@dataclass
+class FlockingSimulation:
+    """A boids flock on a 2D rectangle with reflective walls.
+
+    Parameters
+    ----------
+    positions, velocities:
+        ``(N, 2)`` float arrays.
+    radius:
+        Perception radius; regions must be at least ``2 * radius`` wide.
+    extent:
+        ``(2, 2)`` per-axis bounds.
+    separation, alignment, cohesion:
+        Rule gains.
+    max_speed:
+        Velocity magnitude cap.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    radius: float
+    extent: np.ndarray
+    separation: float = 0.05
+    alignment: float = 0.05
+    cohesion: float = 0.01
+    max_speed: float = 1.0
+    grid_dims: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        self.velocities = np.ascontiguousarray(self.velocities, dtype=np.float64)
+        if self.positions.shape != self.velocities.shape or self.positions.ndim != 2:
+            raise ValueError("positions and velocities must both be (N, 2)")
+        self.extent = np.ascontiguousarray(self.extent, dtype=np.float64)
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        lengths = self.extent[:, 1] - self.extent[:, 0]
+        max_dims = np.maximum((lengths / (2.0 * self.radius)).astype(int), 1)
+        if self.grid_dims is None:
+            self.grid_dims = (int(max_dims[0]), int(max_dims[1]))
+        if self.grid_dims[0] > max_dims[0] or self.grid_dims[1] > max_dims[1]:
+            raise ValueError(
+                f"regions {self.grid_dims} violate the 2x-radius rule (max {tuple(max_dims)})"
+            )
+
+    @property
+    def num_boids(self) -> int:
+        """Number of boids."""
+        return len(self.positions)
+
+    # --------------------------------------------------------------- regions
+    def _assign_regions(self) -> np.ndarray:
+        X, Y = self.grid_dims
+        idx = np.empty((self.num_boids, 2), dtype=np.int64)
+        for axis, dim in enumerate((X, Y)):
+            lo, hi = self.extent[axis]
+            scaled = (self.positions[:, axis] - lo) / (hi - lo) * dim
+            idx[:, axis] = np.clip(scaled.astype(np.int64), 0, dim - 1)
+        return idx[:, 0] * Y + idx[:, 1]
+
+    def build_instance(self) -> tuple[IVCInstance, list[np.ndarray]]:
+        """Current task graph: 9-pt stencil, weights = boids per region.
+
+        Rebuilt every step since boids move between regions.
+        """
+        regions = self._assign_regions()
+        num_regions = self.grid_dims[0] * self.grid_dims[1]
+        counts = np.bincount(regions, minlength=num_regions)
+        order = np.argsort(regions, kind="stable")
+        splits = np.searchsorted(regions[order], np.arange(1, num_regions))
+        members = list(np.split(order, splits))
+        instance = IVCInstance.from_grid_2d(
+            counts.reshape(self.grid_dims),
+            name=f"flock-{self.grid_dims[0]}x{self.grid_dims[1]}",
+        )
+        return instance, members
+
+    # ------------------------------------------------------------------ rules
+    def _steer(self, ids: np.ndarray, neighbor_ids: np.ndarray) -> np.ndarray:
+        """New velocities for ``ids`` from the current state of ``neighbor_ids``."""
+        pos = self.positions[ids]
+        vel = self.velocities[ids]
+        npos = self.positions[neighbor_ids]
+        nvel = self.velocities[neighbor_ids]
+        delta = npos[None, :, :] - pos[:, None, :]
+        dist_sq = (delta**2).sum(axis=2)
+        mask = (dist_sq < self.radius**2) & (dist_sq > 0)
+        counts = mask.sum(axis=1)
+        steer = vel.copy()
+        has = counts > 0
+        if np.any(has):
+            inv = np.where(mask, 1.0, 0.0)
+            denom = np.maximum(counts, 1)[:, None]
+            center = (inv[:, :, None] * npos[None, :, :]).sum(axis=1) / denom
+            mean_vel = (inv[:, :, None] * nvel[None, :, :]).sum(axis=1) / denom
+            away = -(inv[:, :, None] * delta).sum(axis=1) / denom
+            steer = (
+                vel
+                + self.cohesion * (center - pos) * has[:, None]
+                + self.alignment * (mean_vel - vel) * has[:, None]
+                + self.separation * away * has[:, None]
+            )
+        speed = np.sqrt((steer**2).sum(axis=1, keepdims=True))
+        factor = np.where(speed > self.max_speed, self.max_speed / np.maximum(speed, 1e-12), 1.0)
+        return steer * factor
+
+    def _region_neighborhood(self, region: int, members: list[np.ndarray]) -> np.ndarray:
+        X, Y = self.grid_dims
+        i, j = divmod(region, Y)
+        parts = []
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < X and 0 <= nj < Y:
+                    parts.append(members[ni * Y + nj])
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def _update_region(self, region: int, members: list[np.ndarray]) -> None:
+        """In-place velocity rewrite for one region (reads Moore neighbors)."""
+        ids = members[region]
+        if len(ids) == 0:
+            return
+        neighborhood = self._region_neighborhood(region, members)
+        self.velocities[ids] = self._steer(ids, neighborhood)
+
+    # -------------------------------------------------------------- execution
+    def step_sequential(self, coloring: Coloring, members: list[np.ndarray], dt: float = 1.0) -> None:
+        """Execute the colored DAG's creation order serially, then move."""
+        dag = task_dag_from_coloring(coloring)
+        for v in dag.creation_order:
+            self._update_region(int(v), members)
+        self._advance(dt)
+
+    def step_threaded(
+        self,
+        coloring: Coloring,
+        members: list[np.ndarray],
+        dt: float = 1.0,
+        num_workers: int = 4,
+    ) -> None:
+        """Execute the colored DAG on real threads, then move.
+
+        Deterministic: the DAG serializes every pair of neighboring regions
+        in creation order, and non-neighbors don't read each other's state.
+        """
+        coloring.check()
+        dag = task_dag_from_coloring(coloring)
+        n = coloring.instance.num_vertices
+        indegree = dag.indegree.copy()
+        lock = threading.Lock()
+        done = threading.Event()
+        active = [int(v) for v in dag.creation_order]
+        remaining = [len(active)]
+        if not active:
+            done.set()
+        with ThreadPoolExecutor(max_workers=num_workers) as pool:
+
+            def run(v: int) -> None:
+                self._update_region(v, members)
+                newly_ready = []
+                with lock:
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done.set()
+                    for u in dag.successors[v]:
+                        u = int(u)
+                        indegree[u] -= 1
+                        if indegree[u] == 0:
+                            newly_ready.append(u)
+                for u in newly_ready:
+                    pool.submit(run, u)
+
+            for v in active:
+                if dag.indegree[v] == 0:
+                    pool.submit(run, v)
+            done.wait()
+        self._advance(dt)
+
+    def _advance(self, dt: float) -> None:
+        """Move boids and reflect at the walls."""
+        self.positions += dt * self.velocities
+        for axis in range(2):
+            lo, hi = self.extent[axis]
+            below = self.positions[:, axis] < lo
+            above = self.positions[:, axis] > hi
+            self.positions[below, axis] = 2 * lo - self.positions[below, axis]
+            self.positions[above, axis] = 2 * hi - self.positions[above, axis]
+            self.velocities[below | above, axis] *= -1
+        np.clip(self.positions, self.extent[:, 0], self.extent[:, 1], out=self.positions)
+
+    # ------------------------------------------------------------- diagnostics
+    def polarization(self) -> float:
+        """Flock alignment metric in [0, 1]: norm of the mean heading."""
+        speed = np.sqrt((self.velocities**2).sum(axis=1, keepdims=True))
+        headings = self.velocities / np.maximum(speed, 1e-12)
+        return float(np.sqrt((headings.mean(axis=0) ** 2).sum()))
+
+    def copy(self) -> "FlockingSimulation":
+        """Deep copy (for comparing execution strategies on identical state)."""
+        return FlockingSimulation(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            radius=self.radius,
+            extent=self.extent.copy(),
+            separation=self.separation,
+            alignment=self.alignment,
+            cohesion=self.cohesion,
+            max_speed=self.max_speed,
+            grid_dims=self.grid_dims,
+        )
+
+
+def random_flock(
+    num_boids: int,
+    extent_size: float = 40.0,
+    radius: float = 2.5,
+    seed: int = 0,
+) -> FlockingSimulation:
+    """A random flock in a square box (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    extent = np.array([[0.0, extent_size], [0.0, extent_size]])
+    positions = rng.uniform(0, extent_size, size=(num_boids, 2))
+    velocities = rng.normal(scale=0.3, size=(num_boids, 2))
+    return FlockingSimulation(
+        positions=positions, velocities=velocities, radius=radius, extent=extent
+    )

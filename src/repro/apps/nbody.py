@@ -1,0 +1,246 @@
+"""Short-range n-body solver scheduled by stencil interval coloring.
+
+The setting of the paper's Figure 1: particles in a 2D box interact within a
+cutoff radius; the box is partitioned rectilinearly into regions no smaller
+than **twice the cutoff**, so a region's particles only interact with
+particles of the region itself and its 8 Moore neighbors.  One region is one
+task; forces are accumulated *symmetrically* (Newton's third law writes to
+both particles), so tasks of neighboring regions write to shared particles
+and must not run concurrently — the conflict graph is exactly a 9-pt
+stencil.
+
+Task weights are the per-region interaction-pair counts (the actual work),
+refining the paper's point-count model.  Because force accumulation is
+additive, any schedule that serializes neighbors produces the same total
+forces, which the tests exploit by checking the threaded execution against
+the O(N²) serial reference.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.stkde.runtime import task_dag_from_coloring
+
+#: Softening added to squared distances to keep forces finite.
+SOFTENING = 1e-6
+
+
+def _pair_force(delta: np.ndarray, dist_sq: np.ndarray, cutoff: float) -> np.ndarray:
+    """Soft short-range repulsion: ``(1 - d/rc)² / d`` along ``delta``.
+
+    Smoothly vanishes at the cutoff; purely repulsive, so the dynamics stay
+    bounded.  Vectorized over pair arrays.
+    """
+    dist = np.sqrt(np.minimum(dist_sq, 4.0 * cutoff**2) + SOFTENING)
+    mag = np.where(dist < cutoff, (1.0 - dist / cutoff) ** 2 / dist, 0.0)
+    return delta * mag[..., None]
+
+
+@dataclass
+class NBodySystem:
+    """Particles in a 2D periodic-free box with cutoff interactions.
+
+    Parameters
+    ----------
+    positions:
+        ``(N, 2)`` float array inside ``extent``.
+    cutoff:
+        Interaction radius; regions must be at least ``2 * cutoff`` wide.
+    extent:
+        ``(2, 2)`` per-axis ``(lo, hi)`` bounds.
+    grid_dims:
+        Region grid ``(X, Y)``; defaults to the finest legal decomposition.
+    """
+
+    positions: np.ndarray
+    cutoff: float
+    extent: np.ndarray
+    grid_dims: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError("positions must be (N, 2)")
+        self.extent = np.ascontiguousarray(self.extent, dtype=np.float64)
+        if self.extent.shape != (2, 2):
+            raise ValueError("extent must be (2, 2)")
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        lengths = self.extent[:, 1] - self.extent[:, 0]
+        max_dims = np.maximum((lengths / (2.0 * self.cutoff)).astype(int), 1)
+        if self.grid_dims is None:
+            self.grid_dims = (int(max_dims[0]), int(max_dims[1]))
+        if self.grid_dims[0] > max_dims[0] or self.grid_dims[1] > max_dims[1]:
+            raise ValueError(
+                f"regions {self.grid_dims} violate the 2x-cutoff rule (max {tuple(max_dims)})"
+            )
+
+    @property
+    def num_particles(self) -> int:
+        """Number of particles."""
+        return len(self.positions)
+
+    # ------------------------------------------------------------ partitioning
+    @cached_property
+    def particle_regions(self) -> np.ndarray:
+        """Flat region id of every particle."""
+        X, Y = self.grid_dims
+        idx = np.empty((self.num_particles, 2), dtype=np.int64)
+        for axis, dim in enumerate((X, Y)):
+            lo, hi = self.extent[axis]
+            scaled = (self.positions[:, axis] - lo) / (hi - lo) * dim
+            idx[:, axis] = np.clip(scaled.astype(np.int64), 0, dim - 1)
+        return idx[:, 0] * Y + idx[:, 1]
+
+    @cached_property
+    def region_particles(self) -> list[np.ndarray]:
+        """Particle index arrays per region."""
+        order = np.argsort(self.particle_regions, kind="stable")
+        sorted_regions = self.particle_regions[order]
+        num_regions = self.grid_dims[0] * self.grid_dims[1]
+        splits = np.searchsorted(sorted_regions, np.arange(1, num_regions))
+        return list(np.split(order, splits))
+
+    @cached_property
+    def instance(self) -> IVCInstance:
+        """The 2DS-IVC task graph: weights are per-region pair counts.
+
+        A region's work is the number of particle pairs it evaluates: pairs
+        inside the region plus pairs against the four "forward" neighbor
+        regions (each cross-region pair is owned by exactly one region).
+        """
+        X, Y = self.grid_dims
+        counts = np.bincount(self.particle_regions, minlength=X * Y)
+        grid = counts.reshape(X, Y)
+        work = grid * (grid - 1) // 2
+        # Forward neighbors (i, j+1), (i+1, j-1), (i+1, j), (i+1, j+1): each
+        # cross-region pair is owned by exactly one region.
+        for di, dj in ((0, 1), (1, -1), (1, 0), (1, 1)):
+            i_lo, i_hi = max(0, -di), X - max(0, di)
+            j_lo, j_hi = max(0, -dj), Y - max(0, dj)
+            src = grid[i_lo:i_hi, j_lo:j_hi]
+            dst = grid[i_lo + di : i_hi + di, j_lo + dj : j_hi + dj]
+            work[i_lo:i_hi, j_lo:j_hi] += src * dst
+        return IVCInstance.from_grid_2d(
+            work, name=f"nbody-{X}x{Y}", metadata={"cutoff": self.cutoff}
+        )
+
+    # ----------------------------------------------------------------- forces
+    def forces_serial(self) -> np.ndarray:
+        """O(N²) reference force computation (all pairs within cutoff)."""
+        pos = self.positions
+        delta = pos[None, :, :] - pos[:, None, :]
+        dist_sq = (delta**2).sum(axis=2)
+        np.fill_diagonal(dist_sq, np.inf)
+        forces = _pair_force(-delta, dist_sq, self.cutoff)
+        return forces.sum(axis=1)
+
+    def _region_task(self, region: int, forces: np.ndarray) -> None:
+        """Accumulate the forces owned by one region (symmetric writes)."""
+        X, Y = self.grid_dims
+        i, j = divmod(region, Y)
+        own = self.region_particles[region]
+        if len(own) == 0:
+            return
+        # Intra-region pairs.
+        self._accumulate_pairs(own, own, forces, same=True)
+        # Forward neighbor regions (each cross pair evaluated exactly once).
+        for di, dj in ((0, 1), (1, -1), (1, 0), (1, 1)):
+            ni, nj = i + di, j + dj
+            if 0 <= ni < X and 0 <= nj < Y:
+                other = self.region_particles[ni * Y + nj]
+                if len(other):
+                    self._accumulate_pairs(own, other, forces, same=False)
+
+    def _accumulate_pairs(self, a_ids, b_ids, forces, same: bool) -> None:
+        pos = self.positions
+        delta = pos[b_ids][None, :, :] - pos[a_ids][:, None, :]
+        dist_sq = (delta**2).sum(axis=2)
+        if same:
+            iu = np.triu_indices(len(a_ids), k=1)
+            mask = np.zeros_like(dist_sq, dtype=bool)
+            mask[iu] = True
+        else:
+            mask = np.ones_like(dist_sq, dtype=bool)
+        mask &= dist_sq < self.cutoff**2
+        ai, bi = np.nonzero(mask)
+        if len(ai) == 0:
+            return
+        f = _pair_force(-delta[ai, bi], dist_sq[ai, bi], self.cutoff)
+        np.add.at(forces, a_ids[ai], f)
+        np.add.at(forces, b_ids[bi], -f)
+
+    def forces_by_tasks(self, order: np.ndarray | None = None) -> np.ndarray:
+        """Run every region task sequentially; equals the serial reference."""
+        forces = np.zeros_like(self.positions)
+        regions = order if order is not None else np.arange(self.instance.num_vertices)
+        for region in regions:
+            self._region_task(int(region), forces)
+        return forces
+
+    def forces_threaded(self, coloring: Coloring, num_workers: int = 4) -> np.ndarray:
+        """Execute the colored task DAG on real threads (race-free writes).
+
+        Neighboring regions share written particles, so the DAG serializes
+        them; non-neighbors touch disjoint particles and run concurrently.
+        """
+        if coloring.instance.num_vertices != self.instance.num_vertices:
+            raise ValueError("coloring does not match the region grid")
+        coloring.check()
+        dag = task_dag_from_coloring(coloring)
+        n = self.instance.num_vertices
+        forces = np.zeros_like(self.positions)
+        indegree = dag.indegree.copy()
+        lock = threading.Lock()
+        done = threading.Event()
+        remaining = [n]
+        with ThreadPoolExecutor(max_workers=num_workers) as pool:
+
+            def run(v: int) -> None:
+                self._region_task(v, forces)
+                newly_ready = []
+                with lock:
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done.set()
+                    for u in dag.successors[v]:
+                        u = int(u)
+                        indegree[u] -= 1
+                        if indegree[u] == 0:
+                            newly_ready.append(u)
+                for u in newly_ready:
+                    pool.submit(run, u)
+
+            if n == 0:
+                done.set()
+            for v in range(n):
+                if dag.indegree[v] == 0:
+                    pool.submit(run, v)
+            done.wait()
+        return forces
+
+    def step(self, velocities: np.ndarray, dt: float, coloring: Coloring) -> np.ndarray:
+        """One explicit Euler step using the colored parallel force pass.
+
+        Returns the updated velocities; positions are updated in place and
+        clamped to the extent.
+        """
+        forces = self.forces_threaded(coloring)
+        velocities = velocities + dt * forces
+        self.positions += dt * velocities
+        np.clip(
+            self.positions, self.extent[:, 0], self.extent[:, 1], out=self.positions
+        )
+        # Positions moved: invalidate the cached decomposition.
+        self.__dict__.pop("particle_regions", None)
+        self.__dict__.pop("region_particles", None)
+        self.__dict__.pop("instance", None)
+        return velocities

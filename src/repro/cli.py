@@ -1,0 +1,356 @@
+"""Command-line interface: ``stencil-ivc <subcommand>``.
+
+Subcommands
+-----------
+``solve``    Color a weight grid from a ``.npy``/``.txt`` file.
+``suite``    Run the Section VI experiment suite (2D or 3D) and print the
+             runtime comparison and performance profile.
+``optimal``  MILP-solve a suite's instances and compare heuristics to the
+             optimum (Section VI.D).
+``stkde``    Run the STKDE integration experiment (Section VII).
+``npc``      Demonstrate the NAE-3SAT reduction (Section IV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_weights(path: str) -> np.ndarray:
+    if path.endswith(".npy"):
+        return np.load(path)
+    return np.loadtxt(path, dtype=np.int64)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.bounds import lower_bound
+    from repro.core.problem import IVCInstance
+    from repro.core.algorithms.registry import color_with
+
+    weights = _load_weights(args.file)
+    if weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(weights, name=args.file)
+    elif weights.ndim == 3:
+        instance = IVCInstance.from_grid_3d(weights, name=args.file)
+    else:
+        print(f"error: expected a 2D or 3D weight grid, got shape {weights.shape}")
+        return 2
+    coloring = color_with(instance, args.algorithm).check()
+    lb = lower_bound(instance)
+    print(f"instance : {instance.name} {weights.shape}")
+    print(f"algorithm: {args.algorithm}")
+    print(f"maxcolor : {coloring.maxcolor}")
+    print(f"bound    : {lb}  (ratio {coloring.maxcolor / max(lb, 1):.4f})")
+    print(f"time     : {coloring.elapsed * 1e3:.2f} ms")
+    if args.output:
+        np.save(args.output, coloring.as_grid())
+        print(f"starts saved to {args.output}")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.core.bounds import (
+        clique_block_bound,
+        lower_bound,
+        max_weight_bound,
+        maxpair_bound,
+        odd_cycle_bound,
+    )
+    from repro.core.problem import IVCInstance
+
+    weights = _load_weights(args.file)
+    if weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(weights, name=args.file)
+    elif weights.ndim == 3:
+        instance = IVCInstance.from_grid_3d(weights, name=args.file)
+    else:
+        print(f"error: expected a 2D or 3D weight grid, got shape {weights.shape}")
+        return 2
+    print(f"instance        : {instance.name} {weights.shape}")
+    print(f"max weight      : {max_weight_bound(instance)}")
+    print(f"maxpair         : {maxpair_bound(instance)}")
+    print(f"clique blocks   : {clique_block_bound(instance)}")
+    if args.odd_cycles:
+        print(f"odd cycles (<={args.max_cycle_len}): "
+              f"{odd_cycle_bound(instance, max_len=args.max_cycle_len)}")
+    print(f"combined bound  : "
+          f"{lower_bound(instance, use_odd_cycles=args.odd_cycles, odd_cycle_max_len=args.max_cycle_len)}")
+    return 0
+
+
+def cmd_exact(args: argparse.Namespace) -> int:
+    from repro.core.bounds import lower_bound
+    from repro.core.exact.milp import solve_milp
+    from repro.core.problem import IVCInstance
+
+    weights = _load_weights(args.file)
+    if weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(weights, name=args.file)
+    elif weights.ndim == 3:
+        instance = IVCInstance.from_grid_3d(weights, name=args.file)
+    else:
+        print(f"error: expected a 2D or 3D weight grid, got shape {weights.shape}")
+        return 2
+    result = solve_milp(instance, time_limit=args.time_limit)
+    print(f"instance : {instance.name} {weights.shape}")
+    print(f"status   : {result.status} (proven optimal: {result.proven_optimal})")
+    if result.maxcolor is not None:
+        print(f"maxcolor : {result.maxcolor}  (lower bound {lower_bound(instance)})")
+    if result.coloring is not None and args.output:
+        np.save(args.output, result.coloring.as_grid())
+        print(f"starts saved to {args.output}")
+    return 0 if result.status in ("optimal", "timeout") else 1
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.analysis.performance_profiles import profile_to_text
+    from repro.analysis.reporting import banner, format_table
+    from repro.analysis.stats import runtime_summary
+    from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
+    from repro.data.synthetic import standard_datasets
+
+    from repro.experiments import run_suite
+
+    if args.data_dir:
+        from repro.data.loader import load_directory
+
+        datasets = load_directory(args.data_dir)
+    else:
+        datasets = standard_datasets(scale=args.scale)
+    config = SuiteConfig(dim_cap=args.dim_cap, max_cells=args.max_cells)
+    if args.dim == 2:
+        instances = build_suite_2d(datasets, config)
+    else:
+        instances = build_suite_3d(datasets, config)
+    print(banner(f"{args.dim}D suite: {len(instances)} instances"))
+    result = run_suite(instances)
+    print(profile_to_text(result.profile()))
+    print()
+    rows = [
+        (name, s["total"], s["mean"] * 1e3, s["max"] * 1e3)
+        for name, s in runtime_summary(result.times).items()
+    ]
+    print(format_table(("algorithm", "total s", "mean ms", "max ms"), rows))
+    return 0
+
+
+def cmd_optimal(args: argparse.Namespace) -> int:
+    from repro.analysis.performance_profiles import profile_to_text
+    from repro.analysis.reporting import banner
+    from repro.analysis.stats import fraction_matching
+    from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
+    from repro.data.synthetic import standard_datasets
+    from repro.experiments import run_suite, solve_suite_optimal
+
+    datasets = standard_datasets(scale=args.scale)
+    config = SuiteConfig(dim_cap=args.dim_cap, max_cells=args.max_cells)
+    instances = build_suite_2d(datasets, config) if args.dim == 2 else build_suite_3d(datasets, config)
+    result = run_suite(instances)
+    solved, optima = solve_suite_optimal(result, time_limit=args.time_limit)
+    print(banner(f"MILP solved {len(solved)}/{result.num_instances} instances"))
+    sub = result.subset(solved)
+    print(profile_to_text(sub.profile(best=[float(v) for v in optima])))
+    lbs = [float(b) for b in sub.lower_bounds]
+    print(f"\nmax-clique bound == optimum on "
+          f"{fraction_matching([float(v) for v in optima], lbs) * 100:.1f}% of solved instances")
+    return 0
+
+
+def cmd_stkde(args: argparse.Namespace) -> int:
+    from repro.analysis.regression import linear_fit
+    from repro.analysis.reporting import banner, format_table
+    from repro.core.algorithms.registry import ALGORITHMS, color_with
+    from repro.data.synthetic import standard_datasets
+    from repro.stkde.runtime import simulate_schedule
+    from repro.stkde.tasks import box_decomposition
+
+    for dataset in standard_datasets(scale=args.scale):
+        h_s = dataset.axis_length(0) / args.bandwidth_divisor
+        h_t = dataset.axis_length(2) / args.bandwidth_divisor
+        problem = box_decomposition(dataset, h_s, h_t, voxel_dims=(16, 16, 16))
+        instance = problem.instance
+        rows = []
+        colors, runtimes = [], []
+        for name in ALGORITHMS:
+            coloring = color_with(instance, name)
+            trace = simulate_schedule(coloring, num_workers=args.workers)
+            rows.append((name, coloring.maxcolor, trace.makespan, trace.parallel_efficiency))
+            colors.append(float(coloring.maxcolor))
+            runtimes.append(trace.makespan)
+        print(banner(f"{dataset.name}: boxes {problem.box_dims}, P={args.workers}"))
+        print(format_table(("algorithm", "maxcolor", "sim time", "efficiency"), rows))
+        fit = linear_fit(colors, runtimes)
+        print(f"colors-vs-runtime: slope={fit.slope:.4g} r={fit.rvalue:.3f}\n")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    from repro.core.algorithms.registry import color_with
+    from repro.core.bounds import clique_block_bound
+    from repro.data.loader import load_events_csv
+    from repro.data.partition import (
+        balanced_rectilinear_instance,
+        uniform_rectilinear_instance,
+    )
+
+    dataset = load_events_csv(
+        args.file, x_column=args.x_column, y_column=args.y_column, t_column=args.t_column
+    )
+    parts = (args.parts_x, args.parts_y)
+    bw = (args.bandwidth_x, args.bandwidth_y)
+    balanced = balanced_rectilinear_instance(
+        dataset, axes=(0, 1), parts=parts, bandwidths=bw
+    )
+    uniform = uniform_rectilinear_instance(dataset, axes=(0, 1), parts=parts)
+    print(f"dataset  : {dataset.name} ({dataset.num_points} events)")
+    print(f"parts    : {parts}, bandwidths {bw}")
+    for label, inst in (("uniform", uniform), ("balanced", balanced)):
+        coloring = color_with(inst, args.algorithm).check()
+        print(f"{label:>9}: clique bound {clique_block_bound(inst):>6}  "
+              f"{args.algorithm} maxcolor {coloring.maxcolor:>6}")
+    return 0
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.core.algorithms.registry import color_with
+    from repro.core.problem import IVCInstance
+    from repro.stkde.gantt import gantt_svg
+    from repro.stkde.runtime import simulate_schedule
+
+    weights = _load_weights(args.file)
+    if weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(weights, name=args.file)
+    elif weights.ndim == 3:
+        instance = IVCInstance.from_grid_3d(weights, name=args.file)
+    else:
+        print(f"error: expected a 2D or 3D weight grid, got shape {weights.shape}")
+        return 2
+    coloring = color_with(instance, args.algorithm).check()
+    trace = simulate_schedule(coloring, num_workers=args.workers)
+    svg = gantt_svg(
+        coloring,
+        trace,
+        title=f"{args.algorithm} on {weights.shape}, P={args.workers}",
+    )
+    with open(args.output, "w") as handle:
+        handle.write(svg)
+    print(f"maxcolor {coloring.maxcolor}, makespan {trace.makespan:.1f}, "
+          f"critical path {trace.critical_path:.1f}")
+    print(f"gantt chart saved to {args.output}")
+    return 0
+
+
+def cmd_npc(args: argparse.Namespace) -> int:
+    from repro.npc.decision import decide_stencil_coloring
+    from repro.npc.nae3sat import random_nae3sat, unsatisfiable_example
+    from repro.npc.reduction import assignment_from_coloring, build_reduction
+
+    if args.fano:
+        formula = unsatisfiable_example()
+    else:
+        formula = random_nae3sat(args.vars, args.clauses, seed=args.seed)
+    print(f"formula: {formula.num_vars} vars, clauses {formula.clauses}")
+    sat = formula.is_satisfiable()
+    print(f"NAE-satisfiable (brute force): {sat}")
+    reduction = build_reduction(formula)
+    shape = reduction.instance.geometry.shape
+    print(f"reduced 3DS-IVC grid: {shape[0]}x{shape[1]}x{shape[2]}, K={reduction.k}")
+    coloring = decide_stencil_coloring(reduction.instance, reduction.k, method="milp")
+    print(f"colorable with {reduction.k} colors: {coloring is not None}")
+    if (coloring is not None) != sat:
+        print("MISMATCH — the reduction is broken")
+        return 1
+    if coloring is not None:
+        assignment = assignment_from_coloring(reduction, coloring)
+        print(f"extracted assignment: {assignment}")
+        print(f"satisfies formula: {formula.is_satisfied(assignment)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stencil-ivc",
+        description="Interval vertex coloring of 9-pt and 27-pt stencils (IPPS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="color a weight grid from a file")
+    p.add_argument("file", help=".npy or whitespace text file of weights")
+    p.add_argument("--algorithm", default="BDP")
+    p.add_argument("--output", default="", help="save start colors to .npy")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("bounds", help="print the Section III lower bounds for a grid")
+    p.add_argument("file", help=".npy or whitespace text file of weights")
+    p.add_argument("--odd-cycles", action="store_true",
+                   help="include the (exponential) odd-cycle bound search")
+    p.add_argument("--max-cycle-len", type=int, default=5)
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("exact", help="solve a grid to optimality with the MILP")
+    p.add_argument("file", help=".npy or whitespace text file of weights")
+    p.add_argument("--time-limit", type=float, default=60.0)
+    p.add_argument("--output", default="", help="save optimal starts to .npy")
+    p.set_defaults(func=cmd_exact)
+
+    for name, func in (("suite", cmd_suite), ("optimal", cmd_optimal)):
+        p = sub.add_parser(name, help=f"run the Section VI {name} experiment")
+        p.add_argument("--dim", type=int, choices=(2, 3), default=2)
+        p.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+        p.add_argument("--dim-cap", type=int, default=16)
+        p.add_argument("--max-cells", type=int, default=2048)
+        if name == "suite":
+            p.add_argument("--data-dir", default="",
+                           help="directory of x,y,t CSVs to use instead of the synthetic datasets")
+        if name == "optimal":
+            p.add_argument("--time-limit", type=float, default=5.0)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "partition",
+        help="compare uniform vs load-balanced rectilinear decomposition on a CSV",
+    )
+    p.add_argument("file", help="CSV of events with x,y,t columns")
+    p.add_argument("--parts-x", type=int, default=8)
+    p.add_argument("--parts-y", type=int, default=8)
+    p.add_argument("--bandwidth-x", type=float, required=True)
+    p.add_argument("--bandwidth-y", type=float, required=True)
+    p.add_argument("--algorithm", default="BDP")
+    p.add_argument("--x-column", default="x")
+    p.add_argument("--y-column", default="y")
+    p.add_argument("--t-column", default="t")
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("gantt", help="render a simulated schedule as an SVG Gantt chart")
+    p.add_argument("file", help=".npy or whitespace text file of weights")
+    p.add_argument("--algorithm", default="GLF")
+    p.add_argument("--workers", type=int, default=6)
+    p.add_argument("--output", default="schedule.svg")
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("stkde", help="STKDE integration experiment (Section VII)")
+    p.add_argument("--workers", type=int, default=6)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--bandwidth-divisor", type=float, default=24.0)
+    p.set_defaults(func=cmd_stkde)
+
+    p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
+    p.add_argument("--vars", type=int, default=4)
+    p.add_argument("--clauses", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fano", action="store_true", help="use the unsatisfiable Fano formula")
+    p.set_defaults(func=cmd_npc)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``stencil-ivc`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

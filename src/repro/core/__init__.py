@@ -1,0 +1,62 @@
+"""Core interval-vertex-coloring library.
+
+Contents:
+
+* :mod:`~repro.core.problem` — the :class:`IVCInstance` container binding a
+  graph, integer vertex weights, and (optionally) a stencil geometry.
+* :mod:`~repro.core.coloring` — the :class:`Coloring` result type with
+  validation and ``maxcolor``.
+* :mod:`~repro.core.greedy_engine` — the first-fit interval primitive shared
+  by every greedy heuristic.
+* :mod:`~repro.core.bounds` — the lower bounds of Section III (max weighted
+  edge, max :math:`K_4`/:math:`K_8` clique, odd-cycle ``minchain3``).
+* :mod:`~repro.core.algorithms` — the heuristics of Section V (GLL, GZO,
+  GLF, GKF, SGK, BD, BDP) behind a uniform registry.
+* :mod:`~repro.core.exact` — exact solvers: the closed-form special cases of
+  Section III, a MILP (scipy/HiGHS) matching the paper's Gurobi model, and a
+  branch-and-bound backstop.
+"""
+
+from repro.core.algorithms import (
+    ALGORITHMS,
+    bipartite_decomposition,
+    bipartite_decomposition_post,
+    color_with,
+    greedy_largest_clique_first,
+    greedy_largest_first,
+    greedy_line_by_line,
+    greedy_zorder,
+    smart_greedy_largest_clique_first,
+)
+from repro.core.bounds import (
+    clique_block_bound,
+    lower_bound,
+    max_weight_bound,
+    maxpair_bound,
+    odd_cycle_bound,
+)
+from repro.core.coloring import Coloring
+from repro.core.greedy_engine import first_fit_start, greedy_color, greedy_recolor_pass
+from repro.core.problem import IVCInstance
+
+__all__ = [
+    "ALGORITHMS",
+    "Coloring",
+    "IVCInstance",
+    "bipartite_decomposition",
+    "bipartite_decomposition_post",
+    "clique_block_bound",
+    "color_with",
+    "first_fit_start",
+    "greedy_color",
+    "greedy_largest_clique_first",
+    "greedy_largest_first",
+    "greedy_line_by_line",
+    "greedy_recolor_pass",
+    "greedy_zorder",
+    "lower_bound",
+    "max_weight_bound",
+    "maxpair_bound",
+    "odd_cycle_bound",
+    "smart_greedy_largest_clique_first",
+]

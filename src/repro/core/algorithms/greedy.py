@@ -1,0 +1,36 @@
+"""Order-based greedy heuristics: GLL, GZO, GLF (Section V.A)."""
+
+from __future__ import annotations
+
+from repro.core.coloring import Coloring
+from repro.core.greedy_engine import greedy_color
+from repro.core.orderings import largest_first_order, line_by_line_order, zorder_order
+from repro.core.problem import IVCInstance
+
+
+def greedy_line_by_line(instance: IVCInstance) -> Coloring:
+    """Greedy Line-by-Line (GLL): first fit scanning lines then planes.
+
+    A geometric order — a vertex is never colored after all 8 (or 26) of its
+    neighbors, which sidesteps the greedy worst case of Lemma 7.
+    """
+    return greedy_color(instance, line_by_line_order(instance), algorithm="GLL")
+
+
+def greedy_zorder(instance: IVCInstance) -> Coloring:
+    """Greedy Z-Order (GZO): first fit along the Morton curve.
+
+    Favors no particular grid dimension; the recursive traversal keeps
+    spatially close vertices close in the coloring sequence.
+    """
+    return greedy_color(instance, zorder_order(instance), algorithm="GZO")
+
+
+def greedy_largest_first(instance: IVCInstance) -> Coloring:
+    """Greedy Largest First (GLF): first fit by non-increasing weight.
+
+    Heavy vertices are colored before their neighborhoods fragment, so their
+    (expensive) intervals stay low.  The paper's quality/speed sweet spot on
+    3D instances.
+    """
+    return greedy_color(instance, largest_first_order(instance), algorithm="GLF")

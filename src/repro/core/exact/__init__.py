@@ -1,0 +1,41 @@
+"""Exact solvers for interval vertex coloring.
+
+* :mod:`~repro.core.exact.special_cases` — the closed-form optimal colorings
+  of Section III: cliques, chains, stars, bipartite graphs, odd cycles
+  (Theorem 1), and the 5-pt / 7-pt stencil relaxations.
+* :mod:`~repro.core.exact.milp` — the Mixed Integer Linear Program of
+  Section VI.D, solved with scipy's HiGHS backend (substituting for the
+  paper's Gurobi).
+* :mod:`~repro.core.exact.branch_and_bound` — a CSP-style exact solver
+  (decision by DFS with forward checking, optimization by binary search);
+  backstop for the MILP and workhorse of the NP-completeness demos.
+"""
+
+from repro.core.exact.branch_and_bound import decide_coloring, solve_exact
+from repro.core.exact.milp import MILPResult, milp_decide, solve_milp
+from repro.core.exact.special_cases import (
+    color_bipartite,
+    color_chain,
+    color_clique,
+    color_even_cycle,
+    color_odd_cycle,
+    color_relaxation_5pt,
+    color_relaxation_7pt,
+    color_star,
+)
+
+__all__ = [
+    "MILPResult",
+    "color_bipartite",
+    "color_chain",
+    "color_clique",
+    "color_even_cycle",
+    "color_odd_cycle",
+    "color_relaxation_5pt",
+    "color_relaxation_7pt",
+    "color_star",
+    "decide_coloring",
+    "milp_decide",
+    "solve_exact",
+    "solve_milp",
+]

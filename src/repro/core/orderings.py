@@ -1,0 +1,92 @@
+"""Vertex orderings for greedy coloring (Section V.A).
+
+Two families, per the paper's analysis of the greedy worst case:
+
+* **geometric** orders (line-by-line, Z-order) ensure a vertex is rarely
+  colored after all of its neighbors;
+* **weight** orders (largest first) color heavy vertices before their
+  neighborhoods fill with awkwardly spaced intervals.
+
+Clique-driven orders (GKF/SGK) interleave ordering and coloring and live in
+:mod:`repro.core.algorithms.clique_first`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import IVCInstance
+from repro.stencil.zorder import morton_argsort_2d, morton_argsort_3d
+
+
+def identity_order(n: int) -> np.ndarray:
+    """Vertices in id order."""
+    return np.arange(n, dtype=np.int64)
+
+
+def line_by_line_order(instance: IVCInstance) -> np.ndarray:
+    """Scan lines, then planes (GLL).  Falls back to id order off-stencil."""
+    if instance.geometry is None:
+        return identity_order(instance.num_vertices)
+    return instance.geometry.line_by_line_order()
+
+
+def zorder_order(instance: IVCInstance) -> np.ndarray:
+    """Morton (Z-order) traversal of the stencil grid (GZO)."""
+    geo = instance.geometry
+    if geo is None:
+        raise ValueError("Z-order requires a stencil geometry")
+    if instance.is_2d:
+        return morton_argsort_2d(geo.shape)
+    return morton_argsort_3d(geo.shape)
+
+
+def largest_first_order(instance: IVCInstance) -> np.ndarray:
+    """Vertices by non-increasing weight, ties by id (GLF)."""
+    return np.argsort(-instance.weights, kind="stable").astype(np.int64)
+
+
+def random_order(instance: IVCInstance, seed: int = 0) -> np.ndarray:
+    """Uniformly random permutation (baseline for ordering ablations)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(instance.num_vertices).astype(np.int64)
+
+
+def smallest_last_order(instance: IVCInstance) -> np.ndarray:
+    """Matula–Beck smallest-last ordering, weighted.
+
+    Classic-coloring extension from the paper's related work: repeatedly
+    remove the vertex whose *remaining weighted degree* (sum of uncolored
+    neighbors' weights plus its own) is smallest; color in reverse removal
+    order.  For interval coloring this tends to leave the heaviest, most
+    constrained vertices for first placement.
+    """
+    import heapq
+
+    n = instance.num_vertices
+    w = instance.weights
+    graph = instance.graph
+    score = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        nbs = graph.neighbors(v)
+        score[v] = w[v] + int(w[nbs].sum())
+    removed = np.zeros(n, dtype=bool)
+    # Ties broken toward removing lighter vertices first, so heavy vertices
+    # surface at the front of the coloring order.
+    heap = [(int(score[v]), int(w[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    order = np.empty(n, dtype=np.int64)
+    pos = n - 1
+    while heap:
+        s, _wv, v = heapq.heappop(heap)
+        if removed[v] or s != score[v]:
+            continue  # stale entry
+        removed[v] = True
+        order[pos] = v
+        pos -= 1
+        for u in graph.neighbors(v):
+            u = int(u)
+            if not removed[u]:
+                score[u] -= int(w[v])
+                heapq.heappush(heap, (int(score[u]), int(w[u]), u))
+    return order

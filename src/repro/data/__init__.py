@@ -1,0 +1,48 @@
+"""Spatio-temporal event data and stencil-instance construction (Section VI.A).
+
+The paper evaluates on four point datasets (events at ``(x, y, t)``) obtained
+from the STKDE authors; those are not redistributable, so
+:mod:`~repro.data.synthetic` generates deterministic synthetic analogues that
+reproduce each dataset's qualitative weight regime (clustering, sparsity,
+skew) — see DESIGN.md §3 for the substitution argument.
+
+:mod:`~repro.data.voxelize` turns a point cloud into stencil weight grids
+(rectilinear decomposition with the cell-size ≥ 2×bandwidth constraint, 2D
+projections onto the xy/xt/yt planes), and :mod:`~repro.data.instances`
+builds the full experiment suites (all powers of two per axis, plus the
+largest dimension the bandwidth admits).
+"""
+
+from repro.data.events import PointDataset
+from repro.data.instances import DEFAULT_BANDWIDTH_FRACTIONS, build_suite_2d, build_suite_3d
+from repro.data.synthetic import (
+    dengue_like,
+    fluanimal_like,
+    pollen_like,
+    pollenus_like,
+    standard_datasets,
+)
+from repro.data.voxelize import (
+    candidate_dims,
+    max_dim_for_bandwidth,
+    project_points,
+    voxel_counts_2d,
+    voxel_counts_3d,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_FRACTIONS",
+    "PointDataset",
+    "build_suite_2d",
+    "build_suite_3d",
+    "candidate_dims",
+    "dengue_like",
+    "fluanimal_like",
+    "max_dim_for_bandwidth",
+    "pollen_like",
+    "pollenus_like",
+    "project_points",
+    "standard_datasets",
+    "voxel_counts_2d",
+    "voxel_counts_3d",
+]

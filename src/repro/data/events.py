@@ -1,0 +1,80 @@
+"""Point-event dataset container.
+
+Events live in a 3D ``(x, y, t)`` space — two spatial coordinates plus time,
+exactly the shape of the STKDE inputs of Section VI.A/VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Axis names in storage order.
+AXES = ("x", "y", "t")
+
+
+@dataclass(frozen=True)
+class PointDataset:
+    """A set of spatio-temporal events.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (used throughout the experiment reports).
+    points:
+        ``(N, 3)`` float array of ``(x, y, t)`` coordinates.
+    extent:
+        ``(3, 2)`` array of per-axis ``(lo, hi)`` bounds; must contain all
+        points and is the domain that gets voxelized.
+    """
+
+    name: str
+    points: np.ndarray
+    extent: np.ndarray
+    metadata: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        pts = np.ascontiguousarray(self.points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"points must be (N, 3), got {pts.shape}")
+        ext = np.ascontiguousarray(self.extent, dtype=np.float64)
+        if ext.shape != (3, 2):
+            raise ValueError(f"extent must be (3, 2), got {ext.shape}")
+        if np.any(ext[:, 0] >= ext[:, 1]):
+            raise ValueError("extent lo must be < hi on every axis")
+        if len(pts):
+            lo_ok = (pts >= ext[:, 0]).all()
+            hi_ok = (pts <= ext[:, 1]).all()
+            if not (lo_ok and hi_ok):
+                raise ValueError("some points fall outside the extent")
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "extent", ext)
+
+    @property
+    def num_points(self) -> int:
+        """Number of events."""
+        return len(self.points)
+
+    def axis_length(self, axis: int) -> float:
+        """Length of the extent along an axis (0=x, 1=y, 2=t)."""
+        return float(self.extent[axis, 1] - self.extent[axis, 0])
+
+    def restrict(self, box: np.ndarray, name: str | None = None) -> "PointDataset":
+        """Sub-dataset of the points inside ``box`` (a ``(3, 2)`` extent).
+
+        Used to build the PollenUS analogue (Pollen restricted to a
+        US-like bounding box).
+        """
+        box = np.asarray(box, dtype=np.float64)
+        mask = np.ones(len(self.points), dtype=bool)
+        for axis in range(3):
+            mask &= (self.points[:, axis] >= box[axis, 0]) & (
+                self.points[:, axis] <= box[axis, 1]
+            )
+        return PointDataset(
+            name=name or f"{self.name}-restricted",
+            points=self.points[mask],
+            extent=box,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,139 @@
+"""Experiment-suite construction (Section VI.A).
+
+For every dataset, bandwidth, and (for 2D) projection plane, the paper builds
+one instance per combination of axis dimensions, where each axis sweeps all
+powers of two up to — plus exactly — the largest dimension the bandwidth
+admits.  This module reproduces that construction; suite sizes are controlled
+by a dimension cap so the full sweep stays laptop-sized (the construction
+rule, not the instance count, is what the experiments depend on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.problem import IVCInstance
+from repro.data.events import PointDataset
+from repro.data.synthetic import standard_datasets
+from repro.data.voxelize import (
+    PLANES,
+    candidate_dims,
+    max_dim_for_bandwidth,
+    project_points,
+    voxel_counts_2d,
+    voxel_counts_3d,
+)
+
+#: Bandwidths as fractions of the axis extent (low/mid/high resolution of the
+#: paper's configurations: a larger bandwidth forces a coarser grid).
+DEFAULT_BANDWIDTH_FRACTIONS: dict[str, float] = {
+    "highbw": 1.0 / 8.0,
+    "midbw": 1.0 / 16.0,
+    "lowbw": 1.0 / 32.0,
+}
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Knobs bounding a suite sweep.
+
+    Attributes
+    ----------
+    dim_cap:
+        Maximum cells per axis (truncates the powers-of-two sweep).
+    max_cells:
+        Skip dimension combinations whose total vertex count exceeds this.
+    bandwidth_fractions:
+        Mapping of bandwidth label to fraction of each axis extent.
+    """
+
+    dim_cap: int = 32
+    max_cells: int = 4096
+    bandwidth_fractions: dict[str, float] | None = None
+
+    def fractions(self) -> dict[str, float]:
+        return self.bandwidth_fractions or DEFAULT_BANDWIDTH_FRACTIONS
+
+
+def _axis_candidates(
+    axis_lengths: Sequence[float], fraction: float, cap: int
+) -> list[list[int]]:
+    out = []
+    for length in axis_lengths:
+        bandwidth = fraction * length
+        out.append(candidate_dims(max_dim_for_bandwidth(length, bandwidth), cap=cap))
+    return out
+
+
+def build_suite_2d(
+    datasets: Iterable[PointDataset] | None = None,
+    config: SuiteConfig = SuiteConfig(),
+) -> list[IVCInstance]:
+    """All 2DS-IVC instances: dataset × plane × bandwidth × dimension combo."""
+    if datasets is None:
+        datasets = standard_datasets()
+    instances: list[IVCInstance] = []
+    for dataset in datasets:
+        for plane in PLANES:
+            _pts, ext = project_points(dataset, plane)
+            lengths = [float(ext[a, 1] - ext[a, 0]) for a in range(2)]
+            for bw_label, fraction in config.fractions().items():
+                cand = _axis_candidates(lengths, fraction, config.dim_cap)
+                if not all(cand):
+                    continue
+                for dims in product(*cand):
+                    if int(np.prod(dims)) > config.max_cells:
+                        continue
+                    grid = voxel_counts_2d(dataset, plane, dims)
+                    instances.append(
+                        IVCInstance.from_grid_2d(
+                            grid,
+                            name=f"{dataset.name}-{plane}-{bw_label}-{dims[0]}x{dims[1]}",
+                            metadata={
+                                "dataset": dataset.name,
+                                "plane": plane,
+                                "bandwidth": bw_label,
+                                "dims": tuple(int(d) for d in dims),
+                            },
+                        )
+                    )
+    return instances
+
+
+def build_suite_3d(
+    datasets: Iterable[PointDataset] | None = None,
+    config: SuiteConfig = SuiteConfig(dim_cap=16, max_cells=8192),
+) -> list[IVCInstance]:
+    """All 3DS-IVC instances: dataset × bandwidth × dimension combo."""
+    if datasets is None:
+        datasets = standard_datasets()
+    instances: list[IVCInstance] = []
+    for dataset in datasets:
+        lengths = [dataset.axis_length(a) for a in range(3)]
+        for bw_label, fraction in config.fractions().items():
+            cand = _axis_candidates(lengths, fraction, config.dim_cap)
+            if not all(cand):
+                continue
+            for dims in product(*cand):
+                if int(np.prod(dims)) > config.max_cells:
+                    continue
+                grid = voxel_counts_3d(dataset, dims)
+                instances.append(
+                    IVCInstance.from_grid_3d(
+                        grid,
+                        name=(
+                            f"{dataset.name}-{bw_label}-"
+                            f"{dims[0]}x{dims[1]}x{dims[2]}"
+                        ),
+                        metadata={
+                            "dataset": dataset.name,
+                            "bandwidth": bw_label,
+                            "dims": tuple(int(d) for d in dims),
+                        },
+                    )
+                )
+    return instances

@@ -1,0 +1,78 @@
+"""Canonical small instances from the paper's Figures 2 and 3.
+
+* :func:`figure2_odd_cycle` — an odd cycle embedded in a 9-pt stencil whose
+  optimal coloring (30) strictly exceeds the max-clique bound (25); the gap
+  is certified by the odd-cycle ``minchain3`` bound of Theorem 1.
+* :func:`figure3_two_cycles` — two odd cycles coupled by two edges where the
+  optimum strictly exceeds *both* lower bounds (Section III.D: "lower bounds
+  are not tight").  The paper's own figure did not survive text extraction;
+  this instance was found by exact search and exhibits the same phenomenon
+  (bounds = 14, optimum > 14; the paper's instance had optimum 17).
+
+Both are verified against the exact solvers in the test suite and the
+Figure 2/3 benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import IVCInstance
+
+#: The induced 7-cycle used by :func:`figure2_odd_cycle`, as stencil cells.
+FIGURE2_CELLS: tuple[tuple[int, int], ...] = (
+    (0, 1), (0, 2), (1, 3), (2, 2), (3, 1), (2, 0), (1, 0),
+)
+#: Weights along the cycle: maxpair 25, minchain3 30.
+FIGURE2_WEIGHTS: tuple[int, ...] = (10, 10, 10, 15, 10, 15, 10)
+
+#: Figure 2's certified values.
+FIGURE2_CLIQUE_BOUND = 25
+FIGURE2_OPTIMUM = 30
+
+
+def figure2_odd_cycle() -> IVCInstance:
+    """The Figure 2 instance: an induced odd cycle inside a 4×4 9-pt stencil.
+
+    The seven positive-weight cells form a chordless cycle (no two
+    non-consecutive cells are Moore-adjacent), so the positive-weight
+    conflict graph is exactly :math:`C_7`.  The max-clique bound is 25 but
+    Theorem 1 gives ``max(maxpair, minchain3) = max(25, 30) = 30``, which is
+    also the optimum.
+    """
+    grid = np.zeros((4, 4), dtype=np.int64)
+    for cell, w in zip(FIGURE2_CELLS, FIGURE2_WEIGHTS):
+        grid[cell] = w
+    return IVCInstance.from_grid_2d(grid, name="figure2-odd-cycle")
+
+
+def figure2_cycle_graph() -> IVCInstance:
+    """The abstract :math:`C_7` of Figure 2 (cycle graph, same weights)."""
+    edges = [(i, (i + 1) % 7) for i in range(7)]
+    return IVCInstance.from_edges(7, edges, FIGURE2_WEIGHTS, name="figure2-c7")
+
+
+#: Weights of the two coupled 5-cycles of :func:`figure3_two_cycles`.
+FIGURE3_WEIGHTS_A: tuple[int, ...] = (3, 6, 5, 7, 6)
+FIGURE3_WEIGHTS_B: tuple[int, ...] = (7, 6, 4, 3, 5)
+#: The best Section III lower bound on this instance (odd-cycle minchain3;
+#: maxpair is 13).
+FIGURE3_BOUNDS = 14
+#: The exact optimum (branch-and-bound + MILP certified).
+FIGURE3_OPTIMUM = 16
+
+
+def figure3_two_cycles() -> IVCInstance:
+    """Two odd cycles with two pairs of neighboring vertices (Figure 3).
+
+    Vertices 0–4 form one 5-cycle, 5–9 the other; cross edges (0,5) and
+    (1,6) couple them.  The best Section III bound is the odd-cycle bound
+    (14), yet no 14- or 15-coloring exists: the optimum is 16.
+    """
+    edges = (
+        [(i, (i + 1) % 5) for i in range(5)]
+        + [(5 + i, 5 + (i + 1) % 5) for i in range(5)]
+        + [(0, 5), (1, 6)]
+    )
+    weights = list(FIGURE3_WEIGHTS_A) + list(FIGURE3_WEIGHTS_B)
+    return IVCInstance.from_edges(10, edges, weights, name="figure3-two-cycles")

@@ -1,0 +1,122 @@
+"""Rectilinear decomposition of point clouds into stencil weight grids.
+
+The parallel STKDE strategy partitions space into uniform boxes no smaller
+than **twice the bandwidth** per axis; a box then conflicts exactly with its
+Moore neighbors, giving the 9-pt / 27-pt stencil conflict graph whose vertex
+weights are the per-box point counts (Sections I, VI.A, VII).
+
+This module provides the bandwidth-to-dimension arithmetic, the powers-of-two
+dimension sweep of Section VI.A, axis projections for the 2D experiments, and
+vectorized voxel counting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.events import PointDataset
+
+#: The three projection planes used for the 2DS-IVC experiments.
+PLANES: dict[str, tuple[int, int]] = {"xy": (0, 1), "xt": (0, 2), "yt": (1, 2)}
+
+
+def max_dim_for_bandwidth(axis_length: float, bandwidth: float) -> int:
+    """Largest cell count so each cell is at least ``2 * bandwidth`` wide."""
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if axis_length <= 0:
+        raise ValueError("axis length must be positive")
+    return max(1, int(np.floor(axis_length / (2.0 * bandwidth))))
+
+
+def candidate_dims(max_dim: int, cap: int | None = None) -> list[int]:
+    """The paper's dimension sweep: all powers of two ``<= max_dim``, plus
+    ``max_dim`` itself.
+
+    Dimensions below 2 are dropped (a 1-wide stencil degenerates to a lower
+    dimension, excluded by Definition 2/3).  ``cap`` optionally truncates the
+    sweep to keep experiment suites laptop-sized.
+    """
+    if max_dim < 2:
+        return []
+    dims = []
+    p = 2
+    while p <= max_dim:
+        dims.append(p)
+        p *= 2
+    if max_dim not in dims:
+        dims.append(max_dim)
+    if cap is not None:
+        dims = [d for d in dims if d <= cap]
+    return sorted(dims)
+
+
+def project_points(dataset: PointDataset, plane: str) -> tuple[np.ndarray, np.ndarray]:
+    """Project onto one of the ``xy``/``xt``/``yt`` planes.
+
+    Returns ``(points_2d, extent_2d)`` with shapes ``(N, 2)`` and ``(2, 2)``.
+    """
+    try:
+        a, b = PLANES[plane]
+    except KeyError:
+        raise ValueError(f"unknown plane {plane!r}; use one of {sorted(PLANES)}") from None
+    return dataset.points[:, [a, b]], dataset.extent[[a, b]]
+
+
+def _counts(points: np.ndarray, extent: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
+    """Per-cell point counts over a uniform grid (vectorized binning)."""
+    ndim = len(dims)
+    if points.size == 0:
+        return np.zeros(dims, dtype=np.int64)
+    idx = np.empty((len(points), ndim), dtype=np.int64)
+    for axis in range(ndim):
+        lo, hi = extent[axis]
+        span = hi - lo
+        scaled = (points[:, axis] - lo) / span * dims[axis]
+        idx[:, axis] = np.clip(scaled.astype(np.int64), 0, dims[axis] - 1)
+    flat = np.ravel_multi_index(tuple(idx.T), dims)
+    counts = np.bincount(flat, minlength=int(np.prod(dims)))
+    return counts.reshape(dims).astype(np.int64)
+
+
+def voxel_counts_3d(dataset: PointDataset, dims: tuple[int, int, int]) -> np.ndarray:
+    """Point counts on an ``(X, Y, Z)`` grid over the dataset extent."""
+    if len(dims) != 3:
+        raise ValueError("dims must be (X, Y, Z)")
+    return _counts(dataset.points, dataset.extent, tuple(int(d) for d in dims))
+
+
+def voxel_counts_2d(
+    dataset: PointDataset, plane: str, dims: tuple[int, int]
+) -> np.ndarray:
+    """Point counts on an ``(X, Y)`` grid of a plane projection."""
+    if len(dims) != 2:
+        raise ValueError("dims must be (X, Y)")
+    pts, ext = project_points(dataset, plane)
+    return _counts(pts, ext, tuple(int(d) for d in dims))
+
+
+def density_ascii(grid: np.ndarray, width: int = 48) -> str:
+    """A coarse ASCII rendering of a 2D count grid (used by the Fig. 4 bench).
+
+    Rows are printed with the second axis vertical, darker glyphs for denser
+    cells, downsampled to at most ``width`` columns.
+    """
+    if grid.ndim != 2:
+        raise ValueError("density_ascii expects a 2D grid")
+    glyphs = " .:-=+*#%@"
+    g = grid.astype(np.float64)
+    step = max(1, int(np.ceil(g.shape[0] / width)))
+    if step > 1:
+        pad = (-g.shape[0]) % step
+        g = np.pad(g, ((0, pad), (0, 0)))
+        g = g.reshape(g.shape[0] // step, step, g.shape[1]).sum(axis=1)
+    top = g.max()
+    if top <= 0:
+        return "\n".join(" " * g.shape[0] for _ in range(g.shape[1]))
+    scaled = np.sqrt(g / top)  # sqrt for visibility of sparse cells
+    levels = np.minimum((scaled * (len(glyphs) - 1)).astype(int), len(glyphs) - 1)
+    lines = []
+    for j in range(g.shape[1] - 1, -1, -1):
+        lines.append("".join(glyphs[levels[i, j]] for i in range(g.shape[0])))
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Shared experiment driver: run algorithm sets over instance suites.
+
+Both the CLI and the benchmark harness funnel through :func:`run_suite`, so
+the numbers printed for Figures 5–9 always come from the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.performance_profiles import PerformanceProfile, performance_profile
+from repro.core.algorithms.registry import ALGORITHMS, color_with
+from repro.core.bounds import lower_bound
+from repro.core.problem import IVCInstance
+
+
+@dataclass
+class SuiteResult:
+    """Everything measured while running a suite.
+
+    Attributes
+    ----------
+    instances:
+        The instances, in run order.
+    maxcolors:
+        ``{algorithm: [maxcolor per instance]}``.
+    times:
+        ``{algorithm: [elapsed seconds per instance]}``.
+    lower_bounds:
+        The clique/maxpair lower bound per instance.
+    """
+
+    instances: list[IVCInstance] = field(default_factory=list)
+    maxcolors: dict[str, list[int]] = field(default_factory=dict)
+    times: dict[str, list[float]] = field(default_factory=dict)
+    lower_bounds: list[int] = field(default_factory=list)
+
+    @property
+    def algorithms(self) -> list[str]:
+        """Algorithm names in run order."""
+        return list(self.maxcolors)
+
+    @property
+    def num_instances(self) -> int:
+        """Number of instances in the suite."""
+        return len(self.instances)
+
+    def profile(self, best: Sequence[float] | None = None) -> PerformanceProfile:
+        """Performance profile of the collected maxcolors."""
+        values = {a: [float(v) for v in vs] for a, vs in self.maxcolors.items()}
+        return performance_profile(values, best=list(best) if best is not None else None)
+
+    def subset(self, keep: Sequence[int]) -> "SuiteResult":
+        """Restrict to a subset of instance indices (per-dataset profiles)."""
+        keep = list(keep)
+        return SuiteResult(
+            instances=[self.instances[i] for i in keep],
+            maxcolors={a: [vs[i] for i in keep] for a, vs in self.maxcolors.items()},
+            times={a: [vs[i] for i in keep] for a, vs in self.times.items()},
+            lower_bounds=[self.lower_bounds[i] for i in keep],
+        )
+
+    def indices_by_metadata(self, key: str, value) -> list[int]:
+        """Instance indices whose metadata matches ``key == value``."""
+        return [
+            i for i, inst in enumerate(self.instances) if inst.metadata.get(key) == value
+        ]
+
+
+def run_suite(
+    instances: Iterable[IVCInstance],
+    algorithms: Sequence[str] | None = None,
+    validate: bool = True,
+) -> SuiteResult:
+    """Run every algorithm on every instance, collecting quality and time.
+
+    Parameters
+    ----------
+    algorithms:
+        Names from :data:`~repro.core.algorithms.registry.ALGORITHMS`;
+        defaults to all seven.
+    validate:
+        Check every coloring (cheap, vectorized); disable only in
+        timing-sensitive ablations.
+    """
+    names = list(algorithms) if algorithms is not None else list(ALGORITHMS)
+    result = SuiteResult(maxcolors={a: [] for a in names}, times={a: [] for a in names})
+    for instance in instances:
+        result.instances.append(instance)
+        result.lower_bounds.append(lower_bound(instance))
+        for name in names:
+            coloring = color_with(instance, name)
+            if validate:
+                coloring.check()
+            if coloring.maxcolor < result.lower_bounds[-1]:
+                raise AssertionError(
+                    f"{name} beat the lower bound on {instance.name} — bound bug"
+                )
+            result.maxcolors[name].append(coloring.maxcolor)
+            result.times[name].append(coloring.elapsed)
+    return result
+
+
+def solve_suite_optimal(
+    result: SuiteResult,
+    time_limit: float = 10.0,
+) -> tuple[list[int], list[int]]:
+    """MILP-solve each instance of a suite (Section VI.D analysis).
+
+    Returns ``(solved_indices, optima)`` for the instances the MILP proved
+    optimal within the per-instance time limit — mirroring the paper, where
+    a minority of instances stayed unsolved after a day.
+    """
+    from repro.core.exact.milp import solve_milp
+
+    solved: list[int] = []
+    optima: list[int] = []
+    for i, instance in enumerate(result.instances):
+        best_heuristic = min(result.maxcolors[a][i] for a in result.maxcolors)
+        res = solve_milp(instance, time_limit=time_limit, upper_bound=best_heuristic)
+        if res.proven_optimal and res.maxcolor is not None:
+            solved.append(i)
+            optima.append(res.maxcolor)
+    return solved, optima

@@ -1,0 +1,33 @@
+"""NP-completeness machinery (Section IV of the paper).
+
+The decision version of 3DS-IVC ("colorable with at most K colors?") is
+NP-complete; the proof reduces from Not-All-Equal 3-SAT.  This subpackage
+makes the reduction executable:
+
+* :mod:`~repro.npc.nae3sat` — NAE-3SAT instances, a brute-force solver, and
+  generators for exhaustive/random validation.
+* :mod:`~repro.npc.reduction` — the tube/wire/triangle gadget construction
+  mapping a formula to a 27-pt stencil instance with threshold ``K = 14``.
+* :mod:`~repro.npc.decision` — decision oracles (CSP search or MILP) plus
+  the two directions of the equivalence: building a 14-coloring from a
+  satisfying assignment and reading an assignment back off a coloring.
+"""
+
+from repro.npc.decision import decide_stencil_coloring
+from repro.npc.nae3sat import NAE3SAT, random_nae3sat
+from repro.npc.reduction import (
+    Reduction,
+    assignment_from_coloring,
+    build_reduction,
+    coloring_from_assignment,
+)
+
+__all__ = [
+    "NAE3SAT",
+    "Reduction",
+    "assignment_from_coloring",
+    "build_reduction",
+    "coloring_from_assignment",
+    "decide_stencil_coloring",
+    "random_nae3sat",
+]

@@ -1,0 +1,51 @@
+"""Decision oracles for "colorable with at most K colors?".
+
+Two independent engines answer the NP-complete decision question on small
+instances:
+
+* the CSP search of :mod:`repro.core.exact.branch_and_bound` (pure Python,
+  forward checking), and
+* the MILP of :mod:`repro.core.exact.milp` with the objective replaced by
+  feasibility at ``M = K``.
+
+:func:`decide_stencil_coloring` picks an engine (or tries the CSP first and
+falls back to the MILP when the search budget blows).  Having two engines
+lets the NP-completeness tests cross-validate the reduction without trusting
+a single solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.coloring import Coloring
+from repro.core.exact.branch_and_bound import SearchBudgetExceeded, decide_coloring
+from repro.core.exact.milp import milp_decide
+from repro.core.problem import IVCInstance
+
+
+def decide_stencil_coloring(
+    instance: IVCInstance,
+    k: int,
+    method: str = "auto",
+    csp_node_budget: int = 200_000,
+    milp_time_limit: float = 120.0,
+) -> Optional[Coloring]:
+    """A coloring with ``maxcolor <= k`` or ``None`` (proven impossible).
+
+    Parameters
+    ----------
+    method:
+        ``"csp"`` — DFS with forward checking; ``"milp"`` — HiGHS
+        feasibility; ``"auto"`` — CSP first, MILP on budget blow-up.
+    """
+    if method == "csp":
+        return decide_coloring(instance, k, node_budget=csp_node_budget)
+    if method == "milp":
+        return milp_decide(instance, k, time_limit=milp_time_limit)
+    if method == "auto":
+        try:
+            return decide_coloring(instance, k, node_budget=csp_node_budget)
+        except SearchBudgetExceeded:
+            return milp_decide(instance, k, time_limit=milp_time_limit)
+    raise ValueError(f"unknown method {method!r}; use 'csp', 'milp' or 'auto'")

@@ -1,0 +1,124 @@
+"""Not-All-Equal 3-SAT.
+
+An NAE-3SAT instance has ``n`` boolean variables and ``m`` clauses of three
+*distinct, positive* variables; an assignment satisfies a clause iff the
+three values are not all equal (at least one true and one false).  Two
+properties make it convenient for reductions (Section IV): no negations are
+needed, and the bitwise complement of a solution is also a solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NAE3SAT:
+    """An NAE-3SAT formula.
+
+    Attributes
+    ----------
+    num_vars:
+        Number of boolean variables, indexed ``0 .. num_vars - 1``.
+    clauses:
+        Tuples of three distinct variable indices, each sorted increasingly
+        (the reduction assumes ``j1 < j2 < j3``).
+    """
+
+    num_vars: int
+    clauses: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 1:
+            raise ValueError("need at least one variable")
+        normalized = []
+        for clause in self.clauses:
+            if len(clause) != 3 or len(set(clause)) != 3:
+                raise ValueError(f"clause {clause} must have three distinct variables")
+            lo, mid, hi = sorted(int(v) for v in clause)
+            if lo < 0 or hi >= self.num_vars:
+                raise ValueError(f"clause {clause} out of range for n={self.num_vars}")
+            normalized.append((lo, mid, hi))
+        object.__setattr__(self, "clauses", tuple(normalized))
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses ``m``."""
+        return len(self.clauses)
+
+    # -------------------------------------------------------------- semantics
+    def clause_satisfied(self, clause: tuple[int, int, int], assignment: Sequence[bool]) -> bool:
+        """Whether the clause's three values are not all equal."""
+        a, b, c = (bool(assignment[v]) for v in clause)
+        return not (a == b == c)
+
+    def is_satisfied(self, assignment: Sequence[bool]) -> bool:
+        """Whether every clause is NAE-satisfied by the assignment."""
+        if len(assignment) != self.num_vars:
+            raise ValueError(f"assignment must have {self.num_vars} values")
+        return all(self.clause_satisfied(cl, assignment) for cl in self.clauses)
+
+    # ---------------------------------------------------------------- solving
+    def solve_brute_force(self) -> Optional[tuple[bool, ...]]:
+        """First satisfying assignment in lexicographic order, or ``None``.
+
+        Exponential (``2^n``); guarded to small formulas.  By the complement
+        symmetry it only needs to scan assignments with variable 0 false,
+        halving the work.
+        """
+        if self.num_vars > 24:
+            raise ValueError("brute force is limited to 24 variables")
+        for tail in product((False, True), repeat=self.num_vars - 1):
+            assignment = (False, *tail)
+            if self.is_satisfied(assignment):
+                return assignment
+        return None
+
+    def is_satisfiable(self) -> bool:
+        """Whether some assignment NAE-satisfies the formula (brute force)."""
+        return self.solve_brute_force() is not None
+
+    def count_solutions(self) -> int:
+        """Number of satisfying assignments (always even, by complementation)."""
+        if self.num_vars > 20:
+            raise ValueError("counting is limited to 20 variables")
+        return sum(
+            1
+            for bits in product((False, True), repeat=self.num_vars)
+            if self.is_satisfied(bits)
+        )
+
+
+def random_nae3sat(num_vars: int, num_clauses: int, seed: int = 0) -> NAE3SAT:
+    """Uniformly random formula: each clause is a random 3-subset of variables."""
+    if num_vars < 3:
+        raise ValueError("need at least three variables for a clause")
+    rng = np.random.default_rng(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        trio = rng.choice(num_vars, size=3, replace=False)
+        clauses.append(tuple(sorted(int(v) for v in trio)))
+    return NAE3SAT(num_vars=num_vars, clauses=tuple(clauses))
+
+
+def all_clause_sets(num_vars: int, num_clauses: int) -> Iterator[NAE3SAT]:
+    """Every formula with exactly ``num_clauses`` distinct clauses (exhaustive tests)."""
+    pool = list(combinations(range(num_vars), 3))
+    for chosen in combinations(pool, num_clauses):
+        yield NAE3SAT(num_vars=num_vars, clauses=tuple(chosen))
+
+
+def unsatisfiable_example() -> NAE3SAT:
+    """The smallest unsatisfiable monotone NAE-3SAT formula: the Fano plane.
+
+    A monotone NAE-3SAT formula is satisfiable iff its clause hypergraph is
+    2-colorable (no clause monochromatic).  The Fano plane — 7 points, 7
+    lines — is the smallest 3-uniform hypergraph that is not 2-colorable,
+    so its lines as clauses give the smallest unsatisfiable instance.
+    """
+    fano = ((0, 1, 2), (0, 3, 4), (0, 5, 6), (1, 3, 5), (1, 4, 6), (2, 3, 6), (2, 4, 5))
+    return NAE3SAT(num_vars=7, clauses=fano)

@@ -1,0 +1,235 @@
+"""The NAE-3SAT → 3DS-IVC reduction (Section IV).
+
+Given a formula with ``n`` variables and ``m`` clauses, build a 27-pt stencil
+instance of size ``(2n+10) × 9 × 2m`` with weights in ``{0, 3, 7}`` that is
+colorable with ``K = 14`` colors iff the formula is NAE-satisfiable.
+
+Construction (paper coordinates are 1-indexed; ``p = 2i - 1`` is the column
+of variable ``i``):
+
+* **Tubes** — for every variable, a chain of 7s alternating between
+  ``y = 2`` (odd layers) and ``y = 1`` (even layers) across the full depth.
+  Under ``K = 14`` adjacent 7s must occupy ``[0, 7)`` and ``[7, 14)``
+  alternately, so the whole chain carries one boolean "polarity".
+* **Wires** — in the layer of clause ``j`` (``z = 2j + 1``), a chain of 7s
+  from each clause variable's tube vertex to the clause gadget.  All chain
+  turns are 45° (straight or diagonal) so the 7-subgraph stays a tree, and
+  every wire has *even* length, so the terminal 7 carries exactly the
+  variable's polarity.
+* **Clause triangle** — three weight-3 vertices, pairwise adjacent, each
+  adjacent to exactly one wire terminal.  If all three terminals share a
+  polarity they block one half of ``[0, 14)``, leaving 7 colors for three
+  mutually-conflicting 3s that need 9 — infeasible.  With mixed polarities a
+  feasible placement always exists.
+
+The paper's figure enumerating the right-hand side of the clause layer did
+not survive text extraction, so the gadget geometry here (terminal routing
+and triangle placement) is an equivalent reconstruction preserving the
+invariants the proof actually uses; ``tests/npc`` validates the equivalence
+exhaustively on small formulas against brute-force NAE-3SAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.npc.nae3sat import NAE3SAT
+
+#: The decision threshold of the reduction.
+K_REDUCTION = 14
+
+Cell = tuple[int, int, int]  # paper-style 1-indexed (x, y, z)
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """The instance produced by :func:`build_reduction`, plus its bookkeeping.
+
+    Attributes
+    ----------
+    formula:
+        The source NAE-3SAT formula.
+    instance:
+        The 3DS-IVC instance (zeros everywhere except tubes/wires/triangles).
+    k:
+        The decision threshold (always 14).
+    seven_cells:
+        Maps each weight-7 cell to ``(variable, parity)`` where ``parity`` is
+        its chain distance from the variable's tube base mod 2.
+    var_base:
+        Maps each variable to its tube base cell ``(2i-1, 2, 1)`` whose
+        interval defines the variable's truth value (``[0,7)`` = true).
+    clause_gadgets:
+        Per clause: ``(terminals, threes)`` where ``terminals[q]`` is the
+        terminal 7-cell of the clause's ``q``-th wire and ``threes[q]`` the
+        weight-3 cell attached to it.
+    """
+
+    formula: NAE3SAT
+    instance: IVCInstance
+    k: int
+    seven_cells: dict[Cell, tuple[int, int]]
+    var_base: dict[int, Cell]
+    clause_gadgets: tuple[tuple[tuple[Cell, ...], tuple[Cell, ...]], ...]
+
+    def flat_id(self, cell: Cell) -> int:
+        """Flat vertex id of a paper-style 1-indexed cell."""
+        x, y, z = cell
+        return int(self.instance.geometry.vertex_id(x - 1, y - 1, z - 1))
+
+
+def _wire_cells(p: int, n: int, which: int) -> list[Cell]:
+    """In-layer chain cells of a wire, in order, starting at the tube vertex.
+
+    ``which`` is 0/1/2 for the clause's first/second/third variable.  ``z``
+    is filled in by the caller.  All turns are 45° so consecutive cells are
+    the only adjacent pairs within the chain.
+    """
+    right = 2 * n  # x = 2n; the gadget occupies columns 2n+1 .. 2n+7
+    cells: list[tuple[int, int]] = []
+    if which == 0:
+        cells += [(p, y) for y in range(2, 8)]          # vertical y=2..7
+        cells += [(p + 1, 8)]                            # 45° up-right
+        cells += [(x, 8) for x in range(p + 2, right + 5)]  # y=8 run to 2n+4
+    elif which == 1:
+        cells += [(p, y) for y in range(2, 6)]          # vertical y=2..5
+        cells += [(p + 1, 6)]
+        cells += [(x, 6) for x in range(p + 2, right + 4)]  # y=6 run to 2n+3
+        cells += [(right + 4, 5)]                        # 45° down to terminal
+    else:
+        cells += [(p, y) for y in range(2, 4)]          # vertical y=2..3
+        cells += [(p + 1, 4)]
+        cells += [(x, 4) for x in range(p + 2, right + 2)]  # y=4 run to 2n+1
+        cells += [(right + 2, 3)]                        # 45° down
+        cells += [(x, 3) for x in range(right + 3, right + 7)]  # y=3 run to 2n+6
+        cells += [(right + 7, 4), (right + 7, 5)]        # 45° up, then vertical
+    return [(x, y, 0) for x, y in cells]  # z placeholder
+
+
+def _triangle_cells(n: int) -> tuple[Cell, ...]:
+    """The three mutually-adjacent weight-3 cells of a clause layer."""
+    right = 2 * n
+    return ((right + 5, 7, 0), (right + 5, 6, 0), (right + 6, 6, 0))
+
+
+def build_reduction(formula: NAE3SAT) -> Reduction:
+    """Construct the 3DS-IVC instance of the reduction for ``formula``."""
+    n = formula.num_vars
+    m = formula.num_clauses
+    if m < 1:
+        raise ValueError("the reduction needs at least one clause")
+    W, H, D = 2 * n + 10, 9, 2 * m
+    grid = np.zeros((W, H, D), dtype=np.int64)
+
+    def put(cell: Cell, w: int) -> None:
+        x, y, z = cell
+        if not (1 <= x <= W and 1 <= y <= H and 1 <= z <= D):
+            raise AssertionError(f"cell {cell} outside the {W}x{H}x{D} grid")
+        if grid[x - 1, y - 1, z - 1] not in (0, w):
+            raise AssertionError(f"cell {cell} assigned conflicting weights")
+        grid[x - 1, y - 1, z - 1] = w
+
+    seven_cells: dict[Cell, tuple[int, int]] = {}
+    var_base: dict[int, Cell] = {}
+
+    # Tubes: variable i sits in column p = 2i + 1 (0-indexed i -> paper 2i-1).
+    for var in range(n):
+        p = 2 * var + 1
+        var_base[var] = (p, 2, 1)
+        for z in range(1, D + 1):
+            cell = (p, 2, z) if z % 2 == 1 else (p, 1, z)
+            put(cell, 7)
+            seven_cells[cell] = (var, (z - 1) % 2)
+
+    gadgets = []
+    for j, clause in enumerate(formula.clauses):
+        z = 2 * j + 1
+        terminals: list[Cell] = []
+        for which, var in enumerate(clause):
+            p = 2 * var + 1
+            chain = [(x, y, z) for x, y, _ in _wire_cells(p, n, which)]
+            base_parity = (z - 1) % 2  # parity of the tube vertex in this layer
+            for dist, cell in enumerate(chain):
+                parity = (base_parity + dist) % 2
+                if cell in seven_cells:
+                    # Only the tube vertex itself may be revisited (dist 0).
+                    if dist != 0 or seven_cells[cell] != (var, parity):
+                        raise AssertionError(f"wire overlap at {cell}")
+                    continue
+                put(cell, 7)
+                seven_cells[cell] = (var, parity)
+            terminals.append(chain[-1])
+        threes = tuple((x, y, z) for x, y, _ in _triangle_cells(n))
+        for cell in threes:
+            put(cell, 3)
+        gadgets.append((tuple(terminals), threes))
+
+    instance = IVCInstance.from_grid_3d(
+        grid,
+        name=f"nae3sat-n{n}-m{m}",
+        metadata={"reduction": "NAE3SAT", "k": K_REDUCTION},
+    )
+    return Reduction(
+        formula=formula,
+        instance=instance,
+        k=K_REDUCTION,
+        seven_cells=seven_cells,
+        var_base=var_base,
+        clause_gadgets=tuple(gadgets),
+    )
+
+
+def coloring_from_assignment(reduction: Reduction, assignment) -> Coloring:
+    """The constructive direction: a satisfying assignment → a 14-coloring.
+
+    7-cells take ``[0,7)`` or ``[7,14)`` according to their variable's value
+    and chain parity; each clause triangle is placed using the clause's
+    minority polarity.  The result is validated before being returned.
+    """
+    formula = reduction.formula
+    if not formula.is_satisfied(assignment):
+        raise ValueError("assignment does not satisfy the formula")
+    starts = np.zeros(reduction.instance.num_vertices, dtype=np.int64)
+    for cell, (var, parity) in reduction.seven_cells.items():
+        base = 0 if assignment[var] else 7
+        starts[reduction.flat_id(cell)] = base if parity == 0 else 7 - base
+    for (terminals, threes) in reduction.clause_gadgets:
+        term_starts = [int(starts[reduction.flat_id(t)]) for t in terminals]
+        # Majority polarity blocks one half; its 3s live in the other half.
+        majority = 0 if sum(1 for s in term_starts if s == 0) >= 2 else 7
+        minority = 7 - majority
+        placed_minor = 0
+        for q, t_start in enumerate(term_starts):
+            three = reduction.flat_id(threes[q])
+            if t_start == majority:
+                # Avoid the majority half: stack inside the minority half.
+                starts[three] = minority + 3 * placed_minor
+                placed_minor += 1
+            else:
+                starts[three] = majority
+    coloring = Coloring(
+        instance=reduction.instance, starts=starts, algorithm="reduction-witness"
+    ).check()
+    if coloring.maxcolor > reduction.k:
+        raise AssertionError("witness coloring exceeded K=14")
+    return coloring
+
+
+def assignment_from_coloring(reduction: Reduction, coloring: Coloring) -> tuple[bool, ...]:
+    """The extraction direction: read variable values off the tube bases.
+
+    Variable ``i`` is true iff its tube base ``(2i-1, 2, 1)`` is colored in
+    the lower half ``[0, 7)``.
+    """
+    if coloring.maxcolor > reduction.k:
+        raise ValueError(f"coloring uses {coloring.maxcolor} > K={reduction.k} colors")
+    coloring.check()
+    values = []
+    for var in range(reduction.formula.num_vars):
+        start = int(coloring.starts[reduction.flat_id(reduction.var_base[var])])
+        values.append(start < 7)
+    return tuple(values)

@@ -1,0 +1,217 @@
+"""CSR adjacency for arbitrary undirected graphs.
+
+The coloring algorithms in :mod:`repro.core` only need, for each vertex, a
+contiguous view of its neighbor ids.  A compressed-sparse-row layout
+(``indptr``/``indices``) gives exactly that with two numpy arrays, which keeps
+the greedy inner loop allocation-free and cache-friendly (see the HPC notes on
+contiguous access).
+
+Besides the :class:`CSRGraph` container this module provides constructors for
+the structured graphs analyzed in Section III of the paper (paths, cycles,
+cliques, stars) and conversion to/from :mod:`networkx` for prototyping and
+cross-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected graph in compressed-sparse-row form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the neighbors of vertex ``v`` are
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of length ``2 * |E|`` (each undirected edge is stored
+        in both directions).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor ids of ``v`` as a contiguous array view."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices as an ``int64`` array."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        """Maximum degree :math:`\\Delta` of the graph (0 for empty graphs)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is present."""
+        return bool(np.isin(v, self.neighbors(u)).item())
+
+    def edges(self) -> np.ndarray:
+        """All undirected edges as an ``(|E|, 2)`` array with ``u < v``."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ValueError` on failure.
+
+        Verifies monotone ``indptr``, in-range neighbor ids, symmetry, and the
+        absence of self-loops.
+        """
+        n = self.num_vertices
+        if n < 0:
+            raise ValueError("indptr must have length >= 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise ValueError("neighbor index out of range")
+        src = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
+        if np.any(src == self.indices):
+            raise ValueError("self-loops are not allowed")
+        fwd = {(int(u), int(v)) for u, v in zip(src, self.indices)}
+        for u, v in fwd:
+            if (v, u) not in fwd:
+                raise ValueError(f"edge ({u}, {v}) is not symmetric")
+
+
+def from_edges(num_vertices: int, edges: Iterable[tuple[int, int]]) -> CSRGraph:
+    """Build a :class:`CSRGraph` from an edge list.
+
+    Duplicate edges and both orientations of the same edge are collapsed;
+    self-loops are rejected.
+
+    Parameters
+    ----------
+    num_vertices:
+        Total vertex count (isolated vertices are allowed).
+    edges:
+        Iterable of ``(u, v)`` pairs.
+    """
+    pairs = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u}")
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={num_vertices}")
+        pairs.add((min(u, v), max(u, v)))
+    if not pairs:
+        return CSRGraph(
+            indptr=np.zeros(num_vertices + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+        )
+    arr = np.array(sorted(pairs), dtype=np.int64)
+    src = np.concatenate([arr[:, 0], arr[:, 1]])
+    dst = np.concatenate([arr[:, 1], arr[:, 0]])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRGraph(indptr=indptr, indices=dst)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Chain of ``n`` vertices ``0 - 1 - ... - (n-1)``."""
+    if n < 1:
+        raise ValueError("path graph needs at least one vertex")
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle of ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("cycle graph needs at least three vertices")
+    return from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def clique_graph(n: int) -> CSRGraph:
+    """Complete graph :math:`K_n`."""
+    if n < 1:
+        raise ValueError("clique needs at least one vertex")
+    return from_edges(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(leaves: int) -> CSRGraph:
+    """Star with center ``0`` and ``leaves`` leaves ``1..leaves``."""
+    if leaves < 1:
+        raise ValueError("star needs at least one leaf")
+    return from_edges(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def from_networkx(graph) -> tuple[CSRGraph, list]:
+    """Convert a :class:`networkx.Graph` to CSR form.
+
+    Returns
+    -------
+    (csr, nodes):
+        The CSR graph plus the node list mapping CSR vertex id ``i`` back to
+        the original networkx node ``nodes[i]``.
+    """
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in graph.edges()]
+    return from_edges(len(nodes), edges), nodes
+
+
+def to_networkx(csr: CSRGraph):
+    """Convert a :class:`CSRGraph` to a :class:`networkx.Graph`."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(csr.num_vertices))
+    graph.add_edges_from(map(tuple, csr.edges()))
+    return graph
+
+
+def is_bipartite(csr: CSRGraph) -> tuple[bool, np.ndarray]:
+    """2-color the graph by BFS if possible.
+
+    Returns
+    -------
+    (ok, side):
+        ``ok`` is True iff the graph is bipartite; ``side`` assigns 0/1 to
+        each vertex (valid only when ``ok``; isolated vertices get side 0).
+    """
+    n = csr.num_vertices
+    side = np.full(n, -1, dtype=np.int8)
+    for root in range(n):
+        if side[root] != -1:
+            continue
+        side[root] = 0
+        queue = [root]
+        while queue:
+            u = queue.pop()
+            for v in csr.neighbors(u):
+                v = int(v)
+                if side[v] == -1:
+                    side[v] = 1 - side[u]
+                    queue.append(v)
+                elif side[v] == side[u]:
+                    return False, side
+    return True, side

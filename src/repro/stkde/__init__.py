@@ -1,0 +1,34 @@
+"""Space-Time Kernel Density Estimation application (Section VII).
+
+The paper validates its colorings inside a real STKDE code: events contribute
+kernel density to voxels within a space/time bandwidth; the space is
+partitioned into boxes no smaller than twice the bandwidth; each box is a
+sequential task whose weight is its point count; neighboring boxes conflict
+(27-pt stencil); and the coloring orients the task DAG handed to the OpenMP
+runtime.
+
+Here the computation is pure numpy (:mod:`~repro.stkde.stkde`), the task
+decomposition mirrors the paper's (:mod:`~repro.stkde.tasks`), and the OpenMP
+tasking runtime is replaced by a deterministic discrete-event simulator
+(:mod:`~repro.stkde.runtime`) plus an optional real thread pool
+(:mod:`~repro.stkde.parallel`) — see DESIGN.md §3 for why the simulator
+preserves the colors-vs-runtime behaviour that Figure 10 measures.
+"""
+
+from repro.stkde.kernel import epanechnikov, space_time_kernel
+from repro.stkde.parallel import execute_threaded
+from repro.stkde.runtime import RuntimeTrace, simulate_schedule, task_dag_from_coloring
+from repro.stkde.stkde import stkde_reference
+from repro.stkde.tasks import STKDEProblem, box_decomposition
+
+__all__ = [
+    "RuntimeTrace",
+    "STKDEProblem",
+    "box_decomposition",
+    "epanechnikov",
+    "execute_threaded",
+    "simulate_schedule",
+    "space_time_kernel",
+    "stkde_reference",
+    "task_dag_from_coloring",
+]

@@ -1,0 +1,80 @@
+"""Real threaded execution of the colored STKDE task DAG.
+
+A :class:`~concurrent.futures.ThreadPoolExecutor` stands in for the OpenMP
+runtime: tasks are released in creation order once all earlier-created
+neighbors finished, so neighboring boxes never run concurrently and the
+shared density grid is written race-free (boxes are >= 2x bandwidth, hence
+non-neighbors touch disjoint voxels).
+
+CPython's GIL means wall-clock speedups are modest (numpy releases the GIL
+only inside large kernels), so the *quantitative* Figure 10 runtimes come
+from :mod:`repro.stkde.runtime`; this module demonstrates correctness of the
+race-freedom argument on real threads and reports the measured wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coloring import Coloring
+from repro.stkde.runtime import task_dag_from_coloring
+from repro.stkde.tasks import STKDEProblem
+
+
+@dataclass(frozen=True)
+class ThreadedResult:
+    """Outcome of a threaded run: the density grid and the wall time."""
+
+    density: np.ndarray
+    elapsed: float
+    num_tasks: int
+
+
+def execute_threaded(
+    problem: STKDEProblem,
+    coloring: Coloring,
+    num_workers: int = 4,
+) -> ThreadedResult:
+    """Execute every box task on a thread pool honoring the colored DAG."""
+    if coloring.instance.num_vertices != int(np.prod(problem.box_dims)):
+        raise ValueError("coloring does not match the problem's box grid")
+    coloring.check()
+    dag = task_dag_from_coloring(coloring)
+    n = coloring.instance.num_vertices
+    density = np.zeros(problem.voxel_dims, dtype=np.float64)
+    indegree = dag.indegree.copy()
+    lock = threading.Lock()
+    done = threading.Event()
+    remaining = [n]
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=num_workers) as pool:
+
+        def run(v: int) -> None:
+            problem.execute_task(v, density)
+            newly_ready = []
+            with lock:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.set()
+                for u in dag.successors[v]:
+                    u = int(u)
+                    indegree[u] -= 1
+                    if indegree[u] == 0:
+                        newly_ready.append(u)
+            for u in newly_ready:
+                pool.submit(run, u)
+
+        roots = [v for v in range(n) if dag.indegree[v] == 0]
+        if n == 0:
+            done.set()
+        for v in roots:
+            pool.submit(run, v)
+        done.wait()
+    elapsed = time.perf_counter() - t0
+    return ThreadedResult(density=density, elapsed=elapsed, num_tasks=n)

@@ -1,0 +1,72 @@
+"""Tests for the weight-regime statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.instance_stats import WeightStats, suite_regime_table, weight_stats
+from repro.core.problem import IVCInstance
+
+
+class TestWeightStats:
+    def test_constant_grid_is_smooth(self):
+        inst = IVCInstance.from_grid_2d(np.full((6, 6), 7))
+        stats = weight_stats(inst)
+        assert stats.occupancy == 1.0
+        assert stats.skew == 1.0
+        assert stats.cv == 0.0
+        assert stats.regime == "smooth"
+
+    def test_sparse_grid_is_spiky(self):
+        grid = np.zeros((8, 8), dtype=int)
+        grid[0, 0] = 100
+        grid[7, 7] = 3
+        inst = IVCInstance.from_grid_2d(grid)
+        stats = weight_stats(inst)
+        assert stats.occupancy < 0.1
+        assert stats.regime == "spiky"
+
+    def test_heavy_tail_is_spiky(self):
+        grid = np.ones((6, 6), dtype=int)
+        grid[3, 3] = 500
+        stats = weight_stats(IVCInstance.from_grid_2d(grid))
+        assert stats.skew == 500.0
+        assert stats.regime == "spiky"
+
+    def test_all_zero(self):
+        stats = weight_stats(IVCInstance.from_grid_2d(np.zeros((3, 3), dtype=int)))
+        assert stats.occupancy == 0.0
+        assert stats.skew == 0.0
+
+    def test_empty_instance(self):
+        inst = IVCInstance.from_edges(0, [], [])
+        assert weight_stats(inst) == WeightStats(0.0, 0.0, 0.0, 0.0)
+
+    def test_block_imbalance(self):
+        grid = np.ones((3, 3), dtype=int)
+        grid[0, 0] = 50
+        stats = weight_stats(IVCInstance.from_grid_2d(grid))
+        assert stats.block_imbalance > 1.5
+
+    def test_generic_graph_has_no_block_stat(self):
+        from repro.stencil.generic import path_graph
+
+        inst = IVCInstance.from_graph(path_graph(4), [1, 2, 3, 4])
+        assert weight_stats(inst).block_imbalance == 0.0
+
+    def test_regimes_match_ablation_generators(self, rng):
+        smooth = IVCInstance.from_grid_2d(rng.integers(45, 55, size=(16, 16)))
+        assert weight_stats(smooth).regime == "smooth"
+        sparse = np.zeros((16, 16), dtype=int)
+        for i, j in rng.integers(0, 16, size=(20, 2)):
+            sparse[i, j] += int(rng.integers(5, 60))
+        assert weight_stats(IVCInstance.from_grid_2d(sparse)).regime == "spiky"
+
+
+def test_suite_regime_table():
+    instances = [
+        IVCInstance.from_grid_2d(np.full((4, 4), 5), name="a"),
+        IVCInstance.from_grid_2d(np.eye(4, dtype=int) * 90, name="b"),
+    ]
+    rows = suite_regime_table(instances)
+    assert rows[0][0] == "a" and rows[0][1] == "smooth"
+    assert rows[1][0] == "b" and rows[1][1] == "spiky"

@@ -1,0 +1,79 @@
+"""Tests for performance profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.performance_profiles import (
+    performance_profile,
+    profile_to_text,
+)
+
+
+@pytest.fixture
+def simple_profile():
+    # A always best; B 10% worse on half the instances.
+    values = {"A": [10.0, 20.0, 30.0, 40.0], "B": [11.0, 20.0, 33.0, 40.0]}
+    return performance_profile(values)
+
+
+class TestProfile:
+    def test_best_algorithm_at_tau_one(self, simple_profile):
+        assert simple_profile.value_at("A", 1.0) == 1.0
+        assert simple_profile.value_at("B", 1.0) == 0.5
+
+    def test_curves_monotone(self, simple_profile):
+        for row in simple_profile.curves:
+            assert np.all(np.diff(row) >= 0)
+
+    def test_curves_reach_one(self, simple_profile):
+        assert np.all(simple_profile.curves[:, -1] == 1.0)
+
+    def test_value_at_threshold(self, simple_profile):
+        assert simple_profile.value_at("B", 1.1) == 1.0
+        assert simple_profile.value_at("B", 1.05) == 0.5
+
+    def test_winner(self, simple_profile):
+        assert simple_profile.winner() == "A"
+        assert simple_profile.auc("A") > simple_profile.auc("B")
+
+    def test_num_instances(self, simple_profile):
+        assert simple_profile.num_instances == 4
+
+    def test_ratios(self, simple_profile):
+        assert simple_profile.ratios[0].tolist() == [1.0, 1.0, 1.0, 1.0]
+        assert simple_profile.ratios[1][0] == pytest.approx(1.1)
+
+
+class TestExternalReference:
+    def test_explicit_best(self):
+        values = {"A": [10.0, 20.0]}
+        prof = performance_profile(values, best=[5.0, 10.0])
+        assert prof.ratios[0].tolist() == [2.0, 2.0]
+        assert prof.value_at("A", 1.5) == 0.0
+        assert prof.value_at("A", 2.0) == 1.0
+
+    def test_best_length_checked(self):
+        with pytest.raises(ValueError, match="one value per instance"):
+            performance_profile({"A": [1.0, 2.0]}, best=[1.0])
+
+    def test_zero_reference_handled(self):
+        prof = performance_profile({"A": [0.0, 5.0], "B": [0.0, 5.0]})
+        assert np.isfinite(prof.ratios).all()
+
+
+class TestValidation:
+    def test_needs_algorithms(self):
+        with pytest.raises(ValueError):
+            performance_profile({})
+
+    def test_needs_instances(self):
+        with pytest.raises(ValueError):
+            performance_profile({"A": []})
+
+
+class TestText:
+    def test_renders_all_algorithms(self, simple_profile):
+        text = profile_to_text(simple_profile)
+        assert "A" in text and "B" in text
+        assert "AUC" in text
+        assert len(text.split("\n")) == 4

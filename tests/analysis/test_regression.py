@@ -1,0 +1,44 @@
+"""Tests for the linear-fit helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import linear_fit
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = linear_fit(x, 2 * x + 1)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.rvalue == pytest.approx(1.0)
+
+    def test_negative_correlation(self):
+        x = np.array([1.0, 2.0, 3.0])
+        fit = linear_fit(x, -x)
+        assert fit.rvalue == pytest.approx(-1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict([2.0]).tolist() == [5.0]
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [1.0])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError, match="identical"):
+            linear_fit([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_noisy_positive(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 50)
+        y = 3 * x + rng.normal(scale=1.0, size=50)
+        fit = linear_fit(x, y)
+        assert fit.rvalue > 0.95
+        assert fit.slope == pytest.approx(3.0, abs=0.3)

@@ -1,0 +1,38 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.analysis.reporting import banner, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(("name", "value"), [("a", 1.0), ("bb", 2.5)])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_floats_formatted(self):
+        text = format_table(("x",), [(1.23456789,)])
+        assert "1.235" in text
+
+    def test_custom_float_format(self):
+        text = format_table(("x",), [(1.23456789,)], float_fmt="{:.1f}")
+        assert "1.2" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_alignment(self):
+        text = format_table(("col",), [("x",), ("longer",)])
+        lines = text.split("\n")
+        assert len(lines[2]) == len(lines[3])
+
+
+def test_banner():
+    out = banner("hello", width=10)
+    lines = out.split("\n")
+    assert lines[0] == "=" * 10
+    assert lines[1] == "hello"

@@ -1,0 +1,54 @@
+"""Tests for the summary statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    fraction_best,
+    fraction_matching,
+    mean_ratio_to,
+    relative_slowdown,
+    runtime_summary,
+)
+
+
+class TestMeanRatio:
+    def test_basic(self):
+        assert mean_ratio_to([10.0, 30.0], [10.0, 20.0]) == pytest.approx(1.25)
+
+    def test_zero_reference_counts_as_one(self):
+        assert mean_ratio_to([0.0, 20.0], [0.0, 10.0]) == pytest.approx(1.5)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ratio_to([1.0], [1.0, 2.0])
+
+
+class TestFractions:
+    def test_fraction_best(self):
+        values = {"A": [1.0, 2.0, 3.0], "B": [1.0, 3.0, 2.0]}
+        assert fraction_best(values, "A") == pytest.approx(2 / 3)
+        assert fraction_best(values, "B") == pytest.approx(2 / 3)
+
+    def test_fraction_matching(self):
+        assert fraction_matching([5.0, 6.0, 7.0], [5.0, 6.0, 8.0]) == pytest.approx(2 / 3)
+
+
+class TestRuntime:
+    def test_summary(self):
+        out = runtime_summary({"A": [1.0, 2.0, 3.0]})
+        assert out["A"]["total"] == 6.0
+        assert out["A"]["mean"] == 2.0
+        assert out["A"]["max"] == 3.0
+
+    def test_summary_empty(self):
+        out = runtime_summary({"A": []})
+        assert out["A"]["total"] == 0.0
+
+    def test_relative_slowdown(self):
+        times = {"slow": [2.0, 2.0], "fast": [1.0, 1.0]}
+        assert relative_slowdown(times, "slow", "fast") == pytest.approx(100.0)
+        assert relative_slowdown(times, "fast", "slow") == pytest.approx(-50.0)
+
+    def test_relative_slowdown_zero_base(self):
+        assert relative_slowdown({"a": [1.0], "b": [0.0]}, "a", "b") == float("inf")
+        assert relative_slowdown({"a": [0.0], "b": [0.0]}, "a", "b") == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.performance_profiles import performance_profile
+from repro.analysis.regression import linear_fit
+from repro.analysis.svgplot import SVGCanvas, bars_svg, profile_svg, scatter_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_pixel_mapping(self):
+        c = SVGCanvas(width=200, height=100, margin=10, xlim=(0, 10), ylim=(0, 5))
+        assert c.px(0) == 10
+        assert c.px(10) == 190
+        assert c.py(0) == 90
+        assert c.py(5) == 10
+
+    def test_render_well_formed(self):
+        c = SVGCanvas()
+        c.axes("x", "y", title="t")
+        c.polyline([0, 0.5, 1], [0, 0.5, 1], "#ff0000")
+        c.circle(0.5, 0.5, 3, "#00ff00")
+        c.text(10, 10, "hello & <goodbye>")
+        root = parse(c.render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_degenerate_limits_no_crash(self):
+        c = SVGCanvas(xlim=(1, 1), ylim=(2, 2))
+        assert np.isfinite(c.px(1.0))
+        assert np.isfinite(c.py(2.0))
+
+
+class TestProfileSVG:
+    def test_one_polyline_per_algorithm(self):
+        prof = performance_profile({"A": [1.0, 2.0], "B": [2.0, 2.0], "C": [3.0, 2.0]})
+        root = parse(profile_svg(prof))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 3
+
+    def test_legend_labels_present(self):
+        prof = performance_profile({"GLF": [1.0], "BDP": [1.5]})
+        svg = profile_svg(prof, title="Fig 5b")
+        assert "GLF" in svg and "BDP" in svg and "Fig 5b" in svg
+
+
+class TestScatterSVG:
+    def test_points_and_fit(self):
+        x = [1.0, 2.0, 3.0]
+        y = [1.0, 2.1, 2.9]
+        fit = linear_fit(x, y)
+        root = parse(scatter_svg(x, y, ["a", "b", "c"], fit=fit))
+        assert len(root.findall(f"{SVG_NS}circle")) == 3
+        assert len(root.findall(f"{SVG_NS}polyline")) == 1
+
+    def test_no_fit(self):
+        root = parse(scatter_svg([1.0], [1.0], ["x"]))
+        assert len(root.findall(f"{SVG_NS}polyline")) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_svg([], [], [])
+
+
+class TestBarsSVG:
+    def test_one_rect_per_bar_plus_background(self):
+        root = parse(bars_svg(["a", "b"], [1.0, 2.0]))
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 3  # background + 2 bars
+
+    def test_labels_rendered(self):
+        svg = bars_svg(["GLL", "SGK"], [0.1, 0.9], title="runtimes")
+        assert "GLL" in svg and "SGK" in svg and "runtimes" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bars_svg([], [])

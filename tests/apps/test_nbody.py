@@ -1,0 +1,126 @@
+"""Tests for the n-body application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import NBodySystem
+from repro.core.algorithms.registry import color_with
+
+
+@pytest.fixture
+def system(rng):
+    extent = np.array([[0.0, 40.0], [0.0, 30.0]])
+    positions = rng.uniform([0, 0], [40, 30], size=(120, 2))
+    return NBodySystem(positions=positions, cutoff=2.5, extent=extent)
+
+
+class TestConstruction:
+    def test_default_grid_is_finest_legal(self, system):
+        assert system.grid_dims == (8, 6)
+
+    def test_cutoff_rule_enforced(self, rng):
+        extent = np.array([[0.0, 10.0], [0.0, 10.0]])
+        pos = rng.uniform(0, 10, size=(10, 2))
+        with pytest.raises(ValueError, match="2x-cutoff"):
+            NBodySystem(positions=pos, cutoff=2.0, extent=extent, grid_dims=(4, 2))
+
+    def test_invalid_inputs(self, rng):
+        extent = np.array([[0.0, 10.0], [0.0, 10.0]])
+        with pytest.raises(ValueError, match="positions"):
+            NBodySystem(positions=np.ones((3, 3)), cutoff=1.0, extent=extent)
+        with pytest.raises(ValueError, match="cutoff"):
+            NBodySystem(positions=np.ones((3, 2)), cutoff=0.0, extent=extent)
+
+    def test_regions_partition_particles(self, system):
+        all_ids = np.concatenate(system.region_particles)
+        assert sorted(all_ids.tolist()) == list(range(system.num_particles))
+
+    def test_instance_is_2d_stencil(self, system):
+        inst = system.instance
+        assert inst.is_2d
+        assert inst.geometry.shape == system.grid_dims
+
+
+class TestWeights:
+    def test_weights_count_pairs_exactly(self, system):
+        # Total task weight equals the number of interacting candidate pairs
+        # owned across regions: every within-cutoff pair is counted once.
+        inst = system.instance
+        # Independent count: pairs whose regions are identical or Moore-adjacent.
+        regions = system.particle_regions
+        Y = system.grid_dims[1]
+        total = 0
+        n = system.num_particles
+        for a in range(n):
+            for b in range(a + 1, n):
+                ra, rb = divmod(int(regions[a]), Y), divmod(int(regions[b]), Y)
+                if abs(ra[0] - rb[0]) <= 1 and abs(ra[1] - rb[1]) <= 1:
+                    total += 1
+        assert inst.total_weight == total
+
+    def test_empty_system(self):
+        extent = np.array([[0.0, 10.0], [0.0, 10.0]])
+        system = NBodySystem(positions=np.empty((0, 2)), cutoff=1.0, extent=extent)
+        assert system.instance.total_weight == 0
+        assert np.allclose(system.forces_serial().shape, (0, 2))
+
+
+class TestForces:
+    def test_tasks_match_serial_reference(self, system):
+        assert np.allclose(system.forces_by_tasks(), system.forces_serial())
+
+    def test_task_order_irrelevant(self, system):
+        n = system.instance.num_vertices
+        fwd = system.forces_by_tasks(np.arange(n))
+        rev = system.forces_by_tasks(np.arange(n)[::-1])
+        assert np.allclose(fwd, rev)
+
+    def test_newton_third_law(self, system):
+        # Symmetric accumulation: total momentum change is zero.
+        forces = system.forces_serial()
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_far_particles_no_force(self):
+        extent = np.array([[0.0, 100.0], [0.0, 100.0]])
+        pos = np.array([[10.0, 10.0], [90.0, 90.0]])
+        system = NBodySystem(positions=pos, cutoff=2.0, extent=extent)
+        assert np.allclose(system.forces_serial(), 0.0)
+
+    def test_repulsive(self):
+        extent = np.array([[0.0, 10.0], [0.0, 10.0]])
+        pos = np.array([[4.0, 5.0], [5.0, 5.0]])
+        system = NBodySystem(positions=pos, cutoff=2.0, extent=extent)
+        forces = system.forces_serial()
+        assert forces[0, 0] < 0  # pushed left
+        assert forces[1, 0] > 0  # pushed right
+
+    @pytest.mark.parametrize("algorithm", ["GLF", "BDP", "GLL"])
+    def test_threaded_matches_serial(self, system, algorithm):
+        coloring = color_with(system.instance, algorithm)
+        threaded = system.forces_threaded(coloring, num_workers=4)
+        assert np.allclose(threaded, system.forces_serial())
+
+    def test_threaded_rejects_mismatched_coloring(self, system, rng):
+        from repro.core.problem import IVCInstance
+
+        other = IVCInstance.from_grid_2d(rng.integers(0, 3, size=(2, 2)))
+        with pytest.raises(ValueError, match="does not match"):
+            system.forces_threaded(color_with(other, "GLF"))
+
+
+class TestDynamics:
+    def test_step_moves_particles(self, system):
+        before = system.positions.copy()
+        velocities = np.zeros_like(system.positions)
+        coloring = color_with(system.instance, "GLF")
+        velocities = system.step(velocities, dt=0.1, coloring=coloring)
+        assert not np.allclose(system.positions, before)
+        # Positions stay inside the extent.
+        assert (system.positions >= system.extent[:, 0]).all()
+        assert (system.positions <= system.extent[:, 1]).all()
+
+    def test_step_invalidates_decomposition(self, system):
+        coloring = color_with(system.instance, "GLF")
+        system.step(np.zeros_like(system.positions), dt=0.5, coloring=coloring)
+        # Rebuilt instance reflects moved particles without raising.
+        assert system.instance.total_weight >= 0

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import IVCInstance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for randomized tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_2d(rng) -> IVCInstance:
+    """A 6x5 2DS-IVC instance with weights 0..9."""
+    return IVCInstance.from_grid_2d(rng.integers(0, 10, size=(6, 5)), name="small-2d")
+
+
+@pytest.fixture
+def small_3d(rng) -> IVCInstance:
+    """A 4x4x3 3DS-IVC instance with weights 0..7."""
+    return IVCInstance.from_grid_3d(rng.integers(0, 8, size=(4, 4, 3)), name="small-3d")
+
+
+def random_2d_instances(count: int = 8, seed: int = 0, max_dim: int = 7, max_w: int = 12):
+    """A deterministic batch of random 2D instances (module-level helper)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for k in range(count):
+        shape = (int(rng.integers(2, max_dim)), int(rng.integers(2, max_dim)))
+        grid = rng.integers(0, max_w, size=shape)
+        out.append(IVCInstance.from_grid_2d(grid, name=f"rand2d-{k}"))
+    return out
+
+
+def random_3d_instances(count: int = 6, seed: int = 1, max_dim: int = 5, max_w: int = 9):
+    """A deterministic batch of random 3D instances (module-level helper)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for k in range(count):
+        shape = tuple(int(rng.integers(2, max_dim)) for _ in range(3))
+        grid = rng.integers(0, max_w, size=shape)
+        out.append(IVCInstance.from_grid_3d(grid, name=f"rand3d-{k}"))
+    return out

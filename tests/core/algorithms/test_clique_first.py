@@ -1,0 +1,92 @@
+"""Tests for GKF and SGK."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.clique_first import (
+    greedy_largest_clique_first,
+    smart_greedy_largest_clique_first,
+    smart_greedy_weight_sorted,
+)
+from repro.core.bounds import lower_bound
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import path_graph
+from tests.conftest import random_2d_instances, random_3d_instances
+
+ALL = (
+    greedy_largest_clique_first,
+    smart_greedy_largest_clique_first,
+    smart_greedy_weight_sorted,
+)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+class TestCommonProperties:
+    def test_valid_on_random_2d(self, algorithm):
+        for inst in random_2d_instances():
+            c = algorithm(inst)
+            assert c.is_valid(), inst.name
+            assert c.maxcolor >= lower_bound(inst)
+
+    def test_valid_on_random_3d(self, algorithm):
+        for inst in random_3d_instances():
+            assert algorithm(inst).is_valid(), inst.name
+
+    def test_deterministic(self, algorithm, small_2d):
+        assert np.array_equal(algorithm(small_2d).starts, algorithm(small_2d).starts)
+
+    def test_requires_geometry(self, algorithm):
+        inst = IVCInstance.from_graph(path_graph(3), [1, 1, 1])
+        with pytest.raises(ValueError, match="geometry"):
+            algorithm(inst)
+
+    def test_all_vertices_colored_on_thin_grid(self, algorithm):
+        # A 1-wide grid has no K4 blocks: the leftover path must still color.
+        inst = IVCInstance.from_grid_2d(np.array([[2, 3, 2, 3]]))
+        c = algorithm(inst)
+        assert c.is_valid()
+        assert np.all(c.starts >= 0)
+
+
+class TestGKF:
+    def test_heaviest_block_colored_tight(self):
+        # One dominant K4 block: its four vertices should stack from 0.
+        grid = np.zeros((3, 3), dtype=int)
+        grid[:2, :2] = [[10, 11], [12, 13]]
+        inst = IVCInstance.from_grid_2d(grid)
+        c = greedy_largest_clique_first(inst)
+        block = [0, 1, 3, 4]
+        ends = sorted(int(c.starts[v] + inst.weights[v]) for v in block)
+        assert ends[-1] == 46  # 10+11+12+13 stacked with no gaps
+
+    def test_label(self, small_2d):
+        assert greedy_largest_clique_first(small_2d).algorithm == "GKF"
+
+
+class TestSGK:
+    def test_2d_no_worse_than_weight_sorted_on_block(self):
+        # SGK 2D tries all permutations, so on a single-block instance it is
+        # at least as good as the weight-sorted rule.
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            inst = IVCInstance.from_grid_2d(rng.integers(1, 15, size=(2, 2)))
+            full = smart_greedy_largest_clique_first(inst).maxcolor
+            ws = smart_greedy_weight_sorted(inst).maxcolor
+            assert full <= ws
+
+    def test_3d_uses_weight_sorted_rule(self, small_3d):
+        assert (
+            smart_greedy_largest_clique_first(small_3d).maxcolor
+            == smart_greedy_weight_sorted(small_3d).maxcolor
+        )
+
+    def test_labels(self, small_2d):
+        assert smart_greedy_largest_clique_first(small_2d).algorithm == "SGK"
+        assert smart_greedy_weight_sorted(small_2d).algorithm == "SGK-ws"
+
+    def test_single_block_optimal(self):
+        # On a lone K4, stacking is optimal regardless of permutation; SGK
+        # must reach the clique bound exactly.
+        inst = IVCInstance.from_grid_2d([[4, 7], [2, 9]])
+        c = smart_greedy_largest_clique_first(inst)
+        assert c.maxcolor == 22

@@ -1,0 +1,75 @@
+"""Tests for the local-search refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.local_search import local_search
+from repro.core.algorithms.registry import color_with
+from repro.core.bounds import lower_bound
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import cycle_graph
+from tests.conftest import random_2d_instances, random_3d_instances
+
+
+class TestLocalSearch:
+    def test_never_worse_and_valid(self):
+        for inst in random_2d_instances(count=6) + random_3d_instances(count=3):
+            base = color_with(inst, "GLL")
+            refined = local_search(base, max_rounds=5)
+            assert refined.is_valid()
+            assert refined.maxcolor <= base.maxcolor
+            assert refined.maxcolor >= lower_bound(inst)
+
+    def test_improves_weak_colorings(self):
+        improved = 0
+        for inst in random_2d_instances(count=8, seed=11, max_dim=8):
+            base = color_with(inst, "GZO")
+            refined = local_search(base, max_rounds=10)
+            if refined.maxcolor < base.maxcolor:
+                improved += 1
+        assert improved >= 4  # local search regularly helps weak orders
+
+    def test_deterministic(self, small_2d):
+        base = color_with(small_2d, "GLL")
+        a = local_search(base, seed=3)
+        b = local_search(base, seed=3)
+        assert np.array_equal(a.starts, b.starts)
+
+    def test_label(self, small_2d):
+        refined = local_search(color_with(small_2d, "BD"))
+        assert refined.algorithm == "BD+LS"
+
+    def test_rejects_invalid_input(self, small_2d):
+        from repro.core.coloring import Coloring
+
+        bad = Coloring(
+            instance=small_2d, starts=np.zeros(small_2d.num_vertices, dtype=np.int64)
+        )
+        if not bad.is_valid():
+            with pytest.raises(ValueError):
+                local_search(bad)
+
+    def test_works_on_generic_graphs(self):
+        inst = IVCInstance.from_graph(cycle_graph(7), [3, 1, 4, 1, 5, 9, 2])
+        base = color_with(inst, "GLF")
+        refined = local_search(base, max_rounds=10)
+        assert refined.is_valid()
+        assert refined.maxcolor <= base.maxcolor
+
+    def test_closes_most_of_the_gap_to_optimal(self):
+        from repro.core.exact.branch_and_bound import solve_exact
+
+        base_total = refined_total = opt_total = 0
+        hits = 0
+        for inst in random_2d_instances(count=6, seed=2, max_dim=6):
+            base = color_with(inst, "GZO")
+            refined = local_search(base, max_rounds=20)
+            opt = solve_exact(inst).maxcolor
+            base_total += base.maxcolor
+            refined_total += refined.maxcolor
+            opt_total += opt
+            hits += refined.maxcolor == opt
+        # Local search recovers well over half of GZO's gap to optimal and
+        # reaches the exact optimum on at least one instance.
+        assert refined_total - opt_total < 0.5 * (base_total - opt_total)
+        assert hits >= 1

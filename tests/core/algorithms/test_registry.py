@@ -1,0 +1,64 @@
+"""Tests for the algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import (
+    ALGORITHMS,
+    EXTENDED_ALGORITHMS,
+    available_algorithms,
+    color_with,
+)
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import path_graph
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_present(self):
+        assert set(ALGORITHMS) == {"GLL", "GZO", "GLF", "GKF", "SGK", "BD", "BDP"}
+
+    def test_color_with_runs_everything(self, small_2d, small_3d):
+        for inst in (small_2d, small_3d):
+            for name in ALGORITHMS:
+                c = color_with(inst, name)
+                assert c.is_valid()
+                assert c.algorithm == name
+                assert c.elapsed >= 0
+
+    def test_unknown_name_raises(self, small_2d):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            color_with(small_2d, "NOPE")
+
+    def test_available_on_stencil(self, small_2d):
+        assert available_algorithms(small_2d) == list(ALGORITHMS)
+
+    def test_available_on_generic_graph(self):
+        inst = IVCInstance.from_graph(path_graph(3), [1, 1, 1])
+        assert available_algorithms(inst) == ["GLL", "GLF"]
+        for name in available_algorithms(inst):
+            assert color_with(inst, name).is_valid()
+
+    def test_timing_recorded(self, small_2d):
+        c = color_with(small_2d, "SGK")
+        assert c.elapsed > 0
+
+
+class TestExtendedRegistry:
+    def test_superset_of_paper_algorithms(self):
+        assert set(ALGORITHMS) < set(EXTENDED_ALGORITHMS)
+        assert {"GSL", "GLF+P", "BD+IP", "SGK-ws"} <= set(EXTENDED_ALGORITHMS)
+
+    def test_all_extensions_valid(self, small_2d, small_3d):
+        for inst in (small_2d, small_3d):
+            for name in ("GSL", "GLF+P", "BD+IP", "SGK-ws"):
+                c = color_with(inst, name)
+                assert c.is_valid(), name
+                assert c.algorithm == name
+
+    def test_glf_post_never_worse(self, small_2d):
+        assert color_with(small_2d, "GLF+P").maxcolor <= color_with(small_2d, "GLF").maxcolor
+
+    def test_bd_iterated_never_worse_than_bdp(self, small_2d, small_3d):
+        # BD+IP's first sweep is exactly BDP's, so it can only improve on it.
+        for inst in (small_2d, small_3d):
+            assert color_with(inst, "BD+IP").maxcolor <= color_with(inst, "BDP").maxcolor

@@ -1,0 +1,70 @@
+"""Tests for the LP-format export."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.exact.lp_export import lp_text, write_lp
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import clique_graph, path_graph
+
+
+@pytest.fixture
+def k3():
+    return IVCInstance.from_graph(clique_graph(3), [2, 3, 4], name="k3")
+
+
+class TestLPText:
+    def test_structure(self, k3):
+        text = lp_text(k3, upper_bound=9)
+        assert text.startswith("\\ Interval vertex coloring MILP for k3")
+        for section in ("Minimize", "Subject To", "Bounds", "Generals", "Binaries", "End"):
+            assert f"\n{section}\n" in text or text.endswith(f"{section}\n")
+
+    def test_variable_counts(self, k3):
+        text = lp_text(k3, upper_bound=9)
+        assert len(set(re.findall(r"\bs_\d+\b", text))) == 3
+        assert len(set(re.findall(r"\by_\d+_\d+\b", text))) == 3  # K3 edges
+
+    def test_zero_weight_vertices_excluded(self):
+        inst = IVCInstance.from_grid_2d([[0, 5], [5, 0]])
+        text = lp_text(inst, upper_bound=10)
+        starts = set(re.findall(r"\bs_(\d+)\b", text))
+        assert starts == {"1", "2"}
+        # One edge between the two weighted vertices.
+        assert len(set(re.findall(r"\by_\d+_\d+\b", text))) == 1
+
+    def test_big_m_in_constraints(self, k3):
+        text = lp_text(k3, upper_bound=9)
+        assert "9 y_0_1" in text
+        assert " 0 <= M <= 9" in text
+
+    def test_default_upper_bound_is_heuristic(self, k3):
+        text = lp_text(k3)
+        assert "big-M 9" in text  # clique stacks to 9
+
+    def test_bounds_reflect_weights(self, k3):
+        text = lp_text(k3, upper_bound=9)
+        assert " 0 <= s_0 <= 7" in text  # 9 - w(0)=2
+        assert " 0 <= s_2 <= 5" in text  # 9 - w(2)=4
+
+
+class TestWriteLP:
+    def test_roundtrip_to_disk(self, tmp_path, k3):
+        path = write_lp(k3, tmp_path / "model.lp", upper_bound=9)
+        assert path.exists()
+        assert path.read_text() == lp_text(k3, upper_bound=9)
+
+    def test_solvable_formulation(self, tmp_path):
+        # The exported model describes the same optimum the in-process MILP
+        # finds — checked by reparsing the objective structure indirectly:
+        # solve the same instance with scipy and assert consistency of the
+        # chain optimum used in the file comments.
+        from repro.core.exact.milp import solve_milp
+
+        inst = IVCInstance.from_graph(path_graph(3), [4, 5, 6], name="chain")
+        res = solve_milp(inst)
+        assert res.maxcolor == 11
+        text = lp_text(inst, upper_bound=res.maxcolor)
+        assert "big-M 11" in text

@@ -1,0 +1,85 @@
+"""Tests for the HiGHS MILP solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact.branch_and_bound import solve_exact
+from repro.core.exact.milp import milp_decide, solve_milp
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import clique_graph, cycle_graph, path_graph
+from tests.conftest import random_2d_instances
+
+
+class TestSolve:
+    def test_clique(self):
+        inst = IVCInstance.from_graph(clique_graph(4), [1, 2, 3, 4])
+        res = solve_milp(inst)
+        assert res.status == "optimal" and res.proven_optimal
+        assert res.maxcolor == 10
+        assert res.coloring.check().maxcolor == 10
+
+    def test_chain(self):
+        inst = IVCInstance.from_graph(path_graph(3), [5, 5, 5])
+        assert solve_milp(inst).maxcolor == 10
+
+    def test_odd_cycle(self):
+        from repro.core.bounds import odd_cycle_optimum
+
+        w = [4, 4, 4, 4, 4]
+        inst = IVCInstance.from_graph(cycle_graph(5), w)
+        assert solve_milp(inst).maxcolor == odd_cycle_optimum(w) == 12
+
+    def test_zero_weight_instance(self):
+        inst = IVCInstance.from_grid_2d(np.zeros((2, 2), dtype=int))
+        res = solve_milp(inst)
+        assert res.maxcolor == 0 and res.proven_optimal
+
+    def test_zero_weight_vertices_excluded(self):
+        inst = IVCInstance.from_grid_2d([[0, 5], [5, 0]])
+        res = solve_milp(inst)
+        assert res.maxcolor == 10
+
+    def test_matches_bnb_on_random(self):
+        for inst in random_2d_instances(count=5, max_dim=5, max_w=7):
+            res = solve_milp(inst, time_limit=30.0)
+            assert res.proven_optimal
+            assert res.maxcolor == solve_exact(inst).maxcolor
+
+    def test_explicit_upper_bound(self):
+        inst = IVCInstance.from_graph(path_graph(3), [2, 2, 2])
+        res = solve_milp(inst, upper_bound=20)
+        assert res.maxcolor == 4
+
+
+class TestDecide:
+    def test_yes_instance(self):
+        inst = IVCInstance.from_graph(clique_graph(3), [2, 2, 2])
+        c = milp_decide(inst, 6)
+        assert c is not None and c.maxcolor <= 6
+
+    def test_no_instance(self):
+        inst = IVCInstance.from_graph(clique_graph(3), [2, 2, 2])
+        assert milp_decide(inst, 5) is None
+
+    def test_heavy_vertex_short_circuit(self):
+        inst = IVCInstance.from_graph(path_graph(2), [9, 1])
+        assert milp_decide(inst, 8) is None
+
+    def test_negative_k(self):
+        inst = IVCInstance.from_graph(path_graph(2), [1, 1])
+        with pytest.raises(ValueError):
+            milp_decide(inst, -2)
+
+    def test_zero_weights(self):
+        inst = IVCInstance.from_grid_2d(np.zeros((2, 2), dtype=int))
+        assert milp_decide(inst, 0) is not None
+
+    def test_threshold_agrees_with_bnb(self):
+        from repro.core.exact.branch_and_bound import decide_coloring
+
+        inst = random_2d_instances(count=1, seed=11, max_dim=4, max_w=5)[0]
+        opt = solve_exact(inst).maxcolor
+        assert milp_decide(inst, opt) is not None
+        if opt > 0:
+            assert milp_decide(inst, opt - 1) is None
+            assert decide_coloring(inst, opt - 1) is None

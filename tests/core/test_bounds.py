@@ -1,0 +1,142 @@
+"""Tests for the Section III lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    clique_block_bound,
+    cycle_maxpair,
+    cycle_minchain3,
+    lower_bound,
+    max_clique_bound_exact,
+    max_weight_bound,
+    maxpair_bound,
+    odd_cycle_bound,
+    odd_cycle_optimum,
+)
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import clique_graph, cycle_graph, path_graph
+
+
+class TestSimpleBounds:
+    def test_max_weight(self):
+        inst = IVCInstance.from_grid_2d([[1, 7], [3, 2]])
+        assert max_weight_bound(inst) == 7
+
+    def test_maxpair_on_chain(self):
+        inst = IVCInstance.from_graph(path_graph(4), [1, 5, 2, 6])
+        assert maxpair_bound(inst) == 8  # 2 + 6
+
+    def test_maxpair_no_edges_falls_back_to_weight(self):
+        inst = IVCInstance.from_edges(3, [], [4, 9, 1])
+        assert maxpair_bound(inst) == 9
+
+    def test_maxpair_2d(self):
+        inst = IVCInstance.from_grid_2d([[10, 1], [1, 10]])
+        assert maxpair_bound(inst) == 20  # diagonal is an edge in 9-pt
+
+
+class TestCliqueBounds:
+    def test_2d_blocks(self):
+        inst = IVCInstance.from_grid_2d([[1, 2, 0], [3, 4, 0]])
+        assert clique_block_bound(inst) == 10
+
+    def test_3d_blocks(self):
+        grid = np.ones((2, 2, 2), dtype=int)
+        inst = IVCInstance.from_grid_3d(grid)
+        assert clique_block_bound(inst) == 8
+
+    def test_requires_geometry(self):
+        inst = IVCInstance.from_graph(path_graph(2), [1, 1])
+        with pytest.raises(ValueError):
+            clique_block_bound(inst)
+
+    def test_matches_exact_clique_search_on_stencils(self, small_2d, small_3d):
+        # Maximal cliques of a stencil are exactly the unit blocks.
+        assert clique_block_bound(small_2d) == max_clique_bound_exact(small_2d)
+        assert clique_block_bound(small_3d) == max_clique_bound_exact(small_3d)
+
+    def test_exact_clique_on_clique_graph(self):
+        inst = IVCInstance.from_graph(clique_graph(4), [1, 2, 3, 4])
+        assert max_clique_bound_exact(inst) == 10
+
+    def test_thin_grid_falls_back(self):
+        inst = IVCInstance.from_grid_2d(np.array([[3, 4, 5]]))
+        assert clique_block_bound(inst) == 9  # maxpair fallback
+
+
+class TestCycleHelpers:
+    def test_maxpair(self):
+        assert cycle_maxpair([1, 2, 3]) == 5  # pairs 3, 5, 4
+
+    def test_minchain3(self):
+        assert cycle_minchain3([1, 2, 3, 4, 5]) == 6  # 1+2+3
+
+    def test_minchain3_wraps(self):
+        assert cycle_minchain3([1, 9, 9, 9, 1]) == 11  # 1+1+9 around the seam
+
+    def test_optimum_formula(self):
+        assert odd_cycle_optimum([10, 10, 10, 15, 10, 15, 10]) == 30
+
+    def test_optimum_maxpair_dominates(self):
+        assert odd_cycle_optimum([1, 20, 1]) == 22
+
+    def test_optimum_rejects_even(self):
+        with pytest.raises(ValueError):
+            odd_cycle_optimum([1, 2, 3, 4])
+
+    def test_optimum_rejects_short(self):
+        with pytest.raises(ValueError):
+            odd_cycle_optimum([5])
+
+    def test_triangle_optimum_is_total(self):
+        assert odd_cycle_optimum([2, 3, 4]) == 9
+
+
+class TestOddCycleBound:
+    def test_on_cycle_graph(self):
+        inst = IVCInstance.from_graph(cycle_graph(5), [3, 3, 3, 3, 3])
+        assert odd_cycle_bound(inst, max_len=5) == 9
+
+    def test_no_odd_cycle(self):
+        inst = IVCInstance.from_graph(path_graph(4), [5, 5, 5, 5])
+        assert odd_cycle_bound(inst, max_len=7) == 0
+
+    def test_figure2_instance(self):
+        from repro.data.paper_instances import figure2_odd_cycle
+
+        inst = figure2_odd_cycle()
+        assert clique_block_bound(inst) == 25
+        assert odd_cycle_bound(inst, max_len=7) == 30
+
+    def test_triangle_in_stencil(self):
+        grid = np.zeros((2, 2), dtype=int)
+        grid[0, 0] = grid[0, 1] = grid[1, 0] = 4
+        inst = IVCInstance.from_grid_2d(grid)
+        assert odd_cycle_bound(inst, max_len=3) == 12
+
+
+class TestCombinedLowerBound:
+    def test_uses_clique_when_geometric(self):
+        inst = IVCInstance.from_grid_2d([[5, 5], [5, 5]])
+        assert lower_bound(inst) == 20
+
+    def test_no_geometry_uses_maxpair(self):
+        inst = IVCInstance.from_graph(path_graph(2), [3, 4])
+        assert lower_bound(inst) == 7
+
+    def test_odd_cycle_opt_in(self):
+        from repro.data.paper_instances import figure2_odd_cycle
+
+        inst = figure2_odd_cycle()
+        assert lower_bound(inst) == 25
+        assert lower_bound(inst, use_odd_cycles=True, odd_cycle_max_len=7) == 30
+
+    def test_is_actually_a_lower_bound(self, small_2d, rng):
+        from repro.core.exact.milp import solve_milp
+
+        tiny_3d = IVCInstance.from_grid_3d(rng.integers(0, 6, size=(2, 2, 3)))
+        for inst in (small_2d, tiny_3d):
+            res = solve_milp(inst, time_limit=60.0)
+            assert res.proven_optimal
+            assert res.maxcolor >= lower_bound(inst)

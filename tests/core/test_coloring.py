@@ -1,0 +1,92 @@
+"""Tests for the Coloring result type."""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import path_graph
+
+
+@pytest.fixture
+def chain3():
+    return IVCInstance.from_graph(path_graph(3), [2, 3, 2])
+
+
+class TestConstruction:
+    def test_wrong_length_rejected(self, chain3):
+        with pytest.raises(ValueError, match="expected 3 starts"):
+            Coloring(instance=chain3, starts=np.array([0, 1]))
+
+    def test_negative_start_rejected(self, chain3):
+        with pytest.raises(ValueError, match="non-negative"):
+            Coloring(instance=chain3, starts=np.array([0, -1, 0]))
+
+    def test_starts_coerced(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 2, 0])
+        assert c.starts.dtype == np.int64
+
+
+class TestQuantities:
+    def test_maxcolor(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 2, 0])
+        assert c.maxcolor == 5
+        assert c.ends.tolist() == [2, 5, 2]
+
+    def test_maxcolor_empty_instance(self):
+        inst = IVCInstance.from_edges(0, [], [])
+        c = Coloring(instance=inst, starts=np.empty(0, dtype=int))
+        assert c.maxcolor == 0
+
+    def test_interval_of(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 2, 0])
+        assert c.interval_of(1) == (2, 5)
+
+
+class TestValidation:
+    def test_valid_coloring(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 2, 0])
+        assert c.is_valid()
+        assert len(c.violations()) == 0
+        assert c.check() is c
+
+    def test_invalid_coloring_detected(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 1, 0])
+        assert not c.is_valid()
+        bad = c.violations()
+        assert [0, 1] in bad.tolist()
+
+    def test_check_raises_with_edges(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 0, 0])
+        with pytest.raises(ValueError, match="conflicting edges"):
+            c.check()
+
+    def test_zero_weight_overlap_is_fine(self):
+        inst = IVCInstance.from_graph(path_graph(2), [0, 5])
+        c = Coloring(instance=inst, starts=[0, 0])
+        assert c.is_valid()
+
+    def test_grid_validation(self):
+        inst = IVCInstance.from_grid_2d([[1, 1], [1, 1]])
+        # All four vertices are mutually adjacent; same start is invalid.
+        c = Coloring(instance=inst, starts=[0, 0, 0, 0])
+        assert len(c.violations()) == 6
+
+
+class TestUtility:
+    def test_with_algorithm(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 2, 0]).with_algorithm("X", elapsed=1.5)
+        assert c.algorithm == "X"
+        assert c.elapsed == 1.5
+        assert c.maxcolor == 5
+
+    def test_as_grid(self):
+        inst = IVCInstance.from_grid_2d([[1, 2], [2, 1]])
+        c = Coloring(instance=inst, starts=[0, 1, 3, 5])
+        assert c.as_grid().shape == (2, 2)
+        assert c.as_grid()[1, 0] == 3
+
+    def test_as_grid_requires_geometry(self, chain3):
+        c = Coloring(instance=chain3, starts=[0, 2, 0])
+        with pytest.raises(ValueError, match="no stencil geometry"):
+            c.as_grid()

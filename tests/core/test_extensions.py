@@ -1,0 +1,68 @@
+"""Tests for the extension features: iterated post-optimization and the
+smallest-last ordering (related-work techniques the paper cites)."""
+
+import numpy as np
+
+from repro.core.algorithms.bipartite_decomposition import bipartite_decomposition
+from repro.core.algorithms.post_opt import iterated_post_optimize, post_optimize
+from repro.core.greedy_engine import greedy_color
+from repro.core.orderings import smallest_last_order
+from repro.core.problem import IVCInstance
+from tests.conftest import random_2d_instances, random_3d_instances
+
+
+class TestIteratedPostOptimize:
+    def test_never_worse_than_single_pass(self):
+        for inst in random_2d_instances(count=6):
+            base = bipartite_decomposition(inst)
+            single = post_optimize(base)
+            iterated = iterated_post_optimize(base)
+            assert iterated.is_valid()
+            assert iterated.maxcolor <= single.maxcolor
+
+    def test_reaches_fixed_point(self, small_2d):
+        base = bipartite_decomposition(small_2d)
+        out = iterated_post_optimize(base, max_passes=50)
+        again = iterated_post_optimize(out, max_passes=1)
+        assert np.array_equal(out.starts, again.starts)
+
+    def test_label(self, small_2d):
+        base = bipartite_decomposition(small_2d)
+        assert iterated_post_optimize(base).algorithm == "BD+IP"
+
+    def test_improves_on_some_instance(self):
+        # At least one random instance where a second sweep helps.
+        improved = 0
+        for inst in random_2d_instances(count=10, seed=5, max_dim=7):
+            base = bipartite_decomposition(inst)
+            single = post_optimize(base)
+            iterated = iterated_post_optimize(base)
+            if iterated.maxcolor < single.maxcolor:
+                improved += 1
+        assert improved >= 1
+
+
+class TestSmallestLast:
+    def test_is_permutation(self, small_2d, small_3d):
+        for inst in (small_2d, small_3d):
+            order = smallest_last_order(inst)
+            assert sorted(order.tolist()) == list(range(inst.num_vertices))
+
+    def test_valid_greedy_coloring(self):
+        for inst in random_2d_instances(count=4) + random_3d_instances(count=3):
+            order = smallest_last_order(inst)
+            assert greedy_color(inst, order, algorithm="SL").is_valid()
+
+    def test_isolated_heavy_vertex_placed_early(self):
+        # The heaviest, most connected vertex should be colored first.
+        grid = np.ones((3, 3), dtype=int)
+        grid[1, 1] = 50
+        inst = IVCInstance.from_grid_2d(grid)
+        order = smallest_last_order(inst)
+        center = int(inst.geometry.vertex_id(1, 1))
+        assert order[0] == center
+
+    def test_deterministic(self, small_2d):
+        a = smallest_last_order(small_2d)
+        b = smallest_last_order(small_2d)
+        assert np.array_equal(a, b)

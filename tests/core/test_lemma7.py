@@ -1,0 +1,66 @@
+"""Tests for the Lemma 7 greedy upper bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import greedy_upper_bound, greedy_vertex_upper_bound
+from repro.core.greedy_engine import greedy_color
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import clique_graph, path_graph, star_graph
+from tests.conftest import random_2d_instances, random_3d_instances
+
+
+class TestFormula:
+    def test_isolated_vertex(self):
+        inst = IVCInstance.from_edges(1, [], [7])
+        assert greedy_upper_bound(inst) == 7
+
+    def test_single_edge(self):
+        # v with weight 3 next to weight 5: bound = 5 + 2*3 - 1 = 10.
+        inst = IVCInstance.from_graph(path_graph(2), [3, 5])
+        per_vertex = greedy_vertex_upper_bound(inst)
+        assert per_vertex[0] == 10
+        assert per_vertex[1] == 3 + 2 * 5 - 1
+
+    def test_zero_weight_vertex_bound_zero(self):
+        inst = IVCInstance.from_graph(path_graph(2), [0, 5])
+        assert greedy_vertex_upper_bound(inst)[0] == 0
+
+    def test_star_center(self):
+        inst = IVCInstance.from_graph(star_graph(3), [2, 1, 1, 1])
+        # center: neighbors sum 3, deg 3 -> 3 + 4*2 - 3 = 8.
+        assert greedy_vertex_upper_bound(inst)[0] == 8
+
+    def test_empty_instance(self):
+        inst = IVCInstance.from_edges(0, [], [])
+        assert greedy_upper_bound(inst) == 0
+
+
+class TestLemma7Holds:
+    """Every greedy coloring respects the per-vertex Lemma 7 bound."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_orders_respect_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        for inst in random_2d_instances(count=3, seed=seed) + random_3d_instances(
+            count=2, seed=seed
+        ):
+            per_vertex = greedy_vertex_upper_bound(inst)
+            order = rng.permutation(inst.num_vertices)
+            coloring = greedy_color(inst, order)
+            ends = coloring.ends
+            positive = inst.weights > 0
+            assert np.all(ends[positive] <= per_vertex[positive])
+
+    def test_bound_tight_on_adversarial_instance(self):
+        # A clique colors with exactly the sum of weights; Lemma 7's bound on
+        # the last vertex exceeds or equals that.
+        inst = IVCInstance.from_graph(clique_graph(4), [3, 3, 3, 3])
+        coloring = greedy_color(inst, np.arange(4))
+        assert coloring.maxcolor == 12
+        assert greedy_upper_bound(inst) >= 12
+
+    def test_upper_bound_at_least_trivial(self, small_2d):
+        # The Lemma 7 bound can never undercut any actual greedy run.
+        coloring = greedy_color(small_2d, np.arange(small_2d.num_vertices))
+        assert greedy_upper_bound(small_2d) >= coloring.maxcolor

@@ -1,0 +1,56 @@
+"""Tests for vertex orderings."""
+
+import numpy as np
+import pytest
+
+from repro.core.orderings import (
+    identity_order,
+    largest_first_order,
+    line_by_line_order,
+    random_order,
+    zorder_order,
+)
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import path_graph
+
+
+class TestOrders:
+    def test_identity(self):
+        assert identity_order(4).tolist() == [0, 1, 2, 3]
+
+    def test_line_by_line_permutation(self, small_2d, small_3d):
+        for inst in (small_2d, small_3d):
+            order = line_by_line_order(inst)
+            assert sorted(order.tolist()) == list(range(inst.num_vertices))
+
+    def test_line_by_line_generic_falls_back(self):
+        inst = IVCInstance.from_graph(path_graph(4), [1, 1, 1, 1])
+        assert line_by_line_order(inst).tolist() == [0, 1, 2, 3]
+
+    def test_zorder_permutation(self, small_2d, small_3d):
+        for inst in (small_2d, small_3d):
+            order = zorder_order(inst)
+            assert sorted(order.tolist()) == list(range(inst.num_vertices))
+
+    def test_zorder_requires_geometry(self):
+        inst = IVCInstance.from_graph(path_graph(3), [1, 1, 1])
+        with pytest.raises(ValueError, match="geometry"):
+            zorder_order(inst)
+
+    def test_largest_first_sorted(self, small_2d):
+        order = largest_first_order(small_2d)
+        w = small_2d.weights[order]
+        assert np.all(w[:-1] >= w[1:])
+
+    def test_largest_first_stable_ties(self):
+        inst = IVCInstance.from_grid_2d([[5, 5], [5, 9]])
+        order = largest_first_order(inst)
+        assert order.tolist() == [3, 0, 1, 2]
+
+    def test_random_order_deterministic_per_seed(self, small_2d):
+        a = random_order(small_2d, seed=3)
+        b = random_order(small_2d, seed=3)
+        c = random_order(small_2d, seed=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert sorted(a.tolist()) == list(range(small_2d.num_vertices))

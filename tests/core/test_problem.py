@@ -1,0 +1,86 @@
+"""Tests for the IVCInstance container."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import cycle_graph, path_graph
+from repro.stencil.grid2d import StencilGrid2D
+
+
+class TestConstruction:
+    def test_from_grid_2d(self):
+        inst = IVCInstance.from_grid_2d(np.ones((3, 4), dtype=int))
+        assert inst.num_vertices == 12
+        assert inst.is_2d and not inst.is_3d
+        assert inst.geometry.shape == (3, 4)
+
+    def test_from_grid_3d(self):
+        inst = IVCInstance.from_grid_3d(np.ones((2, 3, 4), dtype=int))
+        assert inst.num_vertices == 24
+        assert inst.is_3d and not inst.is_2d
+
+    def test_from_grid_2d_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2D weight grid"):
+            IVCInstance.from_grid_2d(np.ones((2, 2, 2)))
+
+    def test_from_grid_3d_wrong_ndim(self):
+        with pytest.raises(ValueError, match="3D weight grid"):
+            IVCInstance.from_grid_3d(np.ones((4, 4)))
+
+    def test_from_graph(self):
+        inst = IVCInstance.from_graph(path_graph(3), [1, 2, 3])
+        assert inst.num_vertices == 3
+        assert inst.geometry is None
+        assert not inst.is_2d and not inst.is_3d
+
+    def test_from_edges(self):
+        inst = IVCInstance.from_edges(3, [(0, 1)], [1, 1, 1])
+        assert inst.num_edges == 1
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IVCInstance.from_graph(path_graph(2), [1, -1])
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 3 weights"):
+            IVCInstance.from_graph(path_graph(3), [1, 2])
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            IVCInstance(
+                graph=cycle_graph(5),
+                weights=np.ones(5, dtype=int),
+                geometry=StencilGrid2D(2, 2),
+            )
+
+    def test_weights_coerced_to_int64(self):
+        inst = IVCInstance.from_grid_2d(np.ones((2, 2), dtype=np.int32))
+        assert inst.weights.dtype == np.int64
+
+
+class TestProperties:
+    def test_total_weight(self):
+        inst = IVCInstance.from_grid_2d([[1, 2], [3, 4]])
+        assert inst.total_weight == 10
+
+    def test_weight_grid_roundtrip(self):
+        grid = np.arange(6).reshape(2, 3)
+        inst = IVCInstance.from_grid_2d(grid)
+        assert np.array_equal(inst.weight_grid(), grid)
+
+    def test_weight_grid_requires_geometry(self):
+        inst = IVCInstance.from_graph(path_graph(2), [1, 1])
+        with pytest.raises(ValueError, match="no stencil geometry"):
+            inst.weight_grid()
+
+    def test_metadata_and_name(self):
+        inst = IVCInstance.from_grid_2d(
+            [[1, 1], [1, 1]], name="x", metadata={"plane": "xy"}
+        )
+        assert inst.name == "x"
+        assert inst.metadata["plane"] == "xy"
+
+    def test_num_edges_2d(self):
+        inst = IVCInstance.from_grid_2d(np.ones((2, 2)))
+        assert inst.num_edges == 6  # K4

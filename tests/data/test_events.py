@@ -1,0 +1,58 @@
+"""Tests for the point-event dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.events import PointDataset
+
+
+def make(points, extent=None):
+    if extent is None:
+        extent = [[0, 10], [0, 10], [0, 10]]
+    return PointDataset("t", np.asarray(points, dtype=float), np.asarray(extent, float))
+
+
+class TestValidation:
+    def test_basic(self):
+        ds = make([[1, 2, 3], [4, 5, 6]])
+        assert ds.num_points == 2
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(N, 3\)"):
+            make([[1, 2], [3, 4]])
+
+    def test_bad_extent_shape(self):
+        with pytest.raises(ValueError, match=r"\(3, 2\)"):
+            make([[1, 2, 3]], extent=[[0, 10], [0, 10]])
+
+    def test_degenerate_extent(self):
+        with pytest.raises(ValueError, match="lo must be"):
+            make([[0, 0, 0]], extent=[[0, 0], [0, 10], [0, 10]])
+
+    def test_points_outside_extent(self):
+        with pytest.raises(ValueError, match="outside"):
+            make([[11, 2, 3]])
+
+    def test_empty_dataset_ok(self):
+        ds = make(np.empty((0, 3)))
+        assert ds.num_points == 0
+
+
+class TestOperations:
+    def test_axis_length(self):
+        ds = make([[1, 2, 3]], extent=[[0, 4], [0, 8], [2, 12]])
+        assert ds.axis_length(0) == 4
+        assert ds.axis_length(2) == 10
+
+    def test_restrict(self):
+        ds = make([[1, 1, 1], [9, 9, 9], [5, 5, 5]])
+        box = np.array([[0, 6], [0, 6], [0, 6]], dtype=float)
+        sub = ds.restrict(box)
+        assert sub.num_points == 2
+        assert sub.name == "t-restricted"
+        assert np.array_equal(sub.extent, box)
+
+    def test_restrict_custom_name(self):
+        ds = make([[1, 1, 1]])
+        sub = ds.restrict(np.array([[0, 2], [0, 2], [0, 2]]), name="sub")
+        assert sub.name == "sub"

@@ -1,0 +1,89 @@
+"""Tests for the experiment-suite construction."""
+
+import numpy as np
+import pytest
+
+from repro.data.instances import (
+    DEFAULT_BANDWIDTH_FRACTIONS,
+    SuiteConfig,
+    build_suite_2d,
+    build_suite_3d,
+)
+from repro.data.synthetic import standard_datasets
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return standard_datasets(scale=0.05)
+
+
+class TestSuite2D:
+    def test_builds_instances(self, datasets):
+        suite = build_suite_2d(datasets, SuiteConfig(dim_cap=4, max_cells=64))
+        assert len(suite) > 0
+        for inst in suite:
+            assert inst.is_2d
+            assert inst.num_vertices <= 64
+
+    def test_metadata_complete(self, datasets):
+        suite = build_suite_2d(datasets, SuiteConfig(dim_cap=4, max_cells=64))
+        for inst in suite:
+            assert inst.metadata["dataset"] in {"Dengue", "FluAnimal", "Pollen", "PollenUS"}
+            assert inst.metadata["plane"] in {"xy", "xt", "yt"}
+            assert inst.metadata["bandwidth"] in DEFAULT_BANDWIDTH_FRACTIONS
+            assert inst.metadata["dims"] == inst.geometry.shape
+
+    def test_covers_all_planes_and_datasets(self, datasets):
+        suite = build_suite_2d(datasets, SuiteConfig(dim_cap=4, max_cells=64))
+        planes = {inst.metadata["plane"] for inst in suite}
+        names = {inst.metadata["dataset"] for inst in suite}
+        assert planes == {"xy", "xt", "yt"}
+        assert len(names) == 4
+
+    def test_weights_are_point_counts(self, datasets):
+        suite = build_suite_2d(datasets[:1], SuiteConfig(dim_cap=2, max_cells=16))
+        ds = datasets[0]
+        for inst in suite:
+            if inst.metadata["plane"] == "xy":
+                assert inst.total_weight == ds.num_points
+
+    def test_dims_are_powers_or_max(self, datasets):
+        suite = build_suite_2d(datasets, SuiteConfig(dim_cap=8, max_cells=128))
+        for inst in suite:
+            for d in inst.metadata["dims"]:
+                assert d >= 2
+
+    def test_names_unique(self, datasets):
+        suite = build_suite_2d(datasets, SuiteConfig(dim_cap=4, max_cells=64))
+        names = [inst.name for inst in suite]
+        assert len(names) == len(set(names))
+
+
+class TestSuite3D:
+    def test_builds_instances(self, datasets):
+        suite = build_suite_3d(datasets, SuiteConfig(dim_cap=4, max_cells=128))
+        assert len(suite) > 0
+        for inst in suite:
+            assert inst.is_3d
+            assert inst.num_vertices <= 128
+
+    def test_total_weight_is_point_count(self, datasets):
+        suite = build_suite_3d(datasets[:1], SuiteConfig(dim_cap=2, max_cells=8))
+        for inst in suite:
+            assert inst.total_weight == datasets[0].num_points
+
+    def test_max_cells_respected(self, datasets):
+        suite = build_suite_3d(datasets, SuiteConfig(dim_cap=8, max_cells=100))
+        assert all(inst.num_vertices <= 100 for inst in suite)
+
+    def test_custom_bandwidths(self, datasets):
+        cfg = SuiteConfig(
+            dim_cap=4, max_cells=64, bandwidth_fractions={"only": 1.0 / 8.0}
+        )
+        suite = build_suite_3d(datasets, cfg)
+        assert all(inst.metadata["bandwidth"] == "only" for inst in suite)
+
+    def test_default_datasets_used_when_none(self):
+        # Smoke test the default path with a tiny config.
+        suite = build_suite_3d(None, SuiteConfig(dim_cap=2, max_cells=8))
+        assert len(suite) > 0

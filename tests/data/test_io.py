@@ -1,0 +1,66 @@
+"""Tests for instance/coloring persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import color_with
+from repro.data.io import load_coloring, load_instance, save_coloring, save_instance
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import cycle_graph
+
+
+class TestInstanceRoundtrip:
+    def test_2d(self, tmp_path, small_2d):
+        path = tmp_path / "inst.npz"
+        save_instance(small_2d, path)
+        back = load_instance(path)
+        assert back.is_2d
+        assert np.array_equal(back.weights, small_2d.weights)
+        assert back.geometry.shape == small_2d.geometry.shape
+        assert back.name == small_2d.name
+
+    def test_3d(self, tmp_path, small_3d):
+        path = tmp_path / "inst.npz"
+        save_instance(small_3d, path)
+        back = load_instance(path)
+        assert back.is_3d
+        assert np.array_equal(back.weights, small_3d.weights)
+
+    def test_metadata_preserved(self, tmp_path):
+        inst = IVCInstance.from_grid_2d(
+            np.ones((2, 2), dtype=int), name="x", metadata={"plane": "xy", "k": 3}
+        )
+        path = tmp_path / "inst.npz"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert back.metadata == {"plane": "xy", "k": 3}
+
+    def test_generic_graph(self, tmp_path):
+        inst = IVCInstance.from_graph(cycle_graph(5), [1, 2, 3, 4, 5], name="c5")
+        path = tmp_path / "inst.npz"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert back.geometry is None
+        assert back.num_edges == 5
+        assert np.array_equal(back.weights, inst.weights)
+
+
+class TestColoringRoundtrip:
+    def test_stencil_coloring(self, tmp_path, small_2d):
+        coloring = color_with(small_2d, "BDP")
+        path = tmp_path / "starts.npy"
+        save_coloring(coloring, path)
+        back = load_coloring(small_2d, path)
+        assert np.array_equal(back.starts, coloring.starts)
+        assert back.is_valid()
+        # Grid-shaped on disk.
+        assert np.load(path).shape == small_2d.geometry.shape
+
+    def test_generic_coloring(self, tmp_path):
+        inst = IVCInstance.from_graph(cycle_graph(4), [1, 1, 1, 1])
+        coloring = color_with(inst, "GLF")
+        path = tmp_path / "starts.npy"
+        save_coloring(coloring, path)
+        back = load_coloring(inst, path, algorithm="reloaded")
+        assert back.algorithm == "reloaded"
+        assert np.array_equal(back.starts, coloring.starts)

@@ -1,0 +1,92 @@
+"""Tests for the real-data CSV loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import from_arrays, load_directory, load_events_csv
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "events.csv"
+    path.write_text("x,y,t\n1.0,2.0,3.0\n4.0,5.0,6.0\n7.0,8.0,9.0\n")
+    return path
+
+
+class TestFromArrays:
+    def test_basic(self):
+        ds = from_arrays("d", [0.0, 1.0], [0.0, 2.0], [0.0, 3.0])
+        assert ds.num_points == 2
+        # Extent padded around the bounding box.
+        assert ds.extent[0, 0] < 0.0 < 1.0 < ds.extent[0, 1]
+
+    def test_explicit_extent(self):
+        extent = np.array([[0.0, 10.0]] * 3)
+        ds = from_arrays("d", [5.0], [5.0], [5.0], extent=extent)
+        assert np.array_equal(ds.extent, extent)
+
+    def test_degenerate_axis_padded(self):
+        ds = from_arrays("d", [1.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+        assert ds.extent[0, 1] > ds.extent[0, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no events"):
+            from_arrays("d", [], [], [])
+
+
+class TestLoadCSV:
+    def test_loads_rows(self, csv_file):
+        ds = load_events_csv(csv_file)
+        assert ds.num_points == 3
+        assert ds.name == "events"
+        assert np.allclose(ds.points[1], [4.0, 5.0, 6.0])
+
+    def test_custom_columns(self, tmp_path):
+        path = tmp_path / "latlon.csv"
+        path.write_text("lon;lat;day\n-80.1;35.2;10\n-80.3;35.4;12\n")
+        ds = load_events_csv(
+            path, x_column="lon", y_column="lat", t_column="day", delimiter=";"
+        )
+        assert ds.num_points == 2
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_events_csv(path)
+
+    def test_bad_value_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,t\n1,2,3\noops,2,3\n")
+        with pytest.raises(ValueError, match="bad.csv:3"):
+            load_events_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y,t\n")
+        with pytest.raises(ValueError, match="no event rows"):
+            load_events_csv(path)
+
+    def test_pipeline_integration(self, csv_file):
+        """A loaded dataset runs through the whole experiment pipeline."""
+        from repro.core.algorithms.registry import color_with
+        from repro.data.voxelize import voxel_counts_2d
+        from repro.core.problem import IVCInstance
+
+        ds = load_events_csv(csv_file)
+        grid = voxel_counts_2d(ds, "xy", (4, 4))
+        assert grid.sum() == 3
+        coloring = color_with(IVCInstance.from_grid_2d(grid), "BDP")
+        assert coloring.is_valid()
+
+
+class TestLoadDirectory:
+    def test_loads_all(self, tmp_path):
+        for i in range(2):
+            (tmp_path / f"ds{i}.csv").write_text("x,y,t\n1,2,3\n")
+        datasets = load_directory(tmp_path)
+        assert [d.name for d in datasets] == ["ds0", "ds1"]
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="no files"):
+            load_directory(tmp_path)

@@ -1,0 +1,73 @@
+"""Certify the Figure 2 / Figure 3 instances against the exact solvers."""
+
+import numpy as np
+
+from repro.core.bounds import (
+    clique_block_bound,
+    maxpair_bound,
+    odd_cycle_bound,
+    odd_cycle_optimum,
+)
+from repro.core.exact.branch_and_bound import solve_exact
+from repro.data.paper_instances import (
+    FIGURE2_CLIQUE_BOUND,
+    FIGURE2_OPTIMUM,
+    FIGURE2_WEIGHTS,
+    FIGURE3_BOUNDS,
+    FIGURE3_OPTIMUM,
+    figure2_cycle_graph,
+    figure2_odd_cycle,
+    figure3_two_cycles,
+)
+
+
+class TestFigure2:
+    def test_cycle_is_induced(self):
+        # The positive-weight conflict graph is exactly C7 — each positive
+        # vertex has exactly two positive neighbors.
+        inst = figure2_odd_cycle()
+        positive = np.flatnonzero(inst.weights > 0)
+        pos = set(positive.tolist())
+        for v in positive:
+            nbs = [int(u) for u in inst.graph.neighbors(int(v)) if int(u) in pos]
+            assert len(nbs) == 2
+
+    def test_certified_bounds(self):
+        inst = figure2_odd_cycle()
+        assert clique_block_bound(inst) == FIGURE2_CLIQUE_BOUND == 25
+        assert odd_cycle_bound(inst, max_len=7) == FIGURE2_OPTIMUM == 30
+
+    def test_optimum_exceeds_clique_bound(self):
+        inst = figure2_odd_cycle()
+        opt = solve_exact(inst)
+        assert opt.maxcolor == FIGURE2_OPTIMUM
+        assert opt.maxcolor > clique_block_bound(inst)
+
+    def test_cycle_graph_matches_theorem(self):
+        inst = figure2_cycle_graph()
+        assert solve_exact(inst).maxcolor == odd_cycle_optimum(FIGURE2_WEIGHTS)
+
+
+class TestFigure3:
+    def test_bounds_evaluate_to_14(self):
+        inst = figure3_two_cycles()
+        assert maxpair_bound(inst) == 13
+        assert odd_cycle_bound(inst, max_len=5) == FIGURE3_BOUNDS == 14
+
+    def test_optimum_strictly_exceeds_bounds(self):
+        inst = figure3_two_cycles()
+        opt = solve_exact(inst)
+        assert opt.maxcolor == FIGURE3_OPTIMUM == 16
+        assert opt.maxcolor > FIGURE3_BOUNDS
+
+    def test_milp_agrees(self):
+        from repro.core.exact.milp import solve_milp
+
+        inst = figure3_two_cycles()
+        res = solve_milp(inst, time_limit=60.0)
+        assert res.proven_optimal and res.maxcolor == FIGURE3_OPTIMUM
+
+    def test_structure(self):
+        inst = figure3_two_cycles()
+        assert inst.num_vertices == 10
+        assert inst.num_edges == 12  # two C5s plus two cross edges

@@ -1,0 +1,151 @@
+"""Tests for balanced rectilinear partitioning."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    balance_cuts_1d,
+    balanced_rectilinear_instance,
+    part_loads,
+    uniform_rectilinear_instance,
+)
+from repro.data.synthetic import dengue_like
+
+
+def brute_force_best_cap(counts, parts, min_slots):
+    """Exhaustive minimum over all cut vectors (small inputs only)."""
+    slots = len(counts)
+    prefix = np.concatenate([[0], np.cumsum(counts)])
+    best = None
+    positions = range(min_slots, slots - min_slots + 1)
+    for interior in itertools.combinations(positions, parts - 1):
+        cuts = [0, *interior, slots]
+        if any(b - a < min_slots for a, b in zip(cuts, cuts[1:])):
+            continue
+        cap = max(prefix[b] - prefix[a] for a, b in zip(cuts, cuts[1:]))
+        if best is None or cap < best:
+            best = cap
+    return best
+
+
+class TestBalanceCuts1D:
+    def test_uniform_counts_equal_parts(self):
+        cuts = balance_cuts_1d(np.ones(12, dtype=int), 4)
+        assert cuts.tolist() == [0, 3, 6, 9, 12]
+
+    def test_loads_sum_to_total(self):
+        counts = np.array([5, 1, 1, 1, 8, 1, 1, 1, 1, 1])
+        cuts = balance_cuts_1d(counts, 3)
+        loads = part_loads(counts, cuts)
+        assert loads.sum() == counts.sum()
+        assert len(loads) == 3
+
+    def test_min_slots_respected(self):
+        counts = np.array([100, 0, 0, 0, 0, 0, 0, 0])
+        cuts = balance_cuts_1d(counts, 2, min_slots=3)
+        widths = np.diff(cuts)
+        assert (widths >= 3).all()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimal_vs_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, 20, size=10)
+        for parts, min_slots in ((2, 1), (3, 2), (4, 2)):
+            if parts * min_slots > len(counts):
+                continue
+            cuts = balance_cuts_1d(counts, parts, min_slots=min_slots)
+            cap = int(part_loads(counts, cuts).max())
+            assert cap == brute_force_best_cap(counts, parts, min_slots)
+
+    def test_infeasible_widths_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            balance_cuts_1d(np.ones(5, dtype=int), 3, min_slots=2)
+
+    def test_single_part(self):
+        counts = np.arange(6)
+        cuts = balance_cuts_1d(counts, 1)
+        assert cuts.tolist() == [0, 6]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            balance_cuts_1d(np.ones(4, dtype=int), 0)
+        with pytest.raises(ValueError):
+            balance_cuts_1d(np.ones(4, dtype=int), 2, min_slots=0)
+
+
+class TestBalancedInstances:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return dengue_like(num_points=1200)
+
+    def test_2d_instance(self, dataset):
+        bw = dataset.axis_length(0) / 32
+        inst = balanced_rectilinear_instance(
+            dataset, axes=(0, 1), parts=(6, 5), bandwidths=(bw, bw)
+        )
+        assert inst.is_2d
+        assert inst.geometry.shape == (6, 5)
+        assert inst.total_weight == dataset.num_points
+        assert inst.metadata["partition"] == "balanced-rectilinear"
+
+    def test_3d_instance(self, dataset):
+        bw_s = dataset.axis_length(0) / 16
+        bw_t = dataset.axis_length(2) / 16
+        inst = balanced_rectilinear_instance(
+            dataset, axes=(0, 1, 2), parts=(4, 3, 5), bandwidths=(bw_s, bw_s, bw_t)
+        )
+        assert inst.is_3d
+        assert inst.total_weight == dataset.num_points
+
+    def test_bandwidth_rule_enforced(self, dataset):
+        big_bw = dataset.axis_length(0) / 4
+        with pytest.raises(ValueError, match="do not fit"):
+            balanced_rectilinear_instance(
+                dataset, axes=(0, 1), parts=(8, 8), bandwidths=(big_bw, big_bw)
+            )
+
+    def test_cells_respect_min_width(self, dataset):
+        bw = dataset.axis_length(0) / 40
+        inst = balanced_rectilinear_instance(
+            dataset, axes=(0, 1), parts=(8, 6), bandwidths=(bw, bw)
+        )
+        for edges in inst.metadata["cut_edges"]:
+            widths = np.diff(edges)
+            assert (widths >= 2 * bw - 1e-9).all()
+
+    def test_balanced_no_worse_clique_bound(self, dataset):
+        """The point of balancing: the K4 bound doesn't increase, and on
+        clustered data it strictly improves."""
+        from repro.core.bounds import clique_block_bound
+
+        bw = dataset.axis_length(0) / 40
+        parts = (8, 6)
+        balanced = balanced_rectilinear_instance(
+            dataset, axes=(0, 1), parts=parts, bandwidths=(bw, bw)
+        )
+        uniform = uniform_rectilinear_instance(dataset, axes=(0, 1), parts=parts)
+        assert clique_block_bound(balanced) < clique_block_bound(uniform)
+
+    def test_uniform_counterpart_matches_voxelize(self, dataset):
+        from repro.data.voxelize import voxel_counts_2d
+
+        uniform = uniform_rectilinear_instance(dataset, axes=(0, 1), parts=(4, 4))
+        reference = voxel_counts_2d(dataset, "xy", (4, 4))
+        assert np.array_equal(uniform.weight_grid(), reference)
+
+    def test_colorable_end_to_end(self, dataset):
+        from repro.core.algorithms.registry import color_with
+
+        bw = dataset.axis_length(0) / 32
+        inst = balanced_rectilinear_instance(
+            dataset, axes=(0, 1), parts=(6, 5), bandwidths=(bw, bw)
+        )
+        assert color_with(inst, "BDP").is_valid()
+
+    def test_misaligned_args(self, dataset):
+        with pytest.raises(ValueError, match="align"):
+            balanced_rectilinear_instance(
+                dataset, axes=(0, 1), parts=(2, 2, 2), bandwidths=(1.0, 1.0)
+            )

@@ -1,0 +1,91 @@
+"""Tests for the synthetic dataset generators and their regimes."""
+
+import numpy as np
+
+from repro.data.synthetic import (
+    US_BOX,
+    dengue_like,
+    fluanimal_like,
+    pollen_like,
+    pollenus_like,
+    standard_datasets,
+)
+from repro.data.voxelize import voxel_counts_3d
+
+
+class TestDeterminism:
+    def test_same_seed_same_points(self):
+        a = dengue_like(seed=1)
+        b = dengue_like(seed=1)
+        assert np.array_equal(a.points, b.points)
+
+    def test_different_seed_differs(self):
+        assert not np.array_equal(dengue_like(seed=1).points, dengue_like(seed=2).points)
+
+    def test_all_generators_reproducible(self):
+        for gen in (dengue_like, fluanimal_like, pollen_like, pollenus_like):
+            assert np.array_equal(gen().points, gen().points)
+
+
+class TestShapes:
+    def test_point_counts(self):
+        assert dengue_like(num_points=123).num_points == 123
+        assert fluanimal_like(num_points=77).num_points == 77
+        assert pollen_like(num_points=500).num_points == 500
+
+    def test_points_inside_extents(self):
+        for gen in (dengue_like, fluanimal_like, pollen_like, pollenus_like):
+            ds = gen()
+            assert (ds.points >= ds.extent[:, 0]).all()
+            assert (ds.points <= ds.extent[:, 1]).all()
+
+    def test_pollenus_extent_is_us_box(self):
+        assert np.array_equal(pollenus_like().extent, US_BOX)
+
+    def test_standard_datasets_names(self):
+        names = [d.name for d in standard_datasets(scale=0.05)]
+        assert names == ["Dengue", "FluAnimal", "Pollen", "PollenUS"]
+
+    def test_scale_multiplies_counts(self):
+        small = standard_datasets(scale=0.1)
+        large = standard_datasets(scale=0.5)
+        for s, l in zip(small, large):
+            assert s.num_points < l.num_points
+
+
+class TestRegimes:
+    """The qualitative weight regimes the substitution argument relies on."""
+
+    def _occupancy(self, ds, dims=(8, 8, 8)) -> float:
+        counts = voxel_counts_3d(ds, dims)
+        return float((counts > 0).mean())
+
+    def test_fluanimal_very_sparse(self):
+        # The paper attributes FluAnimal's distinct ranking to sparsity:
+        # most cells must be empty, and emptier than Dengue's.
+        flu = self._occupancy(fluanimal_like())
+        assert flu < 0.25
+        assert flu < self._occupancy(dengue_like())
+
+    def test_pollen_heavy_tailed(self):
+        counts = voxel_counts_3d(pollen_like(), (8, 8, 8)).ravel()
+        positive = counts[counts > 0]
+        # The top cell is several times heavier than the median occupied one
+        # (city clusters over a diffuse background).
+        assert positive.max() > 5 * np.median(positive)
+
+    def test_dengue_clustered(self):
+        # The top 10% of cells carry well over their proportional share.
+        counts = np.sort(voxel_counts_3d(dengue_like(), (8, 8, 8)).ravel())
+        top_decile = counts[-len(counts) // 10 :].sum()
+        assert top_decile > 2 * 0.1 * counts.sum()
+
+    def test_fluanimal_spikier_than_pollen(self):
+        # FluAnimal's occupied cells are far more skewed than Pollen's —
+        # the regime contrast behind the paper's per-dataset anomalies.
+        def skew(ds):
+            c = voxel_counts_3d(ds, (8, 8, 8)).ravel()
+            pos = c[c > 0]
+            return float(pos.max() / np.median(pos))
+
+        assert skew(fluanimal_like()) > 2 * skew(pollen_like())

@@ -1,0 +1,126 @@
+"""Tests for voxelization and the dimension sweep."""
+
+import numpy as np
+import pytest
+
+from repro.data.events import PointDataset
+from repro.data.voxelize import (
+    candidate_dims,
+    density_ascii,
+    max_dim_for_bandwidth,
+    project_points,
+    voxel_counts_2d,
+    voxel_counts_3d,
+)
+
+
+@pytest.fixture
+def grid_dataset():
+    # 4 points in known cells of a [0,10]^3 cube.
+    pts = np.array(
+        [[0.5, 0.5, 0.5], [0.5, 0.5, 0.6], [9.5, 0.5, 0.5], [9.9, 9.9, 9.9]]
+    )
+    extent = np.array([[0.0, 10.0], [0.0, 10.0], [0.0, 10.0]])
+    return PointDataset("g", pts, extent)
+
+
+class TestMaxDim:
+    def test_basic(self):
+        assert max_dim_for_bandwidth(10.0, 1.0) == 5
+        assert max_dim_for_bandwidth(10.0, 0.5) == 10
+
+    def test_floors(self):
+        assert max_dim_for_bandwidth(10.0, 1.6) == 3
+
+    def test_at_least_one(self):
+        assert max_dim_for_bandwidth(1.0, 10.0) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_dim_for_bandwidth(10.0, 0.0)
+        with pytest.raises(ValueError):
+            max_dim_for_bandwidth(0.0, 1.0)
+
+
+class TestCandidateDims:
+    def test_powers_plus_max(self):
+        assert candidate_dims(10) == [2, 4, 8, 10]
+
+    def test_exact_power(self):
+        assert candidate_dims(8) == [2, 4, 8]
+
+    def test_below_two_empty(self):
+        assert candidate_dims(1) == []
+
+    def test_cap(self):
+        assert candidate_dims(100, cap=16) == [2, 4, 8, 16]
+
+    def test_three(self):
+        assert candidate_dims(3) == [2, 3]
+
+
+class TestProjection:
+    def test_planes(self, grid_dataset):
+        for plane, cols in (("xy", (0, 1)), ("xt", (0, 2)), ("yt", (1, 2))):
+            pts, ext = project_points(grid_dataset, plane)
+            assert pts.shape == (4, 2)
+            assert np.array_equal(pts, grid_dataset.points[:, list(cols)])
+            assert ext.shape == (2, 2)
+
+    def test_unknown_plane(self, grid_dataset):
+        with pytest.raises(ValueError, match="unknown plane"):
+            project_points(grid_dataset, "zz")
+
+
+class TestCounts:
+    def test_3d_total(self, grid_dataset):
+        counts = voxel_counts_3d(grid_dataset, (5, 5, 5))
+        assert counts.sum() == 4
+        assert counts[0, 0, 0] == 2
+        assert counts[4, 0, 0] == 1
+        assert counts[4, 4, 4] == 1
+
+    def test_2d_projection_counts(self, grid_dataset):
+        counts = voxel_counts_2d(grid_dataset, "xy", (2, 2))
+        assert counts.sum() == 4
+        assert counts[0, 0] == 2
+        assert counts[1, 0] == 1
+        assert counts[1, 1] == 1
+
+    def test_boundary_points_clipped_inside(self):
+        pts = np.array([[10.0, 10.0, 10.0]])
+        ds = PointDataset("b", pts, np.array([[0.0, 10.0]] * 3))
+        counts = voxel_counts_3d(ds, (4, 4, 4))
+        assert counts[3, 3, 3] == 1
+
+    def test_empty_dataset(self):
+        ds = PointDataset("e", np.empty((0, 3)), np.array([[0.0, 1.0]] * 3))
+        assert voxel_counts_3d(ds, (3, 3, 3)).sum() == 0
+
+    def test_dims_validation(self, grid_dataset):
+        with pytest.raises(ValueError):
+            voxel_counts_3d(grid_dataset, (2, 2))
+        with pytest.raises(ValueError):
+            voxel_counts_2d(grid_dataset, "xy", (2, 2, 2))
+
+
+class TestAscii:
+    def test_renders(self):
+        grid = np.zeros((8, 4), dtype=int)
+        grid[0, 0] = 10
+        art = density_ascii(grid)
+        lines = art.split("\n")
+        assert len(lines) == 4
+        assert lines[-1][0] == "@"  # the dense cell, bottom row printed last
+
+    def test_all_zero(self):
+        art = density_ascii(np.zeros((4, 3), dtype=int))
+        assert set(art) <= {" ", "\n"}
+
+    def test_downsamples_wide_grids(self):
+        art = density_ascii(np.ones((200, 2), dtype=int), width=50)
+        assert max(len(line) for line in art.split("\n")) <= 100
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            density_ascii(np.zeros((2, 2, 2)))

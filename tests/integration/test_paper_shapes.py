@@ -1,0 +1,145 @@
+"""Integration tests asserting the paper's qualitative results hold
+end-to-end on miniature versions of the Section VI / VII experiments."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import fraction_matching, mean_ratio_to
+from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
+from repro.data.synthetic import standard_datasets
+from repro.experiments import run_suite
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return standard_datasets(scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def result_2d(datasets):
+    suite = build_suite_2d(datasets, SuiteConfig(dim_cap=8, max_cells=256))
+    return run_suite(suite)
+
+
+@pytest.fixture(scope="module")
+def result_3d(datasets):
+    suite = build_suite_3d(datasets, SuiteConfig(dim_cap=8, max_cells=512))
+    return run_suite(suite)
+
+
+class TestSectionVIB:
+    """2D: BDP near the clique bound and at the top of the profile."""
+
+    def test_bdp_close_to_clique_bound(self, result_2d):
+        ratio = mean_ratio_to(
+            [float(v) for v in result_2d.maxcolors["BDP"]],
+            [float(b) for b in result_2d.lower_bounds],
+        )
+        # The paper reports ~1.03x on its instances; allow slack on ours.
+        assert ratio < 1.10
+
+    def test_bdp_among_best_algorithms(self, result_2d):
+        # BDP leads the profile in the paper; on our synthetic point-count
+        # instances GLF/SGK are competitive, but BDP must stay in the top
+        # group and clearly dominate BD and the geometric greedies.
+        prof = result_2d.profile()
+        aucs = {a: prof.auc(a) for a in prof.algorithms}
+        ranked = sorted(aucs, key=aucs.get, reverse=True)
+        assert "BDP" in ranked[:4]
+        assert aucs["BDP"] > aucs["BD"]
+        assert aucs["BDP"] > aucs["GLL"]
+        assert aucs["BDP"] > aucs["GZO"]
+
+    def test_bdp_improves_bd(self, result_2d):
+        bd = np.array(result_2d.maxcolors["BD"], dtype=float)
+        bdp = np.array(result_2d.maxcolors["BDP"], dtype=float)
+        assert np.all(bdp <= bd)
+        assert bdp.sum() < bd.sum()
+
+    def test_many_provably_optimal_solutions(self, result_2d):
+        best = [
+            min(result_2d.maxcolors[a][i] for a in result_2d.algorithms)
+            for i in range(result_2d.num_instances)
+        ]
+        share = fraction_matching(
+            [float(b) for b in best], [float(b) for b in result_2d.lower_bounds]
+        )
+        assert share > 0.5  # the paper proves optimality for ~60%
+
+
+class TestSectionVIC:
+    """3D: GLF/SGK lead quality; SGK is the slowest; BDP mid-pack."""
+
+    def test_glf_and_sgk_lead(self, result_3d):
+        prof = result_3d.profile()
+        aucs = {a: prof.auc(a) for a in prof.algorithms}
+        ranked = sorted(aucs, key=aucs.get, reverse=True)
+        assert set(ranked[:2]) & {"GLF", "SGK"}
+
+    def test_glf_faster_than_sgk(self, result_3d):
+        # The paper reports GLF 142% faster than SGK; the gap narrows at our
+        # miniature sizes but the ordering must hold.
+        assert sum(result_3d.times["GLF"]) < sum(result_3d.times["SGK"])
+
+    def test_sgk_slowest_in_2d(self, result_2d):
+        # SGK's 4!-permutation search makes it by far the slowest 2D solver.
+        sgk = sum(result_2d.times["SGK"])
+        for name in ("GLL", "GZO", "GLF", "GKF", "BD"):
+            assert sgk > 2 * sum(result_2d.times[name])
+
+    def test_bdp_not_dominant_in_3d(self, result_3d):
+        prof = result_3d.profile()
+        aucs = {a: prof.auc(a) for a in prof.algorithms}
+        ranked = sorted(aucs, key=aucs.get, reverse=True)
+        assert ranked[0] != "BDP"
+
+
+class TestSectionVII:
+    """STKDE: the critical path tracks maxcolor for first-fit colorings."""
+
+    def test_colors_track_critical_path(self, datasets):
+        from repro.core.algorithms.registry import color_with
+        from repro.stkde.runtime import (
+            critical_path_length,
+            task_dag_from_coloring,
+        )
+        from repro.stkde.tasks import box_decomposition
+
+        ds = datasets[0]
+        problem = box_decomposition(
+            ds, ds.axis_length(0) / 12, ds.axis_length(2) / 12, voxel_dims=(8, 8, 8)
+        )
+        inst = problem.instance
+        costs = inst.weights.astype(float)
+        # Pure first-fit colorings are "tight": the vertex reaching maxcolor
+        # rests on a chain of touching intervals back to color 0, so the
+        # weighted critical path equals maxcolor exactly — the mechanism the
+        # paper's Section VII analysis relies on.  (BD/BDP are constructed,
+        # not first-fit, so their maxcolor over-states their DAG depth.)
+        for name in ("GLL", "GZO", "GLF", "GKF", "SGK"):
+            coloring = color_with(inst, name)
+            dag = task_dag_from_coloring(coloring)
+            cp = critical_path_length(dag, costs)
+            assert cp == pytest.approx(coloring.maxcolor), name
+
+    def test_positive_colors_runtime_correlation(self, datasets):
+        from repro.analysis.regression import linear_fit
+        from repro.core.algorithms.registry import color_with
+        from repro.stkde.runtime import default_costs, simulate_schedule
+        from repro.stkde.tasks import box_decomposition
+
+        # PollenUS-like config in the critical-path-bound regime.
+        ds = datasets[3]
+        problem = box_decomposition(
+            ds, ds.axis_length(0) / 24, ds.axis_length(2) / 16, voxel_dims=(8, 8, 8)
+        )
+        inst = problem.instance
+        costs = default_costs(inst, per_point=1.0, overhead=0.02)
+        colors, times = [], []
+        for name in ("GLL", "GZO", "GLF", "GKF", "SGK", "BDP"):
+            coloring = color_with(inst, name)
+            trace = simulate_schedule(coloring, num_workers=6, costs=costs)
+            colors.append(float(coloring.maxcolor))
+            times.append(trace.makespan)
+        fit = linear_fit(colors, times)
+        assert fit.rvalue > 0.3

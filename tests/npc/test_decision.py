@@ -1,0 +1,41 @@
+"""Tests for the decision oracles."""
+
+import pytest
+
+from repro.core.problem import IVCInstance
+from repro.npc.decision import decide_stencil_coloring
+from repro.stencil.generic import clique_graph
+
+
+@pytest.fixture
+def k3():
+    return IVCInstance.from_graph(clique_graph(3), [3, 3, 3])
+
+
+class TestMethods:
+    def test_csp_and_milp_agree(self, k3):
+        for k in (8, 9, 10):
+            a = decide_stencil_coloring(k3, k, method="csp")
+            b = decide_stencil_coloring(k3, k, method="milp")
+            assert (a is None) == (b is None)
+
+    def test_auto_falls_back_to_milp(self, k3):
+        # A budget of 1 node forces the CSP to give up; auto must still answer.
+        result = decide_stencil_coloring(k3, 9, method="auto", csp_node_budget=1)
+        assert result is not None and result.maxcolor <= 9
+
+    def test_unknown_method(self, k3):
+        with pytest.raises(ValueError, match="method"):
+            decide_stencil_coloring(k3, 9, method="quantum")
+
+    def test_returned_colorings_valid(self, k3):
+        for method in ("csp", "milp", "auto"):
+            c = decide_stencil_coloring(k3, 12, method=method)
+            assert c is not None and c.is_valid()
+
+    def test_on_stencil_instance(self, small_2d):
+        from repro.core.exact.branch_and_bound import solve_exact
+
+        opt = solve_exact(small_2d).maxcolor
+        assert decide_stencil_coloring(small_2d, opt, method="auto") is not None
+        assert decide_stencil_coloring(small_2d, opt - 1, method="milp") is None

@@ -1,0 +1,100 @@
+"""Tests for NAE-3SAT instances and the brute-force solver."""
+
+import pytest
+
+from repro.npc.nae3sat import (
+    NAE3SAT,
+    all_clause_sets,
+    random_nae3sat,
+    unsatisfiable_example,
+)
+
+
+class TestConstruction:
+    def test_clauses_normalized_sorted(self):
+        f = NAE3SAT(4, ((2, 0, 3),))
+        assert f.clauses == ((0, 2, 3),)
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            NAE3SAT(3, ((0, 0, 1),))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            NAE3SAT(3, ((0, 1, 3),))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            NAE3SAT(4, ((0, 1),))
+
+    def test_needs_variables(self):
+        with pytest.raises(ValueError):
+            NAE3SAT(0, ())
+
+
+class TestSemantics:
+    def test_clause_satisfaction(self):
+        f = NAE3SAT(3, ((0, 1, 2),))
+        assert f.is_satisfied([True, False, True])
+        assert not f.is_satisfied([True, True, True])
+        assert not f.is_satisfied([False, False, False])
+
+    def test_assignment_length_checked(self):
+        f = NAE3SAT(3, ((0, 1, 2),))
+        with pytest.raises(ValueError):
+            f.is_satisfied([True, False])
+
+    def test_complement_symmetry(self):
+        f = random_nae3sat(5, 4, seed=3)
+        a = f.solve_brute_force()
+        assert a is not None
+        complement = tuple(not x for x in a)
+        assert f.is_satisfied(complement)
+
+
+class TestBruteForce:
+    def test_satisfiable(self):
+        f = NAE3SAT(3, ((0, 1, 2),))
+        a = f.solve_brute_force()
+        assert a is not None and f.is_satisfied(a)
+
+    def test_fano_unsatisfiable(self):
+        f = unsatisfiable_example()
+        assert f.num_vars == 7 and f.num_clauses == 7
+        assert f.solve_brute_force() is None
+        assert not f.is_satisfiable()
+
+    def test_fano_minus_any_clause_satisfiable(self):
+        fano = unsatisfiable_example()
+        for drop in range(7):
+            clauses = tuple(c for i, c in enumerate(fano.clauses) if i != drop)
+            assert NAE3SAT(7, clauses).is_satisfiable()
+
+    def test_too_many_vars_guarded(self):
+        f = NAE3SAT(25, ((0, 1, 2),))
+        with pytest.raises(ValueError, match="brute force"):
+            f.solve_brute_force()
+
+    def test_count_solutions_even(self):
+        f = random_nae3sat(4, 2, seed=1)
+        assert f.count_solutions() % 2 == 0
+
+    def test_count_matches_enumeration(self):
+        f = NAE3SAT(3, ((0, 1, 2),))
+        assert f.count_solutions() == 6  # 8 assignments minus TTT and FFF
+
+
+class TestGenerators:
+    def test_random_deterministic(self):
+        assert random_nae3sat(5, 3, seed=7) == random_nae3sat(5, 3, seed=7)
+        assert random_nae3sat(5, 3, seed=7) != random_nae3sat(5, 3, seed=8)
+
+    def test_random_needs_three_vars(self):
+        with pytest.raises(ValueError):
+            random_nae3sat(2, 1)
+
+    def test_all_clause_sets_count(self):
+        # C(C(4,3), 2) = C(4, 2) = 6 formulas with 2 distinct clauses on 4 vars.
+        formulas = list(all_clause_sets(4, 2))
+        assert len(formulas) == 6
+        assert all(f.num_clauses == 2 for f in formulas)

@@ -1,0 +1,186 @@
+"""Tests for the NAE-3SAT -> 3DS-IVC reduction (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.npc.nae3sat import NAE3SAT, all_clause_sets, random_nae3sat
+from repro.npc.reduction import (
+    K_REDUCTION,
+    Reduction,
+    assignment_from_coloring,
+    build_reduction,
+    coloring_from_assignment,
+)
+
+
+@pytest.fixture(scope="module")
+def simple_reduction() -> Reduction:
+    return build_reduction(NAE3SAT(3, ((0, 1, 2),)))
+
+
+class TestConstruction:
+    def test_grid_dimensions(self, simple_reduction):
+        n, m = 3, 1
+        assert simple_reduction.instance.geometry.shape == (2 * n + 10, 9, 2 * m)
+
+    def test_weights_restricted(self, simple_reduction):
+        values = set(np.unique(simple_reduction.instance.weights).tolist())
+        assert values <= {0, 3, 7}
+
+    def test_threshold_is_14(self, simple_reduction):
+        assert simple_reduction.k == K_REDUCTION == 14
+
+    def test_three_threes_per_clause(self):
+        f = NAE3SAT(4, ((0, 1, 2), (1, 2, 3)))
+        red = build_reduction(f)
+        assert int((red.instance.weights == 3).sum()) == 3 * f.num_clauses
+
+    def test_tube_structure(self, simple_reduction):
+        # Every variable has one 7 per layer, alternating y=2 (odd z) / y=1.
+        red = simple_reduction
+        grid = red.instance.weight_grid()
+        for var in range(red.formula.num_vars):
+            p = 2 * var + 1
+            for z in range(1, 2 * red.formula.num_clauses + 1):
+                y = 2 if z % 2 == 1 else 1
+                assert grid[p - 1, y - 1, z - 1] == 7
+
+    def test_wires_have_even_length(self):
+        # Chain parity at each terminal must equal the tube-base parity:
+        # the terminal's recorded parity must be 0 (even distance).
+        for seed in range(3):
+            f = random_nae3sat(4, 2, seed=seed)
+            red = build_reduction(f)
+            for terminals, _threes in red.clause_gadgets:
+                for t in terminals:
+                    _var, parity = red.seven_cells[t]
+                    assert parity == 0
+
+    def test_seven_subgraph_is_bipartite_by_parity(self):
+        # Adjacent 7s must have opposite recorded parity (per variable) —
+        # otherwise the polarity argument breaks.
+        f = NAE3SAT(4, ((0, 1, 3), (0, 2, 3)))
+        red = build_reduction(f)
+        geo = red.instance.geometry
+        cells = list(red.seven_cells)
+        flat = {red.flat_id(c): c for c in cells}
+        for c in cells:
+            v = red.flat_id(c)
+            var, parity = red.seven_cells[c]
+            for u in red.instance.graph.neighbors(v):
+                u = int(u)
+                if u in flat:
+                    uvar, uparity = red.seven_cells[flat[u]]
+                    if uvar == var:
+                        assert uparity != parity, (c, flat[u])
+
+    def test_different_variables_never_adjacent_7s(self):
+        # 7-chains of different variables must not touch (polarity coupling).
+        f = NAE3SAT(4, ((0, 1, 2), (1, 2, 3)))
+        red = build_reduction(f)
+        flat = {red.flat_id(c): c for c in red.seven_cells}
+        for v, c in flat.items():
+            var, _ = red.seven_cells[c]
+            for u in red.instance.graph.neighbors(v):
+                u = int(u)
+                if u in flat:
+                    assert red.seven_cells[flat[u]][0] == var
+
+    def test_each_three_touches_exactly_one_terminal(self):
+        f = NAE3SAT(4, ((0, 2, 3),))
+        red = build_reduction(f)
+        flat_sevens = {red.flat_id(c) for c in red.seven_cells}
+        for terminals, threes in red.clause_gadgets:
+            term_ids = [red.flat_id(t) for t in terminals]
+            for q, three in enumerate(threes):
+                tid = red.flat_id(three)
+                seven_nbs = [
+                    int(u)
+                    for u in red.instance.graph.neighbors(tid)
+                    if int(u) in flat_sevens
+                ]
+                assert seven_nbs == [term_ids[q]]
+
+    def test_threes_mutually_adjacent(self, simple_reduction):
+        red = simple_reduction
+        for _terminals, threes in red.clause_gadgets:
+            ids = [red.flat_id(t) for t in threes]
+            for a in ids:
+                for b in ids:
+                    if a != b:
+                        assert red.instance.graph.has_edge(a, b)
+
+    def test_needs_a_clause(self):
+        with pytest.raises(ValueError, match="at least one clause"):
+            build_reduction(NAE3SAT(3, ()))
+
+
+class TestWitness:
+    def test_witness_valid_for_all_solutions(self):
+        from itertools import product
+
+        f = NAE3SAT(3, ((0, 1, 2),))
+        red = build_reduction(f)
+        for bits in product((False, True), repeat=3):
+            if f.is_satisfied(bits):
+                witness = coloring_from_assignment(red, bits)
+                assert witness.maxcolor <= 14
+
+    def test_witness_rejects_bad_assignment(self):
+        f = NAE3SAT(3, ((0, 1, 2),))
+        red = build_reduction(f)
+        with pytest.raises(ValueError, match="does not satisfy"):
+            coloring_from_assignment(red, (True, True, True))
+
+    def test_roundtrip(self):
+        for seed in range(4):
+            f = random_nae3sat(5, 3, seed=seed)
+            a = f.solve_brute_force()
+            if a is None:
+                continue
+            red = build_reduction(f)
+            witness = coloring_from_assignment(red, a)
+            back = assignment_from_coloring(red, witness)
+            assert back == a
+
+    def test_extraction_rejects_overbudget_coloring(self):
+        from repro.core.coloring import Coloring
+
+        f = NAE3SAT(3, ((0, 1, 2),))
+        red = build_reduction(f)
+        starts = np.zeros(red.instance.num_vertices, dtype=np.int64)
+        starts[red.flat_id(red.var_base[0])] = 100
+        bad = Coloring(instance=red.instance, starts=starts)
+        with pytest.raises(ValueError, match="colors"):
+            assignment_from_coloring(red, bad)
+
+
+@pytest.mark.slow
+class TestEquivalence:
+    """The heart of Section IV: satisfiable <=> 14-colorable."""
+
+    def test_exhaustive_small_formulas(self):
+        from repro.npc.decision import decide_stencil_coloring
+
+        for f in all_clause_sets(4, 2):
+            red = build_reduction(f)
+            colorable = decide_stencil_coloring(red.instance, 14, method="milp")
+            assert (colorable is not None) == f.is_satisfiable(), f.clauses
+            if colorable is not None:
+                extracted = assignment_from_coloring(red, colorable)
+                assert f.is_satisfied(extracted)
+
+    def test_fano_not_colorable(self):
+        from repro.npc.decision import decide_stencil_coloring
+        from repro.npc.nae3sat import unsatisfiable_example
+
+        red = build_reduction(unsatisfiable_example())
+        assert decide_stencil_coloring(red.instance, 14, method="milp") is None
+
+    def test_thirteen_colors_never_enough(self):
+        # Even satisfiable instances need the full 14 (7s stack to 14).
+        from repro.npc.decision import decide_stencil_coloring
+
+        f = NAE3SAT(3, ((0, 1, 2),))
+        red = build_reduction(f)
+        assert decide_stencil_coloring(red.instance, 13, method="milp") is None

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the first-fit engine and intervals."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy_engine import first_fit_start, first_fit_start_naive
+from repro.core.interval import intervals_overlap
+
+interval_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(1, 8)), min_size=0, max_size=10
+)
+
+
+@given(intervals=interval_lists, w=st.integers(0, 10))
+def test_first_fit_is_feasible(intervals, w):
+    starts = [a for a, _ in intervals]
+    ends = [a + b for a, b in intervals]
+    s = first_fit_start(starts, ends, w)
+    assert s >= 0
+    if w > 0:
+        for a, b in zip(starts, ends):
+            assert not intervals_overlap(s, w, a, b - a)
+
+
+@given(intervals=interval_lists, w=st.integers(1, 10))
+def test_first_fit_is_minimal(intervals, w):
+    starts = [a for a, _ in intervals]
+    ends = [a + b for a, b in intervals]
+    s = first_fit_start(starts, ends, w)
+    for candidate in range(s):
+        conflict = any(
+            intervals_overlap(candidate, w, a, b - a) for a, b in zip(starts, ends)
+        )
+        assert conflict, f"{candidate} < {s} would also fit"
+
+
+@given(intervals=interval_lists, w=st.integers(0, 10))
+def test_naive_engine_agrees(intervals, w):
+    starts = [a for a, _ in intervals]
+    ends = [a + b for a, b in intervals]
+    assert first_fit_start(starts, ends, w) == first_fit_start_naive(starts, ends, w)
+
+
+@given(
+    sa=st.integers(0, 20),
+    wa=st.integers(0, 10),
+    sb=st.integers(0, 20),
+    wb=st.integers(0, 10),
+)
+def test_overlap_symmetric_and_consistent(sa, wa, sb, wb):
+    assert intervals_overlap(sa, wa, sb, wb) == intervals_overlap(sb, wb, sa, wa)
+    # Set semantics: overlap iff the integer sets intersect.
+    set_a = set(range(sa, sa + wa))
+    set_b = set(range(sb, sb + wb))
+    assert intervals_overlap(sa, wa, sb, wb) == bool(set_a & set_b)
+
+
+@given(
+    shape=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_greedy_valid_on_random_grids(shape, seed):
+    from repro.core.greedy_engine import greedy_color
+    from repro.core.problem import IVCInstance
+
+    rng = np.random.default_rng(seed)
+    inst = IVCInstance.from_grid_2d(rng.integers(0, 9, size=shape))
+    order = rng.permutation(inst.num_vertices)
+    coloring = greedy_color(inst, order)
+    assert coloring.is_valid()
+
+
+@given(
+    shape=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_recolor_pass_monotone(shape, seed):
+    from repro.core.greedy_engine import greedy_color, greedy_recolor_pass
+    from repro.core.coloring import Coloring
+    from repro.core.problem import IVCInstance
+
+    rng = np.random.default_rng(seed)
+    inst = IVCInstance.from_grid_2d(rng.integers(0, 9, size=shape))
+    base = greedy_color(inst, rng.permutation(inst.num_vertices))
+    out = greedy_recolor_pass(inst, base.starts, rng.permutation(inst.num_vertices))
+    assert np.all(out <= base.starts)
+    assert Coloring(instance=inst, starts=out).is_valid()

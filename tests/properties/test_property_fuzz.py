@@ -1,0 +1,106 @@
+"""Failure-injection and fuzz tests: malformed inputs must be rejected
+loudly, and validators must catch corrupted state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.stencil.generic import CSRGraph, from_edges
+
+
+class TestCorruptedCSR:
+    def test_dangling_indptr(self):
+        g = CSRGraph(indptr=np.array([0, 2, 3]), indices=np.array([1, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_out_of_range_neighbor(self):
+        g = CSRGraph(indptr=np.array([0, 1, 2]), indices=np.array([5, 0]))
+        with pytest.raises(ValueError, match="out of range"):
+            g.validate()
+
+    def test_negative_neighbor(self):
+        g = CSRGraph(indptr=np.array([0, 1, 2]), indices=np.array([-1, 0]))
+        with pytest.raises(ValueError, match="out of range"):
+            g.validate()
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_from_edges_always_validates(self, edges):
+        from_edges(8, edges).validate()
+
+
+class TestCorruptedColorings:
+    @given(
+        seed=st.integers(0, 500),
+        corrupt_at=st.integers(0, 15),
+        new_start=st.integers(0, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_validator_catches_injected_overlaps(self, seed, corrupt_at, new_start):
+        """Moving one vertex to an arbitrary start either stays valid or the
+        validator flags an edge incident to exactly that vertex."""
+        from repro.core.greedy_engine import greedy_color
+
+        rng = np.random.default_rng(seed)
+        inst = IVCInstance.from_grid_2d(rng.integers(1, 8, size=(4, 4)))
+        good = greedy_color(inst, rng.permutation(16))
+        starts = good.starts.copy()
+        starts[corrupt_at] = new_start
+        mutated = Coloring(instance=inst, starts=starts)
+        violations = mutated.violations()
+        if len(violations):
+            assert np.any(violations == corrupt_at)
+        else:
+            mutated.check()
+
+    def test_weights_float_inputs_coerced_or_rejected(self):
+        # Integral floats coerce silently; that's numpy casting semantics.
+        inst = IVCInstance.from_grid_2d(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert inst.weights.dtype == np.int64
+
+    def test_nan_weights_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            IVCInstance.from_grid_2d(np.array([[np.nan, 1.0], [1.0, 1.0]]))
+
+    def test_huge_weights_no_overflow(self):
+        big = 2**40
+        inst = IVCInstance.from_grid_2d([[big, big], [big, big]])
+        from repro.core.algorithms.registry import color_with
+
+        coloring = color_with(inst, "GLF")
+        assert coloring.maxcolor == 4 * big  # exact in int64
+
+
+class TestAlgorithmInputGuards:
+    def test_all_algorithms_reject_generic_graph_where_documented(self):
+        from repro.core.algorithms.registry import ALGORITHMS
+        from repro.stencil.generic import cycle_graph
+
+        inst = IVCInstance.from_graph(cycle_graph(5), [1] * 5)
+        for name in ("GZO", "GKF", "SGK", "BD", "BDP"):
+            with pytest.raises(ValueError):
+                ALGORITHMS[name](inst)
+
+    def test_order_with_duplicates_rejected(self, small_2d):
+        from repro.core.greedy_engine import greedy_color
+
+        order = np.zeros(small_2d.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError, match="permutation"):
+            greedy_color(small_2d, order)
+
+    def test_milp_rejects_negative_k(self, small_2d):
+        from repro.core.exact.milp import milp_decide
+
+        with pytest.raises(ValueError):
+            milp_decide(small_2d, -1)

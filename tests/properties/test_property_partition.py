@@ -1,0 +1,59 @@
+"""Property-based tests for the balanced rectilinear partitioner."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import balance_cuts_1d, part_loads
+
+
+@given(
+    counts=st.lists(st.integers(0, 30), min_size=4, max_size=40),
+    parts=st.integers(1, 6),
+    min_slots=st.integers(1, 4),
+)
+@settings(max_examples=80, deadline=None)
+def test_cuts_are_well_formed(counts, parts, min_slots):
+    counts = np.asarray(counts)
+    if parts * min_slots > len(counts):
+        return
+    cuts = balance_cuts_1d(counts, parts, min_slots=min_slots)
+    assert cuts[0] == 0 and cuts[-1] == len(counts)
+    widths = np.diff(cuts)
+    assert len(widths) == parts
+    assert (widths >= min_slots).all()
+    assert part_loads(counts, cuts).sum() == counts.sum()
+
+
+@given(
+    counts=st.lists(st.integers(0, 30), min_size=6, max_size=30),
+    parts=st.integers(2, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_balanced_never_worse_than_uniform(counts, parts):
+    """The optimized cuts' max load never exceeds the equal-width split's."""
+    counts = np.asarray(counts)
+    if parts > len(counts):
+        return
+    balanced = balance_cuts_1d(counts, parts, min_slots=1)
+    uniform = np.linspace(0, len(counts), parts + 1).astype(np.int64)
+    if len(np.unique(uniform)) != parts + 1:
+        return  # degenerate equal-width split
+    assert part_loads(counts, balanced).max() <= part_loads(counts, uniform).max()
+
+
+@given(
+    counts=st.lists(st.integers(0, 20), min_size=4, max_size=14),
+    parts=st.integers(2, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_max_load_lower_bounds(counts, parts):
+    """The optimal cap is at least total/parts and at least the max single
+    slot (when widths allow singleton parts)."""
+    counts = np.asarray(counts)
+    if parts > len(counts):
+        return
+    cuts = balance_cuts_1d(counts, parts, min_slots=1)
+    cap = int(part_loads(counts, cuts).max())
+    assert cap >= int(np.ceil(counts.sum() / parts))
+    assert cap >= int(counts.max(initial=0))

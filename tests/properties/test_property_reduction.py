@@ -1,0 +1,76 @@
+"""Property-based tests for the NAE-3SAT reduction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npc.nae3sat import NAE3SAT
+from repro.npc.reduction import (
+    assignment_from_coloring,
+    build_reduction,
+    coloring_from_assignment,
+)
+
+
+@st.composite
+def formulas(draw, max_vars=6, max_clauses=4):
+    n = draw(st.integers(3, max_vars))
+    m = draw(st.integers(1, max_clauses))
+    clauses = []
+    for _ in range(m):
+        trio = draw(
+            st.lists(st.integers(0, n - 1), min_size=3, max_size=3, unique=True)
+        )
+        clauses.append(tuple(sorted(trio)))
+    return NAE3SAT(num_vars=n, clauses=tuple(clauses))
+
+
+@given(formula=formulas())
+@settings(max_examples=25, deadline=None)
+def test_reduction_structure_invariants(formula):
+    red = build_reduction(formula)
+    n, m = formula.num_vars, formula.num_clauses
+    assert red.instance.geometry.shape == (2 * n + 10, 9, 2 * m)
+    values = set(np.unique(red.instance.weights).tolist())
+    assert values <= {0, 3, 7}
+    # One tube 7 per variable per layer plus the wires; threes = 3 per clause.
+    assert int((red.instance.weights == 3).sum()) == 3 * m
+    # Every terminal has even parity (wire-length invariant).
+    for terminals, _threes in red.clause_gadgets:
+        for t in terminals:
+            assert red.seven_cells[t][1] == 0
+
+
+@given(formula=formulas(max_vars=5, max_clauses=3))
+@settings(max_examples=15, deadline=None)
+def test_witness_and_extraction_roundtrip(formula):
+    assignment = formula.solve_brute_force()
+    if assignment is None:
+        return  # rare for monotone instances this small
+    red = build_reduction(formula)
+    witness = coloring_from_assignment(red, assignment)
+    assert witness.maxcolor <= red.k
+    extracted = assignment_from_coloring(red, witness)
+    assert extracted == assignment
+    # The complement assignment also yields a valid witness (NAE symmetry).
+    complement = tuple(not v for v in assignment)
+    witness2 = coloring_from_assignment(red, complement)
+    assert witness2.maxcolor <= red.k
+
+
+@given(formula=formulas(max_vars=4, max_clauses=2), seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_seven_chains_alternate(formula, seed):
+    """In any witness coloring, adjacent 7s occupy opposite halves."""
+    assignment = formula.solve_brute_force()
+    if assignment is None:
+        return
+    red = build_reduction(formula)
+    witness = coloring_from_assignment(red, assignment)
+    flat = {red.flat_id(c): c for c in red.seven_cells}
+    for v, cell in flat.items():
+        for u in red.instance.graph.neighbors(v):
+            u = int(u)
+            if u in flat:
+                assert witness.starts[v] != witness.starts[u]
+                assert {int(witness.starts[v]), int(witness.starts[u])} == {0, 7}

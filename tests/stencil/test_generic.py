@@ -1,0 +1,172 @@
+"""Tests for the CSR graph container and structured-graph constructors."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.generic import (
+    CSRGraph,
+    clique_graph,
+    cycle_graph,
+    from_edges,
+    from_networkx,
+    is_bipartite,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+
+class TestFromEdges:
+    def test_simple_triangle(self):
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_duplicate_edges_collapse(self):
+        g = from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            from_edges(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(2, [(0, 2)])
+
+    def test_isolated_vertices_allowed(self):
+        g = from_edges(5, [(0, 1)])
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_empty_graph(self):
+        g = from_edges(3, [])
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_neighbors_sorted_within_vertex(self):
+        g = from_edges(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+
+
+class TestCSRGraph:
+    def test_edges_each_once_with_u_less_v(self):
+        g = cycle_graph(5)
+        edges = g.edges()
+        assert len(edges) == 5
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_degrees(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.degrees().tolist() == [4, 1, 1, 1, 1]
+        assert g.max_degree() == 4
+
+    def test_has_edge(self):
+        g = path_graph(3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_validate_passes_on_good_graph(self):
+        cycle_graph(7).validate()
+
+    def test_validate_rejects_asymmetric(self):
+        g = CSRGraph(
+            indptr=np.array([0, 1, 1]), indices=np.array([1])
+        )
+        with pytest.raises(ValueError, match="symmetric"):
+            g.validate()
+
+    def test_validate_rejects_self_loop(self):
+        g = CSRGraph(indptr=np.array([0, 1]), indices=np.array([0]))
+        with pytest.raises(ValueError, match="self-loop"):
+            g.validate()
+
+    def test_validate_rejects_bad_indptr(self):
+        g = CSRGraph(indptr=np.array([0, 2, 1]), indices=np.array([1, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestConstructors:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_path_single_vertex(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_path_needs_vertex(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_clique(self):
+        g = clique_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+
+    def test_star(self):
+        g = star_graph(3)
+        assert g.num_edges == 3
+        assert g.degree(0) == 3
+
+
+class TestNetworkxBridge:
+    def test_roundtrip(self):
+        g = cycle_graph(5)
+        nxg = to_networkx(g)
+        assert nxg.number_of_edges() == 5
+        back, nodes = from_networkx(nxg)
+        assert back.num_edges == 5
+        assert len(nodes) == 5
+
+    def test_from_networkx_arbitrary_labels(self):
+        import networkx as nx
+
+        nxg = nx.Graph([("a", "b"), ("b", "c")])
+        csr, nodes = from_networkx(nxg)
+        assert csr.num_vertices == 3
+        assert csr.num_edges == 2
+        assert set(nodes) == {"a", "b", "c"}
+
+
+class TestIsBipartite:
+    def test_path_is_bipartite(self):
+        ok, side = is_bipartite(path_graph(5))
+        assert ok
+        assert side.tolist() == [0, 1, 0, 1, 0]
+
+    def test_even_cycle_is_bipartite(self):
+        ok, _ = is_bipartite(cycle_graph(6))
+        assert ok
+
+    def test_odd_cycle_is_not(self):
+        ok, _ = is_bipartite(cycle_graph(5))
+        assert not ok
+
+    def test_triangle_is_not(self):
+        ok, _ = is_bipartite(clique_graph(3))
+        assert not ok
+
+    def test_disconnected_components(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        ok, side = is_bipartite(g)
+        assert ok
+        assert side[0] != side[1] and side[2] != side[3]
+
+    def test_isolated_vertices_side_zero(self):
+        g = from_edges(3, [])
+        ok, side = is_bipartite(g)
+        assert ok
+        assert side.tolist() == [0, 0, 0]

@@ -1,0 +1,62 @@
+"""Tests for the Gantt renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import color_with
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.stkde.gantt import _assign_lanes, gantt_svg
+from repro.stkde.runtime import default_costs, simulate_schedule
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def schedule(rng):
+    inst = IVCInstance.from_grid_2d(rng.integers(1, 10, size=(5, 5)))
+    coloring = color_with(inst, "GLF")
+    trace = simulate_schedule(coloring, num_workers=3)
+    return coloring, trace
+
+
+class TestLaneAssignment:
+    def test_sequential_tasks_share_lane(self):
+        starts = np.array([0.0, 5.0, 10.0])
+        finishes = np.array([5.0, 10.0, 12.0])
+        lanes = _assign_lanes(starts, finishes, np.arange(3))
+        assert set(lanes.tolist()) == {0}
+
+    def test_overlapping_tasks_get_distinct_lanes(self):
+        starts = np.array([0.0, 1.0, 2.0])
+        finishes = np.array([10.0, 10.0, 10.0])
+        lanes = _assign_lanes(starts, finishes, np.arange(3))
+        assert sorted(lanes.tolist()) == [0, 1, 2]
+
+    def test_lane_count_bounded_by_workers(self, schedule):
+        coloring, trace = schedule
+        active = np.flatnonzero(coloring.instance.weights > 0)
+        order = active[np.argsort(trace.start_times[active], kind="stable")]
+        lanes = _assign_lanes(trace.start_times, trace.finish_times, order)
+        assert lanes[active].max() < 3  # never more lanes than workers
+
+
+class TestGanttSVG:
+    def test_well_formed_with_task_bars(self, schedule):
+        coloring, trace = schedule
+        svg = gantt_svg(coloring, trace, title="test schedule")
+        root = ET.fromstring(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        active = int((coloring.instance.weights > 0).sum())
+        assert len(rects) == active + 1  # background + one bar per task
+        assert "test schedule" in svg
+        assert "makespan" in svg
+
+    def test_empty_schedule(self):
+        inst = IVCInstance.from_grid_2d(np.zeros((2, 2), dtype=int))
+        coloring = Coloring(instance=inst, starts=np.zeros(4, dtype=np.int64))
+        trace = simulate_schedule(coloring, num_workers=2)
+        svg = gantt_svg(coloring, trace)
+        assert ET.fromstring(svg).tag == f"{SVG_NS}svg"

@@ -1,0 +1,73 @@
+"""Tests for the space-time kernels."""
+
+import numpy as np
+import pytest
+
+from repro.stkde.kernel import epanechnikov, epanechnikov_2d, space_time_kernel
+
+
+class TestEpanechnikov1D:
+    def test_peak_at_zero(self):
+        assert epanechnikov(0.0) == 0.75
+
+    def test_zero_outside_support(self):
+        assert epanechnikov(1.5) == 0.0
+        assert epanechnikov(-2.0) == 0.0
+
+    def test_boundary(self):
+        assert epanechnikov(1.0) == 0.0
+
+    def test_symmetry(self):
+        u = np.linspace(0, 1.2, 13)
+        assert np.allclose(epanechnikov(u), epanechnikov(-u))
+
+    def test_integrates_to_one(self):
+        u = np.linspace(-1, 1, 20001)
+        assert np.trapezoid(epanechnikov(u), u) == pytest.approx(1.0, abs=1e-6)
+
+    def test_vectorized(self):
+        out = epanechnikov(np.array([0.0, 0.5, 2.0]))
+        assert out.shape == (3,)
+        assert out[2] == 0.0
+
+
+class TestEpanechnikov2D:
+    def test_peak(self):
+        assert epanechnikov_2d(0.0) == pytest.approx(2.0 / np.pi)
+
+    def test_outside(self):
+        assert epanechnikov_2d(1.01) == 0.0
+
+    def test_integrates_to_one_over_disk(self):
+        # Radial integral: ∫0^1 k(r) 2πr dr = 1.
+        r = np.linspace(0, 1, 20001)
+        integral = np.trapezoid(epanechnikov_2d(r) * 2 * np.pi * r, r)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSpaceTimeKernel:
+    def test_positive_inside_support(self):
+        assert space_time_kernel(0.5, 0.5, 1.0, 1.0) > 0
+
+    def test_zero_outside_space(self):
+        assert space_time_kernel(1.5, 0.0, 1.0, 1.0) == 0
+
+    def test_zero_outside_time(self):
+        assert space_time_kernel(0.0, 2.0, 1.0, 1.0) == 0
+
+    def test_bandwidth_scaling(self):
+        # Doubling both bandwidths scales the peak by 1/(4*2) = 1/8.
+        peak1 = space_time_kernel(0.0, 0.0, 1.0, 1.0)
+        peak2 = space_time_kernel(0.0, 0.0, 2.0, 2.0)
+        assert peak2 == pytest.approx(peak1 / 8)
+
+    def test_invalid_bandwidths(self):
+        with pytest.raises(ValueError):
+            space_time_kernel(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            space_time_kernel(0.0, 0.0, 1.0, -1.0)
+
+    def test_vectorized_shapes(self):
+        d = np.zeros((4, 5))
+        t = np.zeros((4, 5))
+        assert space_time_kernel(d, t, 2.0, 3.0).shape == (4, 5)

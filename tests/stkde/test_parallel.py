@@ -1,0 +1,60 @@
+"""Tests for the real-thread execution path."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import color_with
+from repro.core.coloring import Coloring
+from repro.data.synthetic import dengue_like
+from repro.stkde.parallel import execute_threaded
+from repro.stkde.stkde import stkde_reference
+from repro.stkde.tasks import box_decomposition
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ds = dengue_like(num_points=150)
+    return box_decomposition(
+        ds, ds.axis_length(0) / 8, ds.axis_length(2) / 8, voxel_dims=(8, 8, 8)
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return stkde_reference(
+        problem.dataset, problem.voxel_dims, problem.h_space, problem.h_time
+    )
+
+
+class TestThreadedExecution:
+    @pytest.mark.parametrize("algorithm", ["GLF", "BD", "GLL"])
+    def test_density_matches_reference(self, problem, reference, algorithm):
+        coloring = color_with(problem.instance, algorithm)
+        result = execute_threaded(problem, coloring, num_workers=4)
+        assert np.allclose(result.density, reference)
+        assert result.num_tasks == problem.instance.num_vertices
+
+    def test_single_worker(self, problem, reference):
+        coloring = color_with(problem.instance, "GLF")
+        result = execute_threaded(problem, coloring, num_workers=1)
+        assert np.allclose(result.density, reference)
+
+    def test_invalid_coloring_rejected(self, problem):
+        starts = np.zeros(problem.instance.num_vertices, dtype=np.int64)
+        bad = Coloring(instance=problem.instance, starts=starts)
+        with pytest.raises(ValueError):
+            execute_threaded(problem, bad, num_workers=2)
+
+    def test_mismatched_coloring_rejected(self, problem):
+        from repro.core.problem import IVCInstance
+
+        other = IVCInstance.from_grid_3d(np.ones((2, 2, 2), dtype=int))
+        coloring = color_with(other, "GLF")
+        with pytest.raises(ValueError, match="does not match"):
+            execute_threaded(problem, coloring, num_workers=2)
+
+    def test_repeated_runs_identical(self, problem):
+        coloring = color_with(problem.instance, "GLF")
+        a = execute_threaded(problem, coloring, num_workers=4)
+        b = execute_threaded(problem, coloring, num_workers=4)
+        assert np.allclose(a.density, b.density)

@@ -1,0 +1,145 @@
+"""Tests for the OpenMP-style runtime simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import ALGORITHMS, color_with
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.stkde.runtime import (
+    critical_path_length,
+    default_costs,
+    simulate_schedule,
+    task_dag_from_coloring,
+)
+
+
+@pytest.fixture
+def colored_instance(rng):
+    inst = IVCInstance.from_grid_3d(rng.integers(0, 10, size=(4, 4, 3)))
+    return color_with(inst, "GLF")
+
+
+class TestTaskDAG:
+    def test_zero_weight_boxes_excluded(self, rng):
+        grid = rng.integers(0, 5, size=(4, 4))
+        grid[0, :] = 0
+        inst = IVCInstance.from_grid_2d(grid)
+        coloring = color_with(inst, "GLL")
+        dag = task_dag_from_coloring(coloring)
+        active = int((inst.weights > 0).sum())
+        assert dag.num_tasks == active
+        zero_ids = np.flatnonzero(inst.weights == 0)
+        assert np.all(dag.rank[zero_ids] == -1)
+        assert all(len(dag.successors[int(v)]) == 0 for v in zero_ids)
+
+    def test_edges_oriented_by_start(self, colored_instance):
+        dag = task_dag_from_coloring(colored_instance)
+        starts = colored_instance.starts
+        for v in dag.creation_order:
+            v = int(v)
+            for u in dag.successors[v]:
+                assert (starts[v], v) < (starts[int(u)], int(u))
+
+    def test_acyclic_indegree_consistency(self, colored_instance):
+        dag = task_dag_from_coloring(colored_instance)
+        indeg = np.zeros(colored_instance.instance.num_vertices, dtype=int)
+        for v in dag.creation_order:
+            for u in dag.successors[int(v)]:
+                indeg[int(u)] += 1
+        assert np.array_equal(indeg[dag.creation_order], dag.indegree[dag.creation_order])
+
+    def test_creation_order_sorted_by_start(self, colored_instance):
+        dag = task_dag_from_coloring(colored_instance)
+        starts = colored_instance.starts[dag.creation_order]
+        assert np.all(np.diff(starts) >= 0)
+
+
+class TestCriticalPath:
+    def test_bounded_by_maxcolor_plus_overheads(self):
+        # Along any DAG path intervals are disjoint increasing, so the
+        # weighted critical path can't exceed maxcolor (+ per-task overhead).
+        rng = np.random.default_rng(7)
+        for name in ALGORITHMS:
+            inst = IVCInstance.from_grid_2d(rng.integers(0, 12, size=(6, 6)))
+            coloring = color_with(inst, name)
+            dag = task_dag_from_coloring(coloring)
+            overhead = 0.01
+            costs = default_costs(inst, per_point=1.0, overhead=overhead)
+            cp = critical_path_length(dag, costs)
+            assert cp <= coloring.maxcolor + overhead * dag.num_tasks + 1e-9
+
+    def test_tight_for_first_fit_colorings(self, rng):
+        # For greedy first-fit colorings the bound is achieved up to overhead
+        # (the vertex attaining maxcolor rests on a chain back to color 0).
+        inst = IVCInstance.from_grid_2d(rng.integers(1, 10, size=(6, 6)))
+        coloring = color_with(inst, "GLF")
+        dag = task_dag_from_coloring(coloring)
+        costs = inst.weights.astype(float)
+        assert critical_path_length(dag, costs) == pytest.approx(coloring.maxcolor)
+
+    def test_single_task(self):
+        inst = IVCInstance.from_grid_2d([[5, 0], [0, 0]])
+        coloring = Coloring(instance=inst, starts=np.zeros(4, dtype=np.int64))
+        dag = task_dag_from_coloring(coloring)
+        assert critical_path_length(dag, inst.weights.astype(float)) == 5
+
+
+class TestSimulator:
+    def test_single_worker_serializes(self, colored_instance):
+        costs = default_costs(colored_instance.instance)
+        trace = simulate_schedule(colored_instance, num_workers=1, costs=costs)
+        active = colored_instance.instance.weights > 0
+        assert trace.makespan == pytest.approx(costs[active].sum())
+
+    def test_many_workers_reach_critical_path(self, colored_instance):
+        costs = default_costs(colored_instance.instance)
+        n = colored_instance.instance.num_vertices
+        trace = simulate_schedule(colored_instance, num_workers=n, costs=costs)
+        assert trace.makespan == pytest.approx(trace.critical_path)
+
+    def test_makespan_lower_bounds(self, colored_instance):
+        costs = default_costs(colored_instance.instance)
+        for p in (2, 4):
+            trace = simulate_schedule(colored_instance, num_workers=p, costs=costs)
+            assert trace.makespan >= trace.critical_path - 1e-9
+            assert trace.makespan >= trace.total_work / p - 1e-9
+            # Graham bound for list scheduling.
+            assert trace.makespan <= trace.total_work / p + trace.critical_path + 1e-9
+
+    def test_more_workers_never_slower(self, colored_instance):
+        costs = default_costs(colored_instance.instance)
+        m2 = simulate_schedule(colored_instance, num_workers=2, costs=costs).makespan
+        m8 = simulate_schedule(colored_instance, num_workers=8, costs=costs).makespan
+        assert m8 <= m2 + 1e-9
+
+    def test_schedule_respects_dependencies(self, colored_instance):
+        trace = simulate_schedule(colored_instance, num_workers=3)
+        dag = task_dag_from_coloring(colored_instance)
+        for v in dag.creation_order:
+            v = int(v)
+            for u in dag.successors[v]:
+                assert trace.start_times[int(u)] >= trace.finish_times[v] - 1e-9
+
+    def test_deterministic(self, colored_instance):
+        a = simulate_schedule(colored_instance, num_workers=3)
+        b = simulate_schedule(colored_instance, num_workers=3)
+        assert a.makespan == b.makespan
+
+    def test_efficiency_in_unit_range(self, colored_instance):
+        trace = simulate_schedule(colored_instance, num_workers=4)
+        assert 0 < trace.parallel_efficiency <= 1.0 + 1e-9
+
+    def test_needs_a_worker(self, colored_instance):
+        with pytest.raises(ValueError):
+            simulate_schedule(colored_instance, num_workers=0)
+
+    def test_cost_length_checked(self, colored_instance):
+        with pytest.raises(ValueError, match="costs"):
+            simulate_schedule(colored_instance, num_workers=2, costs=np.ones(3))
+
+    def test_empty_instance(self):
+        inst = IVCInstance.from_grid_2d(np.zeros((2, 2), dtype=int))
+        coloring = Coloring(instance=inst, starts=np.zeros(4, dtype=np.int64))
+        trace = simulate_schedule(coloring, num_workers=2)
+        assert trace.makespan == 0

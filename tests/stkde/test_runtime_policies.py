@@ -1,0 +1,77 @@
+"""Tests for the scheduler policy / creation-throttling extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import color_with
+from repro.core.problem import IVCInstance
+from repro.stkde.runtime import default_costs, simulate_schedule
+
+
+@pytest.fixture
+def colored(rng):
+    inst = IVCInstance.from_grid_2d(rng.integers(0, 10, size=(6, 6)))
+    return color_with(inst, "GLF")
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self, colored):
+        with pytest.raises(ValueError, match="policy"):
+            simulate_schedule(colored, 2, policy="random")
+
+    def test_lifo_valid_schedule(self, colored):
+        costs = default_costs(colored.instance)
+        trace = simulate_schedule(colored, 3, costs=costs, policy="lifo")
+        assert trace.makespan >= trace.critical_path - 1e-9
+        assert trace.makespan >= trace.total_work / 3 - 1e-9
+        # Graham bound still applies to any list schedule.
+        assert trace.makespan <= trace.total_work / 3 + trace.critical_path + 1e-9
+
+    def test_lifo_single_worker_same_total(self, colored):
+        costs = default_costs(colored.instance)
+        fifo = simulate_schedule(colored, 1, costs=costs, policy="fifo")
+        lifo = simulate_schedule(colored, 1, costs=costs, policy="lifo")
+        assert fifo.makespan == pytest.approx(lifo.makespan)
+
+    def test_policies_deterministic(self, colored):
+        for policy in ("fifo", "lifo"):
+            a = simulate_schedule(colored, 4, policy=policy)
+            b = simulate_schedule(colored, 4, policy=policy)
+            assert a.makespan == b.makespan
+
+
+class TestCreationWindow:
+    def test_invalid_window(self, colored):
+        with pytest.raises(ValueError, match="window"):
+            simulate_schedule(colored, 2, creation_window=0)
+
+    def test_window_one_serializes_in_creation_order(self, colored):
+        costs = default_costs(colored.instance)
+        trace = simulate_schedule(colored, 8, costs=costs, creation_window=1)
+        # One live task at a time: makespan equals total work.
+        active = colored.instance.weights > 0
+        assert trace.makespan == pytest.approx(costs[active].sum())
+
+    def test_huge_window_matches_unthrottled(self, colored):
+        costs = default_costs(colored.instance)
+        free = simulate_schedule(colored, 4, costs=costs)
+        windowed = simulate_schedule(colored, 4, costs=costs, creation_window=10_000)
+        assert free.makespan == pytest.approx(windowed.makespan)
+
+    def test_window_never_speeds_up(self, colored):
+        costs = default_costs(colored.instance)
+        free = simulate_schedule(colored, 4, costs=costs).makespan
+        for window in (2, 4, 16):
+            throttled = simulate_schedule(
+                colored, 4, costs=costs, creation_window=window
+            ).makespan
+            assert throttled >= free - 1e-9
+
+    def test_all_tasks_finish(self, colored):
+        trace = simulate_schedule(colored, 3, creation_window=3)
+        active = colored.instance.weights > 0
+        assert np.all(trace.finish_times[active] > 0)
+
+    def test_window_with_lifo(self, colored):
+        trace = simulate_schedule(colored, 3, policy="lifo", creation_window=4)
+        assert trace.makespan > 0

@@ -1,0 +1,76 @@
+"""Tests for the sequential STKDE reference."""
+
+import numpy as np
+import pytest
+
+from repro.data.events import PointDataset
+from repro.stkde.kernel import space_time_kernel
+from repro.stkde.stkde import stkde_reference, voxel_centers
+
+
+@pytest.fixture
+def unit_dataset():
+    pts = np.array([[5.0, 5.0, 5.0]])
+    extent = np.array([[0.0, 10.0]] * 3)
+    return PointDataset("u", pts, extent)
+
+
+class TestVoxelCenters:
+    def test_centers(self):
+        extent = np.array([[0.0, 10.0], [0.0, 4.0], [0.0, 2.0]])
+        cx, cy, ct = voxel_centers(extent, (5, 2, 2))
+        assert cx.tolist() == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert cy.tolist() == [1.0, 3.0]
+        assert ct.tolist() == [0.5, 1.5]
+
+
+class TestReference:
+    def test_matches_brute_force(self, unit_dataset):
+        dims = (6, 6, 6)
+        h_s, h_t = 3.0, 3.0
+        fast = stkde_reference(unit_dataset, dims, h_s, h_t)
+        centers = voxel_centers(unit_dataset.extent, dims)
+        slow = np.zeros(dims)
+        px, py, pt = unit_dataset.points[0]
+        for a, cx in enumerate(centers[0]):
+            for b, cy in enumerate(centers[1]):
+                for c, ct in enumerate(centers[2]):
+                    d = np.hypot(cx - px, cy - py)
+                    slow[a, b, c] = space_time_kernel(d, ct - pt, h_s, h_t)
+        assert np.allclose(fast, slow)
+
+    def test_far_voxels_zero(self, unit_dataset):
+        density = stkde_reference(unit_dataset, (10, 10, 10), 1.0, 1.0)
+        assert density[0, 0, 0] == 0.0
+        assert density.max() > 0
+
+    def test_additive_over_points(self):
+        extent = np.array([[0.0, 10.0]] * 3)
+        a = PointDataset("a", np.array([[2.0, 2.0, 2.0]]), extent)
+        b = PointDataset("b", np.array([[8.0, 8.0, 8.0]]), extent)
+        both = PointDataset(
+            "ab", np.array([[2.0, 2.0, 2.0], [8.0, 8.0, 8.0]]), extent
+        )
+        da = stkde_reference(a, (8, 8, 8), 2.0, 2.0)
+        db = stkde_reference(b, (8, 8, 8), 2.0, 2.0)
+        dab = stkde_reference(both, (8, 8, 8), 2.0, 2.0)
+        assert np.allclose(dab, da + db)
+
+    def test_empty_dataset(self):
+        ds = PointDataset("e", np.empty((0, 3)), np.array([[0.0, 1.0]] * 3))
+        assert stkde_reference(ds, (4, 4, 4), 0.5, 0.5).sum() == 0
+
+    def test_invalid_bandwidths(self, unit_dataset):
+        with pytest.raises(ValueError):
+            stkde_reference(unit_dataset, (4, 4, 4), 0.0, 1.0)
+
+    def test_total_mass_approximates_count(self):
+        # With fine voxels and interior points, sum(density)*voxel_volume ≈ N.
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(3, 7, size=(20, 3))
+        extent = np.array([[0.0, 10.0]] * 3)
+        ds = PointDataset("m", pts, extent)
+        dims = (40, 40, 40)
+        density = stkde_reference(ds, dims, 1.5, 1.5)
+        voxel_volume = (10 / 40) ** 3
+        assert density.sum() * voxel_volume == pytest.approx(20, rel=0.05)

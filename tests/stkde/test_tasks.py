@@ -1,0 +1,85 @@
+"""Tests for the box/task decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.data.events import PointDataset
+from repro.data.synthetic import dengue_like
+from repro.stkde.stkde import stkde_reference
+from repro.stkde.tasks import STKDEProblem, box_decomposition
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ds = dengue_like(num_points=200)
+    h_s = ds.axis_length(0) / 8.0
+    h_t = ds.axis_length(2) / 8.0
+    return box_decomposition(ds, h_s, h_t, voxel_dims=(10, 10, 10))
+
+
+class TestDecomposition:
+    def test_default_box_dims_maximal(self, problem):
+        # Default box grid is the finest legal one per axis: h_space = Lx/8
+        # gives 4 boxes on x but floor(25 / (2 * 3.75)) = 3 on the shorter y.
+        assert problem.box_dims == (4, 3, 4)
+
+    def test_bandwidth_rule_enforced(self):
+        ds = dengue_like(num_points=50)
+        with pytest.raises(ValueError, match="2x-bandwidth"):
+            STKDEProblem(ds, (8, 8, 8), ds.axis_length(0) / 4, ds.axis_length(2) / 8, (4, 4, 4))
+
+    def test_point_boxes_in_range(self, problem):
+        boxes = problem.point_boxes
+        assert boxes.min() >= 0
+        assert boxes.max() < int(np.prod(problem.box_dims))
+
+    def test_task_point_ids_partition(self, problem):
+        all_ids = np.concatenate(problem.task_point_ids)
+        assert sorted(all_ids.tolist()) == list(range(problem.dataset.num_points))
+
+    def test_instance_weights_are_counts(self, problem):
+        inst = problem.instance
+        assert inst.is_3d
+        assert inst.total_weight == problem.dataset.num_points
+        for box, ids in enumerate(problem.task_point_ids):
+            assert inst.weights[box] == len(ids)
+
+
+class TestExecution:
+    def test_execute_all_matches_reference(self, problem):
+        density = problem.execute_all()
+        reference = stkde_reference(
+            problem.dataset, problem.voxel_dims, problem.h_space, problem.h_time
+        )
+        assert np.allclose(density, reference)
+
+    def test_execution_order_invariant(self, problem):
+        n = problem.instance.num_vertices
+        forward = problem.execute_all(np.arange(n))
+        backward = problem.execute_all(np.arange(n)[::-1])
+        assert np.allclose(forward, backward)
+
+    def test_execute_task_returns_weight(self, problem):
+        density = np.zeros(problem.voxel_dims)
+        for box in range(problem.instance.num_vertices):
+            n = problem.execute_task(box, density)
+            assert n == problem.instance.weights[box]
+
+    def test_non_neighbor_tasks_write_disjoint_voxels(self, problem):
+        """The race-freedom property behind the whole coloring approach."""
+        n = problem.instance.num_vertices
+        touched = []
+        for box in range(n):
+            d = np.zeros(problem.voxel_dims)
+            problem.execute_task(box, d)
+            touched.append(d != 0)
+        csr = problem.instance.graph
+        weights = problem.instance.weights
+        for a in range(n):
+            if weights[a] == 0:
+                continue
+            nbs = set(csr.neighbors(a).tolist())
+            for b in range(a + 1, n):
+                if weights[b] == 0 or b in nbs:
+                    continue
+                assert not np.any(touched[a] & touched[b]), (a, b)

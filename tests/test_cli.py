@@ -1,0 +1,168 @@
+"""Tests for the ``stencil-ivc`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in ("solve", "suite", "optimal", "stkde", "npc"):
+            args = parser.parse_args([cmd] if cmd != "solve" else ["solve", "x.npy"])
+            assert hasattr(args, "func")
+
+
+class TestSolve:
+    def test_solve_npy(self, tmp_path, capsys):
+        path = tmp_path / "weights.npy"
+        np.save(path, np.random.default_rng(0).integers(0, 9, size=(5, 5)))
+        rc = main(["solve", str(path), "--algorithm", "BDP"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "maxcolor" in out and "BDP" in out
+
+    def test_solve_text_3d_saves_output(self, tmp_path, capsys):
+        path = tmp_path / "weights.npy"
+        out_path = tmp_path / "starts.npy"
+        np.save(path, np.ones((3, 3, 3), dtype=np.int64))
+        rc = main(["solve", str(path), "--algorithm", "GLF", "--output", str(out_path)])
+        assert rc == 0
+        starts = np.load(out_path)
+        assert starts.shape == (3, 3, 3)
+
+    def test_solve_bad_ndim(self, tmp_path, capsys):
+        path = tmp_path / "weights.npy"
+        np.save(path, np.ones(5, dtype=np.int64))
+        assert main(["solve", str(path)]) == 2
+
+
+class TestBounds:
+    def test_bounds_2d(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        np.save(path, np.full((4, 4), 3, dtype=np.int64))
+        rc = main(["bounds", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clique blocks   : 12" in out
+        assert "combined bound  : 12" in out
+
+    def test_bounds_with_odd_cycles(self, tmp_path, capsys):
+        from repro.data.paper_instances import figure2_odd_cycle
+
+        path = tmp_path / "w.npy"
+        np.save(path, figure2_odd_cycle().weight_grid())
+        rc = main(["bounds", str(path), "--odd-cycles", "--max-cycle-len", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "combined bound  : 30" in out
+
+    def test_bounds_bad_ndim(self, tmp_path):
+        path = tmp_path / "w.npy"
+        np.save(path, np.ones(3))
+        assert main(["bounds", str(path)]) == 2
+
+
+class TestExact:
+    def test_exact_small(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        out_path = tmp_path / "opt.npy"
+        np.save(path, np.array([[2, 3], [4, 5]], dtype=np.int64))
+        rc = main(["exact", str(path), "--output", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "maxcolor : 14" in out  # K4 stacks to the total weight
+        assert np.load(out_path).shape == (2, 2)
+
+
+class TestSuites:
+    def test_suite_2d_tiny(self, capsys):
+        rc = main(["suite", "--dim", "2", "--scale", "0.02",
+                   "--dim-cap", "2", "--max-cells", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BDP" in out and "tau" in out
+
+    def test_optimal_tiny(self, capsys):
+        rc = main(["optimal", "--dim", "2", "--scale", "0.02",
+                   "--dim-cap", "2", "--max-cells", "16", "--time-limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MILP solved" in out
+
+
+class TestGantt:
+    def test_gantt_writes_svg(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        out = tmp_path / "g.svg"
+        np.save(path, np.random.default_rng(1).integers(1, 9, size=(5, 5)))
+        rc = main(["gantt", str(path), "--workers", "3", "--output", str(out)])
+        assert rc == 0
+        import xml.etree.ElementTree as ET
+
+        root = ET.parse(out).getroot()
+        assert root.tag.endswith("svg")
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestDataDir:
+    def test_suite_from_csv_directory(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        rows = ["x,y,t"] + [
+            f"{x:.3f},{y:.3f},{t:.3f}"
+            for x, y, t in rng.uniform(0, 100, size=(150, 3))
+        ]
+        (tmp_path / "mydata.csv").write_text("\n".join(rows) + "\n")
+        rc = main(["suite", "--dim", "2", "--dim-cap", "4", "--max-cells", "64",
+                   "--data-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "suite" in out and "BDP" in out
+
+
+class TestPartition:
+    def test_partition_comparison(self, tmp_path, capsys):
+        rng = np.random.default_rng(5)
+        # Clustered events so balancing visibly helps.
+        pts = np.vstack(
+            [rng.normal([20, 20], 2.0, size=(200, 2)), rng.uniform(0, 100, size=(100, 2))]
+        )
+        t = rng.uniform(0, 10, size=300)
+        rows = ["x,y,t"] + [f"{x:.3f},{y:.3f},{ti:.3f}" for (x, y), ti in zip(pts, t)]
+        path = tmp_path / "events.csv"
+        path.write_text("\n".join(rows) + "\n")
+        rc = main(
+            ["partition", str(path), "--parts-x", "4", "--parts-y", "4",
+             "--bandwidth-x", "5", "--bandwidth-y", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "balanced" in out and "clique bound" in out
+
+
+class TestNpc:
+    def test_satisfiable_demo(self, capsys):
+        rc = main(["npc", "--vars", "3", "--clauses", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "colorable with 14 colors: True" in out
+
+    def test_fano_demo(self, capsys):
+        rc = main(["npc", "--fano"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "colorable with 14 colors: False" in out
+
+
+class TestStkde:
+    def test_stkde_tiny(self, capsys):
+        rc = main(["stkde", "--scale", "0.05", "--workers", "2",
+                   "--bandwidth-divisor", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "colors-vs-runtime" in out

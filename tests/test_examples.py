@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, monkeypatch, capsys) -> str:
+    monkeypatch.syspath_prepend(str(EXAMPLES))
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example("quickstart.py", monkeypatch, capsys)
+    assert "lower bound" in out
+    assert "BDP" in out
+
+
+def test_odd_cycles(monkeypatch, capsys):
+    out = run_example("odd_cycles.py", monkeypatch, capsys)
+    assert "optimum    : 30" in out
+    assert "exceeds every lower bound" in out
+
+
+def test_np_completeness(monkeypatch, capsys):
+    out = run_example("np_completeness.py", monkeypatch, capsys)
+    assert "colorable with 14 colors: True" in out
+    assert "colorable with 14 colors: False" in out
+
+
+@pytest.mark.slow
+def test_stkde_application(monkeypatch, capsys):
+    out = run_example("stkde_application.py", monkeypatch, capsys)
+    assert "density matches sequential reference: True" in out
+    assert "colors vs simulated runtime" in out
+
+
+@pytest.mark.slow
+def test_paper_tour(monkeypatch, capsys):
+    out = run_example("paper_tour.py", monkeypatch, capsys)
+    assert "Theorem 1" in out
+    assert "NOT 14-colorable: True" in out
+    assert "BDP" in out
+
+
+@pytest.mark.slow
+def test_nbody_simulation(monkeypatch, capsys):
+    out = run_example("nbody_simulation.py", monkeypatch, capsys)
+    assert "threaded forces match O(N^2) reference: True" in out
+    assert "recolored" in out
+
+
+@pytest.mark.slow
+def test_flocking_simulation(monkeypatch, capsys):
+    out = run_example("flocking_simulation.py", monkeypatch, capsys)
+    assert "threaded==sequential: True" in out
+    assert "final polarization" in out

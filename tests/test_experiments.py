@@ -1,0 +1,76 @@
+"""Tests for the shared suite driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import IVCInstance
+from repro.experiments import SuiteResult, run_suite, solve_suite_optimal
+from tests.conftest import random_2d_instances
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    return run_suite(random_2d_instances(count=5, max_dim=5, max_w=8))
+
+
+class TestRunSuite:
+    def test_shapes(self, suite_result):
+        assert suite_result.num_instances == 5
+        for alg in suite_result.algorithms:
+            assert len(suite_result.maxcolors[alg]) == 5
+            assert len(suite_result.times[alg]) == 5
+        assert len(suite_result.lower_bounds) == 5
+
+    def test_all_algorithms_by_default(self, suite_result):
+        assert set(suite_result.algorithms) == {
+            "GLL", "GZO", "GLF", "GKF", "SGK", "BD", "BDP",
+        }
+
+    def test_maxcolors_at_least_bounds(self, suite_result):
+        for alg in suite_result.algorithms:
+            for mc, lb in zip(suite_result.maxcolors[alg], suite_result.lower_bounds):
+                assert mc >= lb
+
+    def test_subset_of_algorithms(self):
+        res = run_suite(random_2d_instances(count=2), algorithms=["GLF", "BD"])
+        assert res.algorithms == ["GLF", "BD"]
+
+    def test_profile_builds(self, suite_result):
+        prof = suite_result.profile()
+        assert prof.num_instances == 5
+        assert set(prof.algorithms) == set(suite_result.algorithms)
+
+    def test_subset(self, suite_result):
+        sub = suite_result.subset([0, 2])
+        assert sub.num_instances == 2
+        assert sub.maxcolors["GLF"] == [
+            suite_result.maxcolors["GLF"][0],
+            suite_result.maxcolors["GLF"][2],
+        ]
+
+    def test_indices_by_metadata(self):
+        instances = [
+            IVCInstance.from_grid_2d(
+                np.ones((2, 2), dtype=int), metadata={"dataset": name}
+            )
+            for name in ("a", "b", "a")
+        ]
+        res = run_suite(instances, algorithms=["GLF"])
+        assert res.indices_by_metadata("dataset", "a") == [0, 2]
+
+
+class TestSolveOptimal:
+    def test_solves_small_instances(self, suite_result):
+        solved, optima = solve_suite_optimal(suite_result, time_limit=30.0)
+        assert len(solved) == len(optima) == suite_result.num_instances
+        for i, opt in zip(solved, optima):
+            assert opt >= suite_result.lower_bounds[i]
+            best = min(suite_result.maxcolors[a][i] for a in suite_result.algorithms)
+            assert opt <= best
+
+    def test_optima_match_bnb(self, suite_result):
+        from repro.core.exact.branch_and_bound import solve_exact
+
+        solved, optima = solve_suite_optimal(suite_result, time_limit=30.0)
+        for i, opt in zip(solved[:3], optima[:3]):
+            assert solve_exact(suite_result.instances[i]).maxcolor == opt

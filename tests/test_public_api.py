@@ -1,0 +1,59 @@
+"""API-stability tests: the documented public surface exists and works."""
+
+import numpy as np
+import pytest
+
+
+class TestTopLevelExports:
+    def test_documented_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must run verbatim."""
+        import numpy as np
+
+        from repro import ALGORITHMS, IVCInstance, color_with, lower_bound
+
+        weights = np.random.default_rng(0).integers(0, 50, size=(16, 16))
+        instance = IVCInstance.from_grid_2d(weights)
+        coloring = color_with(instance, "BDP").check()
+        assert coloring.maxcolor >= lower_bound(instance)
+        assert set(ALGORITHMS) == {"GLL", "GZO", "GLF", "GKF", "SGK", "BD", "BDP"}
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.algorithms",
+            "repro.core.exact",
+            "repro.stencil",
+            "repro.npc",
+            "repro.data",
+            "repro.stkde",
+            "repro.apps",
+            "repro.analysis",
+        ],
+    )
+    def test_all_exports_resolve(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_py_typed_marker_present(self):
+        import pathlib
+
+        import repro
+
+        assert (pathlib.Path(repro.__file__).parent / "py.typed").exists()

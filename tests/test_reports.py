@@ -1,0 +1,81 @@
+"""Tests for the figure-report builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_suite
+from repro.reports import (
+    FIRST_FIT_ALGORITHMS,
+    PURE_FIRST_FIT,
+    STKDEFigure,
+    bd_improvement_report,
+    per_dataset_report,
+    stkde_figure,
+    suite_quality_report,
+    suite_runtime_report,
+)
+from tests.conftest import random_2d_instances
+
+
+@pytest.fixture(scope="module")
+def result():
+    instances = random_2d_instances(count=4, seed=3)
+    for i, inst in enumerate(instances):
+        inst.metadata["dataset"] = "A" if i % 2 == 0 else "B"
+    return run_suite(instances)
+
+
+class TestSuiteReports:
+    def test_quality_report_contains_all_algorithms(self, result):
+        text = suite_quality_report(result, "K4 LB")
+        for name in result.algorithms:
+            assert name in text
+        assert "instances: 4" in text
+        assert "K4 LB" in text
+
+    def test_runtime_report_shape(self, result):
+        text = suite_runtime_report(result)
+        assert "total s" in text
+        assert len(text.split("\n")) == 2 + len(result.algorithms)
+
+    def test_per_dataset_report(self, result):
+        text = per_dataset_report(result, ("A", "B", "missing"))
+        assert "--- A (2 instances) ---" in text
+        assert "--- B (2 instances) ---" in text
+        assert "missing" not in text
+
+    def test_bd_improvement_report(self, result):
+        text = bd_improvement_report(result)
+        assert "BDP improves BD" in text
+        assert "paper" in text
+
+
+class TestSTKDEFigure:
+    def test_figure_builds(self, rng):
+        from repro.core.problem import IVCInstance
+
+        inst = IVCInstance.from_grid_3d(rng.integers(0, 10, size=(4, 4, 3)))
+        fig = stkde_figure(inst, workers=4)
+        assert isinstance(fig, STKDEFigure)
+        assert len(fig.rows) == 7
+        assert fig.workers == 4
+        assert fig.total_work > 0
+
+    def test_first_fit_cp_equals_maxcolor(self, rng):
+        from repro.core.problem import IVCInstance
+
+        inst = IVCInstance.from_grid_3d(rng.integers(0, 10, size=(4, 4, 3)))
+        fig = stkde_figure(inst, workers=4, costs=inst.weights.astype(float))
+        for row in fig.rows:
+            if row.algorithm in PURE_FIRST_FIT:
+                assert row.critical_path == pytest.approx(row.maxcolor)
+            elif row.algorithm in FIRST_FIT_ALGORITHMS:  # BDP: near-tight
+                assert row.critical_path <= row.maxcolor + 1e-9
+
+    def test_to_text(self, rng):
+        from repro.core.problem import IVCInstance
+
+        inst = IVCInstance.from_grid_3d(rng.integers(0, 8, size=(3, 3, 3)))
+        text = stkde_figure(inst, workers=2).to_text()
+        assert "linear fit, first-fit colorings" in text
+        assert "work-bound floor" in text
