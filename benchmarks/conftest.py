@@ -30,6 +30,9 @@ OUT_DIR = Path(__file__).parent / "out"
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 DIM_CAP_2D = int(os.environ.get("REPRO_BENCH_DIM_CAP_2D", "16"))
 DIM_CAP_3D = int(os.environ.get("REPRO_BENCH_DIM_CAP_3D", "8"))
+# Engine worker processes for the suite fixtures.  Default 1 (serial, same
+# code path) so per-cell timings stay uncontended; set 0 to use all cores.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def _slug(title: str) -> str:
@@ -80,10 +83,10 @@ def suite3d(datasets):
 @pytest.fixture(scope="session")
 def result2d(suite2d):
     """All seven algorithms run over the 2D suite (shared by figs 5, 6, 9)."""
-    return run_suite(suite2d)
+    return run_suite(suite2d, jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
 def result3d(suite3d):
     """All seven algorithms run over the 3D suite (shared by figs 7, 8, 9)."""
-    return run_suite(suite3d)
+    return run_suite(suite3d, jobs=BENCH_JOBS)

@@ -20,8 +20,14 @@ Quick start::
 
 from repro.core import (
     ALGORITHMS,
+    EXTENDED_ALGORITHMS,
+    REGISTRY,
+    AlgorithmSpec,
     Coloring,
     IVCInstance,
+    Registry,
+    UnknownAlgorithmError,
+    available_algorithms,
     bipartite_decomposition,
     bipartite_decomposition_post,
     clique_block_bound,
@@ -36,19 +42,28 @@ from repro.core import (
     odd_cycle_bound,
     smart_greedy_largest_clique_first,
 )
-from repro.experiments import SuiteResult, run_suite
+from repro.engine import RunRecord, run_grid
+from repro.experiments import SuiteExecutionError, SuiteResult, run_suite
 from repro.stencil import StencilGrid2D, StencilGrid3D
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "Coloring",
+    "EXTENDED_ALGORITHMS",
     "IVCInstance",
+    "REGISTRY",
+    "Registry",
+    "RunRecord",
     "StencilGrid2D",
     "StencilGrid3D",
+    "SuiteExecutionError",
     "SuiteResult",
+    "UnknownAlgorithmError",
     "__version__",
+    "available_algorithms",
     "bipartite_decomposition",
     "bipartite_decomposition_post",
     "clique_block_bound",
@@ -61,6 +76,7 @@ __all__ = [
     "lower_bound",
     "maxpair_bound",
     "odd_cycle_bound",
+    "run_grid",
     "run_suite",
     "smart_greedy_largest_clique_first",
 ]

@@ -1,14 +1,24 @@
 """Command-line interface: ``stencil-ivc <subcommand>``.
 
+``stencil-ivc`` follows the standard Unix conventions for options and
+arguments: ``stencil-ivc --help`` summarizes the subcommands, and every
+subcommand answers ``stencil-ivc <subcommand> --help`` with its own options.
+Options are recognized by their leading double-dashes, e.g. ``--jobs``.
+
 Subcommands
 -----------
-``solve``    Color a weight grid from a ``.npy``/``.txt`` file.
-``suite``    Run the Section VI experiment suite (2D or 3D) and print the
-             runtime comparison and performance profile.
-``optimal``  MILP-solve a suite's instances and compare heuristics to the
-             optimum (Section VI.D).
-``stkde``    Run the STKDE integration experiment (Section VII).
-``npc``      Demonstrate the NAE-3SAT reduction (Section IV).
+``solve``       Color a weight grid from a ``.npy``/``.txt`` file.
+``algorithms``  List the registered coloring heuristics and capabilities.
+``suite``       Run the Section VI experiment suite (2D or 3D) and print the
+                runtime comparison and performance profile.
+``optimal``     MILP-solve a suite's instances and compare heuristics to the
+                optimum (Section VI.D).
+``stkde``       Run the STKDE integration experiment (Section VII).
+``npc``         Demonstrate the NAE-3SAT reduction (Section IV).
+
+The experiment subcommands (``suite``, ``optimal``, ``stkde``) accept
+``--jobs N`` to fan their (instance × algorithm) grid across worker
+processes via the batch engine; ``--jobs 0`` (the default) uses all cores.
 """
 
 from __future__ import annotations
@@ -105,6 +115,25 @@ def cmd_exact(args: argparse.Namespace) -> int:
     return 0 if result.status in ("optimal", "timeout") else 1
 
 
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.core.algorithms.registry import REGISTRY
+
+    specs = REGISTRY.specs(include_extensions=not args.paper_only)
+    rows = [
+        (
+            spec.name,
+            "/".join(f"{d}D" for d in spec.supported_dims),
+            "graph" if not spec.needs_geometry else "stencil",
+            "extension" if spec.is_extension else "paper",
+            spec.description,
+        )
+        for spec in specs
+    ]
+    print(format_table(("name", "dims", "needs", "origin", "description"), rows))
+    return 0
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     from repro.analysis.performance_profiles import profile_to_text
     from repro.analysis.reporting import banner, format_table
@@ -126,7 +155,21 @@ def cmd_suite(args: argparse.Namespace) -> int:
     else:
         instances = build_suite_3d(datasets, config)
     print(banner(f"{args.dim}D suite: {len(instances)} instances"))
-    result = run_suite(instances)
+    result = run_suite(
+        instances,
+        jobs=args.jobs,
+        log_path=args.run_log or None,
+        on_error="record",
+    )
+    if result.errors:
+        print(f"! {len(result.errors)} failed cells (excluded from the profile):")
+        for rec in result.errors:
+            print(f"!   {rec.algorithm} on {rec.instance} [{rec.status}]: {rec.error}")
+        result = result.subset(result.ok_indices())
+        print()
+        if result.num_instances == 0:
+            print("every instance had a failed cell — nothing left to profile")
+            return 1
     print(profile_to_text(result.profile()))
     print()
     rows = [
@@ -148,7 +191,7 @@ def cmd_optimal(args: argparse.Namespace) -> int:
     datasets = standard_datasets(scale=args.scale)
     config = SuiteConfig(dim_cap=args.dim_cap, max_cells=args.max_cells)
     instances = build_suite_2d(datasets, config) if args.dim == 2 else build_suite_3d(datasets, config)
-    result = run_suite(instances)
+    result = run_suite(instances, jobs=args.jobs)
     solved, optima = solve_suite_optimal(result, time_limit=args.time_limit)
     print(banner(f"MILP solved {len(solved)}/{result.num_instances} instances"))
     sub = result.subset(solved)
@@ -162,22 +205,40 @@ def cmd_optimal(args: argparse.Namespace) -> int:
 def cmd_stkde(args: argparse.Namespace) -> int:
     from repro.analysis.regression import linear_fit
     from repro.analysis.reporting import banner, format_table
-    from repro.core.algorithms.registry import ALGORITHMS, color_with
+    from repro.core.algorithms.registry import ALGORITHMS
+    from repro.core.coloring import Coloring
     from repro.data.synthetic import standard_datasets
+    from repro.engine import run_grid
     from repro.stkde.runtime import simulate_schedule
     from repro.stkde.tasks import box_decomposition
 
+    names = list(ALGORITHMS)
     for dataset in standard_datasets(scale=args.scale):
         h_s = dataset.axis_length(0) / args.bandwidth_divisor
         h_t = dataset.axis_length(2) / args.bandwidth_divisor
         problem = box_decomposition(dataset, h_s, h_t, voxel_dims=(16, 16, 16))
         instance = problem.instance
+        # The coloring cells run through the batch engine (capturing start
+        # vectors); the schedule simulation replays them in this process.
+        records = run_grid(
+            [instance], names, jobs=args.jobs, capture_starts=True,
+            log_path=args.run_log or None,
+        )
         rows = []
         colors, runtimes = [], []
-        for name in ALGORITHMS:
-            coloring = color_with(instance, name)
+        for record in records:
+            if not record.ok:
+                rows.append((record.algorithm, "-", "-", record.error))
+                continue
+            coloring = Coloring(
+                instance,
+                np.asarray(record.starts, dtype=np.int64),
+                algorithm=record.algorithm,
+                elapsed=record.elapsed,
+            )
             trace = simulate_schedule(coloring, num_workers=args.workers)
-            rows.append((name, coloring.maxcolor, trace.makespan, trace.parallel_efficiency))
+            rows.append((record.algorithm, coloring.maxcolor, trace.makespan,
+                         trace.parallel_efficiency))
             colors.append(float(coloring.maxcolor))
             runtimes.append(trace.makespan)
         print(banner(f"{dataset.name}: boxes {problem.box_dims}, P={args.workers}"))
@@ -270,12 +331,43 @@ def cmd_npc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for the batch engine; 0 (default) uses all "
+             "cores, 1 runs serially through the same code path",
+    )
+
+
+def _add_run_log_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--run-log", default="", metavar="PATH",
+        help="append one JSONL RunRecord per (instance, algorithm) cell to "
+             "PATH as the run progresses",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stencil-ivc",
         description="Interval vertex coloring of 9-pt and 27-pt stencils (IPPS 2022 reproduction)",
+        epilog="Run 'stencil-ivc <subcommand> --help' for a brief summary of "
+               "any subcommand's options.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "algorithms",
+        help="list the registered coloring heuristics",
+        description="List every registered coloring heuristic with its "
+                    "capabilities: supported stencil dimensions, whether it "
+                    "needs a stencil geometry or accepts arbitrary conflict "
+                    "graphs, and paper-vs-extension provenance.",
+        epilog="Example: stencil-ivc algorithms --paper-only",
+    )
+    p.add_argument("--paper-only", action="store_true",
+                   help="show only the paper's seven Section V heuristics")
+    p.set_defaults(func=cmd_algorithms)
 
     p = sub.add_parser("solve", help="color a weight grid from a file")
     p.add_argument("file", help=".npy or whitespace text file of weights")
@@ -297,14 +389,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_exact)
 
     for name, func in (("suite", cmd_suite), ("optimal", cmd_optimal)):
-        p = sub.add_parser(name, help=f"run the Section VI {name} experiment")
+        p = sub.add_parser(
+            name,
+            help=f"run the Section VI {name} experiment",
+            description=f"Run the Section VI {name} experiment over the "
+                        "synthetic dataset suite, fanning the (instance x "
+                        "algorithm) grid across --jobs worker processes.",
+            epilog=f"Example: stencil-ivc {name} --dim 2 --jobs 4",
+        )
         p.add_argument("--dim", type=int, choices=(2, 3), default=2)
         p.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
         p.add_argument("--dim-cap", type=int, default=16)
         p.add_argument("--max-cells", type=int, default=2048)
+        _add_jobs_option(p)
         if name == "suite":
             p.add_argument("--data-dir", default="",
                            help="directory of x,y,t CSVs to use instead of the synthetic datasets")
+            _add_run_log_option(p)
         if name == "optimal":
             p.add_argument("--time-limit", type=float, default=5.0)
         p.set_defaults(func=func)
@@ -331,10 +432,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="schedule.svg")
     p.set_defaults(func=cmd_gantt)
 
-    p = sub.add_parser("stkde", help="STKDE integration experiment (Section VII)")
-    p.add_argument("--workers", type=int, default=6)
+    p = sub.add_parser(
+        "stkde",
+        help="STKDE integration experiment (Section VII)",
+        description="Color each dataset's box-decomposition instance with "
+                    "every paper heuristic (through the batch engine) and "
+                    "simulate the resulting parallel STKDE schedule.",
+        epilog="Example: stencil-ivc stkde --scale 0.5 --workers 6 --jobs 2",
+    )
+    p.add_argument("--workers", type=int, default=6,
+                   help="simulated schedule worker count (not engine jobs)")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--bandwidth-divisor", type=float, default=24.0)
+    _add_jobs_option(p)
+    _add_run_log_option(p)
     p.set_defaults(func=cmd_stkde)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
@@ -348,8 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``stencil-ivc`` console script."""
+    from repro.core.algorithms.registry import UnknownAlgorithmError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UnknownAlgorithmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -19,6 +19,12 @@ Contents:
 
 from repro.core.algorithms import (
     ALGORITHMS,
+    EXTENDED_ALGORITHMS,
+    REGISTRY,
+    AlgorithmSpec,
+    Registry,
+    UnknownAlgorithmError,
+    available_algorithms,
     bipartite_decomposition,
     bipartite_decomposition_post,
     color_with,
@@ -41,8 +47,14 @@ from repro.core.problem import IVCInstance
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "Coloring",
+    "EXTENDED_ALGORITHMS",
     "IVCInstance",
+    "REGISTRY",
+    "Registry",
+    "UnknownAlgorithmError",
+    "available_algorithms",
     "bipartite_decomposition",
     "bipartite_decomposition_post",
     "clique_block_bound",

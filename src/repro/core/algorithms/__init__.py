@@ -31,10 +31,24 @@ from repro.core.algorithms.greedy import (
     greedy_zorder,
 )
 from repro.core.algorithms.post_opt import bdp_recolor_order, post_optimize
-from repro.core.algorithms.registry import ALGORITHMS, available_algorithms, color_with
+from repro.core.algorithms.registry import (
+    ALGORITHMS,
+    EXTENDED_ALGORITHMS,
+    REGISTRY,
+    AlgorithmSpec,
+    Registry,
+    UnknownAlgorithmError,
+    available_algorithms,
+    color_with,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
+    "EXTENDED_ALGORITHMS",
+    "REGISTRY",
+    "Registry",
+    "UnknownAlgorithmError",
     "available_algorithms",
     "bdp_recolor_order",
     "bipartite_decomposition",

@@ -1,15 +1,25 @@
-"""Uniform access to the coloring heuristics, with timing.
+"""Typed registry of the coloring heuristics, with timing.
 
-The experiment drivers (Section VI suites, STKDE integration) run every
-algorithm through :func:`color_with`, which times the call and stamps the
-resulting :class:`~repro.core.coloring.Coloring` with its label and elapsed
-seconds — mirroring how the paper reports quality and runtime together.
+The experiment drivers (Section VI suites, the batch engine, STKDE
+integration) run every algorithm through :func:`color_with`, which times the
+call and stamps the resulting :class:`~repro.core.coloring.Coloring` with its
+label and elapsed seconds — mirroring how the paper reports quality and
+runtime together.
+
+Each heuristic is described by an :class:`AlgorithmSpec` (callable plus
+capabilities: geometry requirement, supported stencil dimensions, paper-vs-
+extension provenance) held in the process-wide :data:`REGISTRY`.  The legacy
+``ALGORITHMS`` / ``EXTENDED_ALGORITHMS`` dicts remain available as live
+mapping views over the registry, so existing callers keep working unchanged.
 """
 
 from __future__ import annotations
 
+import difflib
 import time
-from typing import Callable, Dict
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.core.algorithms.bipartite_decomposition import (
     bipartite_decomposition,
@@ -27,18 +37,187 @@ from repro.core.algorithms.greedy import (
 from repro.core.coloring import Coloring
 from repro.core.problem import IVCInstance
 
-#: All heuristics evaluated in Section VI, keyed by the paper's acronyms.
-ALGORITHMS: Dict[str, Callable[[IVCInstance], Coloring]] = {
-    "GLL": greedy_line_by_line,
-    "GZO": greedy_zorder,
-    "GLF": greedy_largest_first,
-    "GKF": greedy_largest_clique_first,
-    "SGK": smart_greedy_largest_clique_first,
-    "BD": bipartite_decomposition,
-    "BDP": bipartite_decomposition_post,
-}
+AlgorithmFn = Callable[[IVCInstance], Coloring]
 
 
+class UnknownAlgorithmError(KeyError):
+    """An algorithm name not present in the registry.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError`` handlers
+    keep working.  Carries the offending :attr:`name`, the :attr:`known`
+    names, and a closest-match :attr:`suggestion` (or ``None``).
+    """
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.name = name
+        self.known = sorted(known)
+        matches = difflib.get_close_matches(name, self.known, n=1, cutoff=0.5)
+        self.suggestion: str | None = matches[0] if matches else None
+        hint = f" — did you mean {self.suggestion!r}?" if self.suggestion else ""
+        super().__init__(
+            f"unknown algorithm {name!r}{hint} (choose from {self.known})"
+        )
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the message readable.
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Capabilities and provenance of one registered heuristic.
+
+    Attributes
+    ----------
+    name:
+        The registry key (the paper's acronym for the seven Section V
+        heuristics).
+    fn:
+        ``IVCInstance -> Coloring``, untimed; run it through
+        :func:`color_with` to get timing and labeling.
+    needs_geometry:
+        Whether the heuristic requires a stencil geometry
+        (``instance.geometry is not None``) or degrades gracefully to
+        arbitrary conflict graphs.
+    supported_dims:
+        Stencil dimensionalities the heuristic handles (subset of ``(2, 3)``).
+    is_extension:
+        ``False`` for the paper's seven, ``True`` for this repo's extensions.
+    description:
+        One-line summary shown by ``stencil-ivc algorithms``.
+    """
+
+    name: str
+    fn: AlgorithmFn
+    needs_geometry: bool = True
+    supported_dims: tuple[int, ...] = (2, 3)
+    is_extension: bool = False
+    description: str = ""
+
+    def supports(self, instance: IVCInstance) -> bool:
+        """Whether this heuristic can run on ``instance``."""
+        if instance.geometry is None:
+            return not self.needs_geometry
+        if instance.is_2d:
+            return 2 in self.supported_dims
+        if instance.is_3d:
+            return 3 in self.supported_dims
+        return not self.needs_geometry  # pragma: no cover - unknown geometry
+
+
+class Registry:
+    """Ordered collection of :class:`AlgorithmSpec`, keyed by name.
+
+    Iteration order is registration order, which for the default
+    :data:`REGISTRY` is the paper's presentation order followed by the
+    extensions.
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, AlgorithmSpec] = {}
+
+    # ------------------------------------------------------------- mutation
+    def register(self, spec: AlgorithmSpec, *, replace: bool = False) -> AlgorithmSpec:
+        """Add a spec; refuse silent overwrites unless ``replace=True``."""
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"algorithm {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> AlgorithmSpec:
+        """Remove and return a spec (raises :class:`UnknownAlgorithmError`)."""
+        spec = self.get(name)
+        del self._specs[name]
+        return spec
+
+    # -------------------------------------------------------------- lookup
+    def get(self, name: str) -> AlgorithmSpec:
+        """The spec registered under ``name``.
+
+        Raises
+        ------
+        UnknownAlgorithmError
+            If no such algorithm exists; the error carries a closest-match
+            suggestion computed with :func:`difflib.get_close_matches`.
+        """
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownAlgorithmError(name, self._specs) from None
+
+    def select(
+        self, instance: IVCInstance, *, include_extensions: bool = False
+    ) -> list[str]:
+        """Names of the algorithms applicable to ``instance``.
+
+        Capability filtering via :meth:`AlgorithmSpec.supports`; extensions
+        are excluded by default so the result matches the paper's seven on
+        stencil instances.
+        """
+        return [
+            spec.name
+            for spec in self._specs.values()
+            if (include_extensions or not spec.is_extension) and spec.supports(instance)
+        ]
+
+    def names(self, *, include_extensions: bool = True) -> list[str]:
+        """All registered names, optionally restricted to the paper set."""
+        return [
+            s.name
+            for s in self._specs.values()
+            if include_extensions or not s.is_extension
+        ]
+
+    def specs(self, *, include_extensions: bool = True) -> list[AlgorithmSpec]:
+        """All registered specs, in registration order."""
+        return [
+            s
+            for s in self._specs.values()
+            if include_extensions or not s.is_extension
+        ]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+class _RegistryView(Mapping):
+    """Live ``{name: fn}`` mapping over a predicate-filtered registry slice.
+
+    Backs the legacy ``ALGORITHMS`` / ``EXTENDED_ALGORITHMS`` module globals:
+    algorithms registered (or unregistered) later show up immediately.
+    """
+
+    def __init__(
+        self, registry: Registry, predicate: Callable[[AlgorithmSpec], bool]
+    ) -> None:
+        self._registry = registry
+        self._predicate = predicate
+
+    def __getitem__(self, name: str) -> AlgorithmFn:
+        spec = self._registry._specs.get(name)
+        if spec is None or not self._predicate(spec):
+            raise UnknownAlgorithmError(name, iter(self))
+        return spec.fn
+
+    def __iter__(self) -> Iterator[str]:
+        return (
+            s.name for s in self._registry._specs.values() if self._predicate(s)
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{{{', '.join(f'{n!r}: ...' for n in self)}}}"
+
+
+# --------------------------------------------------------------- extensions
 def _greedy_smallest_last(instance: IVCInstance) -> Coloring:
     from repro.core.greedy_engine import greedy_color
     from repro.core.orderings import smallest_last_order
@@ -66,10 +245,6 @@ def _sgk_weight_sorted(instance: IVCInstance) -> Coloring:
     return smart_greedy_weight_sorted(instance)
 
 
-#: Extension heuristics beyond the paper's seven: the Matula–Beck
-#: smallest-last order (GSL), post-optimized GLF (GLF+P), iterated
-#: fixed-point post-optimization of BD (BD+IP), and SGK's weight-sorted
-#: shortcut applied everywhere (SGK-ws).
 def _glf_local_search(instance: IVCInstance) -> Coloring:
     from repro.core.algorithms.greedy import greedy_largest_first
     from repro.core.algorithms.local_search import local_search
@@ -87,26 +262,93 @@ def _bd_best_axis(instance: IVCInstance) -> Coloring:
     return bipartite_decomposition_best_axis(instance)
 
 
-EXTENDED_ALGORITHMS: Dict[str, Callable[[IVCInstance], Coloring]] = {
-    **ALGORITHMS,
-    "GSL": _greedy_smallest_last,
-    "GLF+P": _glf_post,
-    "BD+IP": _bd_iterated,
-    "SGK-ws": _sgk_weight_sorted,
-    "BD-ax": _bd_best_axis,
-    "GLF+LS": _glf_local_search,
-}
+#: The process-wide default registry: the paper's seven heuristics in
+#: presentation order, then this repo's extensions (the Matula–Beck
+#: smallest-last order GSL, post-optimized GLF, iterated fixed-point
+#: post-optimization of BD, SGK's weight-sorted shortcut, best-axis BD, and
+#: local search on GLF).
+REGISTRY = Registry()
+
+for _spec in (
+    AlgorithmSpec(
+        "GLL", greedy_line_by_line, needs_geometry=False,
+        description="greedy, line-by-line (lexicographic) order",
+    ),
+    AlgorithmSpec(
+        "GZO", greedy_zorder,
+        description="greedy, Morton Z-order traversal",
+    ),
+    AlgorithmSpec(
+        "GLF", greedy_largest_first, needs_geometry=False,
+        description="greedy, heaviest-vertex-first order",
+    ),
+    AlgorithmSpec(
+        "GKF", greedy_largest_clique_first,
+        description="greedy, heaviest-clique-block-first order",
+    ),
+    AlgorithmSpec(
+        "SGK", smart_greedy_largest_clique_first,
+        description="GKF with weight-sorted stacking inside each clique",
+    ),
+    AlgorithmSpec(
+        "BD", bipartite_decomposition,
+        description="bipartite decomposition (2-approx 2D / 4-approx 3D)",
+    ),
+    AlgorithmSpec(
+        "BDP", bipartite_decomposition_post,
+        description="BD followed by the recoloring post-optimization sweep",
+    ),
+    AlgorithmSpec(
+        "GSL", _greedy_smallest_last, needs_geometry=False, is_extension=True,
+        description="greedy, Matula–Beck smallest-last order",
+    ),
+    AlgorithmSpec(
+        "GLF+P", _glf_post, is_extension=True,
+        description="GLF followed by the BDP post-optimization sweep",
+    ),
+    AlgorithmSpec(
+        "BD+IP", _bd_iterated, is_extension=True,
+        description="BD with post-optimization iterated to a fixed point",
+    ),
+    AlgorithmSpec(
+        "SGK-ws", _sgk_weight_sorted, is_extension=True,
+        description="SGK's weight-sorted stacking applied to every block",
+    ),
+    AlgorithmSpec(
+        "BD-ax", _bd_best_axis, is_extension=True,
+        description="BD across all decomposition axes, keeping the best",
+    ),
+    AlgorithmSpec(
+        "GLF+LS", _glf_local_search, needs_geometry=False, is_extension=True,
+        description="GLF improved by iterated-greedy local search",
+    ),
+):
+    REGISTRY.register(_spec)
 
 
-def available_algorithms(instance: IVCInstance) -> list[str]:
+#: All heuristics evaluated in Section VI, keyed by the paper's acronyms
+#: (live view over :data:`REGISTRY`).
+ALGORITHMS: Mapping[str, AlgorithmFn] = _RegistryView(
+    REGISTRY, lambda s: not s.is_extension
+)
+
+#: Paper heuristics plus this repo's extensions (live view over
+#: :data:`REGISTRY`).
+EXTENDED_ALGORITHMS: Mapping[str, AlgorithmFn] = _RegistryView(
+    REGISTRY, lambda s: True
+)
+
+
+def available_algorithms(
+    instance: IVCInstance, *, include_extensions: bool = False
+) -> list[str]:
     """Algorithm names applicable to this instance.
 
-    All seven need a stencil geometry except GLL and GLF, which degrade
-    gracefully to arbitrary graphs.
+    Pure capability filtering over the registry: a heuristic qualifies when
+    its :class:`AlgorithmSpec` supports the instance's geometry (or lack
+    thereof) and dimensionality.
     """
-    if instance.geometry is not None:
-        return list(ALGORITHMS)
-    return ["GLL", "GLF"]
+    return REGISTRY.select(instance, include_extensions=include_extensions)
 
 
 def color_with(instance: IVCInstance, name: str) -> Coloring:
@@ -115,14 +357,14 @@ def color_with(instance: IVCInstance, name: str) -> Coloring:
     Accepts both the paper's seven algorithms and the extension set.
     Returns the coloring stamped with ``algorithm=name`` and ``elapsed`` in
     seconds (``time.perf_counter``).
+
+    Raises
+    ------
+    UnknownAlgorithmError
+        If ``name`` is not registered (with a closest-match suggestion).
     """
-    try:
-        fn = EXTENDED_ALGORITHMS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown algorithm {name!r}; choose from {sorted(EXTENDED_ALGORITHMS)}"
-        ) from None
+    spec = REGISTRY.get(name)
     t0 = time.perf_counter()
-    coloring = fn(instance)
+    coloring = spec.fn(instance)
     elapsed = time.perf_counter() - t0
     return coloring.with_algorithm(name, elapsed=elapsed)

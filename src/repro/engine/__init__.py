@@ -1,0 +1,36 @@
+"""Batch execution engine for (instance × algorithm) grids.
+
+Contents:
+
+* :mod:`~repro.engine.executor` — :func:`run_grid`: chunked fan-out of a
+  suite's cells across a process pool, with per-worker instance reuse and
+  per-cell failure isolation; serial execution is ``jobs=1`` of the same
+  code path.
+* :mod:`~repro.engine.records` — :class:`RunRecord`, the structured outcome
+  of one cell (maxcolor, lower bound, elapsed, worker, status).
+* :mod:`~repro.engine.runlog` — JSONL streaming of records
+  (:class:`RunLogWriter`, :func:`read_run_log`) and regression diffing
+  between runs (:func:`diff_run_logs`).
+"""
+
+from repro.engine.executor import CellTimeout, resolve_jobs, run_grid
+from repro.engine.records import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+)
+from repro.engine.runlog import RunLogWriter, diff_run_logs, read_run_log
+
+__all__ = [
+    "CellTimeout",
+    "RunLogWriter",
+    "RunRecord",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "diff_run_logs",
+    "read_run_log",
+    "resolve_jobs",
+    "run_grid",
+]

@@ -1,0 +1,300 @@
+"""The batch execution engine: fan an (instance × algorithm) grid over workers.
+
+The grid of a suite run is flattened into cells, chunked, and submitted to a
+``concurrent.futures.ProcessPoolExecutor``.  The full instance list is shipped
+to each worker exactly once (through the pool initializer), so workers reuse
+constructed instances and geometry across all of their cells, and cache the
+per-instance lower bound the first time any cell of that instance runs.
+
+Failure isolation is per cell: an algorithm that raises — or exceeds the
+optional per-cell time limit — yields an ``error``/``timeout``
+:class:`~repro.engine.records.RunRecord` while every other cell proceeds.  A
+worker process dying outright (segfault, OOM kill) costs only the cells of its
+in-flight chunk, which are recorded as errors.
+
+Serial execution is ``jobs=1`` of the same code path: the identical
+initializer and chunk runner execute in-process, so parallel and serial runs
+are byte-identical in everything but ``elapsed`` and ``worker``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.core.bounds import lower_bound
+from repro.core.problem import IVCInstance
+from repro.engine.records import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+)
+from repro.engine.runlog import RunLogWriter
+
+#: A cell is ``(position in the flattened grid, instance index, algorithm)``.
+Cell = tuple[int, int, str]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds the per-cell time limit."""
+
+
+@contextmanager
+def _time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Interrupt the enclosed block after ``seconds`` via ``SIGALRM``.
+
+    A no-op when no limit is set, off the main thread, or on platforms
+    without ``SIGALRM`` (the engine then simply has no timeout support).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded {seconds:g}s time limit")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class _WorkerState:
+    """Per-worker-process state, installed by the pool initializer."""
+
+    instances: Sequence[IVCInstance]
+    validate: bool
+    cell_timeout: Optional[float]
+    capture_starts: bool
+    bounds: dict[int, int] = field(default_factory=dict)
+
+    def lower_bound_of(self, index: int) -> int:
+        if index not in self.bounds:
+            self.bounds[index] = lower_bound(self.instances[index])
+        return self.bounds[index]
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(
+    instances: Sequence[IVCInstance],
+    validate: bool,
+    cell_timeout: Optional[float],
+    capture_starts: bool,
+) -> None:
+    """Pool initializer: receive the instance list once per worker."""
+    global _STATE
+    _STATE = _WorkerState(
+        instances=instances,
+        validate=validate,
+        cell_timeout=cell_timeout,
+        capture_starts=capture_starts,
+    )
+
+
+def _run_cell(state: _WorkerState, pos: int, index: int, name: str) -> RunRecord:
+    """Execute one (instance, algorithm) cell, never letting exceptions out."""
+    from repro.core.algorithms.registry import color_with
+
+    instance = state.instances[index]
+    shape = tuple(instance.geometry.shape) if instance.geometry is not None else None
+    base = dict(
+        instance_index=index,
+        instance=instance.name,
+        shape=shape,
+        algorithm=name,
+        worker=f"pid-{os.getpid()}",
+    )
+    t0 = perf_counter()
+    bound: Optional[int] = None
+    try:
+        bound = state.lower_bound_of(index)
+        with _time_limit(state.cell_timeout):
+            coloring = color_with(instance, name)
+            if state.validate:
+                coloring.check()
+        if coloring.maxcolor < bound:
+            raise AssertionError(
+                f"{name} beat the lower bound on {instance.name!r} — bound bug"
+            )
+    except CellTimeout as exc:
+        return RunRecord(
+            status=STATUS_TIMEOUT,
+            lower_bound=bound,
+            elapsed=perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}",
+            **base,
+        )
+    except Exception as exc:
+        return RunRecord(
+            status=STATUS_ERROR,
+            lower_bound=bound,
+            elapsed=perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}",
+            **base,
+        )
+    return RunRecord(
+        status=STATUS_OK,
+        maxcolor=coloring.maxcolor,
+        lower_bound=bound,
+        elapsed=coloring.elapsed,
+        starts=tuple(int(s) for s in coloring.starts) if state.capture_starts else None,
+        **base,
+    )
+
+
+def _run_chunk(cells: Sequence[Cell]) -> list[tuple[int, RunRecord]]:
+    """Run a chunk of cells against the installed worker state."""
+    assert _STATE is not None, "worker state missing — initializer did not run"
+    return [(pos, _run_cell(_STATE, pos, index, name)) for pos, index, name in cells]
+
+
+def _chunked(cells: Sequence[Cell], chunk_size: int) -> list[list[Cell]]:
+    return [list(cells[i : i + chunk_size]) for i in range(0, len(cells), chunk_size)]
+
+
+def _crash_records(cells: Iterable[Cell], instances: Sequence[IVCInstance], exc: BaseException) -> list[tuple[int, RunRecord]]:
+    """Error records for every cell of a chunk whose worker died."""
+    out = []
+    for pos, index, name in cells:
+        instance = instances[index]
+        shape = tuple(instance.geometry.shape) if instance.geometry is not None else None
+        out.append(
+            (
+                pos,
+                RunRecord(
+                    instance_index=index,
+                    instance=instance.name,
+                    shape=shape,
+                    algorithm=name,
+                    status=STATUS_ERROR,
+                    error=f"worker crashed: {type(exc).__name__}: {exc}",
+                ),
+            )
+        )
+    return out
+
+
+def run_grid(
+    instances: Iterable[IVCInstance],
+    algorithms: Sequence[str],
+    *,
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    validate: bool = True,
+    cell_timeout: Optional[float] = None,
+    capture_starts: bool = False,
+    log_path: str | Path | None = None,
+) -> list[RunRecord]:
+    """Run every algorithm on every instance, one :class:`RunRecord` per cell.
+
+    Parameters
+    ----------
+    instances:
+        The suite, in run order; shipped to each worker once and reused.
+    algorithms:
+        Registry names (paper set or extensions).
+    jobs:
+        Worker processes; ``None`` or ``0`` means ``os.cpu_count()``, ``1``
+        runs the identical code path in-process.
+    chunk_size:
+        Cells per task submission; defaults to an even ~4-chunks-per-worker
+        split (load balancing vs. submission overhead).
+    validate:
+        Check every produced coloring (cheap, vectorized).
+    cell_timeout:
+        Optional per-cell wall-clock limit in seconds (``SIGALRM``-based;
+        ignored on platforms without it).  Exceeding cells record
+        ``status="timeout"``.
+    capture_starts:
+        Attach each coloring's start vector to its record so callers can
+        rebuild :class:`~repro.core.coloring.Coloring` objects.
+    log_path:
+        Stream records to this JSONL file as cells complete.
+
+    Returns
+    -------
+    list[RunRecord]
+        In grid order: instance-major, then ``algorithms`` order — identical
+        regardless of ``jobs``.
+    """
+    instances = list(instances)
+    names = list(algorithms)
+    cells: list[Cell] = [
+        (i * len(names) + j, i, name)
+        for i in range(len(instances))
+        for j, name in enumerate(names)
+    ]
+    records: list[Optional[RunRecord]] = [None] * len(cells)
+    jobs = min(resolve_jobs(jobs), max(1, len(cells)))
+
+    writer = RunLogWriter(log_path) if log_path is not None else None
+
+    def store(pairs: Iterable[tuple[int, RunRecord]]) -> None:
+        for pos, record in pairs:
+            records[pos] = record
+            if writer is not None:
+                writer.write(record)
+
+    try:
+        if jobs == 1:
+            _init_worker(instances, validate, cell_timeout, capture_starts)
+            try:
+                store(_run_chunk(cells))
+            finally:
+                global _STATE
+                _STATE = None
+        else:
+            if chunk_size is None:
+                chunk_size = max(1, math.ceil(len(cells) / (jobs * 4)))
+            chunks = _chunked(cells, chunk_size)
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(instances, validate, cell_timeout, capture_starts),
+            ) as pool:
+                futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        chunk = futures[future]
+                        try:
+                            store(future.result())
+                        except Exception as exc:
+                            # The worker died mid-chunk (BrokenProcessPool &c):
+                            # its cells become error records, the rest of the
+                            # suite keeps going.
+                            store(_crash_records(chunk, instances, exc))
+    finally:
+        if writer is not None:
+            writer.close()
+
+    assert all(r is not None for r in records)
+    return records  # type: ignore[return-value]

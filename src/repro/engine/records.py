@@ -1,0 +1,103 @@
+"""Structured outcomes of one (instance, algorithm) execution cell.
+
+Every cell the batch engine runs — serial or parallel — produces exactly one
+:class:`RunRecord`, whether the algorithm succeeded, raised, or timed out.
+Records are plain data (JSON-serializable), so a suite run can be streamed to
+a JSONL log and diffed against a later run for quality regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Cell statuses.  ``ok`` means a validated coloring was produced; ``error``
+#: covers algorithm exceptions, validation failures, and worker crashes;
+#: ``timeout`` marks a cell killed by the per-cell time limit.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed cell of the (instance × algorithm) grid.
+
+    Attributes
+    ----------
+    instance_index:
+        Position of the instance in the suite's run order.
+    instance:
+        The instance's name (free-form label).
+    shape:
+        Stencil grid shape, or ``None`` for general-graph instances.
+    algorithm:
+        Registry name of the heuristic that ran.
+    status:
+        ``"ok"``, ``"error"``, or ``"timeout"``.
+    maxcolor:
+        Colors used by the produced coloring (``None`` unless ``ok``).
+    lower_bound:
+        The instance's combined lower bound (computed once per instance per
+        worker and shared across its cells).
+    elapsed:
+        Wall-clock seconds spent on this cell.
+    worker:
+        Identifier of the executing worker process (``pid-<n>``).
+    error:
+        ``"ExcType: message"`` for failed cells, else ``None``.
+    starts:
+        The coloring's start vector (only when the engine ran with
+        ``capture_starts=True``; used to rebuild ``Coloring`` objects in the
+        parent process).
+    """
+
+    instance_index: int
+    instance: str
+    shape: Optional[tuple[int, ...]]
+    algorithm: str
+    status: str
+    maxcolor: Optional[int] = None
+    lower_bound: Optional[int] = None
+    elapsed: float = 0.0
+    worker: str = ""
+    error: Optional[str] = None
+    starts: Optional[tuple[int, ...]] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a valid coloring."""
+        return self.status == STATUS_OK
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-serializable dict (tuples become lists)."""
+        return {
+            "instance_index": self.instance_index,
+            "instance": self.instance,
+            "shape": list(self.shape) if self.shape is not None else None,
+            "algorithm": self.algorithm,
+            "status": self.status,
+            "maxcolor": self.maxcolor,
+            "lower_bound": self.lower_bound,
+            "elapsed": self.elapsed,
+            "worker": self.worker,
+            "error": self.error,
+            "starts": list(self.starts) if self.starts is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            instance_index=int(obj["instance_index"]),
+            instance=obj["instance"],
+            shape=tuple(obj["shape"]) if obj.get("shape") is not None else None,
+            algorithm=obj["algorithm"],
+            status=obj["status"],
+            maxcolor=obj.get("maxcolor"),
+            lower_bound=obj.get("lower_bound"),
+            elapsed=float(obj.get("elapsed", 0.0)),
+            worker=obj.get("worker", ""),
+            error=obj.get("error"),
+            starts=tuple(obj["starts"]) if obj.get("starts") is not None else None,
+        )

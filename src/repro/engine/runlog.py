@@ -1,0 +1,85 @@
+"""JSONL persistence for :class:`~repro.engine.records.RunRecord` streams.
+
+One record per line, appended and flushed as cells complete, so a killed run
+still leaves a readable prefix.  :func:`diff_run_logs` compares two logs cell
+by cell for quality-regression checks between code revisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Optional
+
+from repro.engine.records import RunRecord
+
+
+class RunLogWriter:
+    """Append-mode JSONL writer, usable as a context manager.
+
+    Parent directories are created on open; each :meth:`write` flushes so
+    concurrent readers (``tail -f``, a monitoring job) see completed cells
+    immediately.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    def open(self) -> "RunLogWriter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a")
+        return self
+
+    def write(self, record: RunRecord) -> None:
+        if self._handle is None:
+            self.open()
+        assert self._handle is not None
+        self._handle.write(json.dumps(record.to_json()) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLogWriter":
+        return self.open()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_run_log(path: str | Path) -> list[RunRecord]:
+    """Load every record of a JSONL run log (blank lines skipped)."""
+    records: list[RunRecord] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_json(json.loads(line)))
+    return records
+
+
+def diff_run_logs(
+    old: Iterable[RunRecord], new: Iterable[RunRecord]
+) -> list[tuple[str, str, Optional[int], Optional[int]]]:
+    """Cells whose outcome changed between two runs.
+
+    Keyed by ``(instance name, algorithm)``; returns
+    ``(instance, algorithm, old_maxcolor, new_maxcolor)`` tuples for cells
+    present in both logs whose maxcolor (or status) differs — the regression
+    diff between two revisions of the heuristics.
+    """
+    def index(records: Iterable[RunRecord]) -> dict[tuple[str, str], RunRecord]:
+        return {(r.instance, r.algorithm): r for r in records}
+
+    old_by_key = index(old)
+    changed = []
+    for key, new_rec in index(new).items():
+        old_rec = old_by_key.get(key)
+        if old_rec is None:
+            continue
+        if old_rec.maxcolor != new_rec.maxcolor or old_rec.status != new_rec.status:
+            changed.append((key[0], key[1], old_rec.maxcolor, new_rec.maxcolor))
+    return changed

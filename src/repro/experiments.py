@@ -1,20 +1,39 @@
 """Shared experiment driver: run algorithm sets over instance suites.
 
-Both the CLI and the benchmark harness funnel through :func:`run_suite`, so
-the numbers printed for Figures 5–9 always come from the same code path.
+The CLI, the benchmark harness, and library callers all funnel through
+:func:`run_suite`, so the numbers printed for Figures 5–9 always come from
+the same code path.  Under the hood every run goes through the batch engine
+(:func:`repro.engine.run_grid`): ``jobs=1`` executes the identical cell code
+serially in-process, ``jobs>1`` fans the (instance × algorithm) grid across
+a process pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.analysis.performance_profiles import PerformanceProfile, performance_profile
-from repro.core.algorithms.registry import ALGORITHMS, color_with
-from repro.core.bounds import lower_bound
+from repro.core.algorithms.registry import ALGORITHMS
 from repro.core.problem import IVCInstance
+from repro.engine import RunRecord, run_grid
+
+
+class SuiteExecutionError(RuntimeError):
+    """A suite cell failed while ``on_error="raise"`` was in effect.
+
+    Carries the failing :attr:`record` so callers can inspect the instance,
+    algorithm, and captured error message.
+    """
+
+    def __init__(self, record: RunRecord) -> None:
+        self.record = record
+        super().__init__(
+            f"{record.algorithm} failed on instance {record.instance!r} "
+            f"[{record.status}]: {record.error}"
+        )
 
 
 @dataclass
@@ -26,17 +45,23 @@ class SuiteResult:
     instances:
         The instances, in run order.
     maxcolors:
-        ``{algorithm: [maxcolor per instance]}``.
+        ``{algorithm: [maxcolor per instance]}``.  Failed cells (only
+        possible with ``on_error="record"``) hold ``-1``.
     times:
-        ``{algorithm: [elapsed seconds per instance]}``.
+        ``{algorithm: [elapsed seconds per instance]}``.  Failed cells hold
+        ``nan``.
     lower_bounds:
         The clique/maxpair lower bound per instance.
+    records:
+        The per-cell :class:`~repro.engine.records.RunRecord` list, in grid
+        order (instance-major).
     """
 
     instances: list[IVCInstance] = field(default_factory=list)
     maxcolors: dict[str, list[int]] = field(default_factory=dict)
     times: dict[str, list[float]] = field(default_factory=dict)
     lower_bounds: list[int] = field(default_factory=list)
+    records: list[RunRecord] = field(default_factory=list)
 
     @property
     def algorithms(self) -> list[str]:
@@ -48,19 +73,45 @@ class SuiteResult:
         """Number of instances in the suite."""
         return len(self.instances)
 
+    @property
+    def errors(self) -> list[RunRecord]:
+        """Records of the cells that failed (empty for fully clean runs)."""
+        return [r for r in self.records if not r.ok]
+
+    def ok_indices(self) -> list[int]:
+        """Instance indices where every algorithm cell succeeded."""
+        failed = {r.instance_index for r in self.errors}
+        return [i for i in range(self.num_instances) if i not in failed]
+
     def profile(self, best: Sequence[float] | None = None) -> PerformanceProfile:
-        """Performance profile of the collected maxcolors."""
+        """Performance profile of the collected maxcolors.
+
+        Raises :class:`ValueError` when failed cells are present — subset to
+        :meth:`ok_indices` first so ``-1`` placeholders cannot masquerade as
+        best-in-class quality.
+        """
+        if self.errors:
+            raise ValueError(
+                f"{len(self.errors)} failed cells in the suite; "
+                "profile over result.subset(result.ok_indices())"
+            )
         values = {a: [float(v) for v in vs] for a, vs in self.maxcolors.items()}
         return performance_profile(values, best=list(best) if best is not None else None)
 
     def subset(self, keep: Sequence[int]) -> "SuiteResult":
         """Restrict to a subset of instance indices (per-dataset profiles)."""
         keep = list(keep)
+        remap = {old: new for new, old in enumerate(keep)}
         return SuiteResult(
             instances=[self.instances[i] for i in keep],
             maxcolors={a: [vs[i] for i in keep] for a, vs in self.maxcolors.items()},
             times={a: [vs[i] for i in keep] for a, vs in self.times.items()},
             lower_bounds=[self.lower_bounds[i] for i in keep],
+            records=[
+                replace(r, instance_index=remap[r.instance_index])
+                for r in self.records
+                if r.instance_index in remap
+            ],
         )
 
     def indices_by_metadata(self, key: str, value) -> list[int]:
@@ -70,38 +121,91 @@ class SuiteResult:
         ]
 
 
+def suite_result_from_records(
+    instances: Sequence[IVCInstance],
+    algorithms: Sequence[str],
+    records: Sequence[RunRecord],
+    on_error: str = "raise",
+) -> SuiteResult:
+    """Aggregate engine records into a :class:`SuiteResult`.
+
+    ``on_error="raise"`` re-raises the first failed cell as
+    :class:`SuiteExecutionError` (the strict pre-engine behavior);
+    ``on_error="record"`` keeps going, leaving ``-1``/``nan`` placeholders
+    and the failing records on :attr:`SuiteResult.records`.
+    """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    names = list(algorithms)
+    result = SuiteResult(
+        instances=list(instances),
+        maxcolors={a: [-1] * len(instances) for a in names},
+        times={a: [math.nan] * len(instances) for a in names},
+        lower_bounds=[0] * len(instances),
+        records=list(records),
+    )
+    for record in records:
+        if not record.ok:
+            if on_error == "raise":
+                raise SuiteExecutionError(record)
+            continue
+        result.maxcolors[record.algorithm][record.instance_index] = record.maxcolor
+        result.times[record.algorithm][record.instance_index] = record.elapsed
+        if record.lower_bound is not None:
+            result.lower_bounds[record.instance_index] = record.lower_bound
+    return result
+
+
 def run_suite(
     instances: Iterable[IVCInstance],
     algorithms: Sequence[str] | None = None,
     validate: bool = True,
+    *,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+    cell_timeout: float | None = None,
+    log_path: str | Path | None = None,
+    on_error: str = "raise",
 ) -> SuiteResult:
     """Run every algorithm on every instance, collecting quality and time.
 
     Parameters
     ----------
     algorithms:
-        Names from :data:`~repro.core.algorithms.registry.ALGORITHMS`;
-        defaults to all seven.
+        Names from :data:`~repro.core.algorithms.registry.REGISTRY`;
+        defaults to the paper's seven.
     validate:
         Check every coloring (cheap, vectorized); disable only in
         timing-sensitive ablations.
+    jobs:
+        Worker processes for the batch engine; the default ``1`` runs
+        serially (same code path), ``None``/``0`` uses all cores.
+    chunk_size:
+        Cells per parallel task submission (engine default: an even
+        ~4-chunks-per-worker split).
+    cell_timeout:
+        Optional per-cell wall-clock limit in seconds; exceeding cells
+        become ``timeout`` records.
+    log_path:
+        Stream per-cell :class:`~repro.engine.records.RunRecord` JSONL to
+        this path as the run progresses.
+    on_error:
+        ``"raise"`` (default) aborts on the first failed cell with
+        :class:`SuiteExecutionError`; ``"record"`` finishes the suite and
+        reports failures on :attr:`SuiteResult.errors`.
     """
     names = list(algorithms) if algorithms is not None else list(ALGORITHMS)
-    result = SuiteResult(maxcolors={a: [] for a in names}, times={a: [] for a in names})
-    for instance in instances:
-        result.instances.append(instance)
-        result.lower_bounds.append(lower_bound(instance))
-        for name in names:
-            coloring = color_with(instance, name)
-            if validate:
-                coloring.check()
-            if coloring.maxcolor < result.lower_bounds[-1]:
-                raise AssertionError(
-                    f"{name} beat the lower bound on {instance.name} — bound bug"
-                )
-            result.maxcolors[name].append(coloring.maxcolor)
-            result.times[name].append(coloring.elapsed)
-    return result
+    instances = list(instances)
+    records = run_grid(
+        instances,
+        names,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        validate=validate,
+        cell_timeout=cell_timeout,
+        log_path=log_path,
+    )
+    return suite_result_from_records(instances, names, records, on_error=on_error)
 
 
 def solve_suite_optimal(

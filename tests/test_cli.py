@@ -13,9 +13,31 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for cmd in ("solve", "suite", "optimal", "stkde", "npc"):
+        for cmd in ("solve", "suite", "optimal", "stkde", "npc", "algorithms"):
             args = parser.parse_args([cmd] if cmd != "solve" else ["solve", "x.npy"])
             assert hasattr(args, "func")
+
+    def test_jobs_flag_on_experiment_subcommands(self):
+        parser = build_parser()
+        for cmd in ("suite", "optimal", "stkde"):
+            assert parser.parse_args([cmd, "--jobs", "3"]).jobs == 3
+            assert parser.parse_args([cmd]).jobs == 0  # 0 = all cores
+
+
+class TestAlgorithms:
+    def test_lists_registry_specs(self, capsys):
+        rc = main(["algorithms"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("GLL", "BDP", "GSL", "GLF+LS"):
+            assert name in out
+        assert "extension" in out and "paper" in out
+
+    def test_paper_only(self, capsys):
+        rc = main(["algorithms", "--paper-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BDP" in out and "GSL" not in out
 
 
 class TestSolve:
@@ -87,6 +109,18 @@ class TestSuites:
         assert rc == 0
         out = capsys.readouterr().out
         assert "BDP" in out and "tau" in out
+
+    def test_suite_parallel_with_run_log(self, tmp_path, capsys):
+        from repro.engine import read_run_log
+
+        log = tmp_path / "run.jsonl"
+        rc = main(["suite", "--dim", "2", "--scale", "0.02",
+                   "--dim-cap", "2", "--max-cells", "16",
+                   "--jobs", "2", "--run-log", str(log)])
+        assert rc == 0
+        assert "BDP" in capsys.readouterr().out
+        records = read_run_log(log)
+        assert records and all(r.ok for r in records)
 
     def test_optimal_tiny(self, capsys):
         rc = main(["optimal", "--dim", "2", "--scale", "0.02",

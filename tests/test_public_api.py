@@ -36,6 +36,7 @@ class TestSubpackageExports:
             "repro.core",
             "repro.core.algorithms",
             "repro.core.exact",
+            "repro.engine",
             "repro.stencil",
             "repro.npc",
             "repro.data",
