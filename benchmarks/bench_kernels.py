@@ -1,0 +1,45 @@
+"""Kernel microbenchmark — vectorized fast paths vs the reference loops.
+
+The perf half of the kernels subsystem's acceptance test: run each fast-path
+algorithm through both code paths on the same random grids, assert the
+colorings are *identical* (same starts, not just the same maxcolor), and
+emit the speedup table plus ``benchmarks/out/BENCH_kernels.json``.  Sizes
+here are deliberately small so the bench doubles as a CI smoke step; the
+committed repo-root ``BENCH_kernels.json`` holds the full-size sweep
+(``stencil-ivc bench-kernels``).
+"""
+
+import json
+
+from repro.kernels.bench import (
+    DEFAULT_ALGORITHMS,
+    format_report,
+    run_kernel_benchmark,
+    summary_line,
+)
+
+from benchmarks.conftest import OUT_DIR, emit
+
+SIZES_2D = (32, 64)
+SIZES_3D = (8, 12)
+
+
+def test_kernels_vs_reference(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_kernel_benchmark(
+            sizes_2d=SIZES_2D,
+            sizes_3d=SIZES_3D,
+            algorithms=DEFAULT_ALGORITHMS,
+            reps=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("kernel speedups", format_report(report) + "\n\n" + summary_line(report))
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_kernels.json").write_text(json.dumps(report, indent=2) + "\n")
+    # The hard guarantee: every kernel coloring is bit-identical to the
+    # reference — a speedup that changes results is a bug, not a feature.
+    assert report["all_identical"], [
+        r for r in report["results"] if not r["identical"]
+    ]

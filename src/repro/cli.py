@@ -15,6 +15,9 @@ Subcommands
                 optimum (Section VI.D).
 ``stkde``       Run the STKDE integration experiment (Section VII).
 ``npc``         Demonstrate the NAE-3SAT reduction (Section IV).
+``bench-kernels``  Time the vectorized kernels against the reference loops
+                and write ``BENCH_kernels.json`` (exits nonzero if any
+                kernel coloring diverges from the reference).
 
 The experiment subcommands (``suite``, ``optimal``, ``stkde``) accept
 ``--jobs N`` to fan their (instance × algorithm) grid across worker
@@ -158,6 +161,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     result = run_suite(
         instances,
         jobs=args.jobs,
+        fast_paths=args.fast_path,
         log_path=args.run_log or None,
         on_error="record",
     )
@@ -304,6 +308,45 @@ def cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sizes(text: str) -> list[int]:
+    sizes = [int(part) for part in text.split(",") if part.strip()]
+    if any(n <= 0 for n in sizes):
+        raise argparse.ArgumentTypeError(f"grid sizes must be positive: {text!r}")
+    return sizes
+
+
+def cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels.bench import (
+        DEFAULT_ALGORITHMS,
+        format_report,
+        run_kernel_benchmark,
+        summary_line,
+        write_benchmark,
+    )
+
+    algorithms = (
+        [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if args.algorithms
+        else list(DEFAULT_ALGORITHMS)
+    )
+    report = run_kernel_benchmark(
+        sizes_2d=args.sizes,
+        sizes_3d=args.sizes_3d,
+        algorithms=algorithms,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    if args.out:
+        path = write_benchmark(report, args.out)
+        print(f"report written to {path}")
+    print(summary_line(report))
+    if not report["all_identical"]:
+        print("error: kernel coloring diverged from the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_npc(args: argparse.Namespace) -> int:
     from repro.npc.decision import decide_stencil_coloring
     from repro.npc.nae3sat import random_nae3sat, unsatisfiable_example
@@ -405,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "suite":
             p.add_argument("--data-dir", default="",
                            help="directory of x,y,t CSVs to use instead of the synthetic datasets")
+            p.add_argument(
+                "--fast-path", action=argparse.BooleanOptionalAction, default=None,
+                help="force the vectorized stencil kernels on (--fast-path) or "
+                     "off (--no-fast-path); the default follows the "
+                     "REPRO_FAST_PATHS environment switch",
+            )
             _add_run_log_option(p)
         if name == "optimal":
             p.add_argument("--time-limit", type=float, default=5.0)
@@ -447,6 +496,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_option(p)
     _add_run_log_option(p)
     p.set_defaults(func=cmd_stkde)
+
+    p = sub.add_parser(
+        "bench-kernels",
+        help="time the vectorized kernels against the reference loops",
+        description="Benchmark the wavefront/chain kernels against the "
+                    "reference Python loops on random square 2D and cubic 3D "
+                    "grids, verifying that both produce identical colorings. "
+                    "Exits nonzero on any divergence.",
+        epilog="Example: stencil-ivc bench-kernels --sizes 128,512 "
+               "--sizes-3d 32 --out BENCH_kernels.json",
+    )
+    p.add_argument("--sizes", type=_parse_sizes, default=[128, 256, 512],
+                   metavar="N,N,...", help="square 2D grid sides (default 128,256,512)")
+    p.add_argument("--sizes-3d", type=_parse_sizes, default=[16, 32, 40],
+                   metavar="N,N,...", help="cubic 3D grid sides (default 16,32,40)")
+    p.add_argument("--algorithms", default="",
+                   help="comma-separated registry names (default GLL,GLF,BD,BDP)")
+    p.add_argument("--reps", type=int, default=3,
+                   help="timing repetitions per cell; the minimum is reported")
+    p.add_argument("--seed", type=int, default=0, help="random weight seed")
+    p.add_argument("--out", default="BENCH_kernels.json",
+                   help="JSON report path ('' skips the file)")
+    p.set_defaults(func=cmd_bench_kernels)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
     p.add_argument("--vars", type=int, default=4)

@@ -16,11 +16,14 @@ pass (see :mod:`repro.core.algorithms.post_opt`).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.coloring import Coloring
 from repro.core.greedy_engine import greedy_recolor_pass
 from repro.core.problem import IVCInstance
+from repro.kernels.config import resolve_fast_for
 
 
 def chain_color(weights: np.ndarray) -> tuple[np.ndarray, int]:
@@ -86,18 +89,29 @@ def _bd_starts_3d(instance: IVCInstance) -> tuple[np.ndarray, int]:
     return starts.ravel(), lc
 
 
-def bd_with_bound(instance: IVCInstance) -> tuple[Coloring, int]:
+def bd_with_bound(
+    instance: IVCInstance, *, fast: Optional[bool] = None
+) -> tuple[Coloring, int]:
     """Run BD and also return the decomposition bound (``RC`` in 2D, ``LC`` in 3D).
 
     In 2D the returned bound is a certified lower bound on ``maxcolor*``;
-    the approximation tests rely on ``maxcolor(BD) <= 2 * RC``.
+    the approximation tests rely on ``maxcolor(BD) <= 2 * RC``.  With fast
+    paths enabled (the default) the per-row/per-layer loops run through the
+    vectorized chain kernel of :mod:`repro.kernels.chains` — identical
+    starts, differentially tested.
     """
-    if instance.is_2d:
-        starts, bound = _bd_starts_2d(instance)
-    elif instance.is_3d:
-        starts, bound = _bd_starts_3d(instance)
-    else:
+    if not (instance.is_2d or instance.is_3d):
         raise ValueError("Bipartite Decomposition requires a stencil geometry")
+    if resolve_fast_for(fast, instance.num_vertices):
+        from repro.kernels.chains import bd_starts_2d, bd_starts_3d
+
+        kernel = bd_starts_2d if instance.is_2d else bd_starts_3d
+        grid_starts, bound = kernel(instance.weight_grid())
+        starts = grid_starts.ravel()
+    elif instance.is_2d:
+        starts, bound = _bd_starts_2d(instance)
+    else:
+        starts, bound = _bd_starts_3d(instance)
     return Coloring(instance=instance, starts=starts, algorithm="BD"), bound
 
 

@@ -71,29 +71,60 @@ def _best_permutation_fill(
     Tries every order of the block's currently uncolored vertices, greedily
     first-fitting each, and commits the order whose resulting top color over
     the whole block is smallest (first such order on ties).
+
+    The neighbor-interval snapshot of each uncolored vertex is hoisted out of
+    the ``4!``-permutation loop: intervals of already-committed neighbors are
+    fixed for the whole block, so each permutation only patches in the few
+    in-block assignments that vary (first fit sorts, so the append order is
+    immaterial — identical results to rebuilding from CSR every time).
     """
     weights = instance.weights
-    indptr = instance.graph.indptr
-    indices = instance.graph.indices
+    graph = instance.graph
     uncolored = [int(v) for v in block if starts[v] == UNCOLORED]
     if not uncolored:
         return
+    in_block = set(uncolored)
+    fixed: dict[int, tuple[list[int], list[int]]] = {}
+    free: dict[int, list[tuple[int, int]]] = {}
+    for v in uncolored:
+        ns: list[int] = []
+        ne: list[int] = []
+        fr: list[tuple[int, int]] = []
+        for u in graph.neighbors(v):
+            u = int(u)
+            w_u = int(weights[u])
+            if u in in_block:
+                if w_u > 0:
+                    fr.append((u, w_u))
+                continue
+            s = int(starts[u])
+            if s != UNCOLORED and w_u > 0:
+                ns.append(s)
+                ne.append(s + w_u)
+        fixed[v] = (ns, ne)
+        free[v] = fr
+    colored_top = 0
+    for v in block:
+        v = int(v)
+        if starts[v] != UNCOLORED:
+            colored_top = max(colored_top, int(starts[v]) + int(weights[v]))
     best_assign: dict[int, int] | None = None
     best_score = None
     for perm in permutations(uncolored):
         assign: dict[int, int] = {}
         for v in perm:
-            ns: list[int] = []
-            ne: list[int] = []
-            for u in indices[indptr[v] : indptr[v + 1]]:
-                u = int(u)
-                s = assign.get(u, starts[u])
-                if s != UNCOLORED and weights[u] > 0:
-                    ns.append(int(s))
-                    ne.append(int(s) + int(weights[u]))
+            base_ns, base_ne = fixed[v]
+            ns = list(base_ns)
+            ne = list(base_ne)
+            for u, w_u in free[v]:
+                s = assign.get(u)
+                if s is not None:
+                    ns.append(s)
+                    ne.append(s + w_u)
             assign[v] = first_fit_start(ns, ne, int(weights[v]))
         top = max(
-            int(assign.get(int(v), starts[v])) + int(weights[v]) for v in block
+            colored_top,
+            max(assign[v] + int(weights[v]) for v in uncolored),
         )
         if best_score is None or top < best_score:
             best_score = top

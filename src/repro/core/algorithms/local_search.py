@@ -118,7 +118,9 @@ def local_search(
         # stays feasible when its lower neighbors only moved down, so this
         # move is provably non-worsening.
         order = np.lexsort((rng.permutation(n), starts)).astype(np.int64)
-        starts = greedy_color(instance, order).starts.copy()
+        # Orders built by lexsort are permutations by construction, so the
+        # O(n) re-validation is skipped inside the search loop.
+        starts = greedy_color(instance, order, check_order=False).starts.copy()
         # Kick the vertices pinning maxcolor (may use 1-level ejections).
         for v in _critical_vertices(instance, starts):
             _kick(instance, starts, int(v), rng)
@@ -136,7 +138,7 @@ def local_search(
             # may worsen the current state, the best is kept separately.
             noise = rng.integers(0, max(best_val // 8, 2), size=n)
             order = np.lexsort((rng.permutation(n), starts + noise)).astype(np.int64)
-            starts = greedy_color(instance, order).starts.copy()
+            starts = greedy_color(instance, order, check_order=False).starts.copy()
     return Coloring(
         instance=instance,
         starts=best,

@@ -24,13 +24,17 @@ from repro.core.greedy_engine import greedy_recolor_pass
 from repro.core.problem import IVCInstance
 
 
-def bdp_recolor_order(instance: IVCInstance, starts: np.ndarray) -> np.ndarray:
+def bdp_recolor_order(
+    instance: IVCInstance, starts: np.ndarray, *, fast: bool | None = None
+) -> np.ndarray:
     """The clique-guided recoloring order of Section V.B.
 
     Returns a permutation of all vertices: block-by-block (blocks by
     non-increasing weight sum), vertices within a block by increasing current
     start, first occurrence kept; any vertex outside every block (thin grids)
-    is appended in id order.
+    is appended in id order.  With fast paths enabled (the default) the
+    block scan runs through the vectorized
+    :func:`repro.kernels.chains.bdp_recolor_order_fast` — identical order.
     """
     geo = instance.geometry
     if geo is None:
@@ -41,6 +45,12 @@ def bdp_recolor_order(instance: IVCInstance, starts: np.ndarray) -> np.ndarray:
     if len(blocks) == 0:
         return np.arange(n, dtype=np.int64)
     sums = geo.block_weight_sums(instance.weights)
+    from repro.kernels.config import resolve_fast_for
+
+    if resolve_fast_for(fast, n):
+        from repro.kernels.chains import bdp_recolor_order_fast
+
+        return bdp_recolor_order_fast(blocks, sums, starts, n)
     block_order = np.argsort(-sums, kind="stable")
     seen = np.zeros(n, dtype=bool)
     order = np.empty(n, dtype=np.int64)

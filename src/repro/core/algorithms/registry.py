@@ -19,7 +19,7 @@ import difflib
 import time
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.core.algorithms.bipartite_decomposition import (
     bipartite_decomposition,
@@ -85,6 +85,12 @@ class AlgorithmSpec:
         ``False`` for the paper's seven, ``True`` for this repo's extensions.
     description:
         One-line summary shown by ``stencil-ivc algorithms``.
+    fast_fn:
+        Optional vectorized fast-path implementation (see
+        :mod:`repro.kernels.colorings`).  Must produce starts identical to
+        ``fn`` — the differential test suite enforces this.  Used by
+        :func:`color_with` when fast paths are enabled and the instance has a
+        stencil geometry; generic graphs always fall back to ``fn``.
     """
 
     name: str
@@ -93,6 +99,7 @@ class AlgorithmSpec:
     supported_dims: tuple[int, ...] = (2, 3)
     is_extension: bool = False
     description: str = ""
+    fast_fn: Optional[AlgorithmFn] = None
 
     def supports(self, instance: IVCInstance) -> bool:
         """Whether this heuristic can run on ``instance``."""
@@ -269,18 +276,23 @@ def _bd_best_axis(instance: IVCInstance) -> Coloring:
 #: local search on GLF).
 REGISTRY = Registry()
 
+from repro.kernels import colorings as _kernels  # noqa: E402  (after specs' deps)
+
 for _spec in (
     AlgorithmSpec(
         "GLL", greedy_line_by_line, needs_geometry=False,
         description="greedy, line-by-line (lexicographic) order",
+        fast_fn=_kernels.gll_fast,
     ),
     AlgorithmSpec(
         "GZO", greedy_zorder,
         description="greedy, Morton Z-order traversal",
+        fast_fn=_kernels.gzo_fast,
     ),
     AlgorithmSpec(
         "GLF", greedy_largest_first, needs_geometry=False,
         description="greedy, heaviest-vertex-first order",
+        fast_fn=_kernels.glf_fast,
     ),
     AlgorithmSpec(
         "GKF", greedy_largest_clique_first,
@@ -293,14 +305,17 @@ for _spec in (
     AlgorithmSpec(
         "BD", bipartite_decomposition,
         description="bipartite decomposition (2-approx 2D / 4-approx 3D)",
+        fast_fn=_kernels.bd_fast,
     ),
     AlgorithmSpec(
         "BDP", bipartite_decomposition_post,
         description="BD followed by the recoloring post-optimization sweep",
+        fast_fn=_kernels.bdp_fast,
     ),
     AlgorithmSpec(
         "GSL", _greedy_smallest_last, needs_geometry=False, is_extension=True,
         description="greedy, Matula–Beck smallest-last order",
+        fast_fn=_kernels.gsl_fast,
     ),
     AlgorithmSpec(
         "GLF+P", _glf_post, is_extension=True,
@@ -351,20 +366,41 @@ def available_algorithms(
     return REGISTRY.select(instance, include_extensions=include_extensions)
 
 
-def color_with(instance: IVCInstance, name: str) -> Coloring:
+def color_with(
+    instance: IVCInstance, name: str, *, fast: Optional[bool] = None
+) -> Coloring:
     """Run the named heuristic, timing it.
 
     Accepts both the paper's seven algorithms and the extension set.
     Returns the coloring stamped with ``algorithm=name`` and ``elapsed`` in
     seconds (``time.perf_counter``).
 
+    Parameters
+    ----------
+    fast:
+        Use the vectorized kernel fast path when the spec declares one and
+        the instance has a stencil geometry (automatic fallback to the
+        reference implementation otherwise).  ``None`` (default) follows the
+        process-wide :func:`repro.kernels.config.fast_paths_enabled` switch
+        with the auto-mode size threshold applied (miniature instances keep
+        the reference loops); the resolved value is also scoped over the
+        whole call, so ``fast=False`` disables the kernels inside every
+        primitive the algorithm touches.
+
     Raises
     ------
     UnknownAlgorithmError
         If ``name`` is not registered (with a closest-match suggestion).
     """
+    from repro.kernels.config import fast_paths, resolve_fast_for
+
     spec = REGISTRY.get(name)
+    use_fast = resolve_fast_for(fast, instance.num_vertices)
+    fn = spec.fn
+    if use_fast and spec.fast_fn is not None and instance.geometry is not None:
+        fn = spec.fast_fn
     t0 = time.perf_counter()
-    coloring = spec.fn(instance)
+    with fast_paths(use_fast):
+        coloring = fn(instance)
     elapsed = time.perf_counter() - t0
     return coloring.with_algorithm(name, elapsed=elapsed)

@@ -17,6 +17,11 @@ The module provides:
 
 Zero-weight vertices occupy empty intervals: they are always assigned start 0
 and never constrain anyone.
+
+On stencil instances :func:`greedy_color` and :func:`greedy_recolor_pass`
+dispatch to the wavefront-batched kernels of :mod:`repro.kernels.wavefront`
+(identical starts, differentially tested) unless fast paths are disabled; the
+per-vertex loops below remain the reference semantics.
 """
 
 from __future__ import annotations
@@ -27,9 +32,33 @@ import numpy as np
 
 from repro.core.coloring import Coloring
 from repro.core.problem import IVCInstance
+from repro.kernels.config import resolve_fast_for
 
 #: Sentinel start value for not-yet-colored vertices.
 UNCOLORED = -1
+
+
+def _check_permutation(order: np.ndarray, n: int) -> None:
+    """Raise unless ``order`` is a permutation of ``0..n-1`` (O(n), no sort)."""
+    if len(order) != n:
+        raise ValueError("order must be a permutation of all vertices")
+    if n == 0:
+        return
+    if int(order.min()) < 0 or int(order.max()) >= n:
+        raise ValueError("order must be a permutation of all vertices")
+    if int(np.bincount(order, minlength=n).max()) > 1:
+        raise ValueError("order must be a permutation of all vertices")
+
+
+def _is_permutation(order: np.ndarray, n: int) -> bool:
+    """Cheap permutation test used to gate the wavefront kernels."""
+    if len(order) != n:
+        return False
+    if n == 0:
+        return True
+    if int(order.min()) < 0 or int(order.max()) >= n:
+        return False
+    return int(np.bincount(order, minlength=n).max()) <= 1
 
 
 def first_fit_start(nb_starts: Iterable[int], nb_ends: Iterable[int], w: int) -> int:
@@ -107,6 +136,9 @@ def greedy_color(
     order: np.ndarray,
     algorithm: str = "greedy",
     first_fit=first_fit_start,
+    *,
+    fast: Optional[bool] = None,
+    check_order: bool = True,
 ) -> Coloring:
     """Color every vertex by first fit in the given order.
 
@@ -116,11 +148,31 @@ def greedy_color(
         Permutation of ``0..n-1``; vertices are colored in this sequence.
     first_fit:
         First-fit primitive (swappable for the ablation benchmark).
+    fast:
+        Use the wavefront-batched kernel (stencil instances only; identical
+        starts, differentially tested).  ``None`` follows the process-wide
+        :func:`repro.kernels.config.fast_paths_enabled` switch and the
+        auto-mode size threshold; generic graphs and custom ``first_fit``
+        primitives always take the reference loop.
+    check_order:
+        Validate that ``order`` is a permutation (O(n)).  Callers generating
+        orders by construction — tight recolor/search loops — pass ``False``.
     """
     n = instance.num_vertices
     order = np.asarray(order, dtype=np.int64)
-    if len(order) != n or (n and (len(np.unique(order)) != n)):
+    if check_order:
+        _check_permutation(order, n)
+    elif len(order) != n:
         raise ValueError("order must be a permutation of all vertices")
+    if (
+        resolve_fast_for(fast, n)
+        and instance.geometry is not None
+        and first_fit is first_fit_start
+    ):
+        from repro.kernels.wavefront import wavefront_greedy_color
+
+        starts = wavefront_greedy_color(instance, order)
+        return Coloring(instance=instance, starts=starts, algorithm=algorithm)
     starts = np.full(n, UNCOLORED, dtype=np.int64)
     weights = instance.weights
     indptr = instance.graph.indptr
@@ -159,6 +211,8 @@ def greedy_recolor_pass(
     starts: np.ndarray,
     order: Optional[np.ndarray] = None,
     first_fit=first_fit_start,
+    *,
+    fast: Optional[bool] = None,
 ) -> np.ndarray:
     """Re-run first fit on already-colored vertices, one at a time.
 
@@ -178,6 +232,17 @@ def greedy_recolor_pass(
         raise ValueError("recolor pass requires a fully colored instance")
     if order is None:
         order = np.arange(n, dtype=np.int64)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+    if (
+        resolve_fast_for(fast, n)
+        and instance.geometry is not None
+        and first_fit is first_fit_start
+        and _is_permutation(order, n)
+    ):
+        from repro.kernels.wavefront import wavefront_recolor_pass
+
+        return wavefront_recolor_pass(instance, out, order)
     weights = instance.weights
     indptr = instance.graph.indptr
     indices = instance.graph.indices

@@ -112,11 +112,13 @@ class IVCInstance:
     @classmethod
     def from_grid_2d(cls, weight_grid, name: str = "", metadata: dict | None = None) -> "IVCInstance":
         """Build a 2DS-IVC instance from an ``(X, Y)`` weight array."""
+        from repro.kernels.substrate import shared_geometry_2d
+
         _check_finite(weight_grid)
         grid_arr = np.ascontiguousarray(weight_grid, dtype=np.int64)
         if grid_arr.ndim != 2:
             raise ValueError(f"expected a 2D weight grid, got shape {grid_arr.shape}")
-        geo = StencilGrid2D(*grid_arr.shape)
+        geo = shared_geometry_2d(*grid_arr.shape)
         return cls(
             graph=geo.csr,
             weights=grid_arr.ravel(),
@@ -128,11 +130,13 @@ class IVCInstance:
     @classmethod
     def from_grid_3d(cls, weight_grid, name: str = "", metadata: dict | None = None) -> "IVCInstance":
         """Build a 3DS-IVC instance from an ``(X, Y, Z)`` weight array."""
+        from repro.kernels.substrate import shared_geometry_3d
+
         _check_finite(weight_grid)
         grid_arr = np.ascontiguousarray(weight_grid, dtype=np.int64)
         if grid_arr.ndim != 3:
             raise ValueError(f"expected a 3D weight grid, got shape {grid_arr.shape}")
-        geo = StencilGrid3D(*grid_arr.shape)
+        geo = shared_geometry_3d(*grid_arr.shape)
         return cls(
             graph=geo.csr,
             weights=grid_arr.ravel(),

@@ -91,6 +91,7 @@ class _WorkerState:
     validate: bool
     cell_timeout: Optional[float]
     capture_starts: bool
+    fast_paths: Optional[bool] = None
     bounds: dict[int, int] = field(default_factory=dict)
 
     def lower_bound_of(self, index: int) -> int:
@@ -107,14 +108,22 @@ def _init_worker(
     validate: bool,
     cell_timeout: Optional[float],
     capture_starts: bool,
+    fast_paths: Optional[bool] = None,
 ) -> None:
-    """Pool initializer: receive the instance list once per worker."""
+    """Pool initializer: receive the instance list once per worker.
+
+    Each worker lazily grows its own kernel substrate cache
+    (:mod:`repro.kernels.substrate`) the first time a cell of a given shape
+    runs, so repeated shapes in a suite reuse adjacency/offset tables within
+    the worker for the whole run.
+    """
     global _STATE
     _STATE = _WorkerState(
         instances=instances,
         validate=validate,
         cell_timeout=cell_timeout,
         capture_starts=capture_starts,
+        fast_paths=fast_paths,
     )
 
 
@@ -136,7 +145,7 @@ def _run_cell(state: _WorkerState, pos: int, index: int, name: str) -> RunRecord
     try:
         bound = state.lower_bound_of(index)
         with _time_limit(state.cell_timeout):
-            coloring = color_with(instance, name)
+            coloring = color_with(instance, name, fast=state.fast_paths)
             if state.validate:
                 coloring.check()
         if coloring.maxcolor < bound:
@@ -210,6 +219,7 @@ def run_grid(
     validate: bool = True,
     cell_timeout: Optional[float] = None,
     capture_starts: bool = False,
+    fast_paths: Optional[bool] = None,
     log_path: str | Path | None = None,
 ) -> list[RunRecord]:
     """Run every algorithm on every instance, one :class:`RunRecord` per cell.
@@ -235,6 +245,11 @@ def run_grid(
     capture_starts:
         Attach each coloring's start vector to its record so callers can
         rebuild :class:`~repro.core.coloring.Coloring` objects.
+    fast_paths:
+        Per-cell kernel fast-path override forwarded to
+        :func:`~repro.core.algorithms.registry.color_with`: ``True``/``False``
+        forces the vectorized kernels on/off in every worker, ``None``
+        (default) follows each worker's process-wide switch.
     log_path:
         Stream records to this JSONL file as cells complete.
 
@@ -264,7 +279,7 @@ def run_grid(
 
     try:
         if jobs == 1:
-            _init_worker(instances, validate, cell_timeout, capture_starts)
+            _init_worker(instances, validate, cell_timeout, capture_starts, fast_paths)
             try:
                 store(_run_chunk(cells))
             finally:
@@ -277,7 +292,7 @@ def run_grid(
             with ProcessPoolExecutor(
                 max_workers=jobs,
                 initializer=_init_worker,
-                initargs=(instances, validate, cell_timeout, capture_starts),
+                initargs=(instances, validate, cell_timeout, capture_starts, fast_paths),
             ) as pool:
                 futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
                 pending = set(futures)

@@ -164,6 +164,7 @@ def run_suite(
     jobs: int | None = 1,
     chunk_size: int | None = None,
     cell_timeout: float | None = None,
+    fast_paths: bool | None = None,
     log_path: str | Path | None = None,
     on_error: str = "raise",
 ) -> SuiteResult:
@@ -186,6 +187,10 @@ def run_suite(
     cell_timeout:
         Optional per-cell wall-clock limit in seconds; exceeding cells
         become ``timeout`` records.
+    fast_paths:
+        Force the vectorized stencil kernels on (``True``) or off
+        (``False``) in every engine worker; ``None`` (default) follows the
+        process-wide switch (:mod:`repro.kernels.config`).
     log_path:
         Stream per-cell :class:`~repro.engine.records.RunRecord` JSONL to
         this path as the run progresses.
@@ -203,6 +208,7 @@ def run_suite(
         chunk_size=chunk_size,
         validate=validate,
         cell_timeout=cell_timeout,
+        fast_paths=fast_paths,
         log_path=log_path,
     )
     return suite_result_from_records(instances, names, records, on_error=on_error)

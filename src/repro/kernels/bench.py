@@ -1,0 +1,192 @@
+"""Kernel-vs-reference microbenchmark (``stencil-ivc bench-kernels``).
+
+Times each registry algorithm that declares a fast path twice per grid —
+once through the reference Python loops (``fast=False``) and once through
+the vectorized kernels (``fast=True``) — on the same random weights, checks
+the two colorings are *identical* (same starts array, not just the same
+maxcolor), and reports cells/second plus the speedup.  The results feed
+``BENCH_kernels.json`` and the CI benchmark-smoke step, which fails the
+build on any kernel/reference divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Registry algorithms benchmarked by default: the greedy family's fastest
+#: order (GLL), the weight-driven order (GLF), and both chain algorithms.
+DEFAULT_ALGORITHMS = ("GLL", "GLF", "BD", "BDP")
+
+
+def _random_instance(shape: tuple[int, ...], seed: int):
+    from repro.core.problem import IVCInstance
+
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, 1000, size=shape, dtype=np.int64)
+    label = "x".join(str(s) for s in shape)
+    if len(shape) == 2:
+        return IVCInstance.from_grid_2d(weights, name=f"bench-{label}")
+    return IVCInstance.from_grid_3d(weights, name=f"bench-{label}")
+
+
+def _best_time(fn, reps: int) -> tuple[float, object]:
+    """Minimum wall time over ``reps`` calls, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, reps)):
+        t0 = perf_counter()
+        value = fn()
+        best = min(best, perf_counter() - t0)
+    return best, value
+
+
+def bench_cell(
+    instance,
+    algorithm: str,
+    reps: int = 3,
+) -> dict:
+    """Benchmark one (instance, algorithm) cell: reference vs kernel.
+
+    Returns a flat record with timings, throughputs, the speedup, and an
+    ``identical`` flag comparing the two colorings' start arrays.
+    """
+    from repro.core.algorithms.registry import color_with
+
+    ref_seconds, ref = _best_time(
+        lambda: color_with(instance, algorithm, fast=False), reps
+    )
+    kernel_seconds, fast = _best_time(
+        lambda: color_with(instance, algorithm, fast=True), reps
+    )
+    cells = instance.num_vertices
+    shape = tuple(int(s) for s in instance.geometry.shape)
+    return {
+        "shape": list(shape),
+        "dim": len(shape),
+        "algorithm": algorithm,
+        "cells": int(cells),
+        "ref_seconds": ref_seconds,
+        "kernel_seconds": kernel_seconds,
+        "ref_cells_per_sec": cells / ref_seconds if ref_seconds > 0 else float("inf"),
+        "kernel_cells_per_sec": (
+            cells / kernel_seconds if kernel_seconds > 0 else float("inf")
+        ),
+        "speedup": ref_seconds / kernel_seconds if kernel_seconds > 0 else float("inf"),
+        "identical": bool(np.array_equal(ref.starts, fast.starts)),
+        "maxcolor": int(fast.maxcolor),
+    }
+
+
+def run_kernel_benchmark(
+    sizes_2d: Sequence[int] = (128, 256, 512),
+    sizes_3d: Sequence[int] = (16, 32, 40),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    reps: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Sweep square 2D and cubic 3D grids, timing reference vs kernel.
+
+    Returns the full ``BENCH_kernels.json`` document: per-cell ``results``,
+    a ``headline`` picking out the greedy numbers on the largest 2D and 3D
+    grids, and an ``all_identical`` flag that is ``False`` if *any* cell's
+    kernel coloring diverged from the reference.
+    """
+    shapes: list[tuple[int, ...]] = [(n, n) for n in sizes_2d]
+    shapes += [(n, n, n) for n in sizes_3d]
+    results = []
+    for shape in shapes:
+        instance = _random_instance(shape, seed)
+        for algorithm in algorithms:
+            results.append(bench_cell(instance, algorithm, reps=reps))
+
+    def _headline(dim: int) -> Optional[dict]:
+        greedy = [
+            r for r in results if r["dim"] == dim and r["algorithm"].startswith("G")
+        ]
+        if not greedy:
+            return None
+        biggest = max(r["cells"] for r in greedy)
+        best = max(
+            (r for r in greedy if r["cells"] == biggest), key=lambda r: r["speedup"]
+        )
+        return {
+            "shape": best["shape"],
+            "algorithm": best["algorithm"],
+            "speedup": best["speedup"],
+            "kernel_cells_per_sec": best["kernel_cells_per_sec"],
+        }
+
+    return {
+        "meta": {
+            "tool": "stencil-ivc bench-kernels",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "reps": int(reps),
+            "seed": int(seed),
+            "algorithms": list(algorithms),
+        },
+        "results": results,
+        "headline": {
+            "greedy_2d": _headline(2),
+            "greedy_3d": _headline(3),
+        },
+        "all_identical": all(r["identical"] for r in results),
+    }
+
+
+def write_benchmark(report: dict, path: str | Path) -> Path:
+    """Write a benchmark report as indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def summary_line(report: dict) -> str:
+    """The one-line speedup summary printed by the CLI."""
+    parts = []
+    for key in ("greedy_2d", "greedy_3d"):
+        head = report["headline"].get(key)
+        if head is not None:
+            shape = "x".join(str(s) for s in head["shape"])
+            parts.append(f"{head['algorithm']} {shape}: {head['speedup']:.1f}x")
+    status = "identical" if report["all_identical"] else "DIVERGED"
+    joined = ", ".join(parts) if parts else "no greedy cells"
+    return f"kernels vs reference: {joined} ({status})"
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of every benchmarked cell."""
+    lines = [
+        f"{'shape':>12} {'algorithm':>9} {'ref s':>9} {'kernel s':>9} "
+        f"{'speedup':>8} {'Mcells/s':>9} {'same':>5}"
+    ]
+    for r in report["results"]:
+        shape = "x".join(str(s) for s in r["shape"])
+        lines.append(
+            f"{shape:>12} {r['algorithm']:>9} {r['ref_seconds']:>9.4f} "
+            f"{r['kernel_seconds']:>9.4f} {r['speedup']:>7.1f}x "
+            f"{r['kernel_cells_per_sec'] / 1e6:>9.2f} "
+            f"{'yes' if r['identical'] else 'NO':>5}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - thin CLI
+    """Standalone entry point mirroring ``stencil-ivc bench-kernels``."""
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["bench-kernels"] + list(argv or []))
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

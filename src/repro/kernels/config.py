@@ -1,0 +1,73 @@
+"""Process-wide fast-path switch for the vectorized kernels.
+
+The wavefront and chain kernels in :mod:`repro.kernels` are differentially
+tested to produce *identical* colorings to the reference Python loops, so they
+are enabled by default.  Three knobs turn them off:
+
+* the ``REPRO_FAST_PATHS=0`` environment variable (read at import, so it also
+  governs freshly spawned engine worker processes);
+* :func:`set_fast_paths` for a process-wide toggle;
+* the :func:`fast_paths` context manager for a scoped override (used by
+  :func:`~repro.core.algorithms.registry.color_with` so an explicit
+  ``fast=False`` reaches every primitive underneath the algorithm).
+
+Auto mode (``fast=None``) additionally applies a size threshold: batched
+NumPy dispatch has fixed overhead that dominates on miniature instances, so
+the kernels only engage automatically from :data:`MIN_AUTO_SIZE` vertices
+up (``REPRO_FAST_PATHS_MIN_SIZE``).  An explicit ``fast=True`` always takes
+the kernel regardless of size — benchmarks and differential tests rely on
+that to exercise the kernels on degenerate grids.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_enabled: bool = os.environ.get("REPRO_FAST_PATHS", "1") != "0"
+
+#: Minimum vertex count for the kernels to engage in auto mode.  Break-even
+#: for the wavefront kernels sits around a few thousand vertices (see
+#: ``BENCH_kernels.json``); below it the reference loops win.
+MIN_AUTO_SIZE: int = int(os.environ.get("REPRO_FAST_PATHS_MIN_SIZE", "4096"))
+
+
+def fast_paths_enabled() -> bool:
+    """Whether the vectorized kernels are currently enabled."""
+    return _enabled
+
+
+def set_fast_paths(enabled: bool) -> None:
+    """Enable or disable the vectorized kernels process-wide."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def resolve_fast(fast: Optional[bool]) -> bool:
+    """Normalize a per-call ``fast`` argument: ``None`` follows the global switch."""
+    return _enabled if fast is None else bool(fast)
+
+
+def resolve_fast_for(fast: Optional[bool], num_vertices: int) -> bool:
+    """Per-call fast decision with the auto-mode size threshold applied.
+
+    Explicit ``True``/``False`` win unconditionally; ``None`` follows the
+    global switch *and* requires at least :data:`MIN_AUTO_SIZE` vertices, so
+    miniature instances keep the (faster there) reference loops.
+    """
+    if fast is not None:
+        return bool(fast)
+    return _enabled and num_vertices >= MIN_AUTO_SIZE
+
+
+@contextmanager
+def fast_paths(enabled: bool) -> Iterator[None]:
+    """Scoped override of the fast-path switch (restores the previous value)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -1,0 +1,275 @@
+"""Shared per-shape substrate: cached geometry, adjacency, and offset tables.
+
+Stencil instances of the same shape share everything except their weights:
+the CSR adjacency, the padded neighbor-offset table the vectorized kernels
+gather through, the :math:`K_4`/:math:`K_8` block tables, and the geometric
+wavefront schedules.  Benchmark suites construct hundreds of instances over a
+handful of shapes, and the batch engine replays the same shapes in every
+worker process — so this module memoizes all of it behind two small LRU
+caches, keyed by ``(stencil type, grid shape)``:
+
+* :func:`shared_geometry` — one :class:`~repro.stencil.grid2d.StencilGrid2D` /
+  :class:`~repro.stencil.grid3d.StencilGrid3D` per shape, so the
+  ``cached_property`` CSR and block tables are built once and shared by every
+  instance of that shape (``IVCInstance.from_grid_2d/3d`` call this);
+* :func:`get_substrate` — the kernel-facing :class:`Substrate` bundling the
+  padded neighbor table and a per-order wavefront-schedule cache.
+
+Both caches are guarded by a lock (safe under threads); worker processes of
+the batch engine each populate their own copy lazily — there is no
+cross-process shared state to corrupt, which is what makes the cache safe
+under the process-pool engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.stencil.generic import CSRGraph
+from repro.stencil.grid2d import StencilGrid2D
+from repro.stencil.grid3d import StencilGrid3D
+
+Geometry = Union[StencilGrid2D, StencilGrid3D]
+
+#: Shapes kept per LRU cache (geometries and substrates separately).
+CACHE_SIZE = int(os.environ.get("REPRO_SUBSTRATE_CACHE_SIZE", "32"))
+#: Wavefront schedules kept per substrate (one per distinct vertex order).
+WAVEFRONT_CACHE_SIZE = 8
+
+#: A wavefront schedule: ``verts[ptr[b]:ptr[b + 1]]`` is batch ``b``.
+Wavefront = tuple[np.ndarray, np.ndarray]
+
+
+def _build_neighbor_table(csr: CSRGraph) -> np.ndarray:
+    """CSR adjacency as a dense ``(n, max_degree)`` table padded with ``n``.
+
+    The pad value ``n`` points one past the last vertex, so kernels index
+    extended (length ``n + 1``) state arrays and padding rows behave like
+    colored-with-nothing neighbors.
+    """
+    n = csr.num_vertices
+    degrees = csr.degrees()
+    width = int(degrees.max(initial=0))
+    table = np.full((n, width), n, dtype=np.int64)
+    if len(csr.indices):
+        rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        cols = np.arange(len(csr.indices), dtype=np.int64) - np.repeat(
+            csr.indptr[:-1], degrees
+        )
+        table[rows, cols] = csr.indices
+    return table
+
+
+def _line_by_line_levels(shape: tuple[int, ...]) -> np.ndarray:
+    """Analytic wavefront levels for the line-by-line (GLL) order.
+
+    In a 9-pt stencil visited line-by-line, vertex ``(i, j)`` depends on
+    ``(i - 1, j)`` and the three row-``j - 1`` neighbors, all of which sit at
+    strictly smaller ``i + 2j``; every later-visited neighbor sits at strictly
+    larger ``i + 2j``.  Hence the level sets of ``i + 2j`` (and ``i + 2j + 4k``
+    for the 27-pt stencil) are pairwise-independent batches that replay the
+    sequential scan exactly.  Computed with one broadcast — no graph traversal.
+    """
+    if len(shape) == 2:
+        X, Y = shape
+        lev = np.arange(X, dtype=np.int64)[:, None] + 2 * np.arange(Y, dtype=np.int64)
+        return lev.ravel()
+    X, Y, Z = shape
+    lev = (
+        np.arange(X, dtype=np.int64)[:, None, None]
+        + 2 * np.arange(Y, dtype=np.int64)[None, :, None]
+        + 4 * np.arange(Z, dtype=np.int64)[None, None, :]
+    )
+    return lev.ravel()
+
+
+def _levels_to_wavefront(levels: np.ndarray) -> Wavefront:
+    """Group vertices by level into a ``(verts, ptr)`` batch schedule."""
+    verts = np.argsort(levels, kind="stable").astype(np.int64)
+    counts = np.bincount(levels[verts])
+    counts = counts[counts > 0]
+    ptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    return verts, ptr
+
+
+def _kahn_wavefront(nbr_table: np.ndarray, rank: np.ndarray) -> Wavefront:
+    """Wavefront schedule for an arbitrary order, by vectorized Kahn rounds.
+
+    Directed edges point from earlier-rank to later-rank endpoints; batch
+    ``b`` is the ``b``-th frontier of the resulting DAG.  Every vertex lands
+    after all its earlier-order neighbors and before all its later-order
+    neighbors, so batched first fit replays the sequential scan exactly; and
+    two adjacent vertices never share a frontier.  Total work is ``O(E)``
+    spread over one numpy round per DAG level — cheap for geometric and
+    weight orders, whose level counts grow like the grid diameter, not ``n``.
+    """
+    n = len(rank)
+    rank_ext = np.append(rank, np.int64(n))  # pad slot: later than everything
+    indeg = (rank_ext[nbr_table] < rank[:, None]).sum(axis=1, dtype=np.int64)
+    indeg_ext = np.append(indeg, np.int64(1) << 40)  # pad slot never reaches 0
+    frontier = np.flatnonzero(indeg == 0).astype(np.int64)
+    batches: list[np.ndarray] = []
+    while frontier.size:
+        batches.append(frontier)
+        rows = nbr_table[frontier]
+        later = rank_ext[rows] > rank[frontier][:, None]
+        targets = rows[later]
+        np.subtract.at(indeg_ext, targets, 1)
+        candidates = np.unique(targets)
+        frontier = candidates[indeg_ext[candidates] == 0]
+    verts = np.concatenate(batches) if batches else np.empty(0, dtype=np.int64)
+    ptr = np.zeros(len(batches) + 1, dtype=np.int64)
+    if batches:
+        np.cumsum([len(b) for b in batches], out=ptr[1:])
+    return verts, ptr
+
+
+@dataclass
+class Substrate:
+    """Everything shape-dependent the kernels need, built once per shape.
+
+    Attributes
+    ----------
+    geometry:
+        The (shared) stencil geometry.
+    nbr_table:
+        ``(n, max_degree)`` neighbor ids, padded with ``n``.
+    """
+
+    geometry: Geometry
+    nbr_table: np.ndarray
+    _wavefronts: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.geometry.num_vertices
+
+    @property
+    def max_degree(self) -> int:
+        return self.nbr_table.shape[1]
+
+    @property
+    def blocks(self) -> np.ndarray:
+        """The :math:`K_4` / :math:`K_8` block table of the geometry."""
+        if isinstance(self.geometry, StencilGrid2D):
+            return self.geometry.k4_blocks
+        return self.geometry.k8_blocks
+
+    def wavefront_for(self, order: np.ndarray) -> Wavefront:
+        """The batch schedule replaying ``order``, cached per distinct order.
+
+        The line-by-line order gets its analytic level sets; any other
+        permutation goes through the Kahn construction.  Schedules are cached
+        by an order digest, so shape-only orders (GLL, GZO) are computed once
+        per shape and weight orders (GLF, GSL) once per weight vector.
+        """
+        digest = hashlib.blake2b(order.tobytes(), digest_size=16).digest()
+        with self._lock:
+            cached = self._wavefronts.get(digest)
+            if cached is not None:
+                self._wavefronts.move_to_end(digest)
+                return cached
+        if np.array_equal(order, self.geometry.line_by_line_order()):
+            wavefront = _levels_to_wavefront(_line_by_line_levels(self.geometry.shape))
+        else:
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order), dtype=np.int64)
+            wavefront = _kahn_wavefront(self.nbr_table, rank)
+        with self._lock:
+            self._wavefronts[digest] = wavefront
+            while len(self._wavefronts) > WAVEFRONT_CACHE_SIZE:
+                self._wavefronts.popitem(last=False)
+        return wavefront
+
+
+class _ShapeCache:
+    """A tiny thread-safe LRU keyed by ``(stencil type, shape)``."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._items: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_build(self, key, build):
+        with self._lock:
+            item = self._items.get(key)
+            if item is not None:
+                self._items.move_to_end(key)
+                return item
+        item = build()
+        with self._lock:
+            cached = self._items.setdefault(key, item)
+            self._items.move_to_end(key)
+            while len(self._items) > self.maxsize:
+                self._items.popitem(last=False)
+        return cached
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+_GEOMETRIES = _ShapeCache(CACHE_SIZE)
+_SUBSTRATES = _ShapeCache(CACHE_SIZE)
+
+
+def _key(kind: str, shape: tuple[int, ...]) -> tuple:
+    return (kind, tuple(int(d) for d in shape))
+
+
+def shared_geometry_2d(X: int, Y: int) -> StencilGrid2D:
+    """The process-shared 9-pt geometry for an ``X×Y`` grid."""
+    return _GEOMETRIES.get_or_build(
+        _key("2d", (X, Y)), lambda: StencilGrid2D(X, Y)
+    )
+
+
+def shared_geometry_3d(X: int, Y: int, Z: int) -> StencilGrid3D:
+    """The process-shared 27-pt geometry for an ``X×Y×Z`` grid."""
+    return _GEOMETRIES.get_or_build(
+        _key("3d", (X, Y, Z)), lambda: StencilGrid3D(X, Y, Z)
+    )
+
+
+def get_substrate(geometry: Geometry) -> Substrate:
+    """The shared :class:`Substrate` for a stencil geometry.
+
+    Two geometries of equal type and shape map to the same substrate, so the
+    neighbor table and wavefront schedules are built once per shape no matter
+    how many instances (or benchmark cells) run over it.
+    """
+    kind = "2d" if isinstance(geometry, StencilGrid2D) else "3d"
+
+    def build() -> Substrate:
+        shared = (
+            shared_geometry_2d(*geometry.shape)
+            if kind == "2d"
+            else shared_geometry_3d(*geometry.shape)
+        )
+        return Substrate(geometry=shared, nbr_table=_build_neighbor_table(shared.csr))
+
+    return _SUBSTRATES.get_or_build(_key(kind, geometry.shape), build)
+
+
+def clear_caches() -> None:
+    """Drop every cached geometry and substrate (tests, memory pressure)."""
+    _GEOMETRIES.clear()
+    _SUBSTRATES.clear()
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry counts of the shape caches (observability hook)."""
+    return {"geometries": len(_GEOMETRIES), "substrates": len(_SUBSTRATES)}

@@ -1,0 +1,1 @@
+"""Tests for the vectorized kernel subsystem (:mod:`repro.kernels`)."""

@@ -1,0 +1,88 @@
+"""Substrate cache behavior: sharing, LRU bounds, and engine-pool safety."""
+
+import numpy as np
+
+from repro.core.problem import IVCInstance
+from repro.engine import run_grid
+from repro.kernels.substrate import (
+    CACHE_SIZE,
+    cache_sizes,
+    clear_caches,
+    get_substrate,
+    shared_geometry_2d,
+    shared_geometry_3d,
+)
+from repro.stencil.grid2d import StencilGrid2D
+from repro.stencil.grid3d import StencilGrid3D
+
+
+def _weights(shape, seed=0):
+    return np.random.default_rng(seed).integers(1, 50, size=shape)
+
+
+def test_shared_geometry_is_one_object_per_shape():
+    assert shared_geometry_2d(4, 5) is shared_geometry_2d(4, 5)
+    assert shared_geometry_3d(2, 3, 4) is shared_geometry_3d(2, 3, 4)
+    assert shared_geometry_2d(4, 5) is not shared_geometry_2d(5, 4)
+
+
+def test_get_substrate_shared_across_equal_shapes():
+    # Two *distinct* geometry objects of equal shape map to the same
+    # substrate (and hence the same neighbor table memory).
+    a = get_substrate(StencilGrid2D(3, 6))
+    b = get_substrate(StencilGrid2D(3, 6))
+    assert a is b
+    assert get_substrate(StencilGrid3D(2, 2, 3)) is get_substrate(StencilGrid3D(2, 2, 3))
+    assert a is not get_substrate(StencilGrid2D(6, 3))
+
+
+def test_from_grid_constructors_use_shared_geometry():
+    w = _weights((4, 7))
+    one = IVCInstance.from_grid_2d(w)
+    two = IVCInstance.from_grid_2d(w * 2)
+    assert one.geometry is two.geometry
+    w3 = _weights((2, 3, 2))
+    assert IVCInstance.from_grid_3d(w3).geometry is IVCInstance.from_grid_3d(w3).geometry
+
+
+def test_caches_are_lru_bounded():
+    clear_caches()
+    first = shared_geometry_2d(1, 1)
+    for k in range(2, CACHE_SIZE + 3):  # evicts the (1, 1) entry
+        shared_geometry_2d(1, k)
+    sizes = cache_sizes()
+    assert sizes["geometries"] <= CACHE_SIZE
+    assert shared_geometry_2d(1, 1) is not first
+    clear_caches()
+    assert cache_sizes() == {"geometries": 0, "substrates": 0}
+
+
+def test_neighbor_table_matches_csr():
+    for geometry in (StencilGrid2D(3, 4), StencilGrid3D(2, 3, 2), StencilGrid2D(1, 1)):
+        substrate = get_substrate(geometry)
+        csr = substrate.geometry.csr
+        n = csr.num_vertices
+        for v in range(n):
+            row = substrate.nbr_table[v]
+            real = sorted(int(u) for u in row if u != n)
+            assert real == sorted(int(u) for u in csr.neighbors(v))
+            # Padding is exactly the sentinel n, nothing else out of range.
+            assert all(0 <= int(u) <= n for u in row)
+
+
+def test_engine_pool_with_fast_paths_matches_serial_reference():
+    # The cache is per-process (workers build their own lazily), so a pooled
+    # fast-path run must reproduce the serial reference run cell for cell.
+    instances = [
+        IVCInstance.from_grid_2d(_weights((5, 6), seed=1), name="a"),
+        IVCInstance.from_grid_2d(_weights((5, 6), seed=2), name="b"),
+        IVCInstance.from_grid_3d(_weights((3, 3, 2), seed=3), name="c"),
+    ]
+    names = ["GLL", "GLF", "BD", "BDP"]
+    ref = run_grid(instances, names, jobs=1, fast_paths=False, capture_starts=True)
+    pooled = run_grid(instances, names, jobs=2, fast_paths=True, capture_starts=True)
+    assert [r.status for r in pooled] == ["ok"] * len(ref)
+    for r, p in zip(ref, pooled):
+        assert (r.instance, r.algorithm) == (p.instance, p.algorithm)
+        assert r.maxcolor == p.maxcolor
+        assert r.starts == p.starts

@@ -1,0 +1,113 @@
+"""Property-based differential tests: vectorized kernels vs reference loops.
+
+Hypothesis drives random grid shapes, weights (including zeros), and vertex
+orders through both code paths and requires bit-identical starts.  The SGK
+block-fill optimization is checked against a naive re-implementation that
+rebuilds every neighbor snapshot inside the permutation loop — the exact
+semantics the hoisted version must preserve.
+"""
+
+from itertools import permutations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms.clique_first import _best_permutation_fill, _sorted_blocks
+from repro.core.algorithms.registry import ALGORITHMS, color_with
+from repro.core.greedy_engine import (
+    UNCOLORED,
+    first_fit_start,
+    greedy_color,
+    greedy_recolor_pass,
+)
+from repro.core.problem import IVCInstance
+
+grids_2d = st.tuples(st.integers(1, 6), st.integers(1, 6))
+grids_3d = st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3))
+grids = st.one_of(grids_2d, grids_3d)
+seeds = st.integers(0, 100_000)
+
+
+def _instance(shape, seed):
+    # Weights from 0: zero-weight vertices are always present eventually.
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(0, 12, size=shape)
+    if len(shape) == 2:
+        return IVCInstance.from_grid_2d(weights)
+    return IVCInstance.from_grid_3d(weights)
+
+
+@given(shape=grids, seed=seeds, order_seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_greedy_kernel_matches_reference_for_random_orders(shape, seed, order_seed):
+    inst = _instance(shape, seed)
+    order = np.random.default_rng(order_seed).permutation(inst.num_vertices)
+    order = order.astype(np.int64)
+    ref = greedy_color(inst, order, fast=False)
+    fast = greedy_color(inst, order, fast=True)
+    assert np.array_equal(ref.starts, fast.starts)
+
+
+@given(shape=grids, seed=seeds, order_seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_recolor_kernel_matches_reference(shape, seed, order_seed):
+    inst = _instance(shape, seed)
+    rng = np.random.default_rng(order_seed)
+    base = greedy_color(
+        inst, rng.permutation(inst.num_vertices).astype(np.int64), fast=False
+    ).starts
+    order = rng.permutation(inst.num_vertices).astype(np.int64)
+    assert np.array_equal(
+        greedy_recolor_pass(inst, base, order, fast=False),
+        greedy_recolor_pass(inst, base, order, fast=True),
+    )
+
+
+@given(shape=grids, seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_registry_fast_paths_identical_for_every_algorithm(shape, seed):
+    inst = _instance(shape, seed)
+    for name in ALGORITHMS:
+        ref = color_with(inst, name, fast=False)
+        fast = color_with(inst, name, fast=True)
+        assert np.array_equal(ref.starts, fast.starts), name
+
+
+def _naive_best_permutation_fill(instance, starts, block):
+    """Pre-optimization SGK block fill: full snapshot rebuilt per permutation."""
+    weights = instance.weights
+    graph = instance.graph
+    uncolored = [int(v) for v in block if starts[v] == UNCOLORED]
+    if not uncolored:
+        return
+    best = None
+    best_score = None
+    for perm in permutations(uncolored):
+        trial = starts.copy()
+        for v in perm:
+            ns, ne = [], []
+            for u in graph.neighbors(v):
+                u = int(u)
+                s = int(trial[u])
+                if s != UNCOLORED and weights[u] > 0:
+                    ns.append(s)
+                    ne.append(s + int(weights[u]))
+            trial[v] = first_fit_start(ns, ne, int(weights[v]))
+        top = int((trial[block] + weights[block]).max())
+        if best_score is None or top < best_score:
+            best_score = top
+            best = trial
+    starts[:] = best
+
+
+@given(shape=st.tuples(st.integers(2, 5), st.integers(2, 5)), seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_best_permutation_fill_matches_naive_reference(shape, seed):
+    inst = _instance(shape, seed)
+    starts_opt = np.full(inst.num_vertices, UNCOLORED, dtype=np.int64)
+    starts_naive = starts_opt.copy()
+    for block in _sorted_blocks(inst):
+        _best_permutation_fill(inst, starts_opt, block)
+        _naive_best_permutation_fill(inst, starts_naive, block)
+        assert np.array_equal(starts_opt, starts_naive)
