@@ -1,0 +1,227 @@
+"""Service benchmark — batched+cached serving vs the unbatched baseline.
+
+The serving half of the online-service acceptance test.  Two server
+configurations run the same repeated-shape workload (the interactive-STKDE
+pattern: a handful of grid geometries re-requested over and over):
+
+* **baseline** — micro-batching off (``max_batch=1``, zero batch window),
+  result cache off, one sequential client connection: every request pays a
+  full geometry lookup + kernel run + round trip on its own.
+* **batched+cached** — micro-batching and the content-addressed cache on,
+  concurrent connections: batches share the per-shape substrate, repeats hit
+  the cache, identical in-flight requests coalesce.
+
+Every served coloring in *both* runs is verified bit-for-bit against a
+direct in-process ``color_with`` call, and the report embeds the treatment
+server's metrics snapshot (cache hit rate, queue/batch histograms, latency
+p50/p99).  The headline claim checked here and in CI: batched+cached
+throughput ≥ 5× baseline.
+
+Run standalone (writes the repo-root ``BENCH_service.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--out PATH]
+
+or through pytest-benchmark (writes ``benchmarks/out/BENCH_service.json``)::
+
+    python -m pytest benchmarks/bench_service.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.service.loadgen import build_workload, run_loadgen
+from repro.service.server import ServerConfig, ServerThread
+
+#: The minimum batched+cached over baseline speedup the bench enforces.
+MIN_SPEEDUP = 5.0
+
+
+def _measure(
+    config: ServerConfig,
+    workload,
+    *,
+    requests: int,
+    concurrency: int,
+    seed: int,
+) -> tuple[dict, dict]:
+    """Run one server configuration; returns (loadgen report, metrics)."""
+    with ServerThread(config) as server:
+        report = run_loadgen(
+            "127.0.0.1",
+            server.port,
+            workload,
+            requests=requests,
+            concurrency=concurrency,
+            verify=True,
+            seed=seed,
+        )
+    return report.to_json(), report.metrics
+
+
+def run_service_benchmark(
+    *,
+    shapes=((48, 48), (32, 32)),
+    distinct: int = 6,
+    algorithm: str = "BDP",
+    baseline_requests: int = 60,
+    requests: int = 300,
+    concurrency: int = 8,
+    max_batch: int = 32,
+    batch_window_ms: float = 2.0,
+    cache_size: int = 512,
+    seed: int = 0,
+) -> dict:
+    """The full ``BENCH_service.json`` document."""
+    workload = build_workload(
+        shapes, distinct=distinct, algorithm=algorithm, seed=seed
+    )
+
+    baseline_config = ServerConfig(
+        port=0, max_batch=1, batch_window=0.0, cache_size=0, compute_threads=1
+    )
+    baseline, _ = _measure(
+        baseline_config,
+        workload,
+        requests=baseline_requests,
+        concurrency=1,
+        seed=seed,
+    )
+
+    treatment_config = ServerConfig(
+        port=0,
+        max_batch=max_batch,
+        batch_window=batch_window_ms / 1000.0,
+        cache_size=cache_size,
+        compute_threads=1,
+    )
+    treatment, metrics = _measure(
+        treatment_config,
+        workload,
+        requests=requests,
+        concurrency=concurrency,
+        seed=seed + 1,
+    )
+
+    speedup = (
+        treatment["throughput_rps"] / baseline["throughput_rps"]
+        if baseline["throughput_rps"]
+        else float("inf")
+    )
+    all_identical = (
+        baseline["divergences"] == 0
+        and treatment["divergences"] == 0
+        and baseline["errors"] == 0
+        and treatment["errors"] == 0
+    )
+    return {
+        "meta": {
+            "tool": "benchmarks/bench_service.py",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "workload": {
+                "shapes": [list(s) for s in shapes],
+                "distinct": distinct,
+                "algorithm": algorithm,
+                "seed": seed,
+            },
+            "baseline_config": {"max_batch": 1, "batch_window_ms": 0.0,
+                                "cache_size": 0, "concurrency": 1},
+            "treatment_config": {"max_batch": max_batch,
+                                 "batch_window_ms": batch_window_ms,
+                                 "cache_size": cache_size,
+                                 "concurrency": concurrency},
+        },
+        "baseline": baseline,
+        "batched_cached": treatment,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "metrics_snapshot": metrics,
+        "all_identical": all_identical,
+    }
+
+
+def format_summary(report: dict) -> str:
+    base = report["baseline"]
+    treat = report["batched_cached"]
+    status = "bit-identical" if report["all_identical"] else "DIVERGED"
+    return (
+        f"baseline (unbatched, uncached, serial): "
+        f"{base['throughput_rps']:.1f} req/s, "
+        f"p50 {base['latency_p50_ms']:.2f} ms\n"
+        f"batched+cached ({treat['concurrency']} conns): "
+        f"{treat['throughput_rps']:.1f} req/s, "
+        f"p50 {treat['latency_p50_ms']:.2f} ms, "
+        f"p99 {treat['latency_p99_ms']:.2f} ms, "
+        f"hit rate {treat['cache_hit_rate'] * 100:.1f}%\n"
+        f"speedup: {report['speedup']:.1f}x (floor {report['min_speedup']:.0f}x, "
+        f"{status})"
+    )
+
+
+def _check(report: dict) -> list[str]:
+    problems = []
+    if not report["all_identical"]:
+        problems.append("served colorings diverged from direct color_with")
+    if report["speedup"] < report["min_speedup"]:
+        problems.append(
+            f"speedup {report['speedup']:.2f}x below the "
+            f"{report['min_speedup']:.0f}x floor"
+        )
+    return problems
+
+
+# ------------------------------------------------------------ pytest harness
+def test_service_benchmark(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_service_benchmark(
+            shapes=((32, 32),), distinct=4, baseline_requests=40, requests=200
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "BENCH_service.json").write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + format_summary(report))
+    assert not _check(report), _check(report)
+
+
+# ----------------------------------------------------------------- standalone
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (CI smoke)")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="JSON report path ('' skips the file)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run_service_benchmark(
+            shapes=((32, 32),), distinct=4,
+            baseline_requests=40, requests=200, seed=args.seed,
+        )
+    else:
+        report = run_service_benchmark(seed=args.seed)
+
+    print(format_summary(report))
+    if args.out:
+        path = Path(args.out)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {path}")
+    problems = _check(report)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,12 @@ Subcommands
 ``bench-kernels``  Time the vectorized kernels against the reference loops
                 and write ``BENCH_kernels.json`` (exits nonzero if any
                 kernel coloring diverges from the reference).
+``serve``       Run the online coloring service: an asyncio TCP server with
+                shape-batched dispatch, a content-addressed result cache,
+                admission control, and a metrics endpoint.
+``loadgen``     Drive a running service with a repeated-shape workload and
+                report throughput/latency (optionally verifying every served
+                coloring against a direct ``color_with`` call).
 
 The experiment subcommands (``suite``, ``optimal``, ``stkde``) accept
 ``--jobs N`` to fan their (instance × algorithm) grid across worker
@@ -347,6 +353,125 @@ def cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServerConfig, run_service
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        spill_path=args.spill or None,
+        compute_threads=args.compute_threads,
+        default_timeout=args.default_timeout,
+        warm_start=bool(args.spill) and args.warm_start,
+    )
+
+    def announce(service) -> None:
+        print(
+            f"coloring service on {config.host}:{service.port} "
+            f"(max_batch={config.max_batch}, window={args.batch_window_ms}ms, "
+            f"queue_limit={config.queue_limit}, cache={config.cache_size}"
+            f"{', spill=' + str(config.spill_path) if config.spill_path else ''})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_service(config, ready=announce))
+    except KeyboardInterrupt:
+        print("interrupted — shutting down")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.loadgen import (
+        build_workload,
+        format_report,
+        parse_shapes,
+        run_loadgen,
+    )
+
+    try:
+        shapes = parse_shapes(args.shapes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    spawned = None
+    host, port = args.host, args.port
+    if args.spawn:
+        from repro.service.server import ServerConfig, ServerThread
+
+        spawned = ServerThread(ServerConfig(host="127.0.0.1", port=0)).start()
+        host, port = "127.0.0.1", spawned.port
+        print(f"spawned in-process service on {host}:{port}")
+    elif args.wait_ready > 0:
+        deadline = _time.monotonic() + args.wait_ready
+        while True:
+            try:
+                with ServiceClient(host, port, timeout=2.0) as probe:
+                    probe.ping()
+                break
+            except (OSError, ServiceError):
+                if _time.monotonic() >= deadline:
+                    print(
+                        f"error: no service at {host}:{port} after "
+                        f"{args.wait_ready:.0f}s",
+                        file=sys.stderr,
+                    )
+                    return 1
+                _time.sleep(0.2)
+
+    try:
+        workload = build_workload(
+            shapes,
+            distinct=args.distinct,
+            algorithm=args.algorithm,
+            max_weight=args.max_weight,
+            seed=args.seed,
+        )
+        report = run_loadgen(
+            host,
+            port,
+            workload,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            verify=args.verify,
+            request_timeout=args.request_timeout or None,
+            seed=args.seed,
+        )
+        print(format_report(report))
+        if args.shutdown_after:
+            with ServiceClient(host, port) as client:
+                client.shutdown()
+            print("sent shutdown to server")
+    finally:
+        if spawned is not None:
+            spawned.stop()
+
+    failed = report.divergences > 0 or report.errors > 0
+    if args.p99_budget_ms > 0 and report.latency_p99_ms > args.p99_budget_ms:
+        print(
+            f"error: p99 {report.latency_p99_ms:.1f} ms exceeds the "
+            f"{args.p99_budget_ms:.1f} ms budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if report.divergences > 0:
+        print("error: served colorings diverged from direct color_with",
+              file=sys.stderr)
+    if report.errors > 0:
+        print(f"error: {report.errors} requests failed", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def cmd_npc(args: argparse.Namespace) -> int:
     from repro.npc.decision import decide_stencil_coloring
     from repro.npc.nae3sat import random_nae3sat, unsatisfiable_example
@@ -391,11 +516,16 @@ def _add_run_log_option(p: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="stencil-ivc",
         description="Interval vertex coloring of 9-pt and 27-pt stencils (IPPS 2022 reproduction)",
         epilog="Run 'stencil-ivc <subcommand> --help' for a brief summary of "
                "any subcommand's options.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -519,6 +649,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_kernels.json",
                    help="JSON report path ('' skips the file)")
     p.set_defaults(func=cmd_bench_kernels)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online coloring service",
+        description="Serve coloring requests over line-delimited JSON TCP: "
+                    "requests are micro-batched by (shape, algorithm) so one "
+                    "geometry/substrate build serves a whole batch, results "
+                    "are cached by content hash, and the queue is bounded "
+                    "(requests beyond --queue-limit get an immediate "
+                    "'overloaded' response).",
+        epilog="Example: stencil-ivc serve --port 8765 --cache-size 1024 "
+               "--spill /tmp/colorings.jsonl",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 picks an ephemeral port; default 8765)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="largest micro-batch dispatched as one unit")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="how long the batcher lingers to fill a batch")
+    p.add_argument("--queue-limit", type=int, default=256,
+                   help="admission cap; beyond it requests are rejected")
+    p.add_argument("--cache-size", type=int, default=512,
+                   help="result-cache entries (0 disables caching)")
+    p.add_argument("--spill", default="",
+                   help="JSONL file evicted cache entries spill to")
+    p.add_argument("--warm-start", action="store_true",
+                   help="index an existing --spill file on startup")
+    p.add_argument("--compute-threads", type=int, default=1,
+                   help="worker threads executing batches")
+    p.add_argument("--default-timeout", type=float, default=30.0,
+                   help="per-request deadline cap in seconds")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive the coloring service with a repeated-shape workload",
+        description="Generate a pool of --distinct weight grids over "
+                    "--shapes, fire --requests sampled requests over "
+                    "--concurrency connections, and report throughput, "
+                    "latency percentiles, and cache hit rate.  --verify "
+                    "checks every served coloring bit-for-bit against a "
+                    "direct color_with call; exits nonzero on divergence, "
+                    "failed requests, or a blown --p99-budget-ms.",
+        epilog="Example: stencil-ivc loadgen --port 8765 --requests 500 "
+               "--concurrency 8 --verify",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--spawn", action="store_true",
+                   help="spawn an in-process server instead of connecting")
+    p.add_argument("--wait-ready", type=float, default=0.0, metavar="SECONDS",
+                   help="poll the server with pings for up to SECONDS before "
+                        "starting (for freshly launched servers)")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--concurrency", type=int, default=8)
+    p.add_argument("--shapes", default="32x32,48x48",
+                   help="comma-separated grid shapes, e.g. 32x32,16x16x8")
+    p.add_argument("--distinct", type=int, default=8,
+                   help="distinct weight grids in the workload pool")
+    p.add_argument("--algorithm", default="BDP")
+    p.add_argument("--max-weight", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="compare every served coloring against direct color_with")
+    p.add_argument("--request-timeout", type=float, default=0.0,
+                   help="per-request deadline in seconds (0 = server default)")
+    p.add_argument("--p99-budget-ms", type=float, default=0.0,
+                   help="fail (exit 1) if p99 latency exceeds this budget")
+    p.add_argument("--shutdown-after", action="store_true",
+                   help="send the server a shutdown op when done")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
     p.add_argument("--vars", type=int, default=4)

@@ -17,9 +17,11 @@ from repro.engine.records import RunRecord
 class RunLogWriter:
     """Append-mode JSONL writer, usable as a context manager.
 
-    Parent directories are created on open; each :meth:`write` flushes so
-    concurrent readers (``tail -f``, a monitoring job) see completed cells
-    immediately.
+    Parent directories are created on open; each :meth:`write` emits the full
+    record line in a single buffered write and flushes it, so concurrent
+    readers (``tail -f``, a monitoring job) see completed cells immediately
+    and a killed process leaves at most one truncated trailing line — which
+    :func:`read_run_log` tolerates.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -50,14 +52,34 @@ class RunLogWriter:
         self.close()
 
 
-def read_run_log(path: str | Path) -> list[RunRecord]:
-    """Load every record of a JSONL run log (blank lines skipped)."""
+def read_run_log(path: str | Path, *, strict: bool = False) -> list[RunRecord]:
+    """Load every record of a JSONL run log (blank lines skipped).
+
+    A process killed mid-:meth:`RunLogWriter.write` (or a crash before the
+    final flush reached disk) leaves a truncated last line.  By default that
+    trailing partial line is silently dropped — the readable prefix is the
+    run log — while a malformed line *before* the end still raises
+    :class:`ValueError` (real corruption, not an interrupted append).  Pass
+    ``strict=True`` to raise on any malformed line including the last.
+    """
+    lines = Path(path).read_text().splitlines()
+    last_content = -1
+    for idx, line in enumerate(lines):
+        if line.strip():
+            last_content = idx
     records: list[RunRecord] = []
-    with Path(path).open() as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(RunRecord.from_json(json.loads(line)))
+    for idx, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(RunRecord.from_json(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if idx == last_content and not strict:
+                break  # truncated trailing append — keep the clean prefix
+            raise ValueError(
+                f"corrupt run log {path}: line {idx + 1} is not a RunRecord ({exc})"
+            ) from exc
     return records
 
 

@@ -98,6 +98,8 @@ def run_kernel_benchmark(
     grids, and an ``all_identical`` flag that is ``False`` if *any* cell's
     kernel coloring diverged from the reference.
     """
+    from repro.kernels.substrate import substrate_stats
+
     shapes: list[tuple[int, ...]] = [(n, n) for n in sizes_2d]
     shapes += [(n, n, n) for n in sizes_3d]
     results = []
@@ -138,6 +140,7 @@ def run_kernel_benchmark(
             "greedy_2d": _headline(2),
             "greedy_3d": _headline(3),
         },
+        "substrate": substrate_stats(),
         "all_identical": all(r["identical"] for r in results),
     }
 
@@ -160,7 +163,13 @@ def summary_line(report: dict) -> str:
             parts.append(f"{head['algorithm']} {shape}: {head['speedup']:.1f}x")
     status = "identical" if report["all_identical"] else "DIVERGED"
     joined = ", ".join(parts) if parts else "no greedy cells"
-    return f"kernels vs reference: {joined} ({status})"
+    sub = report.get("substrate", {}).get("substrates", {})
+    cache = (
+        f"; substrate cache {sub['hits']} hits / {sub['misses']} misses"
+        if sub
+        else ""
+    )
+    return f"kernels vs reference: {joined} ({status}){cache}"
 
 
 def format_report(report: dict) -> str:

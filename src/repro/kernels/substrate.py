@@ -41,7 +41,7 @@ Geometry = Union[StencilGrid2D, StencilGrid3D]
 #: Shapes kept per LRU cache (geometries and substrates separately).
 CACHE_SIZE = int(os.environ.get("REPRO_SUBSTRATE_CACHE_SIZE", "32"))
 #: Wavefront schedules kept per substrate (one per distinct vertex order).
-WAVEFRONT_CACHE_SIZE = 8
+WAVEFRONT_CACHE_SIZE = int(os.environ.get("REPRO_WAVEFRONT_CACHE_SIZE", "8"))
 
 #: A wavefront schedule: ``verts[ptr[b]:ptr[b + 1]]`` is batch ``b``.
 Wavefront = tuple[np.ndarray, np.ndarray]
@@ -192,26 +192,48 @@ class Substrate:
 
 
 class _ShapeCache:
-    """A tiny thread-safe LRU keyed by ``(stencil type, shape)``."""
+    """A tiny thread-safe LRU keyed by ``(stencil type, shape)``.
+
+    Tracks hit/miss/eviction counters (monotonic over the process lifetime,
+    surviving :meth:`clear`) so the service ``/metrics`` snapshot and
+    ``bench-kernels`` can report substrate-cache effectiveness.
+    """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self._items: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def get_or_build(self, key, build):
         with self._lock:
             item = self._items.get(key)
             if item is not None:
+                self.hits += 1
                 self._items.move_to_end(key)
                 return item
+            self.misses += 1
         item = build()
         with self._lock:
             cached = self._items.setdefault(key, item)
             self._items.move_to_end(key)
             while len(self._items) > self.maxsize:
                 self._items.popitem(last=False)
+                self.evictions += 1
         return cached
+
+    def stats(self) -> dict[str, int]:
+        """Counters and occupancy: hits, misses, evictions, size, maxsize."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._items),
+                "maxsize": self.maxsize,
+            }
 
     def clear(self) -> None:
         with self._lock:
@@ -273,3 +295,14 @@ def clear_caches() -> None:
 def cache_sizes() -> dict[str, int]:
     """Current entry counts of the shape caches (observability hook)."""
     return {"geometries": len(_GEOMETRIES), "substrates": len(_SUBSTRATES)}
+
+
+def substrate_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/eviction counters of both shape caches.
+
+    Counters are process-lifetime monotonic (``clear_caches`` drops entries
+    but not counters), so rates computed from deltas are meaningful.  Exposed
+    in the coloring service ``metrics`` snapshot and the ``bench-kernels``
+    report.
+    """
+    return {"geometries": _GEOMETRIES.stats(), "substrates": _SUBSTRATES.stats()}

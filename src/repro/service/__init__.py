@@ -1,0 +1,74 @@
+"""Online coloring service: shape-batched serving of coloring requests.
+
+The paper's motivating STKDE application computes colorings *on demand* as
+analysts re-bin point data — a serving workload.  This package is the online
+front end over the batch engine and vectorized kernels:
+
+* :mod:`~repro.service.protocol` — typed request/response messages and the
+  canonical :func:`~repro.service.protocol.content_key` hash;
+* :mod:`~repro.service.cache` — content-addressed LRU result cache with
+  optional JSONL disk spill;
+* :mod:`~repro.service.batcher` — micro-batching by ``(shape, algorithm)``
+  so one substrate build serves a whole batch, with request coalescing;
+* :mod:`~repro.service.server` — the asyncio TCP server: bounded admission
+  queue, per-request deadlines, graceful drain;
+* :mod:`~repro.service.client` — sync and asyncio clients;
+* :mod:`~repro.service.loadgen` — the repeated-shape load generator with
+  served-vs-direct verification;
+* :mod:`~repro.service.metrics` — counters/gauges/latency histograms
+  snapshotted over the wire.
+
+Served colorings are bit-identical to direct
+:func:`~repro.core.algorithms.registry.color_with` calls: batching shares
+preprocessing, never computations.
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.client import (
+    AsyncServiceClient,
+    ColorResponse,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.loadgen import (
+    LoadgenReport,
+    build_workload,
+    parse_shapes,
+    run_loadgen,
+    run_loadgen_async,
+)
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.protocol import (
+    ColorRequest,
+    ProtocolError,
+    ServedResult,
+    content_key,
+)
+from repro.service.server import ColoringService, ServerConfig, ServerThread
+
+__all__ = [
+    "AsyncServiceClient",
+    "CacheEntry",
+    "ColorRequest",
+    "ColorResponse",
+    "ColoringService",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LoadgenReport",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ProtocolError",
+    "ResultCache",
+    "ServedResult",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "build_workload",
+    "content_key",
+    "parse_shapes",
+    "run_loadgen",
+    "run_loadgen_async",
+]

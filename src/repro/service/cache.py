@@ -1,0 +1,211 @@
+"""Content-addressed result cache with LRU eviction and JSONL disk spill.
+
+Entries are keyed by :func:`~repro.service.protocol.content_key`, so a hit is
+*definitionally* the correct coloring — the key commits to the stencil kind,
+shape, weights, and algorithm, and every registry algorithm is deterministic.
+
+The in-memory tier is a plain LRU of :class:`CacheEntry` values.  When a
+``spill_path`` is configured, evicted entries are appended to a JSONL spill
+file (one entry per line, flushed per append — the same append-safety
+contract as the engine run log) and indexed by byte offset; a miss in memory
+that hits the spill index seeks, re-parses, and promotes the entry back to
+the memory tier.  The spill file is append-only and content-addressed, so a
+server restart can warm-start from it via :meth:`ResultCache.load_spill`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached coloring: the start vector and its summary stats."""
+
+    starts: np.ndarray
+    maxcolor: int
+    algorithm: str
+    compute_seconds: float = 0.0
+
+    def to_json(self, key: str) -> dict:
+        return {
+            "key": key,
+            "starts": np.asarray(self.starts).ravel().tolist(),
+            "shape": list(np.asarray(self.starts).shape),
+            "maxcolor": int(self.maxcolor),
+            "algorithm": self.algorithm,
+            "compute_seconds": float(self.compute_seconds),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CacheEntry":
+        starts = np.asarray(obj["starts"], dtype=np.int64)
+        shape = obj.get("shape")
+        if shape:
+            starts = starts.reshape(tuple(int(s) for s in shape))
+        return cls(
+            starts=starts,
+            maxcolor=int(obj["maxcolor"]),
+            algorithm=obj["algorithm"],
+            compute_seconds=float(obj.get("compute_seconds", 0.0)),
+        )
+
+
+class ResultCache:
+    """Thread-safe LRU of colorings with optional disk spill.
+
+    ``capacity=0`` disables caching entirely (every :meth:`get` is a miss
+    and :meth:`put` is a no-op) — the configuration the service benchmark
+    uses for its uncached baseline.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        spill_path: Optional[str | Path] = None,
+        max_spill_entries: int = 100_000,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.spill_path = Path(spill_path) if spill_path else None
+        self.max_spill_entries = int(max_spill_entries)
+        self._items: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._spill_index: dict[str, int] = {}
+        self._spill_handle = None
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spill_hits = 0
+        self.spilled = 0
+
+    # ------------------------------------------------------------------ tiers
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """The cached entry for ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            entry = self._items.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._items.move_to_end(key)
+                return entry
+            offset = self._spill_index.get(key)
+        if offset is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        entry = self._read_spilled(key, offset)
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self.spill_hits += 1
+        self.put(key, entry)  # promote back to the memory tier
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        """Insert (or refresh) an entry, spilling LRU victims to disk."""
+        if self.capacity <= 0:
+            return
+        victims: list[tuple[str, CacheEntry]] = []
+        with self._lock:
+            self._items[key] = entry
+            self._items.move_to_end(key)
+            while len(self._items) > self.capacity:
+                victims.append(self._items.popitem(last=False))
+                self.evictions += 1
+        for victim_key, victim in victims:
+            self._spill(victim_key, victim)
+
+    # ------------------------------------------------------------------ spill
+    def _spill(self, key: str, entry: CacheEntry) -> None:
+        if self.spill_path is None:
+            return
+        with self._lock:
+            if key in self._spill_index or len(self._spill_index) >= self.max_spill_entries:
+                return
+            if self._spill_handle is None:
+                self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+                self._spill_handle = self.spill_path.open("a")
+            offset = self._spill_handle.tell()
+            self._spill_handle.write(json.dumps(entry.to_json(key)) + "\n")
+            self._spill_handle.flush()
+            self._spill_index[key] = offset
+            self.spilled += 1
+
+    def _read_spilled(self, key: str, offset: int) -> Optional[CacheEntry]:
+        if self.spill_path is None or not self.spill_path.exists():
+            return None
+        try:
+            with self.spill_path.open() as handle:
+                handle.seek(offset)
+                obj = json.loads(handle.readline())
+            if obj.get("key") != key:
+                return None
+            return CacheEntry.from_json(obj)
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            return None
+
+    def load_spill(self) -> int:
+        """Index an existing spill file (warm start); returns entries indexed.
+
+        Truncated trailing lines (a server killed mid-spill) are tolerated;
+        later duplicates of a key win, matching append order.
+        """
+        if self.spill_path is None or not self.spill_path.exists():
+            return 0
+        indexed = 0
+        with self._lock:
+            with self.spill_path.open() as handle:
+                while True:
+                    offset = handle.tell()
+                    line = handle.readline()
+                    if not line:
+                        break
+                    if not line.strip():
+                        continue
+                    try:
+                        obj = json.loads(line)
+                        key = obj["key"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        break  # truncated tail — index the clean prefix
+                    self._spill_index[str(key)] = offset
+                    indexed += 1
+        return indexed
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        with self._lock:
+            if self._spill_handle is not None:
+                self._spill_handle.close()
+                self._spill_handle = None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def stats(self) -> dict:
+        """Counters and occupancy for the metrics snapshot."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "spill_hits": self.spill_hits,
+                "spilled": self.spilled,
+                "size": len(self._items),
+                "capacity": self.capacity,
+                "spill_index_size": len(self._spill_index),
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

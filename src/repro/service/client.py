@@ -1,0 +1,268 @@
+"""Clients for the coloring service: blocking sockets and asyncio streams.
+
+:class:`ServiceClient` is the simple synchronous client (CLI, tests,
+benchmark baselines): one socket, one request in flight.
+:class:`AsyncServiceClient` is the asyncio variant the load generator uses to
+keep many requests in flight across connections.
+
+Both speak the line-delimited JSON protocol of
+:mod:`repro.service.protocol` and return :class:`ColorResponse` objects;
+transport-level failures raise ``OSError``/:class:`ServiceError`, while
+service-level outcomes (``error``, ``timeout``, ``overloaded``…) are
+reported in :attr:`ColorResponse.status` so callers can count and retry
+without exception plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    STATUS_OK,
+    ColorRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    request_to_wire,
+)
+
+
+class ServiceError(RuntimeError):
+    """Transport or framing failure talking to the service."""
+
+
+@dataclass(frozen=True)
+class ColorResponse:
+    """One decoded ``color`` response.
+
+    ``starts`` is reshaped to the request's grid shape; ``latency`` is the
+    client-side wall time of the round trip in seconds.
+    """
+
+    status: str
+    starts: Optional[np.ndarray] = None
+    maxcolor: Optional[int] = None
+    source: str = ""
+    compute_ms: float = 0.0
+    total_ms: float = 0.0
+    batch_size: int = 0
+    error: Optional[str] = None
+    latency: float = 0.0
+    request_id: str = ""
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def cached(self) -> bool:
+        """Whether the result was served without a fresh computation."""
+        return self.source in ("cache", "coalesced")
+
+
+def _decode_color_response(
+    message: dict[str, Any], shape: tuple[int, ...], latency: float
+) -> ColorResponse:
+    starts = None
+    if message.get("starts") is not None:
+        starts = np.asarray(message["starts"], dtype=np.int64).reshape(shape)
+    return ColorResponse(
+        status=str(message.get("status", "error")),
+        starts=starts,
+        maxcolor=message.get("maxcolor"),
+        source=str(message.get("source", "")),
+        compute_ms=float(message.get("compute_ms", 0.0)),
+        total_ms=float(message.get("total_ms", 0.0)),
+        batch_size=int(message.get("batch_size", 0)),
+        error=message.get("error"),
+        latency=latency,
+        request_id=str(message.get("id", "")),
+        raw=message,
+    )
+
+
+def _build_request(
+    weights, algorithm: str, fast, validate: bool, timeout, request_id: str
+) -> ColorRequest:
+    arr = np.ascontiguousarray(weights, dtype=np.int64)
+    return ColorRequest(
+        weights=arr,
+        algorithm=algorithm,
+        fast=fast,
+        validate=validate,
+        timeout=timeout,
+        request_id=request_id,
+    )
+
+
+class ServiceClient:
+    """Blocking one-request-at-a-time client over a TCP socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -------------------------------------------------------------- transport
+    def connect(self) -> "ServiceClient":
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(encode_message(message))
+        line = self._file.readline(MAX_MESSAGE_BYTES)
+        if not line:
+            raise ServiceError("connection closed by server")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad response frame: {exc}") from None
+
+    # -------------------------------------------------------------------- ops
+    def ping(self) -> float:
+        """Round-trip a ping; returns the latency in seconds."""
+        t0 = time.perf_counter()
+        response = self._roundtrip({"op": "ping", "id": "ping"})
+        if response.get("status") != STATUS_OK:
+            raise ServiceError(f"ping failed: {response}")
+        return time.perf_counter() - t0
+
+    def color(
+        self,
+        weights,
+        algorithm: str = "BDP",
+        *,
+        fast: Optional[bool] = None,
+        validate: bool = False,
+        timeout: Optional[float] = None,
+        request_id: str = "",
+    ) -> ColorResponse:
+        """Request a coloring; returns a :class:`ColorResponse`."""
+        request = _build_request(weights, algorithm, fast, validate, timeout, request_id)
+        t0 = time.perf_counter()
+        message = self._roundtrip(request_to_wire(request))
+        return _decode_color_response(
+            message, request.shape, time.perf_counter() - t0
+        )
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's metrics snapshot."""
+        response = self._roundtrip({"op": "metrics", "id": "metrics"})
+        if response.get("status") != STATUS_OK:
+            raise ServiceError(f"metrics failed: {response}")
+        return response["metrics"]
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and stop."""
+        self._roundtrip({"op": "shutdown", "id": "shutdown"})
+
+
+class AsyncServiceClient:
+    """Asyncio variant of :class:`ServiceClient` (one connection per client)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_MESSAGE_BYTES
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        line = await asyncio.wait_for(self._reader.readline(), self.timeout)
+        if not line:
+            raise ServiceError("connection closed by server")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad response frame: {exc}") from None
+
+    async def ping(self) -> float:
+        t0 = time.perf_counter()
+        response = await self._roundtrip({"op": "ping", "id": "ping"})
+        if response.get("status") != STATUS_OK:
+            raise ServiceError(f"ping failed: {response}")
+        return time.perf_counter() - t0
+
+    async def color(
+        self,
+        weights,
+        algorithm: str = "BDP",
+        *,
+        fast: Optional[bool] = None,
+        validate: bool = False,
+        timeout: Optional[float] = None,
+        request_id: str = "",
+    ) -> ColorResponse:
+        request = _build_request(weights, algorithm, fast, validate, timeout, request_id)
+        t0 = time.perf_counter()
+        message = await self._roundtrip(request_to_wire(request))
+        return _decode_color_response(
+            message, request.shape, time.perf_counter() - t0
+        )
+
+    async def metrics(self) -> dict[str, Any]:
+        response = await self._roundtrip({"op": "metrics", "id": "metrics"})
+        if response.get("status") != STATUS_OK:
+            raise ServiceError(f"metrics failed: {response}")
+        return response["metrics"]
+
+    async def shutdown(self) -> None:
+        await self._roundtrip({"op": "shutdown", "id": "shutdown"})

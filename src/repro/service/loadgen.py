@@ -1,0 +1,256 @@
+"""Load generator for the coloring service (``stencil-ivc loadgen``).
+
+Builds a *repeated-shape* workload — a small pool of distinct weight grids
+over a handful of shapes, sampled with replacement — and fires it at a
+server over ``concurrency`` parallel connections.  That is the serving
+pattern the paper's interactive STKDE application produces: analysts re-bin
+the same few grid geometries over and over, so shapes (and often whole
+requests) repeat and the server's substrate sharing, micro-batching, and
+result cache all engage.
+
+With ``verify=True`` every served start vector is compared bit-for-bit
+against a direct in-process :func:`~repro.core.algorithms.registry.color_with`
+call on the same weights — the served-vs-direct equivalence check the CI
+smoke job enforces.  ``overloaded`` responses are retried with a short
+backoff (counted), exercising the admission control path without losing
+requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.service.client import AsyncServiceClient, ColorResponse
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One request template of the workload pool."""
+
+    weights: np.ndarray
+    algorithm: str
+    label: str
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregated outcome of one load-generation run."""
+
+    requests: int = 0
+    ok: int = 0
+    cached: int = 0
+    computed: int = 0
+    overloaded_retries: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    divergences: int = 0
+    duration_seconds: float = 0.0
+    throughput_rps: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+    concurrency: int = 0
+    verify: bool = False
+    error_samples: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.ok if self.ok else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "cached": self.cached,
+            "computed": self.computed,
+            "cache_hit_rate": self.cache_hit_rate,
+            "overloaded_retries": self.overloaded_retries,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "divergences": self.divergences,
+            "duration_seconds": self.duration_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "concurrency": self.concurrency,
+            "verify": self.verify,
+            "error_samples": self.error_samples[:5],
+        }
+
+
+def parse_shapes(text: str) -> list[tuple[int, ...]]:
+    """``"32x32,16x16x8"`` → ``[(32, 32), (16, 16, 8)]``."""
+    shapes = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        dims = tuple(int(d) for d in part.lower().split("x"))
+        if len(dims) not in (2, 3) or any(d <= 0 for d in dims):
+            raise ValueError(f"bad shape {part!r}: need 2 or 3 positive dims")
+        shapes.append(dims)
+    if not shapes:
+        raise ValueError("no shapes given")
+    return shapes
+
+
+def build_workload(
+    shapes: Sequence[tuple[int, ...]],
+    *,
+    distinct: int = 8,
+    algorithm: str = "BDP",
+    max_weight: int = 100,
+    seed: int = 0,
+) -> list[WorkItem]:
+    """A pool of ``distinct`` weight grids cycled over ``shapes``."""
+    rng = np.random.default_rng(seed)
+    pool = []
+    for idx in range(distinct):
+        shape = shapes[idx % len(shapes)]
+        weights = rng.integers(1, max_weight + 1, size=shape, dtype=np.int64)
+        label = "x".join(str(s) for s in shape)
+        pool.append(WorkItem(weights=weights, algorithm=algorithm, label=f"{label}#{idx}"))
+    return pool
+
+
+def _direct_starts(item: WorkItem) -> np.ndarray:
+    """The ground-truth coloring for verification, computed in-process."""
+    from repro.core.algorithms.registry import color_with
+    from repro.core.problem import IVCInstance
+
+    if item.weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(item.weights)
+    else:
+        instance = IVCInstance.from_grid_3d(item.weights)
+    coloring = color_with(instance, item.algorithm)
+    return np.asarray(coloring.starts, dtype=np.int64).reshape(item.weights.shape)
+
+
+async def run_loadgen_async(
+    host: str,
+    port: int,
+    workload: Sequence[WorkItem],
+    *,
+    requests: int = 200,
+    concurrency: int = 8,
+    verify: bool = False,
+    request_timeout: Optional[float] = None,
+    max_retries: int = 50,
+    seed: int = 0,
+    fetch_metrics: bool = True,
+) -> LoadgenReport:
+    """Fire ``requests`` sampled requests at the server; aggregate outcomes."""
+    rng = random.Random(seed)
+    schedule = [workload[rng.randrange(len(workload))] for _ in range(requests)]
+    truth: dict[int, np.ndarray] = {}
+    if verify:
+        for item in workload:
+            truth[id(item)] = _direct_starts(item)
+
+    next_index = 0
+    latencies: list[float] = []
+    report = LoadgenReport(concurrency=concurrency, verify=verify)
+
+    async def worker() -> None:
+        nonlocal next_index
+        client = AsyncServiceClient(host, port, timeout=request_timeout or 120.0)
+        await client.connect()
+        try:
+            while True:
+                if next_index >= len(schedule):
+                    return
+                item = schedule[next_index]
+                next_index += 1
+                response: Optional[ColorResponse] = None
+                for attempt in range(max_retries + 1):
+                    response = await client.color(
+                        item.weights,
+                        item.algorithm,
+                        timeout=request_timeout,
+                        request_id=item.label,
+                    )
+                    if response.status != "overloaded":
+                        break
+                    report.overloaded_retries += 1
+                    await asyncio.sleep(0.002 * (attempt + 1))
+                assert response is not None
+                report.requests += 1
+                latencies.append(response.latency)
+                if response.ok:
+                    report.ok += 1
+                    if response.cached:
+                        report.cached += 1
+                    else:
+                        report.computed += 1
+                    if verify and not np.array_equal(
+                        response.starts, truth[id(item)]
+                    ):
+                        report.divergences += 1
+                elif response.status == "timeout":
+                    report.timeouts += 1
+                else:
+                    report.errors += 1
+                    if response.error and len(report.error_samples) < 5:
+                        report.error_samples.append(
+                            f"{item.label}: [{response.status}] {response.error}"
+                        )
+        finally:
+            await client.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    report.duration_seconds = time.perf_counter() - t0
+    report.throughput_rps = (
+        report.requests / report.duration_seconds if report.duration_seconds else 0.0
+    )
+    if latencies:
+        ordered = sorted(latencies)
+        report.latency_p50_ms = ordered[len(ordered) // 2] * 1000.0
+        report.latency_p99_ms = ordered[
+            min(len(ordered) - 1, int(len(ordered) * 0.99))
+        ] * 1000.0
+        report.latency_mean_ms = sum(ordered) / len(ordered) * 1000.0
+    if fetch_metrics:
+        client = AsyncServiceClient(host, port)
+        try:
+            report.metrics = await client.metrics()
+        finally:
+            await client.close()
+    return report
+
+
+def run_loadgen(host: str, port: int, workload: Sequence[WorkItem], **kwargs) -> LoadgenReport:
+    """Synchronous wrapper around :func:`run_loadgen_async`."""
+    return asyncio.run(run_loadgen_async(host, port, workload, **kwargs))
+
+
+def format_report(report: LoadgenReport) -> str:
+    """Human-readable summary printed by ``stencil-ivc loadgen``."""
+    lines = [
+        f"requests   : {report.requests} over {report.concurrency} connections "
+        f"in {report.duration_seconds:.2f}s",
+        f"throughput : {report.throughput_rps:.1f} req/s",
+        f"latency    : p50 {report.latency_p50_ms:.2f} ms, "
+        f"p99 {report.latency_p99_ms:.2f} ms, mean {report.latency_mean_ms:.2f} ms",
+        f"served     : {report.ok} ok ({report.cached} cached/coalesced, "
+        f"{report.computed} computed; hit rate {report.cache_hit_rate * 100:.1f}%)",
+        f"pressure   : {report.overloaded_retries} overload retries, "
+        f"{report.timeouts} timeouts, {report.errors} errors",
+    ]
+    if report.verify:
+        verdict = "bit-identical" if report.divergences == 0 else "DIVERGED"
+        lines.append(
+            f"verify     : {report.divergences} divergences vs direct color_with "
+            f"({verdict})"
+        )
+    for sample in report.error_samples:
+        lines.append(f"  error: {sample}")
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Typed request/response protocol of the online coloring service.
+
+Wire format: newline-delimited JSON (one message per line) over a stream
+transport.  Every request carries an ``op`` plus an optional client-chosen
+``id`` echoed back in the response; responses carry a ``status``:
+
+========== ============================================================
+``op``      meaning
+========== ============================================================
+``color``   color a weight grid with a registry algorithm
+``metrics`` snapshot the server's metrics registry (+ cache/substrate)
+``ping``    liveness probe
+``shutdown`` ask the server to drain and stop (used by tests/CI)
+========== ============================================================
+
+``status`` is one of ``ok``, ``error`` (algorithm raised / unknown),
+``invalid`` (malformed request), ``timeout`` (deadline expired), or
+``overloaded`` (admission queue full — backpressure, retry later).
+
+Content addressing
+------------------
+:func:`content_key` canonically hashes ``(stencil kind, grid shape, weight
+bytes, algorithm)``.  Options that cannot change the resulting coloring —
+``fast`` (kernels are bit-identical to the reference), ``validate``,
+deadlines, request ids — are deliberately *excluded*, so a cache keyed by
+:func:`content_key` serves every equivalent request regardless of how it was
+phrased.  Weights are canonicalized to C-contiguous ``int64`` before
+hashing, so lists, ``int32`` arrays, and Fortran-ordered arrays of equal
+content collide (as they must).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+#: Upper bound on one encoded message line (guards the server's readline).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Response statuses.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_INVALID = "invalid"
+STATUS_TIMEOUT = "timeout"
+STATUS_OVERLOADED = "overloaded"
+
+
+class ProtocolError(ValueError):
+    """A message that does not parse as a valid protocol frame."""
+
+
+def content_key(weights: np.ndarray, algorithm: str) -> str:
+    """Canonical content hash of a coloring request (hex digest).
+
+    Two requests share a key iff they ask for the same algorithm on the
+    same-kind stencil of the same shape with identical weights — exactly the
+    condition under which their colorings are identical (all registry
+    algorithms are deterministic).
+    """
+    arr = np.ascontiguousarray(weights, dtype=np.int64)
+    h = hashlib.blake2b(digest_size=20)
+    h.update(f"{arr.ndim}d|{'x'.join(str(s) for s in arr.shape)}|".encode())
+    h.update(arr.tobytes())
+    h.update(b"|" + algorithm.encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ColorRequest:
+    """One coloring request, decoded and validated.
+
+    Attributes
+    ----------
+    weights:
+        The 2D or 3D ``int64`` weight grid.
+    algorithm:
+        Registry name of the heuristic to run.
+    fast:
+        Kernel fast-path override forwarded to
+        :func:`~repro.core.algorithms.registry.color_with` (``None`` follows
+        the process switch).  Does not affect the coloring, only speed.
+    validate:
+        Run :meth:`~repro.core.coloring.Coloring.check` on the result before
+        serving it.
+    timeout:
+        Client deadline in seconds from admission; expired requests are
+        answered ``timeout`` without being computed.
+    request_id:
+        Client-chosen correlation id, echoed verbatim.
+    """
+
+    weights: np.ndarray
+    algorithm: str
+    fast: Optional[bool] = None
+    validate: bool = False
+    timeout: Optional[float] = None
+    request_id: str = ""
+    key: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            object.__setattr__(self, "key", content_key(self.weights, self.algorithm))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(int(s) for s in self.weights.shape)
+
+    @property
+    def group(self) -> tuple:
+        """The micro-batching group: same shape, same algorithm."""
+        return (self.shape, self.algorithm)
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """The outcome of one request, as resolved by the batcher.
+
+    ``source`` records how the result was produced: ``computed`` (a kernel
+    run), ``cache`` (content-addressed cache hit), or ``coalesced``
+    (deduplicated against an identical request in the same micro-batch).
+    """
+
+    status: str
+    starts: Optional[np.ndarray] = None
+    maxcolor: Optional[int] = None
+    source: str = ""
+    compute_seconds: float = 0.0
+    batch_size: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+# ------------------------------------------------------------------ encoding
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One JSON message as a newline-terminated UTF-8 line."""
+    data = json.dumps(message, separators=(",", ":")).encode()
+    if len(data) + 1 > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the {MAX_MESSAGE_BYTES} limit"
+        )
+    return data + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line into a message dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def request_to_wire(request: ColorRequest) -> dict[str, Any]:
+    """A ``color`` op message for this request."""
+    message: dict[str, Any] = {
+        "op": "color",
+        "id": request.request_id,
+        "shape": list(request.shape),
+        "weights": np.ascontiguousarray(request.weights, dtype=np.int64).ravel().tolist(),
+        "algorithm": request.algorithm,
+    }
+    options: dict[str, Any] = {}
+    if request.fast is not None:
+        options["fast"] = bool(request.fast)
+    if request.validate:
+        options["validate"] = True
+    if options:
+        message["options"] = options
+    if request.timeout is not None:
+        message["timeout_ms"] = request.timeout * 1000.0
+    return message
+
+
+def request_from_wire(message: dict[str, Any]) -> ColorRequest:
+    """Validate and decode a ``color`` op message.
+
+    Raises
+    ------
+    ProtocolError
+        On missing/ill-typed fields, non-2D/3D shapes, shape/weight length
+        mismatches, or negative weights.
+    """
+    shape = message.get("shape")
+    if not isinstance(shape, list) or not all(
+        isinstance(s, int) and s > 0 for s in shape
+    ):
+        raise ProtocolError("'shape' must be a list of positive integers")
+    if len(shape) not in (2, 3):
+        raise ProtocolError(f"expected a 2D or 3D shape, got {len(shape)} dims")
+    weights = message.get("weights")
+    if not isinstance(weights, list):
+        raise ProtocolError("'weights' must be a flat list of integers")
+    expected = int(np.prod([int(s) for s in shape]))
+    if len(weights) != expected:
+        raise ProtocolError(
+            f"expected {expected} weights for shape {tuple(shape)}, got {len(weights)}"
+        )
+    try:
+        arr = np.asarray(weights, dtype=np.int64).reshape(tuple(shape))
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"weights are not int64 grid data: {exc}") from None
+    if arr.size and arr.min() < 0:
+        raise ProtocolError("weights must be non-negative")
+    algorithm = message.get("algorithm")
+    if not isinstance(algorithm, str) or not algorithm:
+        raise ProtocolError("'algorithm' must be a non-empty string")
+    options = message.get("options") or {}
+    if not isinstance(options, dict):
+        raise ProtocolError("'options' must be an object")
+    fast = options.get("fast")
+    if fast is not None and not isinstance(fast, bool):
+        raise ProtocolError("option 'fast' must be a boolean")
+    validate = bool(options.get("validate", False))
+    timeout_ms = message.get("timeout_ms")
+    timeout: Optional[float] = None
+    if timeout_ms is not None:
+        if not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0:
+            raise ProtocolError("'timeout_ms' must be a positive number")
+        timeout = float(timeout_ms) / 1000.0
+    request_id = message.get("id", "")
+    if not isinstance(request_id, str):
+        request_id = str(request_id)
+    return ColorRequest(
+        weights=arr,
+        algorithm=algorithm,
+        fast=fast,
+        validate=validate,
+        timeout=timeout,
+        request_id=request_id,
+    )
+
+
+def result_to_wire(
+    result: ServedResult, request_id: str, extra: Optional[dict[str, Any]] = None
+) -> dict[str, Any]:
+    """A response message for ``result`` (status-dependent fields)."""
+    message: dict[str, Any] = {"id": request_id, "status": result.status}
+    if result.ok:
+        assert result.starts is not None
+        message["starts"] = np.asarray(result.starts).ravel().tolist()
+        message["maxcolor"] = int(result.maxcolor or 0)
+        message["source"] = result.source
+        message["compute_ms"] = result.compute_seconds * 1000.0
+        message["batch_size"] = result.batch_size
+    elif result.error:
+        message["error"] = result.error
+    if extra:
+        message.update(extra)
+    return message

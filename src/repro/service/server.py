@@ -1,0 +1,335 @@
+"""The asyncio coloring server: admission control, deadlines, graceful drain.
+
+:class:`ColoringService` ties the protocol, cache, micro-batcher, and metrics
+together behind a line-delimited JSON TCP endpoint:
+
+* **Admission control / backpressure** — a request arriving while the batcher
+  queue already holds ``queue_limit`` requests is answered ``overloaded``
+  immediately instead of being buffered without bound; clients treat that as
+  a retry-later signal.
+* **Deadlines** — every request gets ``timeout`` (client-supplied, capped by
+  the server default); expiry while queued or computing yields a ``timeout``
+  response and the computation's result, if it still completes, only warms
+  the cache.
+* **Graceful drain** — shutdown closes the listener, lets queued requests
+  finish (bounded by ``drain_timeout``), flushes responses, then stops the
+  batcher and closes the cache spill.
+
+:class:`ServerThread` runs the whole service on a private event loop in a
+daemon thread — the harness used by the benchmark, the load generator's
+``--spawn`` mode, and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    STATUS_ERROR,
+    STATUS_INVALID,
+    STATUS_OVERLOADED,
+    STATUS_TIMEOUT,
+    ProtocolError,
+    ServedResult,
+    decode_message,
+    encode_message,
+    request_from_wire,
+    result_to_wire,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`ColoringService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off `service.port`
+    max_batch: int = 32
+    batch_window: float = 0.002  # seconds the batcher lingers to fill a batch
+    queue_limit: int = 256  # admission cap; beyond it requests are rejected
+    cache_size: int = 512  # result-cache entries (0 disables caching)
+    spill_path: Optional[str] = None  # JSONL disk spill for evicted entries
+    compute_threads: int = 1
+    default_timeout: float = 30.0  # per-request deadline cap, seconds
+    drain_timeout: float = 30.0  # graceful-shutdown budget, seconds
+    warm_start: bool = False  # index an existing spill file on startup
+    extra_metadata: dict = field(default_factory=dict)
+
+
+class ColoringService:
+    """The online coloring service (see module docstring)."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(
+            capacity=self.config.cache_size, spill_path=self.config.spill_path
+        )
+        self.batcher = MicroBatcher(
+            self.cache,
+            self.metrics,
+            max_batch=self.config.max_batch,
+            batch_window=self.config.batch_window,
+            compute_threads=self.config.compute_threads,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.Task] = set()
+        self._shutdown_requested: Optional[asyncio.Event] = None
+        self._started_at = 0.0
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self.config.warm_start:
+            indexed = self.cache.load_spill()
+            if indexed:
+                self.metrics.counter("spill_warm_entries").inc(indexed)
+        await self.batcher.start()
+        self._shutdown_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_MESSAGE_BYTES,
+        )
+        self._started_at = time.monotonic()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` op (or :meth:`request_shutdown`) arrives."""
+        assert self._shutdown_requested is not None
+        await self._shutdown_requested.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish queued work, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.drain(self.config.drain_timeout)
+        if self._connections:
+            await asyncio.wait(
+                self._connections, timeout=min(5.0, self.config.drain_timeout)
+            )
+        await self.batcher.stop(drain=True, timeout=self.config.drain_timeout)
+        self.cache.close()
+
+    # ------------------------------------------------------------ connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode_message(
+                            {"id": "", "status": STATUS_INVALID,
+                             "error": "message exceeds size limit"}
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_message(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if response.get("op_effect") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_message(self, line: bytes) -> dict:
+        try:
+            message = decode_message(line)
+        except ProtocolError as exc:
+            self.metrics.counter("protocol_errors").inc()
+            return {"id": "", "status": STATUS_INVALID, "error": str(exc)}
+        op = message.get("op")
+        request_id = str(message.get("id", ""))
+        if op == "ping":
+            return {"id": request_id, "status": "ok", "op_echo": "ping"}
+        if op == "metrics":
+            return {"id": request_id, "status": "ok", "metrics": self.snapshot()}
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"id": request_id, "status": "ok", "op_effect": "shutdown"}
+        if op == "color":
+            return await self._handle_color(message, request_id)
+        self.metrics.counter("protocol_errors").inc()
+        return {
+            "id": request_id,
+            "status": STATUS_INVALID,
+            "error": f"unknown op {op!r}",
+        }
+
+    async def _handle_color(self, message: dict, request_id: str) -> dict:
+        from repro.core.algorithms.registry import REGISTRY, UnknownAlgorithmError
+
+        received = time.monotonic()
+        self.metrics.counter("requests_total").inc()
+        try:
+            request = request_from_wire(message)
+        except ProtocolError as exc:
+            self.metrics.counter("invalid_requests").inc()
+            return {"id": request_id, "status": STATUS_INVALID, "error": str(exc)}
+        try:
+            REGISTRY.get(request.algorithm)  # cheap pre-admission validation
+        except UnknownAlgorithmError as exc:
+            self.metrics.counter("request_errors").inc()
+            return {"id": request_id, "status": STATUS_ERROR, "error": str(exc)}
+
+        # Admission control: bounded queue, immediate backpressure beyond it.
+        if self.batcher.depth >= self.config.queue_limit:
+            self.metrics.counter("rejected_overload").inc()
+            return {
+                "id": request_id,
+                "status": STATUS_OVERLOADED,
+                "error": f"queue full ({self.config.queue_limit} requests)",
+            }
+
+        timeout = min(
+            request.timeout or self.config.default_timeout,
+            self.config.default_timeout,
+        )
+        if request.timeout is None:
+            request = replace(request, timeout=timeout)
+        future = self.batcher.submit(request)
+        try:
+            result = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self.metrics.counter("request_timeouts").inc()
+            result = ServedResult(
+                status=STATUS_TIMEOUT, error=f"deadline of {timeout:.3f}s expired"
+            )
+        total = time.monotonic() - received
+        self.metrics.histogram("request_latency").observe(total)
+        if result.ok:
+            self.metrics.counter("responses_ok").inc()
+        elif result.status == STATUS_ERROR:
+            self.metrics.counter("request_errors").inc()
+        return result_to_wire(result, request_id, extra={"total_ms": total * 1000.0})
+
+    # ---------------------------------------------------------------- metrics
+    def snapshot(self) -> dict:
+        """Metrics + cache + substrate-cache state, JSON-serializable."""
+        from repro.kernels.substrate import substrate_stats
+
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["substrate"] = substrate_stats()
+        snap["server"] = {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "queue_depth": self.batcher.depth,
+            "queue_limit": self.config.queue_limit,
+            "max_batch": self.config.max_batch,
+            "batch_window_ms": self.config.batch_window * 1000.0,
+            "compute_threads": self.config.compute_threads,
+            "cache_size": self.config.cache_size,
+            **self.config.extra_metadata,
+        }
+        return snap
+
+
+async def run_service(config: ServerConfig, *, ready=None) -> None:
+    """Start a service and serve until a shutdown op (CLI entry)."""
+    service = ColoringService(config)
+    await service.start()
+    if ready is not None:
+        ready(service)
+    await service.serve_until_shutdown()
+
+
+class ServerThread:
+    """A :class:`ColoringService` on a private event loop in a daemon thread.
+
+    ``start()`` blocks until the listener is bound and returns the port;
+    ``stop()`` requests a graceful drain and joins the thread.  Used by the
+    benchmark, tests, and ``stencil-ivc loadgen --spawn``.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.service: Optional[ColoringService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None
+        return self.service.port
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="coloring-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("coloring service failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"coloring service failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            self.service = ColoringService(self.config)
+            await self.service.start()
+        except BaseException as exc:  # startup failure: surface to starter
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.service.serve_until_shutdown()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self.service is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

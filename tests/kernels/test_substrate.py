@@ -11,6 +11,7 @@ from repro.kernels.substrate import (
     get_substrate,
     shared_geometry_2d,
     shared_geometry_3d,
+    substrate_stats,
 )
 from repro.stencil.grid2d import StencilGrid2D
 from repro.stencil.grid3d import StencilGrid3D
@@ -55,6 +56,29 @@ def test_caches_are_lru_bounded():
     assert shared_geometry_2d(1, 1) is not first
     clear_caches()
     assert cache_sizes() == {"geometries": 0, "substrates": 0}
+
+
+def test_substrate_stats_track_hits_misses_evictions():
+    clear_caches()
+    before = substrate_stats()
+    shared_geometry_2d(2, 9)  # cold: miss
+    shared_geometry_2d(2, 9)  # warm: hit
+    after = substrate_stats()
+    assert after["geometries"]["misses"] == before["geometries"]["misses"] + 1
+    assert after["geometries"]["hits"] == before["geometries"]["hits"] + 1
+    assert after["geometries"]["size"] >= 1
+    assert after["geometries"]["maxsize"] == CACHE_SIZE
+
+    evicted_before = after["geometries"]["evictions"]
+    for k in range(1, CACHE_SIZE + 2):  # overflow the cache by one
+        shared_geometry_2d(3, k)
+    assert substrate_stats()["geometries"]["evictions"] > evicted_before
+
+    # Counters are process-lifetime monotonic: clearing drops entries only.
+    clear_caches()
+    cleared = substrate_stats()
+    assert cleared["geometries"]["size"] == 0
+    assert cleared["geometries"]["hits"] >= after["geometries"]["hits"]
 
 
 def test_neighbor_table_matches_csr():

@@ -1,0 +1,124 @@
+"""Tests for the content-addressed result cache and its disk spill."""
+
+import json
+
+import numpy as np
+
+from repro.service.cache import CacheEntry, ResultCache
+
+
+def _entry(n: int) -> CacheEntry:
+    return CacheEntry(
+        starts=np.arange(n, dtype=np.int64),
+        maxcolor=n,
+        algorithm="GLL",
+        compute_seconds=0.001,
+    )
+
+
+class TestLRU:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", _entry(3))
+        assert cache.get("a").maxcolor == 3
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _entry(1))
+        cache.put("b", _entry(2))
+        cache.get("a")  # refresh a: b becomes the LRU victim
+        cache.put("c", _entry(3))
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", _entry(1))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_refresh_does_not_grow(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _entry(1))
+        cache.put("a", _entry(1))
+        assert len(cache) == 1
+
+
+class TestSpill:
+    def test_evicted_entry_served_from_spill(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        cache = ResultCache(capacity=1, spill_path=spill)
+        cache.put("a", _entry(5))
+        cache.put("b", _entry(6))  # evicts a to disk
+        assert spill.exists()
+        entry = cache.get("a")  # spill hit, promoted back to memory
+        assert entry is not None and entry.maxcolor == 5
+        assert np.array_equal(entry.starts, np.arange(5))
+        stats = cache.stats()
+        assert stats["spill_hits"] == 1
+        # Promoting 'a' back into the capacity-1 cache spilled 'b' as well.
+        assert stats["spilled"] == 2
+        cache.close()
+
+    def test_spill_preserves_shape(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        cache = ResultCache(capacity=1, spill_path=spill)
+        grid = CacheEntry(
+            starts=np.arange(6, dtype=np.int64).reshape(2, 3),
+            maxcolor=9,
+            algorithm="BDP",
+        )
+        cache.put("g", grid)
+        cache.put("x", _entry(1))  # evict g
+        restored = cache.get("g")
+        assert restored.starts.shape == (2, 3)
+        cache.close()
+
+    def test_warm_start_indexes_existing_spill(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        first = ResultCache(capacity=1, spill_path=spill)
+        first.put("a", _entry(4))
+        first.put("b", _entry(5))
+        first.close()
+
+        second = ResultCache(capacity=4, spill_path=spill)
+        assert second.load_spill() == 1  # only 'a' was spilled
+        entry = second.get("a")
+        assert entry is not None and entry.maxcolor == 4
+        second.close()
+
+    def test_warm_start_tolerates_truncated_tail(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        cache = ResultCache(capacity=1, spill_path=spill)
+        cache.put("a", _entry(4))
+        cache.put("b", _entry(5))
+        cache.close()
+        with spill.open("a") as handle:
+            handle.write('{"key": "c", "starts"')  # torn append
+        fresh = ResultCache(capacity=4, spill_path=spill)
+        assert fresh.load_spill() == 1
+        assert fresh.get("a") is not None
+        fresh.close()
+
+    def test_no_spill_without_path(self):
+        cache = ResultCache(capacity=1)
+        cache.put("a", _entry(1))
+        cache.put("b", _entry(2))
+        assert cache.get("a") is None
+        assert cache.stats()["spilled"] == 0
+
+    def test_spill_line_is_valid_json(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        cache = ResultCache(capacity=1, spill_path=spill)
+        cache.put("a", _entry(2))
+        cache.put("b", _entry(3))
+        cache.close()
+        lines = [l for l in spill.read_text().splitlines() if l.strip()]
+        assert len(lines) == 1
+        obj = json.loads(lines[0])
+        assert obj["key"] == "a" and obj["maxcolor"] == 2

@@ -1,0 +1,152 @@
+"""Tests for the service wire protocol and content addressing."""
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import (
+    ColorRequest,
+    ProtocolError,
+    ServedResult,
+    content_key,
+    decode_message,
+    encode_message,
+    request_from_wire,
+    request_to_wire,
+    result_to_wire,
+)
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        w = np.arange(12).reshape(3, 4)
+        assert content_key(w, "BDP") == content_key(w.copy(), "BDP")
+
+    def test_algorithm_changes_key(self):
+        w = np.ones((4, 4), dtype=np.int64)
+        assert content_key(w, "BDP") != content_key(w, "GLL")
+
+    def test_weights_change_key(self):
+        w = np.ones((4, 4), dtype=np.int64)
+        w2 = w.copy()
+        w2[0, 0] = 2
+        assert content_key(w, "BDP") != content_key(w2, "BDP")
+
+    def test_shape_changes_key_same_bytes(self):
+        # Same flat content, different grid shape — different instances.
+        w = np.arange(12)
+        assert content_key(w.reshape(3, 4), "BDP") != content_key(
+            w.reshape(4, 3), "BDP"
+        )
+
+    def test_2d_vs_3d_disambiguated(self):
+        w = np.arange(8)
+        assert content_key(w.reshape(2, 4), "BDP") != content_key(
+            w.reshape(2, 4, 1), "BDP"
+        )
+
+    def test_dtype_and_order_canonicalized(self):
+        # Lists, int32, and Fortran-ordered arrays of equal content collide.
+        w = np.arange(12, dtype=np.int32).reshape(3, 4)
+        assert content_key(w, "GLL") == content_key(
+            np.asfortranarray(w.astype(np.int64)), "GLL"
+        )
+
+    def test_options_do_not_affect_key(self):
+        w = np.ones((4, 4), dtype=np.int64)
+        a = ColorRequest(weights=w, algorithm="BDP", fast=True, validate=True)
+        b = ColorRequest(weights=w, algorithm="BDP", fast=False, timeout=1.0,
+                         request_id="other")
+        assert a.key == b.key
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "ping", "id": "x"}
+        assert decode_message(encode_message(message)) == message
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1,2,3]\n")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json\n")
+
+
+class TestRequestWire:
+    def test_roundtrip_2d(self):
+        w = np.random.default_rng(0).integers(0, 9, size=(5, 7))
+        request = ColorRequest(weights=w, algorithm="GLL", validate=True,
+                               timeout=1.5, request_id="r1")
+        decoded = request_from_wire(request_to_wire(request))
+        assert np.array_equal(decoded.weights, w)
+        assert decoded.algorithm == "GLL"
+        assert decoded.validate is True
+        assert decoded.timeout == pytest.approx(1.5)
+        assert decoded.request_id == "r1"
+        assert decoded.key == request.key
+
+    def test_roundtrip_3d(self):
+        w = np.random.default_rng(1).integers(0, 9, size=(3, 4, 5))
+        request = ColorRequest(weights=w, algorithm="BDP", fast=True)
+        decoded = request_from_wire(request_to_wire(request))
+        assert decoded.weights.shape == (3, 4, 5)
+        assert decoded.fast is True
+        assert decoded.group == ((3, 4, 5), "BDP")
+
+    @pytest.mark.parametrize(
+        "patch,match",
+        [
+            ({"shape": [4]}, "2D or 3D"),
+            ({"shape": "4x4"}, "positive integers"),
+            ({"shape": [4, 0]}, "positive integers"),
+            ({"weights": [1, 2, 3]}, "expected 16 weights"),
+            ({"weights": "zzz"}, "flat list"),
+            ({"algorithm": ""}, "algorithm"),
+            ({"algorithm": 7}, "algorithm"),
+            ({"timeout_ms": -5}, "timeout_ms"),
+            ({"options": [1]}, "options"),
+            ({"options": {"fast": "yes"}}, "fast"),
+        ],
+    )
+    def test_invalid_fields_rejected(self, patch, match):
+        w = np.ones((4, 4), dtype=np.int64)
+        message = request_to_wire(ColorRequest(weights=w, algorithm="BDP"))
+        message.update(patch)
+        with pytest.raises(ProtocolError, match=match):
+            request_from_wire(message)
+
+    def test_negative_weights_rejected(self):
+        message = {
+            "op": "color",
+            "shape": [2, 2],
+            "weights": [1, -1, 1, 1],
+            "algorithm": "BDP",
+        }
+        with pytest.raises(ProtocolError, match="non-negative"):
+            request_from_wire(message)
+
+
+class TestResultWire:
+    def test_ok_result(self):
+        starts = np.array([0, 1, 2, 3], dtype=np.int64)
+        result = ServedResult(status="ok", starts=starts, maxcolor=7,
+                              source="computed", compute_seconds=0.01,
+                              batch_size=4)
+        message = result_to_wire(result, "abc", extra={"total_ms": 3.0})
+        assert message["id"] == "abc"
+        assert message["starts"] == [0, 1, 2, 3]
+        assert message["maxcolor"] == 7
+        assert message["source"] == "computed"
+        assert message["batch_size"] == 4
+        assert message["total_ms"] == 3.0
+
+    def test_error_result(self):
+        message = result_to_wire(
+            ServedResult(status="error", error="boom"), "abc"
+        )
+        assert message == {"id": "abc", "status": "error", "error": "boom"}

@@ -1,0 +1,213 @@
+"""End-to-end tests of the coloring service over real sockets.
+
+A :class:`~repro.service.server.ServerThread` is started per test class on
+an ephemeral port; clients exercise the full protocol path: admission,
+micro-batching, caching, coalescing, deadlines, metrics, and graceful
+shutdown — and every served coloring is checked bit-for-bit against a
+direct :func:`~repro.core.algorithms.registry.color_with` call.
+"""
+
+import asyncio
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import color_with
+from repro.core.problem import IVCInstance
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.loadgen import build_workload, run_loadgen
+from repro.service.server import ServerConfig, ServerThread
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(
+        port=0, max_batch=16, batch_window=0.002, queue_limit=64,
+        cache_size=32, compute_threads=2, default_timeout=20.0,
+    )
+    with ServerThread(config) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient("127.0.0.1", server.port, timeout=30.0) as c:
+        yield c
+
+
+def _grid(shape, seed=0):
+    return np.random.default_rng(seed).integers(1, 50, size=shape, dtype=np.int64)
+
+
+class TestServing:
+    def test_ping(self, client):
+        assert client.ping() < 5.0
+
+    def test_2d_bit_identical_to_direct(self, client):
+        weights = _grid((9, 11), seed=1)
+        response = client.color(weights, "BDP")
+        assert response.ok and response.status == "ok"
+        direct = color_with(IVCInstance.from_grid_2d(weights), "BDP")
+        assert np.array_equal(response.starts.ravel(), direct.starts)
+        assert response.maxcolor == direct.maxcolor
+        assert response.starts.shape == (9, 11)
+
+    def test_3d_bit_identical_to_direct(self, client):
+        weights = _grid((4, 5, 6), seed=2)
+        response = client.color(weights, "GLL")
+        assert response.ok
+        direct = color_with(IVCInstance.from_grid_3d(weights), "GLL")
+        assert np.array_equal(response.starts.ravel(), direct.starts)
+
+    def test_every_registry_algorithm_served(self, client):
+        from repro.core.algorithms.registry import REGISTRY
+
+        weights = _grid((6, 6), seed=3)
+        instance = IVCInstance.from_grid_2d(weights)
+        for name in REGISTRY.select(instance, include_extensions=True):
+            response = client.color(weights, name)
+            assert response.ok, (name, response.error)
+            direct = color_with(instance, name)
+            assert np.array_equal(response.starts.ravel(), direct.starts), name
+
+    def test_repeat_request_hits_cache(self, client):
+        weights = _grid((8, 8), seed=4)
+        first = client.color(weights, "GLF")
+        again = client.color(weights, "GLF")
+        assert first.ok and again.ok
+        assert again.cached and again.source == "cache"
+        assert np.array_equal(first.starts, again.starts)
+
+    def test_unknown_algorithm_is_typed_error(self, client):
+        response = client.color(_grid((4, 4)), "BPD")
+        assert response.status == "error"
+        assert "did you mean" in response.error and "BDP" in response.error
+
+    def test_invalid_request_rejected(self, client):
+        response = client._roundtrip(
+            {"op": "color", "id": "x", "shape": [2, 2],
+             "weights": [1, -2, 3, 4], "algorithm": "GLL"}
+        )
+        assert response["status"] == "invalid"
+        assert "non-negative" in response["error"]
+
+    def test_unknown_op_rejected(self, client):
+        response = client._roundtrip({"op": "frobnicate", "id": "y"})
+        assert response["status"] == "invalid"
+
+    def test_queued_deadline_expires(self, client):
+        # A microscopic deadline expires inside the batch window.
+        response = client.color(_grid((5, 5), seed=9), "GLL",
+                                timeout=1e-6, request_id="doomed")
+        assert response.status == "timeout"
+
+    def test_metrics_snapshot_shape(self, client):
+        client.color(_grid((7, 7), seed=5), "GLL")
+        snap = client.metrics()
+        assert snap["counters"]["requests_total"] >= 1
+        assert "request_latency" in snap["histograms"]
+        for field in ("p50", "p99", "count"):
+            assert field in snap["histograms"]["request_latency"]
+        assert "hit_rate" in snap["cache"]
+        assert set(snap["substrate"]) == {"geometries", "substrates"}
+        assert "hits" in snap["substrate"]["substrates"]
+        assert snap["server"]["queue_limit"] == 64
+
+    def test_coalescing_identical_concurrent_requests(self, server):
+        weights = _grid((10, 10), seed=6)
+
+        async def burst():
+            clients = [AsyncServiceClient("127.0.0.1", server.port) for _ in range(6)]
+            for c in clients:
+                await c.connect()
+            try:
+                return await asyncio.gather(
+                    *(c.color(weights, "GZO") for c in clients)
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+
+        responses = asyncio.run(burst())
+        assert all(r.ok for r in responses)
+        starts = {r.starts.tobytes() for r in responses}
+        assert len(starts) == 1  # all identical
+        direct = color_with(IVCInstance.from_grid_2d(weights), "GZO")
+        assert responses[0].starts.ravel().tolist() == direct.starts.tolist()
+        # At most one computation; the rest were coalesced or cache hits.
+        computed = [r for r in responses if r.source == "computed"]
+        assert len(computed) <= 1
+
+
+class TestBackpressure:
+    def test_zero_queue_limit_rejects_immediately(self):
+        config = ServerConfig(port=0, queue_limit=0, batch_window=0.0)
+        with ServerThread(config) as thread:
+            with ServiceClient("127.0.0.1", thread.port) as client:
+                response = client.color(_grid((4, 4)), "GLL")
+                assert response.status == "overloaded"
+                assert "queue full" in response.error
+                snap = client.metrics()
+                assert snap["counters"]["rejected_overload"] == 1
+
+
+class TestLoadgen:
+    def test_verified_burst(self, server):
+        workload = build_workload(
+            [(12, 12), (6, 6, 4)], distinct=4, algorithm="GLL", seed=7
+        )
+        report = run_loadgen(
+            "127.0.0.1", server.port, workload,
+            requests=40, concurrency=4, verify=True, seed=7,
+        )
+        assert report.requests == 40
+        assert report.ok == 40
+        assert report.divergences == 0
+        assert report.errors == 0
+        assert report.cached > 0  # repeated-shape workload must hit the cache
+        assert report.metrics["counters"]["responses_ok"] >= 40
+        assert report.throughput_rps > 0
+
+
+class TestGracefulShutdown:
+    def test_shutdown_op_drains_and_stops(self):
+        config = ServerConfig(port=0, cache_size=8)
+        thread = ServerThread(config).start()
+        port = thread.port
+        with ServiceClient("127.0.0.1", port) as client:
+            assert client.color(_grid((5, 5), seed=8), "GLL").ok
+            client.shutdown()
+        # The listener must go away shortly after the drain completes.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                probe = socket.create_connection(("127.0.0.1", port), timeout=0.5)
+                probe.close()
+                time.sleep(0.05)
+            except OSError:
+                break
+        else:
+            pytest.fail("server still accepting connections after shutdown")
+        thread.stop()
+
+    def test_spill_survives_restart(self, tmp_path):
+        spill = tmp_path / "colorings.jsonl"
+        weights = _grid((6, 7), seed=10)
+        config = ServerConfig(port=0, cache_size=1, spill_path=str(spill))
+        with ServerThread(config) as thread:
+            with ServiceClient("127.0.0.1", thread.port) as client:
+                first = client.color(weights, "GLL")
+                client.color(_grid((6, 7), seed=11), "GLL")  # evict → spill
+        assert spill.exists() and spill.stat().st_size > 0
+
+        warm = ServerConfig(
+            port=0, cache_size=4, spill_path=str(spill), warm_start=True
+        )
+        with ServerThread(warm) as thread:
+            with ServiceClient("127.0.0.1", thread.port) as client:
+                served = client.color(weights, "GLL")
+                assert served.ok
+                assert served.cached  # warm-started from the spill index
+                assert np.array_equal(served.starts, first.starts)

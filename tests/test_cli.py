@@ -13,7 +13,8 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for cmd in ("solve", "suite", "optimal", "stkde", "npc", "algorithms"):
+        for cmd in ("solve", "suite", "optimal", "stkde", "npc", "algorithms",
+                    "serve", "loadgen"):
             args = parser.parse_args([cmd] if cmd != "solve" else ["solve", "x.npy"])
             assert hasattr(args, "func")
 
@@ -22,6 +23,35 @@ class TestParser:
         for cmd in ("suite", "optimal", "stkde"):
             assert parser.parse_args([cmd, "--jobs", "3"]).jobs == 3
             assert parser.parse_args([cmd]).jobs == 0  # 0 = all cores
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"stencil-ivc {__version__}"
+
+    def test_unknown_subcommand_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2  # argparse usage-error convention
+        err = capsys.readouterr().err
+        assert "usage:" in err and "frobnicate" in err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.max_batch == 32
+        assert args.batch_window_ms == pytest.approx(2.0)
+        assert args.queue_limit == 256
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.requests == 200
+        assert args.concurrency == 8
+        assert args.algorithm == "BDP"
+        assert args.shapes == "32x32,48x48"
 
 
 class TestAlgorithms:
@@ -191,6 +221,17 @@ class TestNpc:
         assert rc == 0
         out = capsys.readouterr().out
         assert "colorable with 14 colors: False" in out
+
+
+class TestService:
+    def test_loadgen_spawn_verified(self, capsys):
+        rc = main(["loadgen", "--spawn", "--requests", "12", "--concurrency", "2",
+                   "--shapes", "8x8", "--distinct", "2", "--algorithm", "GLL",
+                   "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 divergences vs direct color_with" in out
+        assert "hit rate" in out
 
 
 class TestStkde:
