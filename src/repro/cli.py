@@ -163,14 +163,31 @@ def cmd_suite(args: argparse.Namespace) -> int:
         instances = build_suite_2d(datasets, config)
     else:
         instances = build_suite_3d(datasets, config)
+    if args.resume and not args.run_log:
+        print("error: --resume needs --run-log (the log to resume from)",
+              file=sys.stderr)
+        return 2
     print(banner(f"{args.dim}D suite: {len(instances)} instances"))
+    from pathlib import Path
+
+    resume_from = (
+        args.run_log if args.resume and Path(args.run_log).exists() else None
+    )
     result = run_suite(
         instances,
         jobs=args.jobs,
         fast_paths=args.fast_path,
         log_path=args.run_log or None,
         on_error="record",
+        max_cell_retries=args.retries,
+        resume_from=resume_from,
     )
+    if result.cells_resumed or result.pool_restarts or result.cells_retried:
+        print(
+            f"resilience : {result.cells_resumed} cells resumed from the run "
+            f"log, {result.pool_restarts} pool restarts, "
+            f"{result.cells_retried} cell retries"
+        )
     if result.errors:
         print(f"! {len(result.errors)} failed cells (excluded from the profile):")
         for rec in result.errors:
@@ -390,6 +407,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_loadgen(args: argparse.Namespace) -> int:
     import time as _time
 
+    from repro.resilience import RetryPolicy, install_plan, parse_fault_spec
     from repro.service.client import ServiceClient, ServiceError
     from repro.service.loadgen import (
         build_workload,
@@ -404,12 +422,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.faults:
+        try:
+            plan = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        install_plan(plan)
+        print(f"chaos: installed fault plan (seed {plan.seed}, "
+              f"{len(plan.points)} fault points)")
+    retry = (
+        RetryPolicy(retries=args.connect_retries)
+        if args.connect_retries > 0
+        else None
+    )
+
     spawned = None
     host, port = args.host, args.port
     if args.spawn:
         from repro.service.server import ServerConfig, ServerThread
 
-        spawned = ServerThread(ServerConfig(host="127.0.0.1", port=0)).start()
+        spawned = ServerThread(
+            ServerConfig(
+                host="127.0.0.1",
+                port=0,
+                cache_size=args.spawn_cache_size,
+                spill_path=args.spawn_spill or None,
+            )
+        ).start()
         host, port = "127.0.0.1", spawned.port
         print(f"spawned in-process service on {host}:{port}")
     elif args.wait_ready > 0:
@@ -446,6 +486,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             verify=args.verify,
             request_timeout=args.request_timeout or None,
             seed=args.seed,
+            retry=retry,
         )
         print(format_report(report))
         if args.shutdown_after:
@@ -469,6 +510,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if report.errors > 0:
         print(f"error: {report.errors} requests failed", file=sys.stderr)
+    if report.connection_failures > 0:
+        print(
+            f"error: {report.connection_failures} requests lost to dead "
+            "connections (retry budget exhausted)",
+            file=sys.stderr,
+        )
+        failed = True
     return 1 if failed else 0
 
 
@@ -585,6 +633,16 @@ def build_parser() -> argparse.ArgumentParser:
                      "REPRO_FAST_PATHS environment switch",
             )
             _add_run_log_option(p)
+            p.add_argument(
+                "--resume", action="store_true",
+                help="resume from an existing --run-log: completed cells are "
+                     "adopted, only missing/error cells re-run",
+            )
+            p.add_argument(
+                "--retries", type=int, default=3, metavar="N",
+                help="extra attempts per cell after a worker crash (the pool "
+                     "is rebuilt and only lost cells resubmitted; default 3)",
+            )
         if name == "optimal":
             p.add_argument("--time-limit", type=float, default=5.0)
         p.set_defaults(func=func)
@@ -720,6 +778,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail (exit 1) if p99 latency exceeds this budget")
     p.add_argument("--shutdown-after", action="store_true",
                    help="send the server a shutdown op when done")
+    p.add_argument("--faults", default="", metavar="SPEC",
+                   help="install a seeded fault plan for chaos runs, e.g. "
+                        "'seed=11;client.send:drop=0.05;service.compute:error=0.02'")
+    p.add_argument("--connect-retries", type=int, default=0, metavar="N",
+                   help="retry budget per request for dropped connections "
+                        "(0 = brittle connections, the default)")
+    p.add_argument("--spawn-cache-size", type=int, default=512,
+                   help="result-cache entries for the --spawn server")
+    p.add_argument("--spawn-spill", default="",
+                   help="JSONL spill file for the --spawn server's cache")
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")

@@ -3,9 +3,12 @@
 Contents:
 
 * :mod:`~repro.engine.executor` — :func:`run_grid`: chunked fan-out of a
-  suite's cells across a process pool, with per-worker instance reuse and
-  per-cell failure isolation; serial execution is ``jobs=1`` of the same
-  code path.
+  suite's cells across a supervised process pool, with per-worker instance
+  reuse, per-cell failure isolation, crash recovery (pool restarts with
+  bounded per-cell retries and chunk splitting), and ``resume_from=`` replay
+  of an interrupted run log; serial execution is ``jobs=1`` of the same
+  code path.  Results come back as a :class:`GridResult` (a ``list`` of
+  records plus supervision counters).
 * :mod:`~repro.engine.records` — :class:`RunRecord`, the structured outcome
   of one cell (maxcolor, lower bound, elapsed, worker, status).
 * :mod:`~repro.engine.runlog` — JSONL streaming of records
@@ -13,7 +16,7 @@ Contents:
   between runs (:func:`diff_run_logs`).
 """
 
-from repro.engine.executor import CellTimeout, resolve_jobs, run_grid
+from repro.engine.executor import CellTimeout, GridResult, resolve_jobs, run_grid
 from repro.engine.records import (
     STATUS_ERROR,
     STATUS_OK,
@@ -24,6 +27,7 @@ from repro.engine.runlog import RunLogWriter, diff_run_logs, read_run_log
 
 __all__ = [
     "CellTimeout",
+    "GridResult",
     "RunLogWriter",
     "RunRecord",
     "STATUS_ERROR",

@@ -8,13 +8,40 @@ per-instance lower bound the first time any cell of that instance runs.
 
 Failure isolation is per cell: an algorithm that raises — or exceeds the
 optional per-cell time limit — yields an ``error``/``timeout``
-:class:`~repro.engine.records.RunRecord` while every other cell proceeds.  A
-worker process dying outright (segfault, OOM kill) costs only the cells of its
-in-flight chunk, which are recorded as errors.
+:class:`~repro.engine.records.RunRecord` while every other cell proceeds.
+
+**Pool supervision.**  A worker process dying outright (segfault, OOM kill,
+``kill -9``) breaks the whole ``ProcessPoolExecutor``: every in-flight chunk
+raises ``BrokenProcessPool``, not just the chunk the dead worker held.  The
+engine treats that as recoverable.  Workers journal a ``start``/``done``
+mark per cell to a per-pool file, so after a break the supervisor knows
+which cells were actually mid-execution (at most ``jobs`` of them) — those
+become *suspects*, while every other lost cell is requeued intact, free of
+charge.  Suspects re-run one at a time, alone in a fresh pool, once the
+ordinary queue drains: a break then has certain blame, and only there is
+retry budget (``max_cell_retries`` extra attempts per cell) charged.  A
+suspect crashing past its budget becomes a crash record; with
+``max_cell_retries=0`` every cell lost to a break fails fast instead.
+Because blame never attaches by co-location, a poison cell cannot burn the
+budget of cells that merely shared its pool, and the outcome is independent
+of pool scheduling.  The supervision counters are
+returned on the result (:class:`GridResult`: ``pool_restarts``,
+``cells_retried``, ``cells_resumed``).
+
+**Resume.**  ``resume_from=`` points at an existing JSONL run log (typically
+the ``log_path`` of a run that was killed part-way); cells the log already
+holds with ``ok`` or ``timeout`` status are adopted verbatim and only
+missing/``error`` cells execute.  Because every registry algorithm is
+deterministic, a resumed grid is bit-identical to an uninterrupted one.
 
 Serial execution is ``jobs=1`` of the same code path: the identical
 initializer and chunk runner execute in-process, so parallel and serial runs
 are byte-identical in everything but ``elapsed`` and ``worker``.
+
+Chaos hooks: each cell attempt passes through the ``engine.cell`` fault
+injection site (:mod:`repro.resilience.faults`) with token
+``"<instance>:<algorithm>#<attempt>"`` — ``crash`` kills the worker process,
+``error`` raises inside the cell, ``slow`` sleeps before computing.
 """
 
 from __future__ import annotations
@@ -22,8 +49,9 @@ from __future__ import annotations
 import math
 import os
 import signal
+import tempfile
 import threading
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,10 +66,14 @@ from repro.engine.records import (
     STATUS_TIMEOUT,
     RunRecord,
 )
-from repro.engine.runlog import RunLogWriter
+from repro.engine.runlog import RunLogWriter, read_run_log
+from repro.resilience.faults import inject
 
-#: A cell is ``(position in the flattened grid, instance index, algorithm)``.
-Cell = tuple[int, int, str]
+#: A cell is ``(position in the flattened grid, instance index, algorithm,
+#: attempt number)``.  The attempt number is 0 on first submission and grows
+#: by one each time the cell is resubmitted after a pool crash, so fault
+#: injection and diagnostics can tell retries apart.
+Cell = tuple[int, int, str, int]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -49,6 +81,27 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+class GridResult(list):
+    """The records of a grid run plus the supervision counters.
+
+    A plain ``list[RunRecord]`` in grid order (instance-major), so every
+    existing caller keeps working, with three extra attributes:
+
+    ``pool_restarts``
+        Times the worker pool was rebuilt after a worker death.
+    ``cells_retried``
+        Budget-charged retry attempts: re-runs granted to a cell after it
+        crashed *alone* in the pool, where the blame was certain.  Cells
+        requeued merely because they shared a broken pool are not counted.
+    ``cells_resumed``
+        Cells adopted from a ``resume_from=`` run log instead of executing.
+    """
+
+    pool_restarts: int = 0
+    cells_retried: int = 0
+    cells_resumed: int = 0
 
 
 class CellTimeout(Exception):
@@ -92,6 +145,7 @@ class _WorkerState:
     cell_timeout: Optional[float]
     capture_starts: bool
     fast_paths: Optional[bool] = None
+    journal: Optional[object] = None
     bounds: dict[int, int] = field(default_factory=dict)
 
     def lower_bound_of(self, index: int) -> int:
@@ -109,6 +163,7 @@ def _init_worker(
     cell_timeout: Optional[float],
     capture_starts: bool,
     fast_paths: Optional[bool] = None,
+    journal_path: Optional[str] = None,
 ) -> None:
     """Pool initializer: receive the instance list once per worker.
 
@@ -116,6 +171,11 @@ def _init_worker(
     (:mod:`repro.kernels.substrate`) the first time a cell of a given shape
     runs, so repeated shapes in a suite reuse adjacency/offset tables within
     the worker for the whole run.
+
+    ``journal_path`` names the pool's shared start/done journal (each worker
+    appends through its own ``O_APPEND`` descriptor, line-buffered, so the
+    short marks interleave whole).  ``None`` — the serial path — disables
+    journalling.
     """
     global _STATE
     _STATE = _WorkerState(
@@ -124,10 +184,15 @@ def _init_worker(
         cell_timeout=cell_timeout,
         capture_starts=capture_starts,
         fast_paths=fast_paths,
+        journal=(
+            open(journal_path, "a", buffering=1) if journal_path is not None else None
+        ),
     )
 
 
-def _run_cell(state: _WorkerState, pos: int, index: int, name: str) -> RunRecord:
+def _run_cell(
+    state: _WorkerState, pos: int, index: int, name: str, attempt: int = 0
+) -> RunRecord:
     """Execute one (instance, algorithm) cell, never letting exceptions out."""
     from repro.core.algorithms.registry import color_with
 
@@ -143,6 +208,7 @@ def _run_cell(state: _WorkerState, pos: int, index: int, name: str) -> RunRecord
     t0 = perf_counter()
     bound: Optional[int] = None
     try:
+        inject("engine.cell", f"{instance.name}:{name}#{attempt}")
         bound = state.lower_bound_of(index)
         with _time_limit(state.cell_timeout):
             coloring = color_with(instance, name, fast=state.fast_paths)
@@ -179,35 +245,229 @@ def _run_cell(state: _WorkerState, pos: int, index: int, name: str) -> RunRecord
 
 
 def _run_chunk(cells: Sequence[Cell]) -> list[tuple[int, RunRecord]]:
-    """Run a chunk of cells against the installed worker state."""
+    """Run a chunk of cells against the installed worker state.
+
+    Each cell is bracketed by ``start``/``done`` journal marks: a cell whose
+    ``start`` has no ``done`` when the pool breaks was mid-execution in the
+    dead (or torn-down) worker, which is how the supervisor tells suspects
+    from cells that were merely queued behind them.
+    """
     assert _STATE is not None, "worker state missing — initializer did not run"
-    return [(pos, _run_cell(_STATE, pos, index, name)) for pos, index, name in cells]
+    out = []
+    for pos, index, name, attempt in cells:
+        if _STATE.journal is not None:
+            _STATE.journal.write(f"start {pos}\n")
+        out.append((pos, _run_cell(_STATE, pos, index, name, attempt)))
+        if _STATE.journal is not None:
+            _STATE.journal.write(f"done {pos}\n")
+    return out
 
 
 def _chunked(cells: Sequence[Cell], chunk_size: int) -> list[list[Cell]]:
     return [list(cells[i : i + chunk_size]) for i in range(0, len(cells), chunk_size)]
 
 
-def _crash_records(cells: Iterable[Cell], instances: Sequence[IVCInstance], exc: BaseException) -> list[tuple[int, RunRecord]]:
-    """Error records for every cell of a chunk whose worker died."""
-    out = []
-    for pos, index, name in cells:
-        instance = instances[index]
-        shape = tuple(instance.geometry.shape) if instance.geometry is not None else None
-        out.append(
-            (
-                pos,
-                RunRecord(
-                    instance_index=index,
-                    instance=instance.name,
-                    shape=shape,
-                    algorithm=name,
-                    status=STATUS_ERROR,
-                    error=f"worker crashed: {type(exc).__name__}: {exc}",
-                ),
-            )
-        )
-    return out
+def _crash_record(
+    cell: Cell, instances: Sequence[IVCInstance], exc: BaseException
+) -> tuple[int, RunRecord]:
+    """The error record for one cell whose retry budget crashed away."""
+    pos, index, name, attempt = cell
+    instance = instances[index]
+    shape = tuple(instance.geometry.shape) if instance.geometry is not None else None
+    return (
+        pos,
+        RunRecord(
+            instance_index=index,
+            instance=instance.name,
+            shape=shape,
+            algorithm=name,
+            status=STATUS_ERROR,
+            error=(
+                f"worker crashed on every attempt (x{attempt + 1}): "
+                f"{type(exc).__name__}: {exc}"
+            ),
+        ),
+    )
+
+
+def _split_chunk(chunk: list[Cell]) -> list[list[Cell]]:
+    """Halve a crashed chunk so a poison cell is progressively isolated."""
+    if len(chunk) <= 1:
+        return [chunk]
+    mid = len(chunk) // 2
+    return [chunk[:mid], chunk[mid:]]
+
+
+def _read_journal(path: str) -> set[int]:
+    """Grid positions whose ``start`` mark has no matching ``done``.
+
+    These are the cells that were mid-execution when the pool broke — at
+    most one per worker, and among them the cell whose worker actually died.
+    A torn trailing line (the worker died mid-write) is skipped, not fatal.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return set()
+    started: set[int] = set()
+    done: set[int] = set()
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) != 2 or not parts[1].isdigit():
+            continue
+        if parts[0] == "start":
+            started.add(int(parts[1]))
+        elif parts[0] == "done":
+            done.add(int(parts[1]))
+    return started - done
+
+
+def _adopt_resumed(
+    resume_from: str | Path,
+    instances: Sequence[IVCInstance],
+    names: Sequence[str],
+) -> dict[int, RunRecord]:
+    """Completed cells of an earlier run log, keyed by grid position.
+
+    Only records that still match the current grid are adopted: the
+    instance index must hold the same instance name and the algorithm must
+    be in this run's set.  ``ok`` and ``timeout`` cells count as completed
+    (re-running a timeout would time out again); ``error`` cells — including
+    crash records — are left to re-execute.  Later duplicates win, matching
+    append order.
+    """
+    name_pos = {name: j for j, name in enumerate(names)}
+    adopted: dict[int, RunRecord] = {}
+    for record in read_run_log(resume_from):
+        j = name_pos.get(record.algorithm)
+        if j is None or not 0 <= record.instance_index < len(instances):
+            continue
+        if instances[record.instance_index].name != record.instance:
+            continue
+        if record.status not in (STATUS_OK, STATUS_TIMEOUT):
+            continue
+        adopted[record.instance_index * len(names) + j] = record
+    return adopted
+
+
+def _run_supervised(
+    chunks: list[list[Cell]],
+    instances: Sequence[IVCInstance],
+    init_args: tuple,
+    jobs: int,
+    max_cell_retries: int,
+    store,
+    result: GridResult,
+) -> None:
+    """Run chunks on a supervised pool, restarting it after worker deaths.
+
+    One iteration of the outer loop is one pool lifetime.  Ordinary rounds
+    submit every queued chunk, store completions as they arrive, and treat
+    the first pool-level failure (``BrokenProcessPool`` &c.) as aborting the
+    round: chunks that completed keep their results, and the workers'
+    start/done journal identifies which of the lost cells were actually
+    mid-execution (at most ``jobs`` of them).  Those become *suspects*;
+    every other lost cell is requeued intact, free of charge — blame never
+    attaches by co-location, so the outcome does not depend on which chunks
+    happened to share the broken pool.
+
+    Suspects run once the ordinary queue drains, one at a time, alone in a
+    single-worker pool: a break then has certain blame, and only there is
+    retry budget charged (``attempt`` advances, which re-rolls the
+    ``engine.cell`` fault token — mirroring how a real poison cell behaves
+    the same way every time it runs alone).  A suspect past its budget
+    becomes a crash record; with ``max_cell_retries=0`` every cell lost to
+    a break fails fast instead.
+
+    If a break leaves no journal evidence (a worker died before its first
+    mark reached the file), lost multi-cell chunks are halved and lost
+    singletons become suspects, so isolation still converges.
+    """
+    queue = list(chunks)
+    suspects: list[Cell] = []
+    while queue or suspects:
+        if queue:
+            round_chunks, queue = queue, []
+            alone: Optional[Cell] = None
+        else:
+            alone = suspects.pop(0)
+            round_chunks = [[alone]]
+        crashed: Optional[BaseException] = None
+        lost_chunks: list[list[Cell]] = []
+        journal_fd, journal_path = tempfile.mkstemp(prefix="repro-cell-journal-")
+        os.close(journal_fd)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=1 if alone is not None else jobs,
+                initializer=_init_worker,
+                initargs=init_args + (journal_path,),
+            ) as pool:
+                futures: dict[Future, list[Cell]] = {}
+                for chunk in round_chunks:
+                    try:
+                        futures[pool.submit(_run_chunk, chunk)] = chunk
+                    except Exception as exc:
+                        # The pool broke while we were still submitting (a
+                        # worker died on an earlier chunk): everything not
+                        # yet submitted is lost the same way the in-flight
+                        # chunks are.
+                        crashed = exc
+                        lost_chunks.append(chunk)
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        try:
+                            store(future.result())
+                        except Exception as exc:
+                            # A worker died: this chunk's results are gone,
+                            # and the pool is broken — every still-pending
+                            # chunk will fail the same way.  Collect them
+                            # all and rebuild.
+                            crashed = exc
+                            lost_chunks.append(futures[future])
+                    if crashed is not None:
+                        for future in pending:
+                            try:
+                                store(future.result())
+                            except Exception:
+                                lost_chunks.append(futures[future])
+                        break
+            if crashed is None:
+                continue
+            result.pool_restarts += 1
+            if alone is not None:
+                # The pool held nothing but this cell: the blame is certain,
+                # and this is the only place retry budget is charged.
+                pos, index, name, attempt = alone
+                if attempt >= max_cell_retries:
+                    store([_crash_record(alone, instances, crashed)])
+                else:
+                    suspects.append((pos, index, name, attempt + 1))
+                    result.cells_retried += 1
+                continue
+            lost_cells = [cell for chunk in lost_chunks for cell in chunk]
+            if max_cell_retries <= 0:
+                store([_crash_record(c, instances, crashed) for c in lost_cells])
+                continue
+            culprits = _read_journal(journal_path) & {c[0] for c in lost_cells}
+            if culprits:
+                for chunk in lost_chunks:
+                    suspects.extend(c for c in chunk if c[0] in culprits)
+                    keep = [c for c in chunk if c[0] not in culprits]
+                    if keep:
+                        queue.append(keep)
+            else:
+                for chunk in lost_chunks:
+                    if len(chunk) == 1:
+                        suspects.append(chunk[0])
+                    else:
+                        queue.extend(_split_chunk(chunk))
+        finally:
+            try:
+                os.unlink(journal_path)
+            except OSError:
+                pass
 
 
 def run_grid(
@@ -221,7 +481,9 @@ def run_grid(
     capture_starts: bool = False,
     fast_paths: Optional[bool] = None,
     log_path: str | Path | None = None,
-) -> list[RunRecord]:
+    max_cell_retries: int = 3,
+    resume_from: str | Path | None = None,
+) -> GridResult:
     """Run every algorithm on every instance, one :class:`RunRecord` per cell.
 
     Parameters
@@ -252,21 +514,43 @@ def run_grid(
         (default) follows each worker's process-wide switch.
     log_path:
         Stream records to this JSONL file as cells complete.
+    max_cell_retries:
+        Extra attempts each cell gets after crashing a pool it had all to
+        itself (``jobs > 1`` only).  After a worker death the start/done
+        journal identifies the cells that were mid-execution; those re-run
+        alone in a rebuilt pool — where a crash has certain blame and
+        charges this budget — while every other lost cell is requeued
+        intact for free.  ``0`` restores fail-fast crash records for every
+        lost cell.
+    resume_from:
+        Path to an existing JSONL run log; its ``ok``/``timeout`` cells are
+        adopted verbatim (not re-executed and *not* re-written to
+        ``log_path``, so resuming with ``log_path == resume_from`` appends
+        only the newly executed cells) and only missing/``error`` cells run.
 
     Returns
     -------
-    list[RunRecord]
-        In grid order: instance-major, then ``algorithms`` order — identical
-        regardless of ``jobs``.
+    GridResult
+        A ``list[RunRecord]`` in grid order — instance-major, then
+        ``algorithms`` order, identical regardless of ``jobs`` — carrying
+        ``pool_restarts`` / ``cells_retried`` / ``cells_resumed`` counters.
     """
     instances = list(instances)
     names = list(algorithms)
+    records: list[Optional[RunRecord]] = [None] * (len(instances) * len(names))
+    result = GridResult()
+
+    if resume_from is not None:
+        for pos, record in _adopt_resumed(resume_from, instances, names).items():
+            records[pos] = record
+            result.cells_resumed += 1
+
     cells: list[Cell] = [
-        (i * len(names) + j, i, name)
+        (i * len(names) + j, i, name, 0)
         for i in range(len(instances))
         for j, name in enumerate(names)
+        if records[i * len(names) + j] is None
     ]
-    records: list[Optional[RunRecord]] = [None] * len(cells)
     jobs = min(resolve_jobs(jobs), max(1, len(cells)))
 
     writer = RunLogWriter(log_path) if log_path is not None else None
@@ -278,7 +562,9 @@ def run_grid(
                 writer.write(record)
 
     try:
-        if jobs == 1:
+        if not cells:
+            pass  # fully resumed — nothing to execute
+        elif jobs == 1:
             _init_worker(instances, validate, cell_timeout, capture_starts, fast_paths)
             try:
                 store(_run_chunk(cells))
@@ -288,28 +574,19 @@ def run_grid(
         else:
             if chunk_size is None:
                 chunk_size = max(1, math.ceil(len(cells) / (jobs * 4)))
-            chunks = _chunked(cells, chunk_size)
-            with ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_init_worker,
-                initargs=(instances, validate, cell_timeout, capture_starts, fast_paths),
-            ) as pool:
-                futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
-                pending = set(futures)
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        chunk = futures[future]
-                        try:
-                            store(future.result())
-                        except Exception as exc:
-                            # The worker died mid-chunk (BrokenProcessPool &c):
-                            # its cells become error records, the rest of the
-                            # suite keeps going.
-                            store(_crash_records(chunk, instances, exc))
+            _run_supervised(
+                _chunked(cells, chunk_size),
+                instances,
+                (instances, validate, cell_timeout, capture_starts, fast_paths),
+                jobs,
+                max(0, int(max_cell_retries)),
+                store,
+                result,
+            )
     finally:
         if writer is not None:
             writer.close()
 
     assert all(r is not None for r in records)
-    return records  # type: ignore[return-value]
+    result.extend(records)
+    return result

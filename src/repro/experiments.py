@@ -62,6 +62,12 @@ class SuiteResult:
     times: dict[str, list[float]] = field(default_factory=dict)
     lower_bounds: list[int] = field(default_factory=list)
     records: list[RunRecord] = field(default_factory=list)
+    #: Engine supervision counters (see :class:`repro.engine.GridResult`):
+    #: pool rebuilds after worker deaths, cell executions resubmitted after a
+    #: crash, and cells adopted from a ``resume_from=`` run log.
+    pool_restarts: int = 0
+    cells_retried: int = 0
+    cells_resumed: int = 0
 
     @property
     def algorithms(self) -> list[str]:
@@ -167,6 +173,8 @@ def run_suite(
     fast_paths: bool | None = None,
     log_path: str | Path | None = None,
     on_error: str = "raise",
+    max_cell_retries: int = 3,
+    resume_from: str | Path | None = None,
 ) -> SuiteResult:
     """Run every algorithm on every instance, collecting quality and time.
 
@@ -198,6 +206,12 @@ def run_suite(
         ``"raise"`` (default) aborts on the first failed cell with
         :class:`SuiteExecutionError`; ``"record"`` finishes the suite and
         reports failures on :attr:`SuiteResult.errors`.
+    max_cell_retries:
+        Extra attempts each cell gets after a worker crash loses its chunk
+        (the engine rebuilds the pool and resubmits only the lost cells).
+    resume_from:
+        Existing JSONL run log to resume: completed (``ok``/``timeout``)
+        cells are adopted, only missing/``error`` cells execute.
     """
     names = list(algorithms) if algorithms is not None else list(ALGORITHMS)
     instances = list(instances)
@@ -210,8 +224,14 @@ def run_suite(
         cell_timeout=cell_timeout,
         fast_paths=fast_paths,
         log_path=log_path,
+        max_cell_retries=max_cell_retries,
+        resume_from=resume_from,
     )
-    return suite_result_from_records(instances, names, records, on_error=on_error)
+    result = suite_result_from_records(instances, names, records, on_error=on_error)
+    result.pool_restarts = getattr(records, "pool_restarts", 0)
+    result.cells_retried = getattr(records, "cells_retried", 0)
+    result.cells_resumed = getattr(records, "cells_resumed", 0)
+    return result
 
 
 def solve_suite_optimal(

@@ -1,0 +1,96 @@
+"""Retry policies with exponential backoff, seeded jitter, and a budget.
+
+One :class:`RetryPolicy` describes *how* to retry (attempt budget, backoff
+curve, jitter); it owns no state, so a single policy object can be shared by
+many clients.  Delays are computed from an explicit ``random.Random`` (or
+none, for the deterministic upper-bound curve), keeping chaos runs
+reproducible.
+
+Retrying is only sound for idempotent work.  Everything routed through
+these policies in this tree qualifies: service requests are
+content-addressed (the same weights + algorithm always produce the same
+coloring, and re-asking at worst re-hits the cache) and engine cells are
+pure functions of their instance.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["RetryPolicy", "call_with_retries"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a bounded attempt budget.
+
+    Attributes
+    ----------
+    retries:
+        Additional attempts after the first (``0`` disables retrying).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    max_delay:
+        Ceiling on any single backoff, in seconds.
+    multiplier:
+        Geometric growth factor between consecutive backoffs.
+    jitter:
+        Fraction of each delay that is randomized: the actual sleep is
+        uniform in ``[delay * (1 - jitter), delay]``.  ``0`` sleeps the full
+        deterministic delay.
+    """
+
+    retries: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based), in seconds."""
+        full = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if rng is None or self.jitter == 0.0:
+            return full
+        return full * (1.0 - self.jitter * rng.random())
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether retry number ``attempt`` (0-based) is within budget."""
+        return attempt < self.retries
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` under ``policy``, retrying on ``retry_on`` exceptions.
+
+    ``on_retry(attempt, exc)`` is invoked before each backoff (for counters
+    and logging).  The final failure re-raises unmodified.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if not policy.should_retry(attempt):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt, rng))
+            attempt += 1

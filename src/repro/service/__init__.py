@@ -29,6 +29,7 @@ from repro.service.client import (
     AsyncServiceClient,
     ColorResponse,
     ServiceClient,
+    ServiceConnectionError,
     ServiceError,
 )
 from repro.service.loadgen import (
@@ -65,6 +66,7 @@ __all__ = [
     "ServerConfig",
     "ServerThread",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "build_workload",
     "content_key",

@@ -21,6 +21,18 @@ Results are therefore bit-identical to a direct ``color_with`` call by
 construction: the batcher never merges *computations*, only the shape-level
 preprocessing and equal-content requests.
 
+**Degraded mode.**  A kernel fast path raising mid-computation does not fail
+the request: the batcher falls back to the generic slow path
+(``fast=False``), which is differentially tested to produce the identical
+coloring, and counts the event in the ``degraded_total`` metric.  Only a
+request that *explicitly* pinned ``fast=True``/``False`` skips the fallback
+(there is nothing different left to try).
+
+**Shutdown.**  Requests still queued when the batcher stops are answered
+``overloaded`` (a retry-later signal — a restarted server will serve them);
+requests in flight when a drain deadline expires are answered ``timeout``.
+Neither is ever silently dropped.
+
 Concurrency: group selection runs on the event loop; batch execution runs in
 a ``ThreadPoolExecutor`` bounded by ``compute_threads`` slots, so several
 groups can compute in parallel while new requests keep queueing.
@@ -37,11 +49,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.resilience.faults import inject
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_OVERLOADED,
     STATUS_TIMEOUT,
     ColorRequest,
     ServedResult,
@@ -101,6 +115,8 @@ class MicroBatcher:
         self._slots: Optional[asyncio.Semaphore] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._tasks: set[asyncio.Task] = set()
+        self._inflight_pendings: set[int] = set()
+        self._pendings_by_id: dict[int, _Pending] = {}
 
     # -------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -123,10 +139,15 @@ class MicroBatcher:
             return False
 
     async def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop dispatching; optionally drain queued work first."""
+        """Stop dispatching; optionally drain queued work first.
+
+        A drain deadline expiring with work still outstanding never hangs
+        the stop: queued requests are answered ``overloaded``, in-flight
+        requests ``timeout``, and the executor is released without waiting
+        for a wedged compute thread.
+        """
         self._closed = True
-        if drain:
-            await self.drain(timeout)
+        drained = await self.drain(timeout) if drain else self._idle.is_set()
         if self._dispatcher is not None:
             self._wake.set()
             self._dispatcher.cancel()
@@ -135,9 +156,12 @@ class MicroBatcher:
             except asyncio.CancelledError:
                 pass
             self._dispatcher = None
-        self._fail_all("service shutting down")
+        self._fail_all("service shutting down", status=STATUS_OVERLOADED)
+        self._timeout_inflight("drain deadline expired during shutdown")
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # Only wait for compute threads after a clean drain; a wedged
+            # batch must not turn stop() into a hang.
+            self._executor.shutdown(wait=drained, cancel_futures=True)
             self._executor = None
 
     # ------------------------------------------------------------- admission
@@ -209,6 +233,9 @@ class MicroBatcher:
             del self._groups[best_key]
         self._depth -= len(batch)
         self.metrics.gauge("queue_depth").set(self._depth)
+        for pending in batch:
+            self._inflight_pendings.add(id(pending))
+            self._pendings_by_id[id(pending)] = pending
         return batch
 
     async def _dispatch(self, batch: list[_Pending]) -> None:
@@ -229,18 +256,36 @@ class MicroBatcher:
             if self._depth == 0 and self._inflight == 0:
                 self._idle.set()
         for pending, outcome in zip(batch, outcomes):
+            self._inflight_pendings.discard(id(pending))
+            self._pendings_by_id.pop(id(pending), None)
             if not pending.future.done():
                 pending.future.set_result(outcome)
 
-    def _fail_all(self, reason: str) -> None:
+    def _fail_all(self, reason: str, status: str = STATUS_ERROR) -> None:
+        """Answer every still-queued request with ``status`` (never drop)."""
         for queue in self._groups.values():
             for pending in queue:
                 if not pending.future.done():
                     pending.future.set_result(
-                        ServedResult(status=STATUS_ERROR, error=reason)
+                        ServedResult(status=status, error=reason)
                     )
         self._groups.clear()
         self._depth = 0
+
+    def _timeout_inflight(self, reason: str) -> None:
+        """Answer requests whose batch is still computing with ``timeout``.
+
+        Used when a drain deadline expires at shutdown: the computation may
+        finish later (its ``set_result`` is guarded by ``future.done()``),
+        but the waiting client gets a definitive answer now.
+        """
+        for pending_id in list(self._inflight_pendings):
+            pending = self._pendings_by_id.get(pending_id)
+            if pending is not None and not pending.future.done():
+                self.metrics.counter("request_timeouts").inc()
+                pending.future.set_result(
+                    ServedResult(status=STATUS_TIMEOUT, error=reason)
+                )
 
     # ---------------------------------------------------------- batch compute
     def _execute_batch(self, batch: list[_Pending]) -> list[ServedResult]:
@@ -313,17 +358,33 @@ class MicroBatcher:
         return [results[idx] for idx in range(len(batch))]
 
     def _compute(self, request: ColorRequest, batch_size: int) -> ServedResult:
-        """One true kernel run; the only place colorings are produced."""
+        """One true kernel run; the only place colorings are produced.
+
+        The primary attempt honours the request's ``fast`` preference (and
+        the ``service.compute`` fault site).  If it raises and the request
+        did not pin ``fast`` explicitly, the batcher *degrades*: it retries
+        on the generic slow path (``fast=False``), which is differentially
+        tested to produce the identical coloring, and counts the event in
+        ``degraded_total``.
+        """
         from repro.core.algorithms.registry import color_with
         from repro.core.problem import IVCInstance
 
         t0 = time.perf_counter()
+        degraded = False
         try:
             if request.weights.ndim == 2:
                 instance = IVCInstance.from_grid_2d(request.weights)
             else:
                 instance = IVCInstance.from_grid_3d(request.weights)
-            coloring = color_with(instance, request.algorithm, fast=request.fast)
+            try:
+                inject("service.compute", request.key)
+                coloring = color_with(instance, request.algorithm, fast=request.fast)
+            except Exception:
+                if request.fast is not None:
+                    raise  # the caller pinned a path; nothing left to try
+                degraded = True
+                coloring = color_with(instance, request.algorithm, fast=False)
             if request.validate:
                 coloring.check()
         except Exception as exc:
@@ -331,13 +392,15 @@ class MicroBatcher:
             return ServedResult(
                 status=STATUS_ERROR, error=f"{type(exc).__name__}: {exc}"
             )
+        if degraded:
+            self.metrics.counter("degraded_total").inc()
         elapsed = time.perf_counter() - t0
         self.metrics.histogram("compute_seconds").observe(elapsed)
         return ServedResult(
             status=STATUS_OK,
             starts=np.asarray(coloring.starts, dtype=np.int64),
             maxcolor=int(coloring.maxcolor),
-            source="computed",
+            source="degraded" if degraded else "computed",
             compute_seconds=elapsed,
             batch_size=batch_size,
         )

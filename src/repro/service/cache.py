@@ -11,6 +11,14 @@ contract as the engine run log) and indexed by byte offset; a miss in memory
 that hits the spill index seeks, re-parses, and promotes the entry back to
 the memory tier.  The spill file is append-only and content-addressed, so a
 server restart can warm-start from it via :meth:`ResultCache.load_spill`.
+
+Corruption tolerance: a torn or corrupt spill line (a server killed
+mid-append, disk trouble, an injected ``cache.spill.write`` fault) is never
+fatal — the read degrades to a cache miss and the entry is recomputed, and
+:meth:`load_spill` skips damaged lines while indexing the rest.  Every such
+skip is *counted* (``spill_read_errors`` / ``spill_load_skipped`` in
+:meth:`stats`), so silent corruption shows up in ``/metrics`` instead of
+vanishing.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from pathlib import Path
 from typing import Optional
 
 import numpy as np
+
+from repro.resilience.faults import draw
 
 
 @dataclass(frozen=True)
@@ -84,6 +94,8 @@ class ResultCache:
         self.evictions = 0
         self.spill_hits = 0
         self.spilled = 0
+        self.spill_read_errors = 0
+        self.spill_load_skipped = 0
 
     # ------------------------------------------------------------------ tiers
     def get(self, key: str) -> Optional[CacheEntry]:
@@ -134,7 +146,13 @@ class ResultCache:
                 self.spill_path.parent.mkdir(parents=True, exist_ok=True)
                 self._spill_handle = self.spill_path.open("a")
             offset = self._spill_handle.tell()
-            self._spill_handle.write(json.dumps(entry.to_json(key)) + "\n")
+            line = json.dumps(entry.to_json(key)) + "\n"
+            fault = draw("cache.spill.write", key)
+            if fault is not None and fault.kind == "corrupt":
+                line = line[: max(1, len(line) // 2)] + "\n"
+            elif fault is not None and fault.kind == "torn":
+                line = line[: max(1, len(line) // 2)]
+            self._spill_handle.write(line)
             self._spill_handle.flush()
             self._spill_index[key] = offset
             self.spilled += 1
@@ -147,15 +165,21 @@ class ResultCache:
                 handle.seek(offset)
                 obj = json.loads(handle.readline())
             if obj.get("key") != key:
-                return None
+                raise ValueError(f"spill line at {offset} holds a different key")
             return CacheEntry.from_json(obj)
         except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            # Torn/corrupt line: degrade to a miss (the entry is recomputed)
+            # but count it so corruption is visible in stats()/metrics.
+            with self._lock:
+                self.spill_read_errors += 1
             return None
 
     def load_spill(self) -> int:
         """Index an existing spill file (warm start); returns entries indexed.
 
-        Truncated trailing lines (a server killed mid-spill) are tolerated;
+        Damaged lines — a truncated tail from a server killed mid-spill, or
+        corrupt interior lines — are skipped (and counted in
+        ``spill_load_skipped``) while every parseable entry is indexed;
         later duplicates of a key win, matching append order.
         """
         if self.spill_path is None or not self.spill_path.exists():
@@ -174,7 +198,8 @@ class ResultCache:
                         obj = json.loads(line)
                         key = obj["key"]
                     except (json.JSONDecodeError, KeyError, TypeError):
-                        break  # truncated tail — index the clean prefix
+                        self.spill_load_skipped += 1
+                        continue  # damaged line — keep indexing the rest
                     self._spill_index[str(key)] = offset
                     indexed += 1
         return indexed
@@ -204,6 +229,8 @@ class ResultCache:
                 "evictions": self.evictions,
                 "spill_hits": self.spill_hits,
                 "spilled": self.spilled,
+                "spill_read_errors": self.spill_read_errors,
+                "spill_load_skipped": self.spill_load_skipped,
                 "size": len(self._items),
                 "capacity": self.capacity,
                 "spill_index_size": len(self._spill_index),

@@ -6,16 +6,33 @@ benchmark baselines): one socket, one request in flight.
 keep many requests in flight across connections.
 
 Both speak the line-delimited JSON protocol of
-:mod:`repro.service.protocol` and return :class:`ColorResponse` objects;
-transport-level failures raise ``OSError``/:class:`ServiceError`, while
-service-level outcomes (``error``, ``timeout``, ``overloaded``…) are
+:mod:`repro.service.protocol` and return :class:`ColorResponse` objects.
+Service-level outcomes (``error``, ``timeout``, ``overloaded``…) are
 reported in :attr:`ColorResponse.status` so callers can count and retry
-without exception plumbing.
+without exception plumbing.  Transport failures — a dropped TCP connection,
+a refused reconnect, a read timeout — are wrapped into a typed
+:class:`ServiceConnectionError` carrying the host, port, and request id
+instead of leaking raw ``OSError`` subclasses.
+
+Both clients optionally *self-heal*: constructed with a
+:class:`~repro.resilience.retry.RetryPolicy`, a failed round trip tears
+down the dead socket, backs off (exponential + seeded jitter), reconnects,
+and re-sends — safe because every request is content-addressed and
+idempotent: re-asking for the same coloring returns the same bits, at worst
+re-hitting the server's result cache.  ``retries_used`` counts the budget
+spent.
+
+Chaos hooks: each round-trip attempt passes through the ``client.send`` /
+``client.recv`` fault sites (:mod:`repro.resilience.faults`) with token
+``"<request-id>#<attempt>"`` — ``drop`` severs the connection before the
+write or before the read, ``partial`` sends a torn frame then severs,
+``slow`` delays the attempt.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import time
 from dataclasses import dataclass, field
@@ -23,6 +40,8 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.resilience.faults import draw
+from repro.resilience.retry import RetryPolicy
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
     STATUS_OK,
@@ -36,6 +55,25 @@ from repro.service.protocol import (
 
 class ServiceError(RuntimeError):
     """Transport or framing failure talking to the service."""
+
+
+class ServiceConnectionError(ServiceError):
+    """A broken, refused, or timed-out connection to the service.
+
+    Carries :attr:`host`, :attr:`port`, and the :attr:`request_id` in
+    flight when the transport failed, so callers can log and retry without
+    parsing message strings.
+    """
+
+    def __init__(self, message: str, *, host: str, port: int, request_id: str = ""):
+        detail = f"{message} (server {host}:{port}"
+        if request_id:
+            detail += f", request {request_id!r}"
+        detail += ")"
+        super().__init__(detail)
+        self.host = host
+        self.port = port
+        self.request_id = request_id
 
 
 @dataclass(frozen=True)
@@ -103,13 +141,35 @@ def _build_request(
     )
 
 
-class ServiceClient:
-    """Blocking one-request-at-a-time client over a TCP socket."""
+#: Transport-level exceptions wrapped into :class:`ServiceConnectionError`.
+#: ``socket.timeout``/``TimeoutError`` and the ``Connection*`` family are all
+#: ``OSError`` subclasses; ``asyncio.TimeoutError`` is separate before 3.11.
+_TRANSPORT_ERRORS = (OSError, asyncio.TimeoutError, TimeoutError)
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+
+class ServiceClient:
+    """Blocking one-request-at-a-time client over a TCP socket.
+
+    ``retry`` enables transparent reconnect-and-retry of failed round trips
+    (see the module docstring); ``retry_seed`` seeds the backoff jitter so
+    chaos runs stay reproducible.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.retries_used = 0
+        self._rng = random.Random(retry_seed)
         self._sock: Optional[socket.socket] = None
         self._file = None
 
@@ -136,24 +196,71 @@ class ServiceClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
-        if self._sock is None:
-            self.connect()
-        assert self._sock is not None and self._file is not None
-        self._sock.sendall(encode_message(message))
-        line = self._file.readline(MAX_MESSAGE_BYTES)
+    def _connection_error(
+        self, message: str, request_id: str
+    ) -> ServiceConnectionError:
+        self.close()  # a dead socket must not be reused by the next attempt
+        return ServiceConnectionError(
+            message, host=self.host, port=self.port, request_id=request_id
+        )
+
+    def _roundtrip(
+        self, message: dict[str, Any], request_id: str = "", fault_token: str = ""
+    ) -> dict[str, Any]:
+        try:
+            if self._sock is None:
+                self.connect()
+            assert self._sock is not None and self._file is not None
+            payload = encode_message(message)
+            fault = draw("client.send", fault_token)
+            if fault is not None:
+                if fault.kind == "partial":
+                    self._sock.sendall(payload[: max(1, len(payload) // 2)])
+                    raise BrokenPipeError("injected partial write")
+                if fault.kind == "drop":
+                    raise ConnectionResetError("injected connection drop before send")
+                if fault.kind == "slow":
+                    time.sleep(fault.delay)
+            self._sock.sendall(payload)
+            fault = draw("client.recv", fault_token)
+            if fault is not None:
+                if fault.kind == "drop":
+                    raise ConnectionResetError("injected connection drop before read")
+                if fault.kind == "slow":
+                    time.sleep(fault.delay)
+            line = self._file.readline(MAX_MESSAGE_BYTES)
+        except _TRANSPORT_ERRORS as exc:
+            raise self._connection_error(
+                f"{type(exc).__name__}: {exc}", request_id
+            ) from exc
         if not line:
-            raise ServiceError("connection closed by server")
+            raise self._connection_error("connection closed by server", request_id)
         try:
             return decode_message(line)
         except ProtocolError as exc:
             raise ServiceError(f"bad response frame: {exc}") from None
 
+    def _call(
+        self, message: dict[str, Any], request_id: str = ""
+    ) -> dict[str, Any]:
+        """One logical round trip, retried under the client's policy."""
+        attempt = 0
+        while True:
+            token = f"{request_id or message.get('op', '')}#{attempt}"
+            try:
+                return self._roundtrip(message, request_id, fault_token=token)
+            except ServiceConnectionError:
+                if self.retry is None or not self.retry.should_retry(attempt):
+                    raise
+                self.retries_used += 1
+                time.sleep(self.retry.delay(attempt, self._rng))
+                attempt += 1
+
     # -------------------------------------------------------------------- ops
     def ping(self) -> float:
         """Round-trip a ping; returns the latency in seconds."""
         t0 = time.perf_counter()
-        response = self._roundtrip({"op": "ping", "id": "ping"})
+        response = self._call({"op": "ping", "id": "ping"}, "ping")
         if response.get("status") != STATUS_OK:
             raise ServiceError(f"ping failed: {response}")
         return time.perf_counter() - t0
@@ -171,30 +278,42 @@ class ServiceClient:
         """Request a coloring; returns a :class:`ColorResponse`."""
         request = _build_request(weights, algorithm, fast, validate, timeout, request_id)
         t0 = time.perf_counter()
-        message = self._roundtrip(request_to_wire(request))
+        message = self._call(request_to_wire(request), request_id)
         return _decode_color_response(
             message, request.shape, time.perf_counter() - t0
         )
 
     def metrics(self) -> dict[str, Any]:
         """The server's metrics snapshot."""
-        response = self._roundtrip({"op": "metrics", "id": "metrics"})
+        response = self._call({"op": "metrics", "id": "metrics"}, "metrics")
         if response.get("status") != STATUS_OK:
             raise ServiceError(f"metrics failed: {response}")
         return response["metrics"]
 
     def shutdown(self) -> None:
-        """Ask the server to drain and stop."""
-        self._roundtrip({"op": "shutdown", "id": "shutdown"})
+        """Ask the server to drain and stop (never retried — not idempotent
+        to wait on: the server may be gone before a response arrives)."""
+        self._roundtrip({"op": "shutdown", "id": "shutdown"}, "shutdown")
 
 
 class AsyncServiceClient:
     """Asyncio variant of :class:`ServiceClient` (one connection per client)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.retries_used = 0
+        self._rng = random.Random(retry_seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -209,7 +328,7 @@ class AsyncServiceClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except _TRANSPORT_ERRORS:  # pragma: no cover
                 pass
             self._writer = None
             self._reader = None
@@ -220,23 +339,73 @@ class AsyncServiceClient:
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
-    async def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
-        if self._writer is None:
-            await self.connect()
-        assert self._reader is not None and self._writer is not None
-        self._writer.write(encode_message(message))
-        await self._writer.drain()
-        line = await asyncio.wait_for(self._reader.readline(), self.timeout)
+    async def _connection_error(
+        self, message: str, request_id: str
+    ) -> ServiceConnectionError:
+        await self.close()
+        return ServiceConnectionError(
+            message, host=self.host, port=self.port, request_id=request_id
+        )
+
+    async def _roundtrip(
+        self, message: dict[str, Any], request_id: str = "", fault_token: str = ""
+    ) -> dict[str, Any]:
+        try:
+            if self._writer is None:
+                await self.connect()
+            assert self._reader is not None and self._writer is not None
+            payload = encode_message(message)
+            fault = draw("client.send", fault_token)
+            if fault is not None:
+                if fault.kind == "partial":
+                    self._writer.write(payload[: max(1, len(payload) // 2)])
+                    await self._writer.drain()
+                    raise BrokenPipeError("injected partial write")
+                if fault.kind == "drop":
+                    raise ConnectionResetError("injected connection drop before send")
+                if fault.kind == "slow":
+                    await asyncio.sleep(fault.delay)
+            self._writer.write(payload)
+            await self._writer.drain()
+            fault = draw("client.recv", fault_token)
+            if fault is not None:
+                if fault.kind == "drop":
+                    raise ConnectionResetError("injected connection drop before read")
+                if fault.kind == "slow":
+                    await asyncio.sleep(fault.delay)
+            line = await asyncio.wait_for(self._reader.readline(), self.timeout)
+        except _TRANSPORT_ERRORS as exc:
+            raise await self._connection_error(
+                f"{type(exc).__name__}: {exc}", request_id
+            ) from exc
         if not line:
-            raise ServiceError("connection closed by server")
+            raise await self._connection_error(
+                "connection closed by server", request_id
+            )
         try:
             return decode_message(line)
         except ProtocolError as exc:
             raise ServiceError(f"bad response frame: {exc}") from None
 
+    async def _call(
+        self, message: dict[str, Any], request_id: str = ""
+    ) -> dict[str, Any]:
+        """One logical round trip, retried under the client's policy."""
+        attempt = 0
+        while True:
+            token = f"{request_id or message.get('op', '')}#{attempt}"
+            try:
+                return await self._roundtrip(message, request_id, fault_token=token)
+            except ServiceConnectionError:
+                if self.retry is None or not self.retry.should_retry(attempt):
+                    raise
+                self.retries_used += 1
+                await asyncio.sleep(self.retry.delay(attempt, self._rng))
+                attempt += 1
+
     async def ping(self) -> float:
         t0 = time.perf_counter()
-        response = await self._roundtrip({"op": "ping", "id": "ping"})
+        response = await self._call({"op": "ping", "id": "ping"}, "ping")
         if response.get("status") != STATUS_OK:
             raise ServiceError(f"ping failed: {response}")
         return time.perf_counter() - t0
@@ -253,16 +422,16 @@ class AsyncServiceClient:
     ) -> ColorResponse:
         request = _build_request(weights, algorithm, fast, validate, timeout, request_id)
         t0 = time.perf_counter()
-        message = await self._roundtrip(request_to_wire(request))
+        message = await self._call(request_to_wire(request), request_id)
         return _decode_color_response(
             message, request.shape, time.perf_counter() - t0
         )
 
     async def metrics(self) -> dict[str, Any]:
-        response = await self._roundtrip({"op": "metrics", "id": "metrics"})
+        response = await self._call({"op": "metrics", "id": "metrics"}, "metrics")
         if response.get("status") != STATUS_OK:
             raise ServiceError(f"metrics failed: {response}")
         return response["metrics"]
 
     async def shutdown(self) -> None:
-        await self._roundtrip({"op": "shutdown", "id": "shutdown"})
+        await self._roundtrip({"op": "shutdown", "id": "shutdown"}, "shutdown")

@@ -14,6 +14,14 @@ call on the same weights — the served-vs-direct equivalence check the CI
 smoke job enforces.  ``overloaded`` responses are retried with a short
 backoff (counted), exercising the admission control path without losing
 requests.
+
+Resilience: each worker's :class:`~repro.service.client.AsyncServiceClient`
+carries a :class:`~repro.resilience.retry.RetryPolicy` (``retry=``), so
+dropped connections — real or injected via a
+:class:`~repro.resilience.faults.FaultPlan` — are transparently reconnected
+and re-sent; ``connection_retries`` counts the budget spent and
+``connection_failures`` counts requests lost after the budget was exhausted
+(zero in a passing chaos run).
 """
 
 from __future__ import annotations
@@ -26,7 +34,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.service.client import AsyncServiceClient, ColorResponse
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import RetryPolicy
+from repro.service.client import (
+    AsyncServiceClient,
+    ColorResponse,
+    ServiceConnectionError,
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +61,8 @@ class LoadgenReport:
     cached: int = 0
     computed: int = 0
     overloaded_retries: int = 0
+    connection_retries: int = 0
+    connection_failures: int = 0
     timeouts: int = 0
     errors: int = 0
     divergences: int = 0
@@ -59,6 +75,7 @@ class LoadgenReport:
     verify: bool = False
     error_samples: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    faults_fired: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -72,6 +89,8 @@ class LoadgenReport:
             "computed": self.computed,
             "cache_hit_rate": self.cache_hit_rate,
             "overloaded_retries": self.overloaded_retries,
+            "connection_retries": self.connection_retries,
+            "connection_failures": self.connection_failures,
             "timeouts": self.timeouts,
             "errors": self.errors,
             "divergences": self.divergences,
@@ -83,6 +102,7 @@ class LoadgenReport:
             "concurrency": self.concurrency,
             "verify": self.verify,
             "error_samples": self.error_samples[:5],
+            "faults_fired": dict(self.faults_fired),
         }
 
 
@@ -146,8 +166,14 @@ async def run_loadgen_async(
     max_retries: int = 50,
     seed: int = 0,
     fetch_metrics: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadgenReport:
-    """Fire ``requests`` sampled requests at the server; aggregate outcomes."""
+    """Fire ``requests`` sampled requests at the server; aggregate outcomes.
+
+    ``retry`` arms each worker's client with transparent
+    reconnect-and-retry for transport failures (see the module docstring);
+    ``None`` leaves connections brittle, the pre-resilience behaviour.
+    """
     rng = random.Random(seed)
     schedule = [workload[rng.randrange(len(workload))] for _ in range(requests)]
     truth: dict[int, np.ndarray] = {}
@@ -159,10 +185,15 @@ async def run_loadgen_async(
     latencies: list[float] = []
     report = LoadgenReport(concurrency=concurrency, verify=verify)
 
-    async def worker() -> None:
+    async def worker(worker_index: int) -> None:
         nonlocal next_index
-        client = AsyncServiceClient(host, port, timeout=request_timeout or 120.0)
-        await client.connect()
+        client = AsyncServiceClient(
+            host,
+            port,
+            timeout=request_timeout or 120.0,
+            retry=retry,
+            retry_seed=seed * 1009 + worker_index,
+        )
         try:
             while True:
                 if next_index >= len(schedule):
@@ -170,17 +201,29 @@ async def run_loadgen_async(
                 item = schedule[next_index]
                 next_index += 1
                 response: Optional[ColorResponse] = None
-                for attempt in range(max_retries + 1):
-                    response = await client.color(
-                        item.weights,
-                        item.algorithm,
-                        timeout=request_timeout,
-                        request_id=item.label,
-                    )
-                    if response.status != "overloaded":
-                        break
-                    report.overloaded_retries += 1
-                    await asyncio.sleep(0.002 * (attempt + 1))
+                try:
+                    for attempt in range(max_retries + 1):
+                        response = await client.color(
+                            item.weights,
+                            item.algorithm,
+                            timeout=request_timeout,
+                            request_id=item.label,
+                        )
+                        if response.status != "overloaded":
+                            break
+                        report.overloaded_retries += 1
+                        await asyncio.sleep(0.002 * (attempt + 1))
+                except ServiceConnectionError as exc:
+                    # The client's retry budget is spent — the request is
+                    # lost.  Count it; a passing chaos run has zero of these.
+                    report.requests += 1
+                    report.errors += 1
+                    report.connection_failures += 1
+                    if len(report.error_samples) < 5:
+                        report.error_samples.append(
+                            f"{item.label}: [connection] {exc}"
+                        )
+                    continue
                 assert response is not None
                 report.requests += 1
                 latencies.append(response.latency)
@@ -203,10 +246,11 @@ async def run_loadgen_async(
                             f"{item.label}: [{response.status}] {response.error}"
                         )
         finally:
+            report.connection_retries += client.retries_used
             await client.close()
 
     t0 = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    await asyncio.gather(*(worker(i) for i in range(max(1, concurrency))))
     report.duration_seconds = time.perf_counter() - t0
     report.throughput_rps = (
         report.requests / report.duration_seconds if report.duration_seconds else 0.0
@@ -219,11 +263,14 @@ async def run_loadgen_async(
         ] * 1000.0
         report.latency_mean_ms = sum(ordered) / len(ordered) * 1000.0
     if fetch_metrics:
-        client = AsyncServiceClient(host, port)
+        client = AsyncServiceClient(host, port, retry=retry, retry_seed=seed)
         try:
             report.metrics = await client.metrics()
         finally:
             await client.close()
+    plan = active_plan()
+    if plan is not None:
+        report.faults_fired = plan.fire_counts()
     return report
 
 
@@ -244,7 +291,14 @@ def format_report(report: LoadgenReport) -> str:
         f"{report.computed} computed; hit rate {report.cache_hit_rate * 100:.1f}%)",
         f"pressure   : {report.overloaded_retries} overload retries, "
         f"{report.timeouts} timeouts, {report.errors} errors",
+        f"transport  : {report.connection_retries} connection retries, "
+        f"{report.connection_failures} requests lost to dead connections",
     ]
+    if report.faults_fired:
+        fired = ", ".join(
+            f"{site} x{count}" for site, count in sorted(report.faults_fired.items())
+        )
+        lines.append(f"chaos      : injected faults fired — {fired}")
     if report.verify:
         verdict = "bit-identical" if report.divergences == 0 else "DIVERGED"
         lines.append(

@@ -118,16 +118,32 @@ class ColoringService:
             self._shutdown_requested.set()
 
     async def stop(self) -> None:
-        """Graceful drain: stop accepting, finish queued work, close."""
+        """Graceful drain: stop accepting, finish queued work, close.
+
+        The whole drain shares one ``drain_timeout`` budget.  If it expires
+        with requests still queued or in flight, the batcher answers them
+        (``overloaded`` / ``timeout``) rather than hanging the stop, and the
+        expiry is counted in the ``drain_expired`` metric.  Connection
+        handlers then get a short grace period to flush those responses;
+        handlers still open after it — keep-alive clients idling in a read,
+        which would otherwise hold the stop until *they* hang up — are
+        cancelled.
+        """
+        deadline = time.monotonic() + self.config.drain_timeout
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.batcher.drain(self.config.drain_timeout)
+        remaining = max(0.0, deadline - time.monotonic())
+        drained = await self.batcher.drain(remaining)
+        if not drained:
+            self.metrics.counter("drain_expired").inc()
+        await self.batcher.stop(drain=False, timeout=0.0)
         if self._connections:
-            await asyncio.wait(
-                self._connections, timeout=min(5.0, self.config.drain_timeout)
-            )
-        await self.batcher.stop(drain=True, timeout=self.config.drain_timeout)
+            _done, lingering = await asyncio.wait(self._connections, timeout=1.0)
+            for task in lingering:
+                task.cancel()
+            if lingering:
+                await asyncio.wait(lingering, timeout=1.0)
         self.cache.close()
 
     # ------------------------------------------------------------ connections

@@ -1,0 +1,13 @@
+"""Shared chaos-test plumbing: every test leaves no fault plan behind."""
+
+import pytest
+
+from repro.resilience import clear_plan
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    """Chaos plans are process-global; clear before and after every test."""
+    clear_plan()
+    yield
+    clear_plan()

@@ -1,0 +1,163 @@
+"""Chaos tests for the engine: worker crashes, retries, and resume.
+
+The crash tests run a real ``ProcessPoolExecutor`` grid with an installed
+``engine.cell:crash`` fault plan — workers genuinely die via ``os._exit`` —
+and assert the supervised rerun loses no cells and produces colorings
+bit-identical to a fault-free serial run.  The plan is installed in the
+parent before the pool forks, so workers inherit it (Linux fork start
+method); seeds below were chosen so the injected crashes converge within
+the default retry budget.
+"""
+
+import pytest
+
+from repro.engine import STATUS_ERROR, STATUS_OK, read_run_log, run_grid
+from repro.engine.executor import GridResult
+from repro.resilience import FaultPlan, FaultPoint, install_plan, parse_fault_spec
+from tests.conftest import random_2d_instances
+
+ALGOS = ["GLL", "GLF", "BDP"]
+
+
+def _baseline(instances):
+    """Fault-free ground truth, serial path."""
+    return run_grid(instances, ALGOS, jobs=1)
+
+
+class TestCrashRecovery:
+    def test_grid_survives_worker_crashes_bit_identically(self):
+        instances = random_2d_instances(count=8, seed=0)
+        baseline = _baseline(instances)
+        install_plan(parse_fault_spec("seed=11;engine.cell:crash=0.15"))
+        result = run_grid(instances, ALGOS, jobs=2, chunk_size=3)
+        assert isinstance(result, GridResult)
+        assert len(result) == len(baseline)
+        assert all(r.status == STATUS_OK for r in result)
+        assert [r.maxcolor for r in result] == [r.maxcolor for r in baseline]
+        # The plan must actually have bitten for this test to mean anything.
+        assert result.pool_restarts >= 1
+        assert result.cells_retried >= 1
+
+    def test_poison_cell_isolated_neighbours_complete(self):
+        # probability 1.0 + no retries: every first attempt crashes, so the
+        # supervisor's blast-radius accounting is fully deterministic — one
+        # pool lifetime, every cell charged exactly its own loss.
+        instances = random_2d_instances(count=4, seed=1)
+        install_plan(
+            FaultPlan(points=[FaultPoint(site="engine.cell", kind="crash")])
+        )
+        result = run_grid(instances, ALGOS, jobs=2, max_cell_retries=0)
+        assert all(r.status == STATUS_ERROR for r in result)
+        assert all("worker crashed on every attempt (x1)" in r.error for r in result)
+        assert result.pool_restarts == 1
+        assert result.cells_retried == 0
+
+    def test_injected_error_is_per_cell_not_pool(self):
+        # error-kind faults raise inside the cell; the record machinery
+        # isolates them without any pool restart.
+        instances = random_2d_instances(count=4, seed=2)
+        install_plan(parse_fault_spec("seed=5;engine.cell:error=1.0,max=2"))
+        result = run_grid(instances, ALGOS, jobs=2, chunk_size=2)
+        errored = [r for r in result if r.status == STATUS_ERROR]
+        assert errored and all("InjectedFault" in r.error for r in errored)
+        assert result.pool_restarts == 0
+
+    def test_retry_budget_exhaustion_yields_crash_records(self):
+        # A crash on every attempt of every token: the budget must run out
+        # and produce error records rather than looping forever.
+        instances = random_2d_instances(count=2, seed=3)
+        install_plan(
+            FaultPlan(points=[FaultPoint(site="engine.cell", kind="crash")])
+        )
+        result = run_grid(instances, ["GLL"], jobs=2, max_cell_retries=2)
+        assert all(r.status == STATUS_ERROR for r in result)
+        assert all("(x3)" in r.error for r in result)
+        assert result.cells_retried == 2 * 2  # two cells, two extra attempts
+
+
+class TestResume:
+    def test_resume_runs_only_missing_cells(self, tmp_path):
+        instances = random_2d_instances(count=6, seed=4)
+        full_log = tmp_path / "full.jsonl"
+        baseline = run_grid(instances, ALGOS, jobs=1, log_path=full_log)
+
+        # Simulate a mid-run kill: keep only the first 7 completed cells.
+        lines = full_log.read_text().splitlines(keepends=True)
+        partial_log = tmp_path / "partial.jsonl"
+        partial_log.write_text("".join(lines[:7]))
+
+        resumed = run_grid(
+            instances, ALGOS, jobs=1, resume_from=partial_log,
+            log_path=tmp_path / "resumed.jsonl",
+        )
+        assert resumed.cells_resumed == 7
+        assert [r.maxcolor for r in resumed] == [r.maxcolor for r in baseline]
+        assert [r.status for r in resumed] == [r.status for r in baseline]
+        # Only the re-executed cells hit the new log.
+        rerun = list(read_run_log(tmp_path / "resumed.jsonl"))
+        assert len(rerun) == len(baseline) - 7
+
+    def test_resume_appends_to_same_log(self, tmp_path):
+        instances = random_2d_instances(count=4, seed=5)
+        log = tmp_path / "run.jsonl"
+        run_grid(instances, ALGOS, jobs=1, log_path=log)
+        lines = log.read_text().splitlines(keepends=True)
+        log.write_text("".join(lines[:5]))
+
+        run_grid(instances, ALGOS, jobs=1, resume_from=log, log_path=log)
+        # The log now holds the 5 adopted cells plus each re-executed cell
+        # exactly once — a complete grid again.
+        records = list(read_run_log(log))
+        assert len(records) == len(instances) * len(ALGOS)
+
+    def test_error_cells_are_re_executed(self, tmp_path):
+        instances = random_2d_instances(count=3, seed=6)
+        log = tmp_path / "run.jsonl"
+        # First run: every GLL cell errors (budget: exactly 3 fires).
+        install_plan(parse_fault_spec("engine.cell:error=1.0,max=3"))
+        first = run_grid(instances, ["GLL"], jobs=1, log_path=log)
+        assert all(r.status == STATUS_ERROR for r in first)
+        install_plan(None)
+
+        resumed = run_grid(instances, ["GLL"], jobs=1, resume_from=log)
+        assert resumed.cells_resumed == 0  # error cells never adopted
+        assert all(r.status == STATUS_OK for r in resumed)
+
+    def test_resume_ignores_mismatched_grid(self, tmp_path):
+        from repro.core.problem import IVCInstance
+
+        instances = random_2d_instances(count=3, seed=7)
+        log = tmp_path / "run.jsonl"
+        run_grid(instances, ["GLL"], jobs=1, log_path=log)
+        # Same grids under different names at the same indices: adoption
+        # must refuse every record rather than mismatch silently.
+        renamed = [
+            IVCInstance.from_grid_2d(inst.weight_grid(), name=f"other-{k}")
+            for k, inst in enumerate(instances)
+        ]
+        resumed = run_grid(renamed, ["GLL"], jobs=1, resume_from=log)
+        assert resumed.cells_resumed == 0
+        assert all(r.status == STATUS_OK for r in resumed)
+
+
+class TestSuitePlumbing:
+    def test_run_suite_surfaces_supervision_counters(self, tmp_path):
+        from repro.experiments import run_suite
+
+        instances = random_2d_instances(count=4, seed=9)
+        log = tmp_path / "suite.jsonl"
+        first = run_suite(
+            instances, algorithms=ALGOS, jobs=1, log_path=log, on_error="record"
+        )
+        assert first.pool_restarts == 0 and first.cells_resumed == 0
+
+        lines = log.read_text().splitlines(keepends=True)
+        log.write_text("".join(lines[:4]))
+        second = run_suite(
+            instances, algorithms=ALGOS, jobs=1, on_error="record",
+            resume_from=log,
+        )
+        assert second.cells_resumed == 4
+        assert [r.maxcolor for r in second.records] == [
+            r.maxcolor for r in first.records
+        ]

@@ -1,0 +1,191 @@
+"""Unit tests for the fault-injection registry and the retry policy."""
+
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultPoint,
+    InjectedFault,
+    RetryPolicy,
+    call_with_retries,
+    clear_plan,
+    install_plan,
+    parse_fault_spec,
+)
+from repro.resilience.faults import active_plan, draw, inject
+
+
+class TestFaultPlan:
+    def test_draw_is_deterministic_in_seed_and_token(self):
+        point = FaultPoint(site="engine.cell", kind="crash", probability=0.5)
+        a = FaultPlan(seed=7, points=[point])
+        b = FaultPlan(seed=7, points=[point])
+        tokens = [f"cell-{i}#0" for i in range(200)]
+        decisions_a = [a.draw("engine.cell", t) is not None for t in tokens]
+        decisions_b = [b.draw("engine.cell", t) is not None for t in tokens]
+        assert decisions_a == decisions_b
+        # A different seed flips some decisions.
+        c = FaultPlan(seed=8, points=[point])
+        decisions_c = [c.draw("engine.cell", t) is not None for t in tokens]
+        assert decisions_a != decisions_c
+
+    def test_probability_roughly_honoured(self):
+        plan = FaultPlan(
+            seed=3, points=[FaultPoint(site="s", kind="error", probability=0.25)]
+        )
+        fired = sum(plan.draw("s", f"t{i}") is not None for i in range(2000))
+        assert 350 < fired < 650  # ~500 expected
+
+    def test_attempt_number_rolls_fresh_dice(self):
+        plan = FaultPlan(
+            seed=0, points=[FaultPoint(site="s", kind="crash", probability=0.5)]
+        )
+        outcomes = {
+            attempt: plan.draw("s", f"cell-3#{attempt}") is not None
+            for attempt in range(64)
+        }
+        assert True in outcomes.values() and False in outcomes.values()
+
+    def test_max_fires_budget(self):
+        plan = FaultPlan(
+            seed=0,
+            points=[FaultPoint(site="s", kind="error", probability=1.0, max_fires=3)],
+        )
+        fired = sum(plan.draw("s", f"t{i}") is not None for i in range(10))
+        assert fired == 3
+        assert plan.fire_counts() == {"s:error": 3}
+
+    def test_site_mismatch_never_fires(self):
+        plan = FaultPlan(
+            seed=0, points=[FaultPoint(site="client.send", kind="drop")]
+        )
+        assert plan.draw("client.recv", "x") is None
+
+    def test_fired_log_records_tokens(self):
+        plan = FaultPlan(seed=0, points=[FaultPoint(site="s", kind="slow")])
+        plan.draw("s", "alpha")
+        assert plan.fired() == [("s", "slow", "alpha")]
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPoint(site="s", kind="slow", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPoint(site="s", kind="slow", delay=-1.0)
+
+
+class TestParseFaultSpec:
+    def test_full_grammar(self):
+        plan = parse_fault_spec(
+            "seed=11;engine.cell:crash=0.2;client.send:drop=0.1,max=5;"
+            "service.compute:slow=1.0,delay=0.2"
+        )
+        assert plan.seed == 11
+        assert len(plan.points) == 3
+        crash, drop, slow = plan.points
+        assert (crash.site, crash.kind, crash.probability) == (
+            "engine.cell", "crash", 0.2,
+        )
+        assert drop.max_fires == 5
+        assert slow.delay == 0.2
+
+    def test_empty_segments_ignored(self):
+        plan = parse_fault_spec(" seed=2 ; ; engine.cell:error=1.0 ;")
+        assert plan.seed == 2 and len(plan.points) == 1
+
+    def test_bad_segment_raises(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("engine.cell=0.5")
+        with pytest.raises(ValueError):
+            parse_fault_spec("engine.cell:crash=0.5,bogus=1")
+
+
+class TestInstallation:
+    def test_install_and_clear(self):
+        plan = parse_fault_spec("s:error=1.0")
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=4;s:error=1.0")
+        clear_plan()  # forget any prior env parse
+        plan = active_plan()
+        assert plan is not None and plan.seed == 4
+        clear_plan()
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=4;s:error=1.0")
+        install_plan(None)
+        assert active_plan() is None
+
+    def test_no_plan_hooks_are_noops(self):
+        assert draw("engine.cell", "x") is None
+        assert inject("engine.cell", "x") is None
+
+
+class TestInjectSemantics:
+    def test_error_kind_raises_injected_fault(self):
+        install_plan(FaultPlan(points=[FaultPoint(site="s", kind="error")]))
+        with pytest.raises(InjectedFault):
+            inject("s", "token")
+
+    def test_slow_kind_sleeps_then_returns_point(self):
+        install_plan(
+            FaultPlan(points=[FaultPoint(site="s", kind="slow", delay=0.0)])
+        )
+        point = inject("s", "token")
+        assert point is not None and point.kind == "slow"
+
+    def test_unknown_kind_returned_to_caller(self):
+        install_plan(FaultPlan(points=[FaultPoint(site="s", kind="corrupt")]))
+        point = inject("s", "token")
+        assert point is not None and point.kind == "corrupt"
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            retries=5, base_delay=0.1, max_delay=0.5, multiplier=2.0, jitter=0.0
+        )
+        delays = [policy.delay(a) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_below_full_delay(self):
+        import random
+
+        policy = RetryPolicy(retries=3, base_delay=0.1, jitter=0.5)
+        rng = random.Random(0)
+        for attempt in range(20):
+            d = policy.delay(attempt % 3, rng)
+            assert 0.0 < d <= policy.delay(attempt % 3)
+
+    def test_call_with_retries_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionResetError("boom")
+            return "ok"
+
+        slept = []
+        out = call_with_retries(
+            flaky,
+            RetryPolicy(retries=3, base_delay=0.01),
+            retry_on=(ConnectionResetError,),
+            sleep=slept.append,
+        )
+        assert out == "ok" and len(calls) == 3 and len(slept) == 2
+
+    def test_call_with_retries_exhausts_budget(self):
+        def always():
+            raise ConnectionResetError("boom")
+
+        with pytest.raises(ConnectionResetError):
+            call_with_retries(
+                always,
+                RetryPolicy(retries=2, base_delay=0.0),
+                retry_on=(ConnectionResetError,),
+                sleep=lambda _s: None,
+            )

@@ -1,0 +1,241 @@
+"""Chaos tests for the service layer: dropped connections, compute faults,
+spill corruption, drain under pressure, and reconnect-after-restart.
+
+Server and clients share this process, so one installed :class:`FaultPlan`
+drives both sides' hook sites at once — the same topology the CI
+``chaos-smoke`` job runs through the CLI.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultPoint,
+    RetryPolicy,
+    install_plan,
+    parse_fault_spec,
+)
+from repro.service import (
+    AsyncServiceClient,
+    ResultCache,
+    ServiceClient,
+    ServiceConnectionError,
+)
+from repro.service.cache import CacheEntry
+from repro.service.loadgen import build_workload, run_loadgen
+from repro.service.server import ServerConfig, ServerThread
+
+RETRY = RetryPolicy(retries=5, base_delay=0.005, max_delay=0.05)
+
+
+class TestLoadgenUnderChaos:
+    def test_chaos_run_is_lossless_and_exact(self, tmp_path):
+        """The acceptance chaos run: drops + compute faults + spill
+        corruption, yet zero lost requests and bit-identical colorings."""
+        install_plan(parse_fault_spec(
+            "seed=11;"
+            "client.send:drop=0.1,max=6;"
+            "client.recv:drop=0.05,max=4;"
+            "service.compute:error=0.3,max=4;"
+            "cache.spill.write:corrupt=1.0,max=3"
+        ))
+        config = ServerConfig(
+            cache_size=2,  # tiny: forces evictions through the faulty spill
+            spill_path=str(tmp_path / "spill.jsonl"),
+            compute_threads=2,
+        )
+        with ServerThread(config) as thread:
+            workload = build_workload(
+                [(8, 8), (6, 6), (5, 7)], distinct=6, seed=3
+            )
+            report = run_loadgen(
+                "127.0.0.1", thread.port, workload,
+                requests=80, concurrency=4, verify=True, seed=3,
+                retry=RETRY,
+            )
+            cache_stats = thread.service.cache.stats()
+            metrics = thread.service.metrics.snapshot()
+
+        assert report.requests == 80  # nothing lost
+        assert report.ok == 80
+        assert report.errors == 0
+        assert report.connection_failures == 0
+        assert report.divergences == 0  # bit-identical under chaos
+        # Every fault family must actually have fired, and the hardening
+        # must have engaged: transport retries and degraded computes.
+        assert report.faults_fired.get("client.send:drop", 0) > 0
+        assert report.faults_fired.get("service.compute:error", 0) > 0
+        assert report.connection_retries > 0
+        assert metrics["counters"].get("degraded_total", 0) > 0
+        # Corrupt spill lines were written; reads degrade to misses and are
+        # counted rather than silently skipped.
+        assert report.faults_fired.get("cache.spill.write:corrupt", 0) > 0
+        assert cache_stats["spill_read_errors"] >= 0  # surfaced in stats
+
+    def test_connection_failures_counted_without_retry(self):
+        """No retry policy: injected drops become counted lost requests,
+        never hangs or unraised exceptions."""
+        install_plan(parse_fault_spec("seed=2;client.send:drop=1.0,max=3"))
+        with ServerThread(ServerConfig(cache_size=0)) as thread:
+            workload = build_workload([(6, 6)], distinct=2, seed=1)
+            report = run_loadgen(
+                "127.0.0.1", thread.port, workload,
+                requests=10, concurrency=2, seed=1, fetch_metrics=False,
+            )
+        assert report.requests == 10
+        assert report.connection_failures == 3
+        assert report.errors == report.connection_failures
+        assert report.ok == 10 - 3
+
+
+class TestDegradedMode:
+    def test_compute_fault_degrades_not_fails(self):
+        install_plan(parse_fault_spec("service.compute:error=1.0,max=1"))
+        with ServerThread(ServerConfig(cache_size=0)) as thread:
+            with ServiceClient("127.0.0.1", thread.port, timeout=10.0) as client:
+                weights = np.arange(1, 26).reshape(5, 5)
+                served = client.color(weights, "BDP")
+                metrics = client.metrics()
+        assert served.ok
+        assert served.source == "degraded"
+        assert metrics["counters"]["degraded_total"] == 1
+        # Differential ground truth: degraded output is still exact.
+        from repro.core.algorithms.registry import color_with
+        from repro.core.problem import IVCInstance
+
+        direct = color_with(IVCInstance.from_grid_2d(weights), "BDP")
+        assert np.array_equal(
+            served.starts, np.asarray(direct.starts).reshape(5, 5)
+        )
+
+    def test_pinned_fast_path_does_not_degrade(self):
+        install_plan(parse_fault_spec("service.compute:error=1.0,max=1"))
+        with ServerThread(ServerConfig(cache_size=0)) as thread:
+            with ServiceClient("127.0.0.1", thread.port, timeout=10.0) as client:
+                served = client.color(np.ones((4, 4), dtype=np.int64), "BDP",
+                                      fast=True)
+        assert served.status == "error"
+        assert "InjectedFault" in served.error
+
+
+class TestSpillCorruption:
+    def test_corrupt_spill_reads_counted_and_degrade_to_miss(self, tmp_path):
+        install_plan(
+            FaultPlan(points=[FaultPoint(site="cache.spill.write", kind="corrupt")])
+        )
+        cache = ResultCache(capacity=1, spill_path=tmp_path / "spill.jsonl")
+        entry = CacheEntry(starts=np.array([0, 2]), maxcolor=3, algorithm="BDP")
+        cache.put("k1", entry)
+        cache.put("k2", entry)  # evicts k1 through the corrupting spill
+        assert cache.get("k1") is None  # damaged line reads as a miss
+        stats = cache.stats()
+        assert stats["spill_read_errors"] == 1
+        assert stats["spilled"] == 1
+
+    def test_load_spill_skips_torn_lines_and_counts(self, tmp_path):
+        install_plan(parse_fault_spec("cache.spill.write:torn=1.0,max=1"))
+        path = tmp_path / "spill.jsonl"
+        cache = ResultCache(capacity=1, spill_path=path)
+        entry = CacheEntry(starts=np.array([0, 2]), maxcolor=3, algorithm="BDP")
+        cache.put("k1", entry)
+        cache.put("k2", entry)  # spills k1 torn (fault budget: 1)
+        cache.put("k3", entry)  # spills k2 intact
+        cache.close()
+        install_plan(None)
+
+        warm = ResultCache(capacity=4, spill_path=path)
+        indexed = warm.load_spill()
+        # The torn k1 line also swallows the k2 line's framing? No: torn
+        # truncates within one line, so k2's line is glued onto k1's — one
+        # damaged record skipped, the rest of the file unreadable past it is
+        # at most that merged line.
+        assert warm.stats()["spill_load_skipped"] >= 1
+        assert indexed + warm.stats()["spill_load_skipped"] >= 1
+
+
+class TestDrainUnderPressure:
+    def test_drain_deadline_answers_stragglers(self):
+        """A wedged/slow compute must not hang stop(): queued requests are
+        answered overloaded, in-flight ones timeout, within the budget."""
+        install_plan(parse_fault_spec("service.compute:slow=1.0,delay=0.6"))
+        config = ServerConfig(
+            compute_threads=1, drain_timeout=0.2, batch_window=0.0,
+            cache_size=0, default_timeout=30.0,
+        )
+        thread = ServerThread(config).start()
+
+        async def pressure():
+            clients = [
+                AsyncServiceClient("127.0.0.1", thread.port, timeout=30.0)
+                for _ in range(4)
+            ]
+            # Distinct shapes so each request is its own batch group.
+            grids = [np.full((3 + i, 4), 5, dtype=np.int64) for i in range(4)]
+            tasks = [
+                asyncio.create_task(c.color(g, "GLL", request_id=f"r{i}"))
+                for i, (c, g) in enumerate(zip(clients, grids))
+            ]
+            await asyncio.sleep(0.15)  # one computing, the rest queued
+            t0 = time.monotonic()
+            await asyncio.to_thread(thread.stop)
+            stop_elapsed = time.monotonic() - t0
+            responses = await asyncio.gather(*tasks)
+            for c in clients:
+                await c.close()
+            return stop_elapsed, responses
+
+        stop_elapsed, responses = asyncio.run(pressure())
+        # stop() returned well under the wedged-compute serial time (2.4s
+        # of injected sleeps through one thread) — the drain budget held.
+        assert stop_elapsed < 2.0
+        statuses = sorted(r.status for r in responses)
+        assert all(s in ("ok", "overloaded", "timeout") for s in statuses)
+        assert any(s != "ok" for s in statuses)  # pressure actually bit
+        snapshot = thread.service.metrics.snapshot()
+        assert snapshot["counters"].get("drain_expired", 0) == 1
+
+
+class TestReconnectAfterRestart:
+    def test_sync_client_survives_server_restart(self):
+        first = ServerThread(ServerConfig(cache_size=0)).start()
+        port = first.port
+        client = ServiceClient(
+            "127.0.0.1", port, timeout=5.0,
+            retry=RetryPolicy(retries=8, base_delay=0.05, max_delay=0.2),
+        )
+        try:
+            client.ping()
+            baseline = client.color(np.ones((4, 4), dtype=np.int64), "BDP")
+            assert baseline.ok
+            first.stop()
+
+            second = ServerThread(ServerConfig(cache_size=0, port=port)).start()
+            try:
+                again = client.color(np.ones((4, 4), dtype=np.int64), "BDP")
+                assert again.ok
+                assert client.retries_used >= 1
+                assert np.array_equal(again.starts, baseline.starts)
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_client_without_retry_raises_typed_error(self):
+        thread = ServerThread(ServerConfig(cache_size=0)).start()
+        port = thread.port
+        client = ServiceClient("127.0.0.1", port, timeout=2.0)
+        try:
+            client.ping()
+            thread.stop()
+            with pytest.raises(ServiceConnectionError) as excinfo:
+                client.color(np.ones((3, 3), dtype=np.int64), "BDP",
+                             request_id="after-stop")
+            assert excinfo.value.host == "127.0.0.1"
+            assert excinfo.value.port == port
+            assert excinfo.value.request_id == "after-stop"
+        finally:
+            client.close()
