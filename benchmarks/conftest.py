@@ -15,7 +15,6 @@ DESIGN.md §4).  Conventions:
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
@@ -24,15 +23,16 @@ import pytest
 from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
 from repro.data.synthetic import standard_datasets
 from repro.experiments import run_suite
+from repro.runtime.config import env_float, env_int
 
 OUT_DIR = Path(__file__).parent / "out"
 
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-DIM_CAP_2D = int(os.environ.get("REPRO_BENCH_DIM_CAP_2D", "16"))
-DIM_CAP_3D = int(os.environ.get("REPRO_BENCH_DIM_CAP_3D", "8"))
+BENCH_SCALE = env_float("REPRO_BENCH_SCALE", 1.0)
+DIM_CAP_2D = env_int("REPRO_BENCH_DIM_CAP_2D", 16)
+DIM_CAP_3D = env_int("REPRO_BENCH_DIM_CAP_3D", 8)
 # Engine worker processes for the suite fixtures.  Default 1 (serial, same
 # code path) so per-cell timings stay uncontended; set 0 to use all cores.
-BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_JOBS = env_int("REPRO_BENCH_JOBS", 1)
 
 
 def _slug(title: str) -> str:

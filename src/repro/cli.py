@@ -127,6 +127,23 @@ def cmd_exact(args: argparse.Namespace) -> int:
 def cmd_algorithms(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
     from repro.core.algorithms.registry import REGISTRY
+    from repro.runtime.context import get_context
+
+    config = get_context().config
+
+    def fast_column(spec) -> str:
+        """Kernel binding availability + what the active config does with it.
+
+        Sourced from the registry (``fast_fn``) and the context's
+        :class:`~repro.runtime.config.RuntimeConfig` — no module probing.
+        """
+        if spec.fast_fn is None:
+            return "-"
+        if config.fast_paths == "off":
+            return "kernel (off)"
+        if config.fast_paths == "on":
+            return "kernel (on)"
+        return f"kernel (auto ≥{config.fast_paths_min_size})"
 
     specs = REGISTRY.specs(include_extensions=not args.paper_only)
     rows = [
@@ -135,11 +152,16 @@ def cmd_algorithms(args: argparse.Namespace) -> int:
             "/".join(f"{d}D" for d in spec.supported_dims),
             "graph" if not spec.needs_geometry else "stencil",
             "extension" if spec.is_extension else "paper",
+            fast_column(spec),
             spec.description,
         )
         for spec in specs
     ]
-    print(format_table(("name", "dims", "needs", "origin", "description"), rows))
+    print(
+        format_table(
+            ("name", "dims", "needs", "origin", "fast path", "description"), rows
+        )
+    )
     return 0
 
 
@@ -800,12 +822,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``stencil-ivc`` console script."""
+    """Entry point for the ``stencil-ivc`` console script.
+
+    Constructs a single :class:`~repro.runtime.context.ExecutionContext`
+    (environment-derived config, fault plan installed) and runs the chosen
+    subcommand under it, so all four call paths a command may touch —
+    direct dispatch, kernels, engine workers, the service — share one
+    runtime configuration per invocation.
+    """
     from repro.core.algorithms.registry import UnknownAlgorithmError
+    from repro.runtime.context import ExecutionContext, use_context
 
     args = build_parser().parse_args(argv)
+    context = ExecutionContext.from_env()
+    context.install_faults()
     try:
-        return args.func(args)
+        with use_context(context):
+            return args.func(args)
     except UnknownAlgorithmError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.coloring import Coloring
 from repro.core.greedy_engine import greedy_recolor_pass
 from repro.core.problem import IVCInstance
-from repro.kernels.config import resolve_fast_for
+from repro.runtime.fastpath import resolve_fast_for
 
 
 def chain_color(weights: np.ndarray) -> tuple[np.ndarray, int]:

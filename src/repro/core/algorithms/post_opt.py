@@ -45,7 +45,7 @@ def bdp_recolor_order(
     if len(blocks) == 0:
         return np.arange(n, dtype=np.int64)
     sums = geo.block_weight_sums(instance.weights)
-    from repro.kernels.config import resolve_fast_for
+    from repro.runtime.fastpath import resolve_fast_for
 
     if resolve_fast_for(fast, n):
         from repro.kernels.chains import bdp_recolor_order_fast

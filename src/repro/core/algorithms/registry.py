@@ -19,7 +19,10 @@ import difflib
 import time
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
 
 from repro.core.algorithms.bipartite_decomposition import (
     bipartite_decomposition,
@@ -269,6 +272,26 @@ def _bd_best_axis(instance: IVCInstance) -> Coloring:
     return bipartite_decomposition_best_axis(instance)
 
 
+def _lazy_fast(attr: str) -> AlgorithmFn:
+    """A fast-path binding resolved from :mod:`repro.kernels.colorings` at
+    call time.
+
+    Keeps ``core`` free of module-level imports of the (higher-layer)
+    kernels package — the layering lint enforces that — while ``fast_fn is
+    not None`` still advertises the binding to capability probes like the
+    ``stencil-ivc algorithms`` fast-path column.
+    """
+
+    def call(instance: IVCInstance) -> Coloring:
+        from repro.kernels import colorings
+
+        return getattr(colorings, attr)(instance)
+
+    call.__name__ = attr
+    call.__qualname__ = attr
+    return call
+
+
 #: The process-wide default registry: the paper's seven heuristics in
 #: presentation order, then this repo's extensions (the Matula–Beck
 #: smallest-last order GSL, post-optimized GLF, iterated fixed-point
@@ -276,23 +299,21 @@ def _bd_best_axis(instance: IVCInstance) -> Coloring:
 #: local search on GLF).
 REGISTRY = Registry()
 
-from repro.kernels import colorings as _kernels  # noqa: E402  (after specs' deps)
-
 for _spec in (
     AlgorithmSpec(
         "GLL", greedy_line_by_line, needs_geometry=False,
         description="greedy, line-by-line (lexicographic) order",
-        fast_fn=_kernels.gll_fast,
+        fast_fn=_lazy_fast("gll_fast"),
     ),
     AlgorithmSpec(
         "GZO", greedy_zorder,
         description="greedy, Morton Z-order traversal",
-        fast_fn=_kernels.gzo_fast,
+        fast_fn=_lazy_fast("gzo_fast"),
     ),
     AlgorithmSpec(
         "GLF", greedy_largest_first, needs_geometry=False,
         description="greedy, heaviest-vertex-first order",
-        fast_fn=_kernels.glf_fast,
+        fast_fn=_lazy_fast("glf_fast"),
     ),
     AlgorithmSpec(
         "GKF", greedy_largest_clique_first,
@@ -305,17 +326,17 @@ for _spec in (
     AlgorithmSpec(
         "BD", bipartite_decomposition,
         description="bipartite decomposition (2-approx 2D / 4-approx 3D)",
-        fast_fn=_kernels.bd_fast,
+        fast_fn=_lazy_fast("bd_fast"),
     ),
     AlgorithmSpec(
         "BDP", bipartite_decomposition_post,
         description="BD followed by the recoloring post-optimization sweep",
-        fast_fn=_kernels.bdp_fast,
+        fast_fn=_lazy_fast("bdp_fast"),
     ),
     AlgorithmSpec(
         "GSL", _greedy_smallest_last, needs_geometry=False, is_extension=True,
         description="greedy, Matula–Beck smallest-last order",
-        fast_fn=_kernels.gsl_fast,
+        fast_fn=_lazy_fast("gsl_fast"),
     ),
     AlgorithmSpec(
         "GLF+P", _glf_post, is_extension=True,
@@ -367,7 +388,11 @@ def available_algorithms(
 
 
 def color_with(
-    instance: IVCInstance, name: str, *, fast: Optional[bool] = None
+    instance: IVCInstance,
+    name: str,
+    *,
+    fast: Optional[bool] = None,
+    context: Optional["ExecutionContext"] = None,
 ) -> Coloring:
     """Run the named heuristic, timing it.
 
@@ -381,26 +406,39 @@ def color_with(
         Use the vectorized kernel fast path when the spec declares one and
         the instance has a stencil geometry (automatic fallback to the
         reference implementation otherwise).  ``None`` (default) follows the
-        process-wide :func:`repro.kernels.config.fast_paths_enabled` switch
-        with the auto-mode size threshold applied (miniature instances keep
-        the reference loops); the resolved value is also scoped over the
-        whole call, so ``fast=False`` disables the kernels inside every
-        primitive the algorithm touches.
+        context's :class:`~repro.runtime.config.RuntimeConfig` fast-path
+        mode (and the legacy process switch) with the auto-mode size
+        threshold applied, so miniature instances keep the reference loops;
+        the resolved value is also scoped over the whole call, so
+        ``fast=False`` disables the kernels inside every primitive the
+        algorithm touches.
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` governing this
+        call (fast-path config, substrate caches, metrics).  ``None`` uses
+        the ambient context; an explicit one is made current for the
+        duration of the call.
 
     Raises
     ------
     UnknownAlgorithmError
         If ``name`` is not registered (with a closest-match suggestion).
     """
-    from repro.kernels.config import fast_paths, resolve_fast_for
+    from repro.runtime.context import get_context, use_context
+    from repro.runtime.fastpath import fast_paths, resolve_fast_for
 
+    ctx = context if context is not None else get_context()
     spec = REGISTRY.get(name)
-    use_fast = resolve_fast_for(fast, instance.num_vertices)
+    use_fast = resolve_fast_for(fast, instance.num_vertices, context=ctx)
     fn = spec.fn
     if use_fast and spec.fast_fn is not None and instance.geometry is not None:
         fn = spec.fast_fn
+    ctx.metrics.counter("registry.dispatch").inc()
+    ctx.metrics.counter(
+        "registry.dispatch_fast" if use_fast else "registry.dispatch_reference"
+    ).inc()
     t0 = time.perf_counter()
-    with fast_paths(use_fast):
+    with use_context(ctx), fast_paths(use_fast):
         coloring = fn(instance)
     elapsed = time.perf_counter() - t0
+    ctx.metrics.histogram("registry.color_seconds").observe(elapsed)
     return coloring.with_algorithm(name, elapsed=elapsed)

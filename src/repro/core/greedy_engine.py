@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.coloring import Coloring
 from repro.core.problem import IVCInstance
-from repro.kernels.config import resolve_fast_for
+from repro.runtime.fastpath import resolve_fast_for
 
 #: Sentinel start value for not-yet-colored vertices.
 UNCOLORED = -1

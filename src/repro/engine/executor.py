@@ -67,7 +67,10 @@ from repro.engine.records import (
     RunRecord,
 )
 from repro.engine.runlog import RunLogWriter, read_run_log
+from repro.obs.metrics import merge_snapshots
 from repro.resilience.faults import inject
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import ExecutionContext, get_context, set_default_context
 
 #: A cell is ``(position in the flattened grid, instance index, algorithm,
 #: attempt number)``.  The attempt number is 0 on first submission and grows
@@ -97,11 +100,19 @@ class GridResult(list):
         requeued merely because they shared a broken pool are not counted.
     ``cells_resumed``
         Cells adopted from a ``resume_from=`` run log instead of executing.
+    ``metrics``
+        The merged metrics snapshot of every worker context that ran cells
+        (counters summed, histograms merged bucket-by-bucket across
+        processes; see :func:`repro.obs.metrics.merge_snapshots`).  For
+        serial runs it is the snapshot of the run's own context — which,
+        when no explicit ``context=`` was given, is the ambient one and so
+        cumulative over the process.
     """
 
     pool_restarts: int = 0
     cells_retried: int = 0
     cells_resumed: int = 0
+    metrics: Optional[dict] = None
 
 
 class CellTimeout(Exception):
@@ -145,6 +156,7 @@ class _WorkerState:
     cell_timeout: Optional[float]
     capture_starts: bool
     fast_paths: Optional[bool] = None
+    context: Optional[ExecutionContext] = None
     journal: Optional[object] = None
     bounds: dict[int, int] = field(default_factory=dict)
 
@@ -163,14 +175,23 @@ def _init_worker(
     cell_timeout: Optional[float],
     capture_starts: bool,
     fast_paths: Optional[bool] = None,
+    config: Optional[RuntimeConfig] = None,
     journal_path: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> None:
     """Pool initializer: receive the instance list once per worker.
 
-    Each worker lazily grows its own kernel substrate cache
-    (:mod:`repro.kernels.substrate`) the first time a cell of a given shape
-    runs, so repeated shapes in a suite reuse adjacency/offset tables within
-    the worker for the whole run.
+    Each worker builds its own :class:`ExecutionContext` from the shipped
+    (picklable) :class:`RuntimeConfig` and installs it as the process
+    default, so every cell colored in this worker shares one substrate cache
+    (:mod:`repro.kernels.substrate`) — repeated shapes in a suite reuse
+    adjacency/offset tables within the worker for the whole run — and lands
+    its counters in the worker's own metrics registry (shipped back to the
+    parent with each chunk).  The context's fault spec, if any, is installed
+    too; an empty spec leaves fork-inherited plans untouched.
+
+    The serial path passes ``context`` directly instead of ``config`` and
+    does *not* replace the process default.
 
     ``journal_path`` names the pool's shared start/done journal (each worker
     appends through its own ``O_APPEND`` descriptor, line-buffered, so the
@@ -178,12 +199,20 @@ def _init_worker(
     journalling.
     """
     global _STATE
+    if context is None:
+        if config is not None:
+            context = ExecutionContext(config)
+            set_default_context(context)
+            context.install_faults()
+        else:
+            context = get_context()
     _STATE = _WorkerState(
         instances=instances,
         validate=validate,
         cell_timeout=cell_timeout,
         capture_starts=capture_starts,
         fast_paths=fast_paths,
+        context=context,
         journal=(
             open(journal_path, "a", buffering=1) if journal_path is not None else None
         ),
@@ -205,13 +234,16 @@ def _run_cell(
         algorithm=name,
         worker=f"pid-{os.getpid()}",
     )
+    metrics = state.context.metrics if state.context is not None else None
     t0 = perf_counter()
     bound: Optional[int] = None
     try:
         inject("engine.cell", f"{instance.name}:{name}#{attempt}")
         bound = state.lower_bound_of(index)
         with _time_limit(state.cell_timeout):
-            coloring = color_with(instance, name, fast=state.fast_paths)
+            coloring = color_with(
+                instance, name, fast=state.fast_paths, context=state.context
+            )
             if state.validate:
                 coloring.check()
         if coloring.maxcolor < bound:
@@ -219,6 +251,8 @@ def _run_cell(
                 f"{name} beat the lower bound on {instance.name!r} — bound bug"
             )
     except CellTimeout as exc:
+        if metrics is not None:
+            metrics.counter("engine.cells_timeout").inc()
         return RunRecord(
             status=STATUS_TIMEOUT,
             lower_bound=bound,
@@ -227,6 +261,8 @@ def _run_cell(
             **base,
         )
     except Exception as exc:
+        if metrics is not None:
+            metrics.counter("engine.cells_error").inc()
         return RunRecord(
             status=STATUS_ERROR,
             lower_bound=bound,
@@ -234,6 +270,9 @@ def _run_cell(
             error=f"{type(exc).__name__}: {exc}",
             **base,
         )
+    if metrics is not None:
+        metrics.counter("engine.cells_ok").inc()
+        metrics.histogram("engine.cell_seconds").observe(perf_counter() - t0)
     return RunRecord(
         status=STATUS_OK,
         maxcolor=coloring.maxcolor,
@@ -244,13 +283,18 @@ def _run_cell(
     )
 
 
-def _run_chunk(cells: Sequence[Cell]) -> list[tuple[int, RunRecord]]:
+def _run_chunk(cells: Sequence[Cell]) -> dict:
     """Run a chunk of cells against the installed worker state.
 
     Each cell is bracketed by ``start``/``done`` journal marks: a cell whose
     ``start`` has no ``done`` when the pool breaks was mid-execution in the
     dead (or torn-down) worker, which is how the supervisor tells suspects
     from cells that were merely queued behind them.
+
+    Returns a payload carrying the ``(pos, record)`` pairs plus the worker's
+    pid and its *cumulative* context-metrics snapshot (with histogram bucket
+    state); the parent keeps the latest snapshot per pid and merges them
+    into :attr:`GridResult.metrics` at the end.
     """
     assert _STATE is not None, "worker state missing — initializer did not run"
     out = []
@@ -260,7 +304,12 @@ def _run_chunk(cells: Sequence[Cell]) -> list[tuple[int, RunRecord]]:
         out.append((pos, _run_cell(_STATE, pos, index, name, attempt)))
         if _STATE.journal is not None:
             _STATE.journal.write(f"done {pos}\n")
-    return out
+    snapshot = (
+        _STATE.context.metrics.snapshot(include_state=True)
+        if _STATE.context is not None
+        else None
+    )
+    return {"pairs": out, "pid": os.getpid(), "metrics": snapshot}
 
 
 def _chunked(cells: Sequence[Cell], chunk_size: int) -> list[list[Cell]]:
@@ -481,8 +530,9 @@ def run_grid(
     capture_starts: bool = False,
     fast_paths: Optional[bool] = None,
     log_path: str | Path | None = None,
-    max_cell_retries: int = 3,
+    max_cell_retries: Optional[int] = None,
     resume_from: str | Path | None = None,
+    context: Optional[ExecutionContext] = None,
 ) -> GridResult:
     """Run every algorithm on every instance, one :class:`RunRecord` per cell.
 
@@ -511,7 +561,10 @@ def run_grid(
         Per-cell kernel fast-path override forwarded to
         :func:`~repro.core.algorithms.registry.color_with`: ``True``/``False``
         forces the vectorized kernels on/off in every worker, ``None``
-        (default) follows each worker's process-wide switch.
+        (default) follows the run context's
+        :class:`~repro.runtime.config.RuntimeConfig` fast-path mode (the
+        explicit argument always beats the config, which beats the
+        environment).
     log_path:
         Stream records to this JSONL file as cells complete.
     max_cell_retries:
@@ -521,12 +574,18 @@ def run_grid(
         alone in a rebuilt pool — where a crash has certain blame and
         charges this budget — while every other lost cell is requeued
         intact for free.  ``0`` restores fail-fast crash records for every
-        lost cell.
+        lost cell; ``None`` (default) follows the run context's
+        ``config.max_cell_retries``.
     resume_from:
         Path to an existing JSONL run log; its ``ok``/``timeout`` cells are
         adopted verbatim (not re-executed and *not* re-written to
         ``log_path``, so resuming with ``log_path == resume_from`` appends
         only the newly executed cells) and only missing/``error`` cells run.
+    context:
+        The :class:`ExecutionContext` governing the run.  Its (picklable)
+        config is shipped to every worker, which rebuilds a context of its
+        own around it; worker metrics snapshots are merged into
+        :attr:`GridResult.metrics`.  ``None`` uses the ambient context.
 
     Returns
     -------
@@ -535,10 +594,14 @@ def run_grid(
         ``algorithms`` order, identical regardless of ``jobs`` — carrying
         ``pool_restarts`` / ``cells_retried`` / ``cells_resumed`` counters.
     """
+    ctx = context if context is not None else get_context()
     instances = list(instances)
     names = list(algorithms)
     records: list[Optional[RunRecord]] = [None] * (len(instances) * len(names))
     result = GridResult()
+    retries = (
+        ctx.config.max_cell_retries if max_cell_retries is None else max_cell_retries
+    )
 
     if resume_from is not None:
         for pos, record in _adopt_resumed(resume_from, instances, names).items():
@@ -554,8 +617,15 @@ def run_grid(
     jobs = min(resolve_jobs(jobs), max(1, len(cells)))
 
     writer = RunLogWriter(log_path) if log_path is not None else None
+    worker_snaps: dict[int, dict] = {}
 
-    def store(pairs: Iterable[tuple[int, RunRecord]]) -> None:
+    def store(payload) -> None:
+        if isinstance(payload, dict):  # a chunk payload from _run_chunk
+            if payload["metrics"] is not None:
+                worker_snaps[payload["pid"]] = payload["metrics"]
+            pairs: Iterable[tuple[int, RunRecord]] = payload["pairs"]
+        else:  # a bare pair list (crash records synthesized by the parent)
+            pairs = payload
         for pos, record in pairs:
             records[pos] = record
             if writer is not None:
@@ -565,7 +635,14 @@ def run_grid(
         if not cells:
             pass  # fully resumed — nothing to execute
         elif jobs == 1:
-            _init_worker(instances, validate, cell_timeout, capture_starts, fast_paths)
+            _init_worker(
+                instances,
+                validate,
+                cell_timeout,
+                capture_starts,
+                fast_paths,
+                context=ctx,
+            )
             try:
                 store(_run_chunk(cells))
             finally:
@@ -577,9 +654,10 @@ def run_grid(
             _run_supervised(
                 _chunked(cells, chunk_size),
                 instances,
-                (instances, validate, cell_timeout, capture_starts, fast_paths),
+                (instances, validate, cell_timeout, capture_starts, fast_paths,
+                 ctx.config),
                 jobs,
-                max(0, int(max_cell_retries)),
+                max(0, int(retries)),
                 store,
                 result,
             )
@@ -588,5 +666,6 @@ def run_grid(
             writer.close()
 
     assert all(r is not None for r in records)
+    result.metrics = merge_snapshots(worker_snaps.values())
     result.extend(records)
     return result

@@ -19,6 +19,7 @@ from repro.analysis.performance_profiles import PerformanceProfile, performance_
 from repro.core.algorithms.registry import ALGORITHMS
 from repro.core.problem import IVCInstance
 from repro.engine import RunRecord, run_grid
+from repro.runtime.context import ExecutionContext
 
 
 class SuiteExecutionError(RuntimeError):
@@ -173,8 +174,9 @@ def run_suite(
     fast_paths: bool | None = None,
     log_path: str | Path | None = None,
     on_error: str = "raise",
-    max_cell_retries: int = 3,
+    max_cell_retries: int | None = None,
     resume_from: str | Path | None = None,
+    context: ExecutionContext | None = None,
 ) -> SuiteResult:
     """Run every algorithm on every instance, collecting quality and time.
 
@@ -198,7 +200,8 @@ def run_suite(
     fast_paths:
         Force the vectorized stencil kernels on (``True``) or off
         (``False``) in every engine worker; ``None`` (default) follows the
-        process-wide switch (:mod:`repro.kernels.config`).
+        run context's :class:`~repro.runtime.config.RuntimeConfig`
+        fast-path mode (explicit argument beats config beats environment).
     log_path:
         Stream per-cell :class:`~repro.engine.records.RunRecord` JSONL to
         this path as the run progresses.
@@ -212,6 +215,9 @@ def run_suite(
     resume_from:
         Existing JSONL run log to resume: completed (``ok``/``timeout``)
         cells are adopted, only missing/``error`` cells execute.
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` for the run,
+        forwarded to :func:`~repro.engine.run_grid` (``None`` = ambient).
     """
     names = list(algorithms) if algorithms is not None else list(ALGORITHMS)
     instances = list(instances)
@@ -226,6 +232,7 @@ def run_suite(
         log_path=log_path,
         max_cell_retries=max_cell_retries,
         resume_from=resume_from,
+        context=context,
     )
     result = suite_result_from_records(instances, names, records, on_error=on_error)
     result.pool_restarts = getattr(records, "pool_restarts", 0)

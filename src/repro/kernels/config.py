@@ -1,73 +1,26 @@
-"""Process-wide fast-path switch for the vectorized kernels.
+"""Compatibility re-export of the fast-path switch, which now lives in
+:mod:`repro.runtime.fastpath`.
 
-The wavefront and chain kernels in :mod:`repro.kernels` are differentially
-tested to produce *identical* colorings to the reference Python loops, so they
-are enabled by default.  Three knobs turn them off:
-
-* the ``REPRO_FAST_PATHS=0`` environment variable (read at import, so it also
-  governs freshly spawned engine worker processes);
-* :func:`set_fast_paths` for a process-wide toggle;
-* the :func:`fast_paths` context manager for a scoped override (used by
-  :func:`~repro.core.algorithms.registry.color_with` so an explicit
-  ``fast=False`` reaches every primitive underneath the algorithm).
-
-Auto mode (``fast=None``) additionally applies a size threshold: batched
-NumPy dispatch has fixed overhead that dominates on miniature instances, so
-the kernels only engage automatically from :data:`MIN_AUTO_SIZE` vertices
-up (``REPRO_FAST_PATHS_MIN_SIZE``).  An explicit ``fast=True`` always takes
-the kernel regardless of size — benchmarks and differential tests rely on
-that to exercise the kernels on degenerate grids.
+Resolution moved into the runtime layer so :mod:`repro.core` can decide
+fast/slow without importing the kernels (the registry binds kernel functions
+lazily).  The semantics are unchanged — see the runtime module for the
+precedence rules; import from there in new code.
 """
 
-from __future__ import annotations
+from repro.runtime.fastpath import (
+    MIN_AUTO_SIZE,
+    fast_paths,
+    fast_paths_enabled,
+    resolve_fast,
+    resolve_fast_for,
+    set_fast_paths,
+)
 
-import os
-from contextlib import contextmanager
-from typing import Iterator, Optional
-
-_enabled: bool = os.environ.get("REPRO_FAST_PATHS", "1") != "0"
-
-#: Minimum vertex count for the kernels to engage in auto mode.  Break-even
-#: for the wavefront kernels sits around a few thousand vertices (see
-#: ``BENCH_kernels.json``); below it the reference loops win.
-MIN_AUTO_SIZE: int = int(os.environ.get("REPRO_FAST_PATHS_MIN_SIZE", "4096"))
-
-
-def fast_paths_enabled() -> bool:
-    """Whether the vectorized kernels are currently enabled."""
-    return _enabled
-
-
-def set_fast_paths(enabled: bool) -> None:
-    """Enable or disable the vectorized kernels process-wide."""
-    global _enabled
-    _enabled = bool(enabled)
-
-
-def resolve_fast(fast: Optional[bool]) -> bool:
-    """Normalize a per-call ``fast`` argument: ``None`` follows the global switch."""
-    return _enabled if fast is None else bool(fast)
-
-
-def resolve_fast_for(fast: Optional[bool], num_vertices: int) -> bool:
-    """Per-call fast decision with the auto-mode size threshold applied.
-
-    Explicit ``True``/``False`` win unconditionally; ``None`` follows the
-    global switch *and* requires at least :data:`MIN_AUTO_SIZE` vertices, so
-    miniature instances keep the (faster there) reference loops.
-    """
-    if fast is not None:
-        return bool(fast)
-    return _enabled and num_vertices >= MIN_AUTO_SIZE
-
-
-@contextmanager
-def fast_paths(enabled: bool) -> Iterator[None]:
-    """Scoped override of the fast-path switch (restores the previous value)."""
-    global _enabled
-    previous = _enabled
-    _enabled = bool(enabled)
-    try:
-        yield
-    finally:
-        _enabled = previous
+__all__ = [
+    "MIN_AUTO_SIZE",
+    "fast_paths",
+    "fast_paths_enabled",
+    "resolve_fast",
+    "resolve_fast_for",
+    "set_fast_paths",
+]

@@ -15,16 +15,18 @@ caches, keyed by ``(stencil type, grid shape)``:
 * :func:`get_substrate` — the kernel-facing :class:`Substrate` bundling the
   padded neighbor table and a per-order wavefront-schedule cache.
 
-Both caches are guarded by a lock (safe under threads); worker processes of
-the batch engine each populate their own copy lazily — there is no
-cross-process shared state to corrupt, which is what makes the cache safe
-under the process-pool engine.
+The caches live on the :class:`~repro.runtime.context.ExecutionContext`
+(under the ``"kernels.substrate"`` scoped key), sized by its
+:class:`~repro.runtime.config.RuntimeConfig` and emitting hit/miss/eviction
+counters into its metrics registry.  Every accessor takes an optional
+``context`` and defaults to the ambient :func:`~repro.runtime.context.get_context`,
+so existing call sites behave exactly as before: one cache per process,
+guarded by a lock (safe under threads), populated lazily per engine worker —
+no cross-process shared state to corrupt.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -32,16 +34,23 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import ExecutionContext, get_context
+from repro.runtime.fingerprint import array_digest
 from repro.stencil.generic import CSRGraph
 from repro.stencil.grid2d import StencilGrid2D
 from repro.stencil.grid3d import StencilGrid3D
 
 Geometry = Union[StencilGrid2D, StencilGrid3D]
 
+# Default capacities under the environment-derived config, kept as module
+# constants for compatibility; context-aware code reads its RuntimeConfig.
+_DEFAULT_CONFIG = RuntimeConfig.from_env()
 #: Shapes kept per LRU cache (geometries and substrates separately).
-CACHE_SIZE = int(os.environ.get("REPRO_SUBSTRATE_CACHE_SIZE", "32"))
+CACHE_SIZE = _DEFAULT_CONFIG.substrate_cache_size
 #: Wavefront schedules kept per substrate (one per distinct vertex order).
-WAVEFRONT_CACHE_SIZE = int(os.environ.get("REPRO_WAVEFRONT_CACHE_SIZE", "8"))
+WAVEFRONT_CACHE_SIZE = _DEFAULT_CONFIG.wavefront_cache_size
 
 #: A wavefront schedule: ``verts[ptr[b]:ptr[b + 1]]`` is batch ``b``.
 Wavefront = tuple[np.ndarray, np.ndarray]
@@ -142,10 +151,14 @@ class Substrate:
         The (shared) stencil geometry.
     nbr_table:
         ``(n, max_degree)`` neighbor ids, padded with ``n``.
+    wavefront_cache_size:
+        Schedules kept in the per-order LRU (from the building context's
+        :class:`~repro.runtime.config.RuntimeConfig`).
     """
 
     geometry: Geometry
     nbr_table: np.ndarray
+    wavefront_cache_size: int = WAVEFRONT_CACHE_SIZE
     _wavefronts: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -172,7 +185,7 @@ class Substrate:
         by an order digest, so shape-only orders (GLL, GZO) are computed once
         per shape and weight orders (GLF, GSL) once per weight vector.
         """
-        digest = hashlib.blake2b(order.tobytes(), digest_size=16).digest()
+        digest = array_digest(order)
         with self._lock:
             cached = self._wavefronts.get(digest)
             if cached is not None:
@@ -186,7 +199,7 @@ class Substrate:
             wavefront = _kahn_wavefront(self.nbr_table, rank)
         with self._lock:
             self._wavefronts[digest] = wavefront
-            while len(self._wavefronts) > WAVEFRONT_CACHE_SIZE:
+            while len(self._wavefronts) > self.wavefront_cache_size:
                 self._wavefronts.popitem(last=False)
         return wavefront
 
@@ -194,18 +207,32 @@ class Substrate:
 class _ShapeCache:
     """A tiny thread-safe LRU keyed by ``(stencil type, shape)``.
 
-    Tracks hit/miss/eviction counters (monotonic over the process lifetime,
+    Tracks hit/miss/eviction counters (monotonic over the cache lifetime,
     surviving :meth:`clear`) so the service ``/metrics`` snapshot and
-    ``bench-kernels`` can report substrate-cache effectiveness.
+    ``bench-kernels`` can report substrate-cache effectiveness.  The same
+    events are mirrored into the owning context's metrics registry under
+    ``<name>.hits`` / ``<name>.misses`` / ``<name>.evictions``.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(
+        self,
+        maxsize: int,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "",
+    ) -> None:
         self.maxsize = maxsize
         self._items: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._metrics = metrics
+        self._name = name
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self._metrics is not None and self._name:
+            self._metrics.counter(f"{self._name}.{event}").inc(amount)
 
     def get_or_build(self, key, build):
         with self._lock:
@@ -213,15 +240,21 @@ class _ShapeCache:
             if item is not None:
                 self.hits += 1
                 self._items.move_to_end(key)
+                self._count("hits")
                 return item
             self.misses += 1
+        self._count("misses")
         item = build()
         with self._lock:
             cached = self._items.setdefault(key, item)
             self._items.move_to_end(key)
+            evicted = 0
             while len(self._items) > self.maxsize:
                 self._items.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._count("evictions", evicted)
         return cached
 
     def stats(self) -> dict[str, int]:
@@ -244,65 +277,103 @@ class _ShapeCache:
             return len(self._items)
 
 
-_GEOMETRIES = _ShapeCache(CACHE_SIZE)
-_SUBSTRATES = _ShapeCache(CACHE_SIZE)
+class _SubstrateState:
+    """The per-context substrate caches (scoped key ``"kernels.substrate"``)."""
+
+    def __init__(self, config: RuntimeConfig, metrics: MetricsRegistry) -> None:
+        self.geometries = _ShapeCache(
+            config.substrate_cache_size, metrics=metrics, name="substrate.geometries"
+        )
+        self.substrates = _ShapeCache(
+            config.substrate_cache_size, metrics=metrics, name="substrate.substrates"
+        )
+        self.wavefront_cache_size = config.wavefront_cache_size
+
+
+def _state(context: Optional[ExecutionContext] = None) -> _SubstrateState:
+    ctx = context if context is not None else get_context()
+    return ctx.scoped(
+        "kernels.substrate", lambda: _SubstrateState(ctx.config, ctx.metrics)
+    )
 
 
 def _key(kind: str, shape: tuple[int, ...]) -> tuple:
     return (kind, tuple(int(d) for d in shape))
 
 
-def shared_geometry_2d(X: int, Y: int) -> StencilGrid2D:
-    """The process-shared 9-pt geometry for an ``X×Y`` grid."""
-    return _GEOMETRIES.get_or_build(
+def shared_geometry_2d(
+    X: int, Y: int, *, context: Optional[ExecutionContext] = None
+) -> StencilGrid2D:
+    """The context-shared 9-pt geometry for an ``X×Y`` grid."""
+    return _state(context).geometries.get_or_build(
         _key("2d", (X, Y)), lambda: StencilGrid2D(X, Y)
     )
 
 
-def shared_geometry_3d(X: int, Y: int, Z: int) -> StencilGrid3D:
-    """The process-shared 27-pt geometry for an ``X×Y×Z`` grid."""
-    return _GEOMETRIES.get_or_build(
+def shared_geometry_3d(
+    X: int, Y: int, Z: int, *, context: Optional[ExecutionContext] = None
+) -> StencilGrid3D:
+    """The context-shared 27-pt geometry for an ``X×Y×Z`` grid."""
+    return _state(context).geometries.get_or_build(
         _key("3d", (X, Y, Z)), lambda: StencilGrid3D(X, Y, Z)
     )
 
 
-def get_substrate(geometry: Geometry) -> Substrate:
+def get_substrate(
+    geometry: Geometry, *, context: Optional[ExecutionContext] = None
+) -> Substrate:
     """The shared :class:`Substrate` for a stencil geometry.
 
     Two geometries of equal type and shape map to the same substrate, so the
     neighbor table and wavefront schedules are built once per shape no matter
     how many instances (or benchmark cells) run over it.
     """
+    state = _state(context)
     kind = "2d" if isinstance(geometry, StencilGrid2D) else "3d"
 
     def build() -> Substrate:
         shared = (
-            shared_geometry_2d(*geometry.shape)
+            shared_geometry_2d(*geometry.shape, context=context)
             if kind == "2d"
-            else shared_geometry_3d(*geometry.shape)
+            else shared_geometry_3d(*geometry.shape, context=context)
         )
-        return Substrate(geometry=shared, nbr_table=_build_neighbor_table(shared.csr))
+        return Substrate(
+            geometry=shared,
+            nbr_table=_build_neighbor_table(shared.csr),
+            wavefront_cache_size=state.wavefront_cache_size,
+        )
 
-    return _SUBSTRATES.get_or_build(_key(kind, geometry.shape), build)
+    return state.substrates.get_or_build(_key(kind, geometry.shape), build)
 
 
-def clear_caches() -> None:
+def clear_caches(context: Optional[ExecutionContext] = None) -> None:
     """Drop every cached geometry and substrate (tests, memory pressure)."""
-    _GEOMETRIES.clear()
-    _SUBSTRATES.clear()
+    state = _state(context)
+    state.geometries.clear()
+    state.substrates.clear()
 
 
-def cache_sizes() -> dict[str, int]:
+def cache_sizes(context: Optional[ExecutionContext] = None) -> dict[str, int]:
     """Current entry counts of the shape caches (observability hook)."""
-    return {"geometries": len(_GEOMETRIES), "substrates": len(_SUBSTRATES)}
+    state = _state(context)
+    return {
+        "geometries": len(state.geometries),
+        "substrates": len(state.substrates),
+    }
 
 
-def substrate_stats() -> dict[str, dict[str, int]]:
+def substrate_stats(
+    context: Optional[ExecutionContext] = None,
+) -> dict[str, dict[str, int]]:
     """Hit/miss/eviction counters of both shape caches.
 
-    Counters are process-lifetime monotonic (``clear_caches`` drops entries
+    Counters are cache-lifetime monotonic (``clear_caches`` drops entries
     but not counters), so rates computed from deltas are meaningful.  Exposed
     in the coloring service ``metrics`` snapshot and the ``bench-kernels``
     report.
     """
-    return {"geometries": _GEOMETRIES.stats(), "substrates": _SUBSTRATES.stats()}
+    state = _state(context)
+    return {
+        "geometries": state.geometries.stats(),
+        "substrates": state.substrates.stats(),
+    }

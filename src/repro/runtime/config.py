@@ -1,0 +1,194 @@
+"""Explicit runtime configuration, with the environment as an *override* layer.
+
+:class:`RuntimeConfig` is the one place the ``REPRO_*`` knobs live.  Before
+this module existed, ``REPRO_FAST_PATHS`` was parsed in ``kernels/config``,
+``REPRO_WAVEFRONT_CACHE_SIZE`` in ``kernels/substrate``, and ``REPRO_FAULTS``
+in ``resilience/faults`` — each at import time, each with its own precedence
+quirks.  Now every knob is an explicit dataclass field with a documented
+default, and :meth:`RuntimeConfig.from_env` applies the environment on top.
+
+Precedence (highest wins)
+-------------------------
+1. **Explicit per-call arguments** — ``fast=True`` to ``color_with``,
+   ``fast_paths=`` to ``run_grid``/``run_suite``, ``--fast-path`` on the CLI.
+2. **Explicit config** — keyword overrides passed to
+   :meth:`RuntimeConfig.from_env`, or a :class:`RuntimeConfig` constructed
+   directly (which ignores the environment entirely).
+3. **Environment** — the ``REPRO_*`` variables below, read by ``from_env``.
+4. **Defaults** — the dataclass field defaults.
+
+Environment variables
+---------------------
+============================== ========================= ====================
+variable                        field                     values
+============================== ========================= ====================
+``REPRO_FAST_PATHS``            ``fast_paths``            ``0``/``off`` → off,
+                                                          ``on``/``force`` → on,
+                                                          else → auto
+``REPRO_FAST_PATHS_MIN_SIZE``   ``fast_paths_min_size``   int (vertices)
+``REPRO_SUBSTRATE_CACHE_SIZE``  ``substrate_cache_size``  int (shapes)
+``REPRO_WAVEFRONT_CACHE_SIZE``  ``wavefront_cache_size``  int (orders/shape)
+``REPRO_FAULTS``                ``fault_spec``            fault spec string
+``REPRO_MAX_CELL_RETRIES``      ``max_cell_retries``      int
+``REPRO_SEED``                  ``seed``                  int
+============================== ========================= ====================
+
+This module (plus :mod:`repro.resilience.faults`, whose lazy ``REPRO_FAULTS``
+parse must survive into freshly forked workers) is the only place in
+``src/repro`` allowed to touch ``os.environ`` — enforced by
+``tools/check_layers.py``.  External code (benchmarks, conftests) that needs
+other environment knobs should go through the :func:`env_str`-family helpers
+here rather than importing :mod:`os` for it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Union
+
+__all__ = [
+    "RuntimeConfig",
+    "FastPathMode",
+    "env_str",
+    "env_int",
+    "env_float",
+    "env_bool",
+]
+
+#: The tri-state fast-path mode: ``"auto"`` engages the vectorized kernels
+#: from ``fast_paths_min_size`` vertices up, ``"on"`` forces them regardless
+#: of size, ``"off"`` disables them.
+FastPathMode = str
+
+_FAST_PATH_MODES = ("auto", "on", "off")
+
+
+def env_str(name: str, default: str) -> str:
+    """``os.environ[name]`` with a default (the sanctioned env accessor)."""
+    return os.environ.get(name, default)
+
+
+def env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return default if raw is None or not raw.strip() else int(raw)
+
+
+def env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return default if raw is None or not raw.strip() else float(raw)
+
+
+def env_bool(name: str, default: bool) -> bool:
+    """``0``/``false``/``no``/empty are false; anything else set is true."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def _parse_fast_path_mode(raw: str) -> FastPathMode:
+    """Map a ``REPRO_FAST_PATHS`` value onto the tri-state mode.
+
+    Historically the variable was boolean (``0`` disables, anything else
+    enables auto mode); ``on``/``force`` were added with the tri-state to
+    force kernels below the size threshold.
+    """
+    text = raw.strip().lower()
+    if text in ("0", "off", "false", "no"):
+        return "off"
+    if text in ("on", "force"):
+        return "on"
+    return "auto"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every runtime knob, explicit.  Frozen (use :meth:`with_overrides`) and
+    picklable, so the engine can ship one to each worker process.
+
+    Attributes
+    ----------
+    fast_paths:
+        Tri-state kernel mode (see :data:`FastPathMode`).  Legacy boolean
+        values are normalized: ``True`` → ``"on"``, ``False`` → ``"off"``,
+        ``None`` → ``"auto"``.
+    fast_paths_min_size:
+        Minimum vertex count for kernels to engage in ``"auto"`` mode
+        (batched NumPy dispatch has fixed overhead that dominates on
+        miniature instances; break-even sits around a few thousand
+        vertices, see ``BENCH_kernels.json``).
+    substrate_cache_size:
+        Shapes kept per substrate LRU cache (geometries and substrates
+        cached separately, each with this capacity).
+    wavefront_cache_size:
+        Wavefront schedules kept per substrate (one per distinct vertex
+        order).
+    fault_spec:
+        A :func:`repro.resilience.faults.parse_fault_spec` string; empty
+        means no fault injection.  Installed by
+        :meth:`repro.runtime.context.ExecutionContext.install_faults`.
+    max_cell_retries:
+        Per-cell retry budget of the supervised engine pool.
+    seed:
+        Base seed for seeded subsystems (fault plans default to their spec's
+        own ``seed=`` segment; this is the fallback for future consumers).
+    """
+
+    fast_paths: FastPathMode = "auto"
+    fast_paths_min_size: int = 4096
+    substrate_cache_size: int = 32
+    wavefront_cache_size: int = 8
+    fault_spec: str = ""
+    max_cell_retries: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        mode: Union[FastPathMode, bool, None] = self.fast_paths
+        if mode is None:
+            mode = "auto"
+        elif isinstance(mode, bool):
+            mode = "on" if mode else "off"
+        if mode not in _FAST_PATH_MODES:
+            raise ValueError(
+                f"fast_paths must be one of {_FAST_PATH_MODES}, got {mode!r}"
+            )
+        object.__setattr__(self, "fast_paths", mode)
+        for name in (
+            "fast_paths_min_size",
+            "substrate_cache_size",
+            "wavefront_cache_size",
+            "max_cell_retries",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RuntimeConfig":
+        """Defaults, overridden by the environment, overridden by ``overrides``.
+
+        ``overrides`` keys are field names; an override of ``None`` means
+        "not specified" and falls through to the environment (matching the
+        per-call ``fast=None`` convention everywhere else).
+        """
+        values = {
+            "fast_paths": _parse_fast_path_mode(env_str("REPRO_FAST_PATHS", "1")),
+            "fast_paths_min_size": env_int("REPRO_FAST_PATHS_MIN_SIZE", 4096),
+            "substrate_cache_size": env_int("REPRO_SUBSTRATE_CACHE_SIZE", 32),
+            "wavefront_cache_size": env_int("REPRO_WAVEFRONT_CACHE_SIZE", 8),
+            "fault_spec": env_str("REPRO_FAULTS", ""),
+            "max_cell_retries": env_int("REPRO_MAX_CELL_RETRIES", 3),
+            "seed": env_int("REPRO_SEED", 0),
+        }
+        known = {f.name for f in fields(cls)}
+        for name, value in overrides.items():
+            if name not in known:
+                raise TypeError(f"unknown RuntimeConfig field {name!r}")
+            if value is not None:
+                values[name] = value
+        return cls(**values)
+
+    def with_overrides(self, **overrides) -> "RuntimeConfig":
+        """A copy with ``overrides`` applied (``None`` values are skipped)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self

@@ -49,9 +49,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.faults import inject
+from repro.runtime.context import ExecutionContext, get_context, use_context
 from repro.service.cache import CacheEntry, ResultCache
-from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     STATUS_ERROR,
     STATUS_OK,
@@ -88,6 +89,13 @@ class MicroBatcher:
         fill; ``0`` dispatches immediately (the unbatched baseline).
     compute_threads:
         Worker threads executing batches (and the cap on in-flight batches).
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` the batcher
+        computes under.  ``run_in_executor`` does not propagate the ambient
+        contextvar onto compute threads, so each batch re-enters it
+        explicitly — that is how batched colorings share the substrate
+        caches and fast-path config with every other call path.  ``None``
+        captures the ambient context at construction.
     """
 
     def __init__(
@@ -98,9 +106,11 @@ class MicroBatcher:
         max_batch: int = 32,
         batch_window: float = 0.002,
         compute_threads: int = 1,
+        context: Optional[ExecutionContext] = None,
     ) -> None:
         self.cache = cache
         self.metrics = metrics
+        self.context = context if context is not None else get_context()
         self.max_batch = max(1, int(max_batch))
         self.batch_window = max(0.0, float(batch_window))
         self.compute_threads = max(1, int(compute_threads))
@@ -289,7 +299,15 @@ class MicroBatcher:
 
     # ---------------------------------------------------------- batch compute
     def _execute_batch(self, batch: list[_Pending]) -> list[ServedResult]:
-        """Run one shape/algorithm batch on a worker thread (see module doc)."""
+        """Run one shape/algorithm batch on a worker thread (see module doc).
+
+        Runs under the batcher's context (``run_in_executor`` threads do not
+        inherit the event loop's contextvars, so it is re-entered here).
+        """
+        with use_context(self.context):
+            return self._execute_batch_in_context(batch)
+
+    def _execute_batch_in_context(self, batch: list[_Pending]) -> list[ServedResult]:
         now = time.monotonic()
         queue_wait = self.metrics.histogram("queue_wait")
         for pending in batch:
@@ -379,12 +397,17 @@ class MicroBatcher:
                 instance = IVCInstance.from_grid_3d(request.weights)
             try:
                 inject("service.compute", request.key)
-                coloring = color_with(instance, request.algorithm, fast=request.fast)
+                coloring = color_with(
+                    instance, request.algorithm, fast=request.fast,
+                    context=self.context,
+                )
             except Exception:
                 if request.fast is not None:
                     raise  # the caller pinned a path; nothing left to try
                 degraded = True
-                coloring = color_with(instance, request.algorithm, fast=False)
+                coloring = color_with(
+                    instance, request.algorithm, fast=False, context=self.context
+                )
             if request.validate:
                 coloring.check()
         except Exception as exc:

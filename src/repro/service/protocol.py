@@ -31,12 +31,13 @@ content collide (as they must).
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
+
+from repro.runtime.fingerprint import content_key
 
 #: Upper bound on one encoded message line (guards the server's readline).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
@@ -53,20 +54,10 @@ class ProtocolError(ValueError):
     """A message that does not parse as a valid protocol frame."""
 
 
-def content_key(weights: np.ndarray, algorithm: str) -> str:
-    """Canonical content hash of a coloring request (hex digest).
-
-    Two requests share a key iff they ask for the same algorithm on the
-    same-kind stencil of the same shape with identical weights — exactly the
-    condition under which their colorings are identical (all registry
-    algorithms are deterministic).
-    """
-    arr = np.ascontiguousarray(weights, dtype=np.int64)
-    h = hashlib.blake2b(digest_size=20)
-    h.update(f"{arr.ndim}d|{'x'.join(str(s) for s in arr.shape)}|".encode())
-    h.update(arr.tobytes())
-    h.update(b"|" + algorithm.encode())
-    return h.hexdigest()
+# content_key (imported above, re-exported for existing callers) moved to
+# repro.runtime.fingerprint so the kernel substrate shares the same
+# canonicalization; the digests are byte-identical, so spill files written
+# by older servers still warm-start a new one.
 
 
 @dataclass(frozen=True)

@@ -28,9 +28,11 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import ExecutionContext, get_context
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResultCache
-from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
     STATUS_ERROR,
@@ -61,15 +63,35 @@ class ServerConfig:
     default_timeout: float = 30.0  # per-request deadline cap, seconds
     drain_timeout: float = 30.0  # graceful-shutdown budget, seconds
     warm_start: bool = False  # index an existing spill file on startup
+    runtime: Optional[RuntimeConfig] = None  # None = inherit the ambient context's
     extra_metadata: dict = field(default_factory=dict)
 
 
 class ColoringService:
-    """The online coloring service (see module docstring)."""
+    """The online coloring service (see module docstring).
 
-    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+    The service computes under an :class:`ExecutionContext` of its own: by
+    default a *child* of the ambient context — same substrate caches (so
+    direct callers and the service share per-shape geometry), but a fresh
+    metrics registry so ``/metrics`` reports this service alone.  A
+    ``config.runtime`` override instead builds an independent context around
+    that :class:`RuntimeConfig`; an explicit ``context=`` wins over both.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        context: Optional[ExecutionContext] = None,
+    ) -> None:
         self.config = config or ServerConfig()
-        self.metrics = MetricsRegistry()
+        if context is not None:
+            self.context = context
+        elif self.config.runtime is not None:
+            self.context = ExecutionContext(self.config.runtime)
+        else:
+            self.context = get_context().child(metrics=MetricsRegistry())
+        self.metrics = self.context.metrics
         self.cache = ResultCache(
             capacity=self.config.cache_size, spill_path=self.config.spill_path
         )
@@ -79,6 +101,7 @@ class ColoringService:
             max_batch=self.config.max_batch,
             batch_window=self.config.batch_window,
             compute_threads=self.config.compute_threads,
+            context=self.context,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
@@ -261,7 +284,7 @@ class ColoringService:
 
         snap = self.metrics.snapshot()
         snap["cache"] = self.cache.stats()
-        snap["substrate"] = substrate_stats()
+        snap["substrate"] = substrate_stats(self.context)
         snap["server"] = {
             "uptime_seconds": time.monotonic() - self._started_at,
             "queue_depth": self.batcher.depth,

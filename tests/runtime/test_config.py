@@ -1,0 +1,152 @@
+"""RuntimeConfig: defaults, environment overrides, and precedence.
+
+The documented order (highest wins): explicit per-call args > explicit
+config/overrides > ``REPRO_*`` environment > dataclass defaults.
+"""
+
+import pytest
+
+from repro.runtime.config import (
+    RuntimeConfig,
+    env_bool,
+    env_float,
+    env_int,
+    env_str,
+)
+
+
+class TestDefaults:
+    def test_field_defaults(self):
+        config = RuntimeConfig()
+        assert config.fast_paths == "auto"
+        assert config.fast_paths_min_size == 4096
+        assert config.substrate_cache_size == 32
+        assert config.wavefront_cache_size == 8
+        assert config.fault_spec == ""
+        assert config.max_cell_retries == 3
+        assert config.seed == 0
+
+    def test_direct_construction_ignores_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_PATHS", "off")
+        monkeypatch.setenv("REPRO_WAVEFRONT_CACHE_SIZE", "99")
+        config = RuntimeConfig()
+        assert config.fast_paths == "auto"
+        assert config.wavefront_cache_size == 8
+
+    def test_picklable(self):
+        import pickle
+
+        config = RuntimeConfig(fast_paths="on", seed=7)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestNormalization:
+    def test_legacy_booleans_map_to_tristate(self):
+        assert RuntimeConfig(fast_paths=True).fast_paths == "on"
+        assert RuntimeConfig(fast_paths=False).fast_paths == "off"
+        assert RuntimeConfig(fast_paths=None).fast_paths == "auto"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="fast_paths"):
+            RuntimeConfig(fast_paths="sometimes")
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError, match="wavefront_cache_size"):
+            RuntimeConfig(wavefront_cache_size=-1)
+        with pytest.raises(ValueError, match="max_cell_retries"):
+            RuntimeConfig(max_cell_retries=-2)
+
+
+class TestFromEnv:
+    def test_environment_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_PATHS", "0")
+        monkeypatch.setenv("REPRO_FAST_PATHS_MIN_SIZE", "128")
+        monkeypatch.setenv("REPRO_SUBSTRATE_CACHE_SIZE", "5")
+        monkeypatch.setenv("REPRO_WAVEFRONT_CACHE_SIZE", "3")
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1;engine.cell:crash=0.5,max=1")
+        monkeypatch.setenv("REPRO_MAX_CELL_RETRIES", "9")
+        monkeypatch.setenv("REPRO_SEED", "42")
+        config = RuntimeConfig.from_env()
+        assert config.fast_paths == "off"
+        assert config.fast_paths_min_size == 128
+        assert config.substrate_cache_size == 5
+        assert config.wavefront_cache_size == 3
+        assert config.fault_spec == "seed=1;engine.cell:crash=0.5,max=1"
+        assert config.max_cell_retries == 9
+        assert config.seed == 42
+
+    @pytest.mark.parametrize(
+        "raw,mode",
+        [
+            ("0", "off"), ("off", "off"), ("false", "off"), ("no", "off"),
+            ("on", "on"), ("force", "on"),
+            ("1", "auto"), ("yes", "auto"), ("auto", "auto"),
+        ],
+    )
+    def test_fast_path_mode_parsing(self, monkeypatch, raw, mode):
+        monkeypatch.setenv("REPRO_FAST_PATHS", raw)
+        assert RuntimeConfig.from_env().fast_paths == mode
+
+    def test_explicit_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_PATHS", "off")
+        monkeypatch.setenv("REPRO_SEED", "42")
+        config = RuntimeConfig.from_env(fast_paths="on", seed=7)
+        assert config.fast_paths == "on"
+        assert config.seed == 7
+
+    def test_none_override_falls_through_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "42")
+        assert RuntimeConfig.from_env(seed=None).seed == 42
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError, match="wavefronts"):
+            RuntimeConfig.from_env(wavefronts=2)
+
+    def test_defaults_without_environment(self, monkeypatch):
+        for name in (
+            "REPRO_FAST_PATHS", "REPRO_FAST_PATHS_MIN_SIZE",
+            "REPRO_SUBSTRATE_CACHE_SIZE", "REPRO_WAVEFRONT_CACHE_SIZE",
+            "REPRO_FAULTS", "REPRO_MAX_CELL_RETRIES", "REPRO_SEED",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert RuntimeConfig.from_env() == RuntimeConfig()
+
+
+class TestWithOverrides:
+    def test_applies_changes_and_keeps_rest(self):
+        base = RuntimeConfig(seed=1)
+        derived = base.with_overrides(wavefront_cache_size=2)
+        assert derived.wavefront_cache_size == 2
+        assert derived.seed == 1
+        assert base.wavefront_cache_size == 8  # frozen original untouched
+
+    def test_none_values_are_skipped(self):
+        base = RuntimeConfig(seed=5)
+        assert base.with_overrides(seed=None) is base
+
+
+class TestEnvHelpers:
+    def test_env_str(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_X", "abc")
+        assert env_str("REPRO_TEST_X", "d") == "abc"
+        monkeypatch.delenv("REPRO_TEST_X")
+        assert env_str("REPRO_TEST_X", "d") == "d"
+
+    def test_env_int_blank_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_X", "  ")
+        assert env_int("REPRO_TEST_X", 3) == 3
+        monkeypatch.setenv("REPRO_TEST_X", "17")
+        assert env_int("REPRO_TEST_X", 3) == 17
+
+    def test_env_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_X", "0.25")
+        assert env_float("REPRO_TEST_X", 1.0) == 0.25
+
+    def test_env_bool(self, monkeypatch):
+        for falsy in ("0", "false", "NO", "off", ""):
+            monkeypatch.setenv("REPRO_TEST_X", falsy)
+            assert env_bool("REPRO_TEST_X", True) is False
+        monkeypatch.setenv("REPRO_TEST_X", "1")
+        assert env_bool("REPRO_TEST_X", False) is True
+        monkeypatch.delenv("REPRO_TEST_X")
+        assert env_bool("REPRO_TEST_X", True) is True

@@ -1,0 +1,71 @@
+"""The architecture lint (tools/check_layers.py) must hold in tier-1 runs.
+
+CI runs the script as a standalone job; this test enforces the same
+constraints locally so a layering regression fails ``pytest`` immediately
+instead of surfacing only on push.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "tools" / "check_layers.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_layers", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_layering_violations():
+    checker = _load_checker()
+    violations = checker.check(REPO_ROOT)
+    assert violations == [], "\n".join(violations)
+
+
+def test_script_exits_zero():
+    """The CI entry point (plain `python tools/check_layers.py`) is green."""
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "layering: OK" in proc.stdout
+
+
+def test_lint_catches_env_read(tmp_path):
+    """Sanity: the lint actually flags an os.environ read in a fake tree."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import os\nX = os.environ.get('Y')\n")
+    violations = checker.check(tmp_path)
+    assert len(violations) == 1
+    assert "os.environ" in violations[0]
+
+
+def test_lint_catches_upward_import(tmp_path):
+    """Sanity: the lint flags a module-level import of a higher layer."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("from repro.service import server\n")
+    violations = checker.check(tmp_path)
+    assert len(violations) == 1
+    assert "higher layer 'service'" in violations[0]
+
+
+def test_lint_exempts_function_scoped_imports(tmp_path):
+    """Lazy (function-level) imports are runtime edges, not layering edges."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        "def f():\n    from repro.kernels import colorings\n    return colorings\n"
+    )
+    assert checker.check(tmp_path) == []

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Layering lint: lower layers must not import higher ones.
+
+The repo is layered (see ``docs/architecture.md``)::
+
+    obs, resilience                 (0)  leaf utilities
+    stencil                         (1)  geometry
+    runtime                         (2)  config + execution context
+    core                            (3)  problem, algorithms, registry
+    data, kernels, analysis         (4)  instances, vectorized kernels, stats
+    npc, stkde, apps                (5)  applications of the core
+    engine                          (6)  parallel batch execution
+    service                         (7)  online serving
+    experiments, reports            (8)  drivers
+    cli                             (9)  entry point
+
+A module may import ``repro.*`` packages of rank **at most its own**.  Only
+*module-level* imports count: a function-scoped lazy import (the registry's
+kernel bindings, ``IVCInstance.from_grid_*`` reaching the substrate cache)
+expresses an optional runtime dependency, not a build-order edge, and is
+exempt.
+
+The second check asserts configuration discipline: no module outside
+``repro/runtime/config.py`` and ``repro/resilience/`` may read
+``os.environ`` / ``os.getenv`` — every knob flows through
+:class:`repro.runtime.config.RuntimeConfig` (or its ``env_*`` helpers).
+
+Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
+Run from the repo root::
+
+    python tools/check_layers.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: package (top-level under repro/) -> layer rank.  A module may only import
+#: packages of rank <= its own.
+LAYERS = {
+    "obs": 0,
+    "resilience": 0,
+    "stencil": 1,
+    "runtime": 2,
+    "core": 3,
+    "data": 4,
+    "kernels": 4,
+    "analysis": 4,
+    "npc": 5,
+    "stkde": 5,
+    "apps": 5,
+    "engine": 6,
+    "service": 7,
+    "experiments": 8,
+    "reports": 8,
+    "cli": 9,
+}
+
+#: Modules allowed to touch os.environ / os.getenv (repo-relative prefixes).
+ENV_ALLOWED = (
+    "src/repro/runtime/config.py",
+    "src/repro/resilience/",
+)
+
+#: The root package __init__ re-exports across layers by design.
+ROOT_EXEMPT = ("src/repro/__init__.py",)
+
+
+def _package_of(path: Path, src: Path) -> str | None:
+    """The top-level repro package a file belongs to (None for the root)."""
+    rel = path.relative_to(src / "repro")
+    head = rel.parts[0]
+    if head.endswith(".py"):
+        head = head[:-3]
+    return head if head in LAYERS else None
+
+
+def _imported_packages(tree: ast.Module) -> list[tuple[int, str]]:
+    """Top-level repro packages imported at module level, with line numbers.
+
+    Only module-level statements are walked — imports inside function or
+    method bodies are deliberately exempt (lazy/runtime edges).  Imports
+    inside module-level ``if TYPE_CHECKING:`` blocks are exempt too: they
+    never execute.
+    """
+    out: list[tuple[int, str]] = []
+
+    def scan(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if parts[0] == "repro" and len(parts) > 1:
+                        out.append((node.lineno, parts[1]))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    parts = node.module.split(".")
+                    if parts[0] == "repro":
+                        if len(parts) > 1:
+                            out.append((node.lineno, parts[1]))
+                        else:  # `from repro import X` — X is the package
+                            for alias in node.names:
+                                out.append((node.lineno, alias.name))
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Walk conditional module-level blocks, except TYPE_CHECKING
+                # guards (they never run).
+                if isinstance(node, ast.If):
+                    test = ast.unparse(node.test)
+                    if "TYPE_CHECKING" in test:
+                        continue
+                    scan(node.body)
+                    scan(node.orelse)
+                else:
+                    scan(node.body)
+                    for handler in node.handlers:
+                        scan(handler.body)
+                    scan(node.orelse)
+                    scan(node.finalbody)
+    scan(tree.body)
+    return out
+
+
+class _EnvVisitor(ast.NodeVisitor):
+    """Collects os.environ / os.getenv uses anywhere in a module."""
+
+    def __init__(self) -> None:
+        self.uses: list[int] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+            and node.attr in ("environ", "getenv", "putenv")
+        ):
+            self.uses.append(node.lineno)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "os" and any(
+            alias.name in ("environ", "getenv") for alias in node.names
+        ):
+            self.uses.append(node.lineno)
+        self.generic_visit(node)
+
+
+def check(repo_root: Path) -> list[str]:
+    src = repo_root / "src"
+    violations: list[str] = []
+    for path in sorted((src / "repro").rglob("*.py")):
+        rel = path.relative_to(repo_root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(), filename=rel)
+        except SyntaxError as exc:
+            violations.append(f"{rel}:{exc.lineno}: does not parse: {exc.msg}")
+            continue
+
+        # --- layering -----------------------------------------------------
+        if rel not in ROOT_EXEMPT:
+            package = _package_of(path, src)
+            if package is not None:
+                rank = LAYERS[package]
+                for lineno, imported in _imported_packages(tree):
+                    target = LAYERS.get(imported)
+                    if target is not None and target > rank:
+                        violations.append(
+                            f"{rel}:{lineno}: layer '{package}' (rank {rank}) "
+                            f"imports higher layer '{imported}' (rank {target})"
+                        )
+
+        # --- environment discipline --------------------------------------
+        if not any(rel.startswith(prefix) for prefix in ENV_ALLOWED):
+            visitor = _EnvVisitor()
+            visitor.visit(tree)
+            for lineno in visitor.uses:
+                violations.append(
+                    f"{rel}:{lineno}: os.environ read outside "
+                    "repro/runtime/config.py and repro/resilience/ — "
+                    "route the knob through RuntimeConfig"
+                )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    if not (root / "src" / "repro").is_dir():
+        print(f"usage: {argv[0]} [repo-root]  (no src/repro under {root})")
+        return 2
+    violations = check(root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)")
+        return 1
+    print("layering: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
