@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: color a weighted stencil and compare all seven heuristics.
 
-Builds a 2D (9-pt) and a 3D (27-pt) instance with random weights, runs every
+Colors a grid through the stable ``repro.api.color`` facade, then builds a
+2D (9-pt) and a 3D (27-pt) instance with random weights, runs every
 algorithm of the paper, validates each coloring, and compares against the
 clique-block lower bound.
 """
 
 import numpy as np
 
-from repro import ALGORITHMS, IVCInstance, color_with, lower_bound
+from repro import ALGORITHMS, IVCInstance, color, lower_bound
+from repro.core.algorithms.registry import color_with
 
 
 def demo(instance: IVCInstance) -> None:
@@ -27,8 +29,17 @@ def demo(instance: IVCInstance) -> None:
 def main() -> None:
     rng = np.random.default_rng(42)
 
-    # 2DS-IVC: a 24x24 grid of tasks with weights 0..49.
-    demo(IVCInstance.from_grid_2d(rng.integers(0, 50, size=(24, 24))))
+    # The one-call facade: hand it a weight grid, get a ColoringResult with
+    # grid-shaped starts and provenance naming how it was produced.
+    weights = rng.integers(0, 50, size=(24, 24))
+    result = color(weights, "GLL", validate=True)
+    print(
+        f"color(): {result.algorithm} via {result.mode} runtime -> "
+        f"maxcolor={result.maxcolor}, starts shape {result.starts.shape}"
+    )
+
+    # 2DS-IVC: the same 24x24 grid, every paper heuristic.
+    demo(IVCInstance.from_grid_2d(weights))
 
     # 3DS-IVC: a 10x10x10 grid.
     demo(IVCInstance.from_grid_3d(rng.integers(0, 30, size=(10, 10, 10))))

@@ -10,13 +10,21 @@ spatio-temporal instance pipeline, and the STKDE application integration.
 Quick start::
 
     import numpy as np
-    from repro import IVCInstance, color_with, lower_bound
+    from repro.api import color
 
     weights = np.random.default_rng(0).integers(0, 50, size=(32, 32))
-    instance = IVCInstance.from_grid_2d(weights)
-    coloring = color_with(instance, "BDP").check()
-    print(coloring.maxcolor, ">=", lower_bound(instance))
+    result = color(weights, "BDP", validate=True)
+    print(result.maxcolor, result.provenance)
+
+:mod:`repro.api` is the stable entry point (``docs/api.md`` explains how it
+maps onto the historical call styles).  The top-level ``color_with`` /
+``run_grid`` re-exports below still work but emit
+:class:`DeprecationWarning`; import them from their home packages
+(:mod:`repro.core`, :mod:`repro.engine`) or move to :func:`repro.api.color`.
 """
+
+import functools as _functools
+import warnings as _warnings
 
 from repro.core import (
     ALGORITHMS,
@@ -42,9 +50,34 @@ from repro.core import (
     odd_cycle_bound,
     smart_greedy_largest_clique_first,
 )
-from repro.engine import RunRecord, run_grid
+from repro.engine import RunRecord
+from repro.engine import run_grid as _run_grid
 from repro.experiments import SuiteExecutionError, SuiteResult, run_suite
 from repro.stencil import StencilGrid2D, StencilGrid3D
+from repro import api
+from repro.api import ColoringResult, color
+
+_color_with = color_with
+
+
+def _deprecated_alias(func, home: str):
+    @_functools.wraps(func)
+    def shim(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{func.__name__} is deprecated; call repro.api.color() or "
+            f"import {func.__name__} from {home}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    shim.__wrapped__ = func
+    return shim
+
+
+#: Deprecated top-level aliases — same behaviour, plus a DeprecationWarning.
+color_with = _deprecated_alias(_color_with, "repro.core")
+run_grid = _deprecated_alias(_run_grid, "repro.engine")
 
 __version__ = "1.0.0"
 
@@ -52,6 +85,7 @@ __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
     "Coloring",
+    "ColoringResult",
     "EXTENDED_ALGORITHMS",
     "IVCInstance",
     "REGISTRY",
@@ -63,7 +97,9 @@ __all__ = [
     "SuiteResult",
     "UnknownAlgorithmError",
     "__version__",
+    "api",
     "available_algorithms",
+    "color",
     "bipartite_decomposition",
     "bipartite_decomposition_post",
     "clique_block_bound",

@@ -1,0 +1,240 @@
+"""The stable facade: one entry point for every way to color a grid.
+
+Four call styles accreted historically — ``color_with`` on an
+:class:`~repro.core.problem.IVCInstance`, the kernel-path variants behind
+``fast=``, the engine's ``run_grid``, and the service client — each with
+its own argument conventions.  :func:`color` subsumes them: build (or
+accept) an instance, resolve the runtime (reference loops, vectorized
+kernels, or the out-of-core tiler), run, and return a
+:class:`ColoringResult` carrying the coloring, a metrics snapshot, and
+provenance naming exactly how it was produced.  ``docs/api.md`` has the
+"choosing an entry point" guide; the legacy styles keep working (the
+top-level ``repro.color_with`` / ``repro.run_grid`` re-exports emit
+:class:`DeprecationWarning` and delegate unchanged).
+
+This is deliberately the **only** module in ``src/repro`` that imports
+across the engine / kernels / service / tiling subsystem boundaries at
+module level — ``tools/check_layers.py`` enforces that everyone else picks
+one side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.algorithms.registry import color_with
+from repro.core.coloring import Coloring
+from repro.core.problem import IVCInstance
+from repro.data.weights import WeightSource
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import ExecutionContext, get_context
+from repro.runtime.fingerprint import config_fingerprint
+from repro.tiling.stitch import TiledColoring, color_tiled
+
+__all__ = ["ColoringResult", "color"]
+
+#: Accepted ``runtime=`` strings and the per-call ``fast`` they resolve to.
+_RUNTIME_MODES = {
+    "auto": None,
+    "kernels": True,
+    "reference": False,
+    "tiled": None,
+}
+
+
+@dataclass
+class ColoringResult:
+    """What :func:`color` returns, whichever runtime produced it.
+
+    ``starts`` is grid-shaped for grid inputs (``None`` for tiled
+    digest-only runs); ``provenance`` records the algorithm, the runtime
+    mode actually used (``"monolithic"`` vs ``"tiled"``), and a fingerprint
+    of the governing :class:`RuntimeConfig` — enough to say *which code
+    path on which configuration* made this coloring, without embedding the
+    config itself.
+    """
+
+    starts: Optional[np.ndarray]
+    maxcolor: int
+    algorithm: str
+    mode: str
+    provenance: dict
+    metrics: Optional[dict] = field(default=None, repr=False)
+    coloring: Optional[Coloring] = field(default=None, repr=False)
+    tiled: Optional[TiledColoring] = field(default=None, repr=False)
+
+
+def _wants_tiling(
+    runtime_str: Optional[str],
+    ctx: ExecutionContext,
+    algorithm: str,
+    num_cells: Optional[int],
+    grid_only_input: bool,
+) -> bool:
+    """Whether this call goes through the tiler.
+
+    Explicit ``runtime="tiled"`` always does (and demands GLL — the seam
+    invariant is a GLL property).  A :class:`~repro.data.WeightSource`
+    input can *only* be tiled (there is nothing to hand the monolithic
+    kernels).  Otherwise the config's tiling mode decides: ``"on"`` tiles
+    every GLL call, ``"auto"`` tiles GLL from ``min_cells`` up, ``"off"``
+    never tiles.
+    """
+    if runtime_str == "tiled" or grid_only_input:
+        if algorithm != "GLL":
+            raise ValueError(
+                f"tiled coloring reproduces the GLL scan only, got {algorithm!r}"
+            )
+        return True
+    if runtime_str in ("kernels", "reference") or algorithm != "GLL":
+        return False
+    cfg = ctx.config.tiling
+    if cfg.mode == "on":
+        return True
+    return (
+        cfg.mode == "auto" and num_cells is not None and num_cells >= cfg.min_cells
+    )
+
+
+def color(
+    grid_or_instance,
+    algorithm: str = "GLL",
+    *,
+    runtime: Union[None, str, RuntimeConfig, ExecutionContext] = None,
+    validate: bool = False,
+    tile_shape: Optional[tuple[int, ...]] = None,
+    jobs: Optional[int] = None,
+) -> ColoringResult:
+    """Color a stencil grid (or prepared instance) and say how it was done.
+
+    Parameters
+    ----------
+    grid_or_instance:
+        A 2D/3D weight array, an :class:`IVCInstance`, a path to an
+        ``.npy`` weight file (memory-mapped), or a
+        :class:`~repro.data.WeightSource` (tiled runtime only — e.g.
+        synthetic weights for grids that never materialize).
+    algorithm:
+        A registry algorithm name (``"GLL"``, ``"BDP"``, ...).  The tiled
+        runtime supports ``"GLL"`` only.
+    runtime:
+        How to run:
+
+        * ``None`` / ``"auto"`` — the ambient context decides (kernel fast
+          paths by size, the tiler per ``config.tiling``);
+        * ``"kernels"`` — force the vectorized kernels;
+        * ``"reference"`` — force the reference loops;
+        * ``"tiled"`` — force the out-of-core tiler;
+        * a :class:`RuntimeConfig` — run under a fresh context over it;
+        * an :class:`ExecutionContext` — run under exactly that context.
+    validate:
+        Check the coloring for conflicts before returning (monolithic
+        runtimes; the tiler's seam cross-check stands in for it there).
+    tile_shape / jobs:
+        Tiler overrides, ignored by monolithic runtimes.
+
+    Returns
+    -------
+    ColoringResult
+        Bit-identical starts to the legacy entry point for the same
+        algorithm and runtime — this facade changes how you ask, never the
+        answer.
+    """
+    runtime_str: Optional[str] = None
+    if runtime is None:
+        ctx = get_context()
+    elif isinstance(runtime, str):
+        if runtime not in _RUNTIME_MODES:
+            raise ValueError(
+                f"runtime must be one of {sorted(_RUNTIME_MODES)}, a RuntimeConfig, "
+                f"or an ExecutionContext; got {runtime!r}"
+            )
+        runtime_str = runtime
+        ctx = get_context()
+    elif isinstance(runtime, RuntimeConfig):
+        ctx = ExecutionContext(runtime)
+    elif isinstance(runtime, ExecutionContext):
+        ctx = runtime
+    else:
+        raise TypeError(f"unsupported runtime: {type(runtime).__name__}")
+    fast = _RUNTIME_MODES.get(runtime_str) if runtime_str else None
+
+    obj = grid_or_instance
+    instance: Optional[IVCInstance] = None
+    grid: Optional[np.ndarray] = None
+    source: Union[None, str, Path, WeightSource] = None
+    if isinstance(obj, IVCInstance):
+        instance = obj
+        num_cells: Optional[int] = obj.num_vertices
+    elif isinstance(obj, (str, Path, WeightSource)):
+        source = obj
+        num_cells = None
+    else:
+        grid = np.asarray(obj)
+        if grid.ndim not in (2, 3):
+            raise ValueError(f"weight grid must be 2D or 3D, got {grid.ndim}D")
+        num_cells = grid.size
+
+    if _wants_tiling(runtime_str, ctx, algorithm, num_cells, source is not None):
+        if instance is not None:
+            if instance.geometry is None:
+                raise ValueError("tiled coloring needs a grid instance")
+            grid = instance.weight_grid()
+        tiled = color_tiled(
+            source if source is not None else grid,
+            tile_shape=tile_shape,
+            jobs=jobs,
+            context=ctx,
+        )
+        provenance = {
+            "algorithm": "GLL",
+            "mode": "tiled",
+            "runtime": config_fingerprint(ctx.config),
+            "tiles": tiled.plan.num_tiles,
+            "tile_shape": tiled.plan.tile_shape,
+            "digest": tiled.digest,
+        }
+        return ColoringResult(
+            starts=(
+                np.asarray(tiled.starts) if tiled.starts is not None else None
+            ),
+            maxcolor=tiled.maxcolor,
+            algorithm="GLL",
+            mode="tiled",
+            provenance=provenance,
+            metrics=ctx.metrics.snapshot(),
+            tiled=tiled,
+        )
+
+    if instance is None:
+        make = IVCInstance.from_grid_2d if grid.ndim == 2 else IVCInstance.from_grid_3d
+        instance = make(grid)
+    coloring = color_with(instance, algorithm, fast=fast, context=ctx)
+    if validate:
+        coloring.check()
+    starts = np.asarray(coloring.starts, dtype=np.int64)
+    shape = (
+        tuple(instance.geometry.shape) if instance.geometry is not None else None
+    )
+    if shape is not None:
+        starts = starts.reshape(shape)
+    provenance = {
+        "algorithm": algorithm,
+        "mode": "monolithic",
+        "runtime": config_fingerprint(ctx.config),
+        "fast": fast,
+        "shape": shape,
+    }
+    return ColoringResult(
+        starts=starts,
+        maxcolor=coloring.maxcolor,
+        algorithm=algorithm,
+        mode="monolithic",
+        provenance=provenance,
+        metrics=ctx.metrics.snapshot(),
+        coloring=coloring,
+    )

@@ -18,6 +18,9 @@ Subcommands
 ``bench-kernels``  Time the vectorized kernels against the reference loops
                 and write ``BENCH_kernels.json`` (exits nonzero if any
                 kernel coloring diverges from the reference).
+``tile``        Color a large grid out-of-core: halo-stitched tiles, a
+                sequential seam pass, parallel tile interiors, bit-identical
+                to the monolithic GLL kernel.
 ``serve``       Run the online coloring service: an asyncio TCP server with
                 shape-batched dispatch, a content-addressed result cache,
                 admission control, and a metrics endpoint.
@@ -198,7 +201,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     result = run_suite(
         instances,
         jobs=args.jobs,
-        fast_paths=args.fast_path,
+        fast_paths=_resolve_runtime(args),
         log_path=args.run_log or None,
         on_error="record",
         max_cell_retries=args.retries,
@@ -374,12 +377,15 @@ def cmd_bench_kernels(args: argparse.Namespace) -> int:
         if args.algorithms
         else list(DEFAULT_ALGORITHMS)
     )
+    fast = _resolve_runtime(args)
+    runtime = {None: "auto", True: "kernels", False: "reference"}[fast]
     report = run_kernel_benchmark(
         sizes_2d=args.sizes,
         sizes_3d=args.sizes_3d,
         algorithms=algorithms,
         reps=args.reps,
         seed=args.seed,
+        runtime=runtime,
     )
     print(format_report(report))
     if args.out:
@@ -388,6 +394,108 @@ def cmd_bench_kernels(args: argparse.Namespace) -> int:
     print(summary_line(report))
     if not report["all_identical"]:
         print("error: kernel coloring diverged from the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    """``"512x512"`` / ``"64x64x64"`` -> a 2- or 3-tuple of positive ints."""
+    try:
+        dims = tuple(int(part) for part in text.lower().split("x") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a NxN[xN] shape: {text!r}")
+    if len(dims) not in (2, 3) or any(d < 1 for d in dims):
+        raise argparse.ArgumentTypeError(
+            f"shape must be 2 or 3 positive dims, got {text!r}")
+    return dims
+
+
+def cmd_tile(args: argparse.Namespace) -> int:
+    import json
+    import resource
+    from time import perf_counter
+
+    from repro.data import MemmapWeightSource, SyntheticWeightSource
+    from repro.runtime.config import TilingConfig
+    from repro.tiling import TilingError, color_tiled
+
+    if bool(args.input) == bool(args.shape):
+        print("error: give exactly one of --input FILE.npy or --shape NxN[xN]",
+              file=sys.stderr)
+        return 2
+    if args.input:
+        source = MemmapWeightSource(args.input)
+    else:
+        source = SyntheticWeightSource(
+            args.shape, seed=args.seed, high=args.max_weight + 1)
+
+    tiling = TilingConfig(
+        mode="on",
+        tile_shape=tuple(args.tile) if args.tile else None,
+        jobs=args.jobs,
+        memory_budget_mb=args.budget_mb,
+    )
+    # Assembling the full starts array costs 8 bytes/cell of resident
+    # memory; skip it unless the caller asked for an artifact (--out) or a
+    # comparison (--verify).  The digest still covers every tile.
+    assemble = bool(args.verify) or bool(args.out)
+    t0 = perf_counter()
+    try:
+        tiled = color_tiled(
+            source,
+            tiling=tiling,
+            out=args.out or None,
+            assemble=assemble,
+            log_path=args.log or None,
+            resume_from=(args.log or None) if args.resume else None,
+        )
+    except TilingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = perf_counter() - t0
+
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    summary = {
+        "shape": list(source.shape),
+        "tile_shape": list(tiled.plan.tile_shape),
+        "tiles": len(tiled.plan.tiles),
+        "maxcolor": tiled.maxcolor,
+        "digest": tiled.digest,
+        "seam_bands": tiled.seam_bands,
+        "seam_cells": tiled.seam_cells,
+        "seam_seconds": tiled.seam_elapsed,
+        "tile_seconds": tiled.elapsed,
+        "total_seconds": elapsed,
+        "resumed_tiles": tiled.resumed_tiles,
+        "pool_restarts": tiled.pool_restarts,
+        "tiles_retried": tiled.tiles_retried,
+        "peak_rss_mb": round(peak_rss_mb, 1),
+    }
+    if args.out:
+        summary["out"] = args.out
+
+    if args.verify:
+        from repro.core.algorithms.registry import color_with
+        from repro.core.problem import IVCInstance
+
+        full_box = tuple((0, d) for d in source.shape)
+        weights = source.region(full_box)
+        if weights.ndim == 2:
+            instance = IVCInstance.from_grid_2d(weights, name="tile-verify")
+        else:
+            instance = IVCInstance.from_grid_3d(weights, name="tile-verify")
+        mono = color_with(instance, "GLL")
+        identical = bool(
+            np.array_equal(np.asarray(tiled.starts).ravel(),
+                           np.asarray(mono.starts).ravel())
+            and tiled.maxcolor == mono.maxcolor
+        )
+        summary["verify"] = {"identical": identical, "maxcolor": mono.maxcolor}
+
+    print(json.dumps(summary, indent=2))
+    if args.verify and not summary["verify"]["identical"]:
+        print("error: tiled coloring diverged from the monolithic kernel",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -569,6 +677,30 @@ def cmd_npc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_runtime_option(p: argparse.ArgumentParser) -> None:
+    """``--runtime`` plus the legacy ``--fast-path`` flags as hidden aliases."""
+    p.add_argument(
+        "--runtime", choices=("auto", "kernels", "reference"), default=None,
+        help="which implementation colors the cells: 'kernels' forces the "
+             "vectorized fast paths, 'reference' the Python loops, 'auto' "
+             "(default) picks per instance size",
+    )
+    p.add_argument(
+        "--fast-path", dest="fast_path",
+        action=argparse.BooleanOptionalAction, default=None,
+        help=argparse.SUPPRESS,  # legacy alias for --runtime kernels/reference
+    )
+
+
+def _resolve_runtime(args: argparse.Namespace):
+    """The per-call ``fast`` preference from ``--runtime`` (or the legacy
+    hidden ``--fast-path`` aliases, which lose to an explicit ``--runtime``)."""
+    runtime = getattr(args, "runtime", None)
+    if runtime is not None:
+        return {"auto": None, "kernels": True, "reference": False}[runtime]
+    return getattr(args, "fast_path", None)
+
+
 def _add_jobs_option(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs", type=int, default=0, metavar="N",
@@ -648,12 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "suite":
             p.add_argument("--data-dir", default="",
                            help="directory of x,y,t CSVs to use instead of the synthetic datasets")
-            p.add_argument(
-                "--fast-path", action=argparse.BooleanOptionalAction, default=None,
-                help="force the vectorized stencil kernels on (--fast-path) or "
-                     "off (--no-fast-path); the default follows the "
-                     "REPRO_FAST_PATHS environment switch",
-            )
+            _add_runtime_option(p)
             _add_run_log_option(p)
             p.add_argument(
                 "--resume", action="store_true",
@@ -728,7 +855,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="random weight seed")
     p.add_argument("--out", default="BENCH_kernels.json",
                    help="JSON report path ('' skips the file)")
+    _add_runtime_option(p)
     p.set_defaults(func=cmd_bench_kernels)
+
+    p = sub.add_parser(
+        "tile",
+        help="color a large grid out-of-core through the tiler",
+        description="Partition a weight grid into halo-stitched tiles, color "
+                    "the tile interiors in parallel after a sequential seam "
+                    "pass, and print a JSON summary (maxcolor, combined "
+                    "digest, per-phase timings, peak RSS).  The result is "
+                    "bit-identical to the monolithic GLL kernel.",
+        epilog="Example: stencil-ivc tile --shape 4096x4096 --tile 1024x1024 "
+               "--jobs 4 --log tiles.jsonl",
+    )
+    p.add_argument("--input", default="",
+                   help=".npy weight grid, read through a memory map")
+    p.add_argument("--shape", type=_parse_shape, default=None, metavar="NxN[xN]",
+                   help="synthetic grid dimensions (instead of --input)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic weight seed (with --shape)")
+    p.add_argument("--max-weight", type=int, default=100,
+                   help="synthetic weight upper bound (with --shape)")
+    p.add_argument("--tile", type=_parse_shape, default=None, metavar="NxN[xN]",
+                   help="per-axis tile dimensions (default: derived from the "
+                        "tiling config / --budget-mb)")
+    p.add_argument("--budget-mb", type=int, default=0, metavar="MB",
+                   help="soft working-set cap used to derive the tile shape "
+                        "when --tile is not given (0 = unbudgeted)")
+    p.add_argument("--out", default="",
+                   help="write the assembled starts grid to this .npy file "
+                        "(streamed per tile through a memory map)")
+    p.add_argument("--log", default="", metavar="PATH",
+                   help="append one JSONL record per finished tile to PATH")
+    p.add_argument("--resume", action="store_true",
+                   help="adopt completed tiles from an existing --log and "
+                        "color only the missing ones")
+    p.add_argument("--verify", action="store_true",
+                   help="also run the monolithic GLL kernel and fail unless "
+                        "the colorings are identical (loads the full grid)")
+    _add_jobs_option(p)
+    p.set_defaults(func=cmd_tile)
 
     p = sub.add_parser(
         "serve",

@@ -29,10 +29,22 @@ from repro.data.voxelize import (
     voxel_counts_2d,
     voxel_counts_3d,
 )
+from repro.data.weights import (
+    ArrayWeightSource,
+    MemmapWeightSource,
+    SyntheticWeightSource,
+    WeightSource,
+    as_weight_source,
+)
 
 __all__ = [
+    "ArrayWeightSource",
     "DEFAULT_BANDWIDTH_FRACTIONS",
+    "MemmapWeightSource",
     "PointDataset",
+    "SyntheticWeightSource",
+    "WeightSource",
+    "as_weight_source",
     "build_suite_2d",
     "build_suite_3d",
     "candidate_dims",

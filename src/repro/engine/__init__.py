@@ -8,7 +8,9 @@ Contents:
   bounded per-cell retries and chunk splitting), and ``resume_from=`` replay
   of an interrupted run log; serial execution is ``jobs=1`` of the same
   code path.  Results come back as a :class:`GridResult` (a ``list`` of
-  records plus supervision counters).
+  records plus supervision counters).  The supervision machinery itself is
+  exposed as :func:`run_supervised`, generic over the chunked workload —
+  :mod:`repro.tiling` fans tile interiors through it.
 * :mod:`~repro.engine.records` — :class:`RunRecord`, the structured outcome
   of one cell (maxcolor, lower bound, elapsed, worker, status).
 * :mod:`~repro.engine.runlog` — JSONL streaming of records
@@ -16,7 +18,13 @@ Contents:
   between runs (:func:`diff_run_logs`).
 """
 
-from repro.engine.executor import CellTimeout, GridResult, resolve_jobs, run_grid
+from repro.engine.executor import (
+    CellTimeout,
+    GridResult,
+    resolve_jobs,
+    run_grid,
+    run_supervised,
+)
 from repro.engine.records import (
     STATUS_ERROR,
     STATUS_OK,
@@ -37,4 +45,5 @@ __all__ = [
     "read_run_log",
     "resolve_jobs",
     "run_grid",
+    "run_supervised",
 ]

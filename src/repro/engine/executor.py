@@ -399,16 +399,37 @@ def _adopt_resumed(
     return adopted
 
 
-def _run_supervised(
-    chunks: list[list[Cell]],
-    instances: Sequence[IVCInstance],
-    init_args: tuple,
+def run_supervised(
+    chunks: list[list[tuple]],
+    *,
+    task,
+    initializer,
+    initargs: tuple,
     jobs: int,
     max_cell_retries: int,
     store,
-    result: GridResult,
+    crash_record,
+    counters,
 ) -> None:
     """Run chunks on a supervised pool, restarting it after worker deaths.
+
+    Generic over the work being executed — the engine's grid cells and the
+    tiler's tiles (:mod:`repro.tiling.stitch`) both run through here, so
+    journal-based blame isolation, bounded per-cell retries, and chunk
+    splitting come for free to any chunked workload.  The contract:
+
+    * a *cell* is any tuple whose first element is its unique integer
+      position (matching the start/done journal marks the ``task`` writes)
+      and whose last element is the attempt counter (incremented here on
+      budget-charged retries);
+    * ``task(chunk)`` is a picklable callable returning a payload for
+      ``store`` (the engine's ``_run_chunk`` shape: pairs + pid + metrics);
+    * ``initializer(*initargs, journal_path)`` installs worker state — the
+      supervisor appends the pool's journal path as the final argument;
+    * ``crash_record(cell, exc)`` synthesizes the ``(pos, record)`` pair
+      stored for a cell whose retry budget crashed away;
+    * ``counters`` carries ``pool_restarts`` / ``cells_retried`` attributes
+      (:class:`GridResult` satisfies this).
 
     One iteration of the outer loop is one pool lifetime.  Ordinary rounds
     submit every queued chunk, store completions as they arrive, and treat
@@ -433,28 +454,28 @@ def _run_supervised(
     singletons become suspects, so isolation still converges.
     """
     queue = list(chunks)
-    suspects: list[Cell] = []
+    suspects: list[tuple] = []
     while queue or suspects:
         if queue:
             round_chunks, queue = queue, []
-            alone: Optional[Cell] = None
+            alone: Optional[tuple] = None
         else:
             alone = suspects.pop(0)
             round_chunks = [[alone]]
         crashed: Optional[BaseException] = None
-        lost_chunks: list[list[Cell]] = []
+        lost_chunks: list[list[tuple]] = []
         journal_fd, journal_path = tempfile.mkstemp(prefix="repro-cell-journal-")
         os.close(journal_fd)
         try:
             with ProcessPoolExecutor(
                 max_workers=1 if alone is not None else jobs,
-                initializer=_init_worker,
-                initargs=init_args + (journal_path,),
+                initializer=initializer,
+                initargs=initargs + (journal_path,),
             ) as pool:
-                futures: dict[Future, list[Cell]] = {}
+                futures: dict[Future, list[tuple]] = {}
                 for chunk in round_chunks:
                     try:
-                        futures[pool.submit(_run_chunk, chunk)] = chunk
+                        futures[pool.submit(task, chunk)] = chunk
                     except Exception as exc:
                         # The pool broke while we were still submitting (a
                         # worker died on an earlier chunk): everything not
@@ -484,20 +505,19 @@ def _run_supervised(
                         break
             if crashed is None:
                 continue
-            result.pool_restarts += 1
+            counters.pool_restarts += 1
             if alone is not None:
                 # The pool held nothing but this cell: the blame is certain,
                 # and this is the only place retry budget is charged.
-                pos, index, name, attempt = alone
-                if attempt >= max_cell_retries:
-                    store([_crash_record(alone, instances, crashed)])
+                if alone[-1] >= max_cell_retries:
+                    store([crash_record(alone, crashed)])
                 else:
-                    suspects.append((pos, index, name, attempt + 1))
-                    result.cells_retried += 1
+                    suspects.append(alone[:-1] + (alone[-1] + 1,))
+                    counters.cells_retried += 1
                 continue
             lost_cells = [cell for chunk in lost_chunks for cell in chunk]
             if max_cell_retries <= 0:
-                store([_crash_record(c, instances, crashed) for c in lost_cells])
+                store([crash_record(c, crashed) for c in lost_cells])
                 continue
             culprits = _read_journal(journal_path) & {c[0] for c in lost_cells}
             if culprits:
@@ -651,15 +671,19 @@ def run_grid(
         else:
             if chunk_size is None:
                 chunk_size = max(1, math.ceil(len(cells) / (jobs * 4)))
-            _run_supervised(
+            run_supervised(
                 _chunked(cells, chunk_size),
-                instances,
-                (instances, validate, cell_timeout, capture_starts, fast_paths,
-                 ctx.config),
-                jobs,
-                max(0, int(retries)),
-                store,
-                result,
+                task=_run_chunk,
+                initializer=_init_worker,
+                initargs=(instances, validate, cell_timeout, capture_starts,
+                          fast_paths, ctx.config),
+                jobs=jobs,
+                max_cell_retries=max(0, int(retries)),
+                store=store,
+                crash_record=lambda cell, exc: _crash_record(
+                    cell, instances, exc
+                ),
+                counters=result,
             )
     finally:
         if writer is not None:

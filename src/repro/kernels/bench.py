@@ -51,22 +51,38 @@ def bench_cell(
     instance,
     algorithm: str,
     reps: int = 3,
+    runtime: str = "auto",
 ) -> dict:
     """Benchmark one (instance, algorithm) cell: reference vs kernel.
+
+    ``runtime`` restricts which side runs: ``"auto"`` (the default) times
+    both and compares them; ``"kernels"`` / ``"reference"`` time only that
+    path (the skipped side's fields are ``None`` and ``identical`` is
+    ``None`` — there is nothing to diverge).
 
     Returns a flat record with timings, throughputs, the speedup, and an
     ``identical`` flag comparing the two colorings' start arrays.
     """
     from repro.core.algorithms.registry import color_with
 
-    ref_seconds, ref = _best_time(
-        lambda: color_with(instance, algorithm, fast=False), reps
-    )
-    kernel_seconds, fast = _best_time(
-        lambda: color_with(instance, algorithm, fast=True), reps
-    )
+    ref_seconds = kernel_seconds = None
+    ref = fast = None
+    if runtime in ("auto", "reference"):
+        ref_seconds, ref = _best_time(
+            lambda: color_with(instance, algorithm, fast=False), reps
+        )
+    if runtime in ("auto", "kernels"):
+        kernel_seconds, fast = _best_time(
+            lambda: color_with(instance, algorithm, fast=True), reps
+        )
     cells = instance.num_vertices
     shape = tuple(int(s) for s in instance.geometry.shape)
+
+    def _rate(seconds):
+        if seconds is None:
+            return None
+        return cells / seconds if seconds > 0 else float("inf")
+
     return {
         "shape": list(shape),
         "dim": len(shape),
@@ -74,13 +90,19 @@ def bench_cell(
         "cells": int(cells),
         "ref_seconds": ref_seconds,
         "kernel_seconds": kernel_seconds,
-        "ref_cells_per_sec": cells / ref_seconds if ref_seconds > 0 else float("inf"),
-        "kernel_cells_per_sec": (
-            cells / kernel_seconds if kernel_seconds > 0 else float("inf")
+        "ref_cells_per_sec": _rate(ref_seconds),
+        "kernel_cells_per_sec": _rate(kernel_seconds),
+        "speedup": (
+            ref_seconds / kernel_seconds
+            if ref_seconds is not None and kernel_seconds
+            else None
         ),
-        "speedup": ref_seconds / kernel_seconds if kernel_seconds > 0 else float("inf"),
-        "identical": bool(np.array_equal(ref.starts, fast.starts)),
-        "maxcolor": int(fast.maxcolor),
+        "identical": (
+            bool(np.array_equal(ref.starts, fast.starts))
+            if ref is not None and fast is not None
+            else None
+        ),
+        "maxcolor": int((fast if fast is not None else ref).maxcolor),
     }
 
 
@@ -90,6 +112,7 @@ def run_kernel_benchmark(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     reps: int = 3,
     seed: int = 0,
+    runtime: str = "auto",
 ) -> dict:
     """Sweep square 2D and cubic 3D grids, timing reference vs kernel.
 
@@ -106,11 +129,15 @@ def run_kernel_benchmark(
     for shape in shapes:
         instance = _random_instance(shape, seed)
         for algorithm in algorithms:
-            results.append(bench_cell(instance, algorithm, reps=reps))
+            results.append(bench_cell(instance, algorithm, reps=reps, runtime=runtime))
 
     def _headline(dim: int) -> Optional[dict]:
         greedy = [
-            r for r in results if r["dim"] == dim and r["algorithm"].startswith("G")
+            r
+            for r in results
+            if r["dim"] == dim
+            and r["algorithm"].startswith("G")
+            and r["speedup"] is not None
         ]
         if not greedy:
             return None
@@ -134,6 +161,7 @@ def run_kernel_benchmark(
             "reps": int(reps),
             "seed": int(seed),
             "algorithms": list(algorithms),
+            "runtime": runtime,
         },
         "results": results,
         "headline": {
@@ -141,7 +169,9 @@ def run_kernel_benchmark(
             "greedy_3d": _headline(3),
         },
         "substrate": substrate_stats(),
-        "all_identical": all(r["identical"] for r in results),
+        # None means "not compared" (single-path run) — only an explicit
+        # False (a real divergence) fails the build.
+        "all_identical": all(r["identical"] is not False for r in results),
     }
 
 
@@ -161,7 +191,10 @@ def summary_line(report: dict) -> str:
         if head is not None:
             shape = "x".join(str(s) for s in head["shape"])
             parts.append(f"{head['algorithm']} {shape}: {head['speedup']:.1f}x")
-    status = "identical" if report["all_identical"] else "DIVERGED"
+    if report.get("meta", {}).get("runtime", "auto") != "auto":
+        status = f"{report['meta']['runtime']} only, not compared"
+    else:
+        status = "identical" if report["all_identical"] else "DIVERGED"
     joined = ", ".join(parts) if parts else "no greedy cells"
     sub = report.get("substrate", {}).get("substrates", {})
     cache = (
@@ -178,13 +211,18 @@ def format_report(report: dict) -> str:
         f"{'shape':>12} {'algorithm':>9} {'ref s':>9} {'kernel s':>9} "
         f"{'speedup':>8} {'Mcells/s':>9} {'same':>5}"
     ]
+    def _sec(value) -> str:
+        return f"{value:>9.4f}" if value is not None else f"{'-':>9}"
+
     for r in report["results"]:
         shape = "x".join(str(s) for s in r["shape"])
+        speedup = f"{r['speedup']:>7.1f}x" if r["speedup"] is not None else f"{'-':>8}"
+        rate = r["kernel_cells_per_sec"] or r["ref_cells_per_sec"] or 0.0
+        same = "-" if r["identical"] is None else ("yes" if r["identical"] else "NO")
         lines.append(
-            f"{shape:>12} {r['algorithm']:>9} {r['ref_seconds']:>9.4f} "
-            f"{r['kernel_seconds']:>9.4f} {r['speedup']:>7.1f}x "
-            f"{r['kernel_cells_per_sec'] / 1e6:>9.2f} "
-            f"{'yes' if r['identical'] else 'NO':>5}"
+            f"{shape:>12} {r['algorithm']:>9} {_sec(r['ref_seconds'])} "
+            f"{_sec(r['kernel_seconds'])} {speedup} "
+            f"{rate / 1e6:>9.2f} {same:>5}"
         )
     return "\n".join(lines)
 

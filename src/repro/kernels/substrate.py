@@ -99,6 +99,18 @@ def _line_by_line_levels(shape: tuple[int, ...]) -> np.ndarray:
     return lev.ravel()
 
 
+def analytic_wavefront(shape: tuple[int, ...]) -> Wavefront:
+    """The GLL wavefront schedule of a grid shape, from the closed form.
+
+    Unlike :meth:`Substrate.wavefront_for` this needs no order array, no
+    digest, and — crucially for the tiler — no materialized adjacency: the
+    schedule is derived purely from the level sets of ``i + 2j (+ 4k)``.
+    Cost and memory are ``O(cells)``, so it is safe to call per region on
+    arbitrarily large streamed bands.
+    """
+    return _levels_to_wavefront(_line_by_line_levels(tuple(int(d) for d in shape)))
+
+
 def _levels_to_wavefront(levels: np.ndarray) -> Wavefront:
     """Group vertices by level into a ``(verts, ptr)`` batch schedule."""
     verts = np.argsort(levels, kind="stable").astype(np.int64)

@@ -51,6 +51,25 @@ def _first_fit_batch(
 ) -> np.ndarray:
     """First-fit starts for a batch of pairwise non-adjacent vertices.
 
+    Gathers each vertex's neighbor intervals through the substrate's padded
+    neighbor table and hands them to :func:`first_fit_intervals`.
+    """
+    rows = nbr_table[batch]  # (b, max_degree) neighbor ids, padded
+    if rows.shape[1] == 0:
+        return np.zeros(len(batch), dtype=np.int64)
+    return first_fit_intervals(starts_ext[rows], weights_ext[rows], weights_ext[batch])
+
+
+def first_fit_intervals(
+    s: np.ndarray, wn: np.ndarray, w: np.ndarray
+) -> np.ndarray:
+    """First-fit starts from pre-gathered neighbor intervals.
+
+    ``s``/``wn`` are ``(b, d)`` neighbor starts and weights (``UNCOLORED``
+    or zero-weight slots are ignored); ``w`` is the ``(b,)`` weights being
+    placed.  Rows must be pairwise non-adjacent for the batch semantics to
+    replay the sequential scan.
+
     The reference scan keeps a running frontier ``cur`` (the maximum end seen
     so far, starting at 0) and returns ``cur`` at the first sorted interval
     whose lower end leaves a gap of at least ``w``.  Equivalently: with
@@ -60,12 +79,14 @@ def _first_fit_batch(
     leaves a gap.  The ``_BIG`` padding behaves like the end of the neighbor
     list: its gap is unbounded, so rows with spare padding always "fit" there
     at exactly the frontier the reference would return.
+
+    Exposed (beyond :func:`_first_fit_batch`'s table gather) for callers
+    that compute neighborhoods analytically — the halo kernel
+    (:mod:`repro.kernels.halo`) gathers stencil neighbors by offset
+    arithmetic instead of materializing an adjacency table.
     """
-    rows = nbr_table[batch]  # (b, max_degree) neighbor ids, padded
-    if rows.shape[1] == 0:
-        return np.zeros(len(batch), dtype=np.int64)
-    s = starts_ext[rows]
-    wn = weights_ext[rows]
+    if s.shape[1] == 0:
+        return np.zeros(len(s), dtype=np.int64)
     valid = (s != UNCOLORED) & (wn > 0)
     lo = np.where(valid, s, _BIG)
     hi = np.where(valid, s + wn, _BIG)
@@ -77,7 +98,7 @@ def _first_fit_batch(
     frontier = np.empty_like(hi)
     frontier[:, 0] = 0
     np.maximum.accumulate(hi[:, :-1], axis=1, out=frontier[:, 1:])
-    fits = (lo - frontier) >= weights_ext[batch][:, None]
+    fits = (lo - frontier) >= np.asarray(w)[:, None]
     first = np.argmax(fits, axis=1)
     out = np.take_along_axis(frontier, first[:, None], axis=1)[:, 0]
     # Fully valid rows may have no gap at all: the fit is past the last

@@ -10,6 +10,7 @@ the vectorized kernels, the parallel engine, and the online service.  See
 
 from repro.runtime.config import (
     RuntimeConfig,
+    TilingConfig,
     env_bool,
     env_float,
     env_int,
@@ -21,10 +22,17 @@ from repro.runtime.context import (
     set_default_context,
     use_context,
 )
-from repro.runtime.fingerprint import array_digest, canonical_weights, content_key
+from repro.runtime.fingerprint import (
+    array_digest,
+    canonical_weights,
+    config_fingerprint,
+    content_key,
+)
 
 __all__ = [
     "RuntimeConfig",
+    "TilingConfig",
+    "config_fingerprint",
     "ExecutionContext",
     "get_context",
     "set_default_context",

@@ -31,6 +31,12 @@ variable                        field                     values
 ``REPRO_FAULTS``                ``fault_spec``            fault spec string
 ``REPRO_MAX_CELL_RETRIES``      ``max_cell_retries``      int
 ``REPRO_SEED``                  ``seed``                  int
+``REPRO_TILING``                ``tiling.mode``           ``off``/``auto``/``on``
+``REPRO_TILE_SHAPE``            ``tiling.tile_shape``     ``512x512`` style
+``REPRO_TILE_CELLS``            ``tiling.tile_cells``     int (cells per tile)
+``REPRO_TILING_MIN_CELLS``      ``tiling.min_cells``      int (auto threshold)
+``REPRO_TILING_JOBS``           ``tiling.jobs``           int (0 = all cores)
+``REPRO_TILING_BUDGET_MB``      ``tiling.memory_budget_mb``  int (0 = none)
 ============================== ========================= ====================
 
 This module (plus :mod:`repro.resilience.faults`, whose lazy ``REPRO_FAULTS``
@@ -44,12 +50,14 @@ here rather than importing :mod:`os` for it.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Union
 
 __all__ = [
     "RuntimeConfig",
+    "TilingConfig",
     "FastPathMode",
+    "TilingMode",
     "env_str",
     "env_int",
     "env_float",
@@ -85,6 +93,96 @@ def env_bool(name: str, default: bool) -> bool:
     if raw is None:
         return default
     return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+#: The tri-state tiling mode: ``"off"`` never tiles, ``"auto"`` engages the
+#: tiler from ``TilingConfig.min_cells`` grid cells up (GLL only), ``"on"``
+#: forces it regardless of size.
+TilingMode = str
+
+_TILING_MODES = ("off", "auto", "on")
+
+
+def _parse_tile_shape(raw: str) -> Optional[tuple[int, ...]]:
+    """Parse a ``512x512`` / ``64x64x64`` tile-shape spec (empty → ``None``)."""
+    text = raw.strip().lower()
+    if not text:
+        return None
+    return tuple(int(part) for part in text.split("x"))
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """How (and whether) grids are decomposed into tiles for coloring.
+
+    Frozen and picklable, like its owner :class:`RuntimeConfig`, so the tiler
+    can ship it to worker processes.
+
+    Attributes
+    ----------
+    mode:
+        Tri-state (see :data:`TilingMode`).  ``"auto"`` tiles GLL colorings
+        of grids with at least ``min_cells`` cells; everything else runs
+        monolithically.
+    tile_shape:
+        Explicit per-axis tile dimensions (2 or 3 of them); ``None`` derives
+        a near-square shape from ``tile_cells``.
+    tile_cells:
+        Target cells per tile when ``tile_shape`` is unset.
+    min_cells:
+        Grid size (in cells) from which ``"auto"`` mode engages the tiler.
+    jobs:
+        Worker processes for the tile-interior pass (``0`` = all cores,
+        ``1`` = in-process serial — the same code path, like the engine).
+    memory_budget_mb:
+        Soft cap on the tiler's working-set, used to derive ``tile_shape``
+        when one is not given (``0`` = unbudgeted).  See ``docs/tiling.md``
+        for the memory model.
+    """
+
+    mode: TilingMode = "auto"
+    tile_shape: Optional[tuple[int, ...]] = None
+    tile_cells: int = 1 << 20
+    min_cells: int = 1 << 24
+    jobs: int = 1
+    memory_budget_mb: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _TILING_MODES:
+            raise ValueError(f"tiling mode must be one of {_TILING_MODES}, got {self.mode!r}")
+        if self.tile_shape is not None:
+            shape = tuple(int(d) for d in self.tile_shape)
+            if len(shape) not in (2, 3) or any(d < 1 for d in shape):
+                raise ValueError(f"tile_shape must be 2 or 3 positive dims, got {shape}")
+            object.__setattr__(self, "tile_shape", shape)
+        if self.tile_cells < 1:
+            raise ValueError("tile_cells must be positive")
+        for name in ("min_cells", "jobs", "memory_budget_mb"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "TilingConfig":
+        """Defaults, overridden by ``REPRO_TILING*``, overridden by kwargs."""
+        values = {
+            "mode": env_str("REPRO_TILING", "auto").strip().lower() or "auto",
+            "tile_shape": _parse_tile_shape(env_str("REPRO_TILE_SHAPE", "")),
+            "tile_cells": env_int("REPRO_TILE_CELLS", 1 << 20),
+            "min_cells": env_int("REPRO_TILING_MIN_CELLS", 1 << 24),
+            "jobs": env_int("REPRO_TILING_JOBS", 1),
+            "memory_budget_mb": env_int("REPRO_TILING_BUDGET_MB", 0),
+        }
+        for name, value in overrides.items():
+            if name not in values:
+                raise TypeError(f"unknown TilingConfig field {name!r}")
+            if value is not None:
+                values[name] = value
+        return cls(**values)
+
+    def with_overrides(self, **overrides) -> "TilingConfig":
+        """A copy with ``overrides`` applied (``None`` values are skipped)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self
 
 
 def _parse_fast_path_mode(raw: str) -> FastPathMode:
@@ -133,6 +231,9 @@ class RuntimeConfig:
     seed:
         Base seed for seeded subsystems (fault plans default to their spec's
         own ``seed=`` segment; this is the fallback for future consumers).
+    tiling:
+        The :class:`TilingConfig` governing out-of-core tiled coloring
+        (:mod:`repro.tiling`).  A plain dict is accepted and normalized.
     """
 
     fast_paths: FastPathMode = "auto"
@@ -142,8 +243,13 @@ class RuntimeConfig:
     fault_spec: str = ""
     max_cell_retries: int = 3
     seed: int = 0
+    tiling: TilingConfig = field(default_factory=TilingConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.tiling, dict):
+            object.__setattr__(self, "tiling", TilingConfig(**self.tiling))
+        elif not isinstance(self.tiling, TilingConfig):
+            raise ValueError(f"tiling must be a TilingConfig, got {type(self.tiling)!r}")
         mode: Union[FastPathMode, bool, None] = self.fast_paths
         if mode is None:
             mode = "auto"
@@ -179,6 +285,7 @@ class RuntimeConfig:
             "fault_spec": env_str("REPRO_FAULTS", ""),
             "max_cell_retries": env_int("REPRO_MAX_CELL_RETRIES", 3),
             "seed": env_int("REPRO_SEED", 0),
+            "tiling": TilingConfig.from_env(),
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():

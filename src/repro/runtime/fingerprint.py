@@ -18,7 +18,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["canonical_weights", "content_key", "array_digest"]
+__all__ = ["canonical_weights", "content_key", "array_digest", "config_fingerprint"]
 
 
 def canonical_weights(weights) -> np.ndarray:
@@ -59,3 +59,18 @@ def array_digest(arr: np.ndarray, *, digest_size: int = 16) -> bytes:
     return hashlib.blake2b(
         np.ascontiguousarray(arr).tobytes(), digest_size=digest_size
     ).digest()
+
+
+def config_fingerprint(config) -> str:
+    """A short stable hex digest of a (possibly nested) config dataclass.
+
+    Used by :class:`repro.api.ColoringResult` provenance to record *which*
+    runtime configuration produced a coloring without embedding the whole
+    config.  Fields are sorted, so the digest is order-independent; nested
+    dataclasses (``RuntimeConfig.tiling``) recurse through ``asdict``.
+    """
+    from dataclasses import asdict, is_dataclass
+
+    payload = asdict(config) if is_dataclass(config) else dict(config)
+    text = repr(sorted(payload.items()))
+    return hashlib.blake2b(text.encode(), digest_size=12).hexdigest()

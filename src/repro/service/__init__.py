@@ -41,6 +41,7 @@ from repro.service.loadgen import (
 )
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.protocol import (
+    PROTOCOL_API_VERSION,
     ColorRequest,
     ProtocolError,
     ServedResult,
@@ -60,6 +61,7 @@ __all__ = [
     "LoadgenReport",
     "MetricsRegistry",
     "MicroBatcher",
+    "PROTOCOL_API_VERSION",
     "ProtocolError",
     "ResultCache",
     "ServedResult",

@@ -388,6 +388,8 @@ class MicroBatcher:
         from repro.core.algorithms.registry import color_with
         from repro.core.problem import IVCInstance
 
+        if request.tiled:
+            return self._compute_tiled(request, batch_size)
         t0 = time.perf_counter()
         degraded = False
         try:
@@ -424,6 +426,40 @@ class MicroBatcher:
             starts=np.asarray(coloring.starts, dtype=np.int64),
             maxcolor=int(coloring.maxcolor),
             source="degraded" if degraded else "computed",
+            compute_seconds=elapsed,
+            batch_size=batch_size,
+        )
+
+    def _compute_tiled(self, request: ColorRequest, batch_size: int) -> ServedResult:
+        """One tiler run for an ``api: 1`` request carrying a ``tiles`` hint.
+
+        Bit-identical to the monolithic path by the tiler's seam invariant,
+        so the result lands in the same content-addressed cache entry a
+        monolithic request for this grid would produce or consume.
+        """
+        from repro.tiling import color_tiled
+
+        t0 = time.perf_counter()
+        try:
+            inject("service.compute", request.key)
+            tiled = color_tiled(
+                request.weights,
+                tile_shape=request.tile_shape,
+                context=self.context,
+            )
+        except Exception as exc:
+            self.metrics.counter("compute_errors").inc()
+            return ServedResult(
+                status=STATUS_ERROR, error=f"{type(exc).__name__}: {exc}"
+            )
+        elapsed = time.perf_counter() - t0
+        self.metrics.counter("tiled_requests").inc()
+        self.metrics.histogram("compute_seconds").observe(elapsed)
+        return ServedResult(
+            status=STATUS_OK,
+            starts=np.asarray(tiled.starts).ravel(),
+            maxcolor=int(tiled.maxcolor),
+            source="computed",
             compute_seconds=elapsed,
             batch_size=batch_size,
         )

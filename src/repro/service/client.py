@@ -128,7 +128,8 @@ def _decode_color_response(
 
 
 def _build_request(
-    weights, algorithm: str, fast, validate: bool, timeout, request_id: str
+    weights, algorithm: str, fast, validate: bool, timeout, request_id: str,
+    tiles=None,
 ) -> ColorRequest:
     arr = np.ascontiguousarray(weights, dtype=np.int64)
     return ColorRequest(
@@ -138,6 +139,8 @@ def _build_request(
         validate=validate,
         timeout=timeout,
         request_id=request_id,
+        tiled=tiles is not None,
+        tile_shape=tuple(int(t) for t in tiles) if tiles is not None else None,
     )
 
 
@@ -274,9 +277,17 @@ class ServiceClient:
         validate: bool = False,
         timeout: Optional[float] = None,
         request_id: str = "",
+        tiles: Optional[tuple[int, ...]] = None,
     ) -> ColorResponse:
-        """Request a coloring; returns a :class:`ColorResponse`."""
-        request = _build_request(weights, algorithm, fast, validate, timeout, request_id)
+        """Request a coloring; returns a :class:`ColorResponse`.
+
+        ``tiles`` asks the server to run the request through the
+        out-of-core tiler with that tile shape (GLL only; the coloring is
+        bit-identical to a monolithic request for the same grid).
+        """
+        request = _build_request(
+            weights, algorithm, fast, validate, timeout, request_id, tiles
+        )
         t0 = time.perf_counter()
         message = self._call(request_to_wire(request), request_id)
         return _decode_color_response(
@@ -419,8 +430,11 @@ class AsyncServiceClient:
         validate: bool = False,
         timeout: Optional[float] = None,
         request_id: str = "",
+        tiles: Optional[tuple[int, ...]] = None,
     ) -> ColorResponse:
-        request = _build_request(weights, algorithm, fast, validate, timeout, request_id)
+        request = _build_request(
+            weights, algorithm, fast, validate, timeout, request_id, tiles
+        )
         t0 = time.perf_counter()
         message = await self._call(request_to_wire(request), request_id)
         return _decode_color_response(

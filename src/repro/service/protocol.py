@@ -17,6 +17,17 @@ transport.  Every request carries an ``op`` plus an optional client-chosen
 ``invalid`` (malformed request), ``timeout`` (deadline expired), or
 ``overloaded`` (admission queue full — backpressure, retry later).
 
+Versioning
+----------
+Canonical request frames carry ``"api": 1`` (:data:`PROTOCOL_API_VERSION`)
+and mirror :func:`repro.api.color`'s vocabulary: a top-level ``runtime``
+(``"auto"`` / ``"kernels"`` / ``"reference"`` / ``"tiled"``), an optional
+``tiles`` tile-shape hint routing the request through the out-of-core
+tiler, and a top-level ``validate``.  Legacy frames — no ``api`` field,
+``options.fast`` instead of ``runtime`` — are accepted unchanged forever;
+an ``api`` value other than ``1`` is refused as ``invalid`` rather than
+half-understood.  ``docs/service.md`` tabulates the mapping.
+
 Content addressing
 ------------------
 :func:`content_key` canonically hashes ``(stencil kind, grid shape, weight
@@ -41,6 +52,18 @@ from repro.runtime.fingerprint import content_key
 
 #: Upper bound on one encoded message line (guards the server's readline).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: The canonical request-frame version this build speaks (``"api"`` field).
+PROTOCOL_API_VERSION = 1
+
+#: ``runtime`` values a canonical frame may carry, and the ``fast``
+#: preference each maps onto (``"tiled"`` routes through the tiler instead).
+_WIRE_RUNTIMES: dict[str, Optional[bool]] = {
+    "auto": None,
+    "kernels": True,
+    "reference": False,
+    "tiled": None,
+}
 
 #: Response statuses.
 STATUS_OK = "ok"
@@ -82,6 +105,13 @@ class ColorRequest:
         answered ``timeout`` without being computed.
     request_id:
         Client-chosen correlation id, echoed verbatim.
+    tiled:
+        Route through the out-of-core tiler (:mod:`repro.tiling`) instead
+        of the monolithic kernels.  GLL only; the result is bit-identical,
+        so tiled and monolithic requests share cache entries by design.
+    tile_shape:
+        Optional per-axis tile-shape hint for tiled requests (the
+        ``tiles`` wire field); ``None`` lets the server's config derive it.
     """
 
     weights: np.ndarray
@@ -90,6 +120,8 @@ class ColorRequest:
     validate: bool = False
     timeout: Optional[float] = None
     request_id: str = ""
+    tiled: bool = False
+    tile_shape: Optional[tuple[int, ...]] = None
     key: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -156,21 +188,29 @@ def decode_message(line: bytes | str) -> dict[str, Any]:
 
 
 def request_to_wire(request: ColorRequest) -> dict[str, Any]:
-    """A ``color`` op message for this request."""
+    """A canonical (``"api": 1``) ``color`` op message for this request.
+
+    Servers since the same protocol version accept this shape; older
+    servers need the legacy shape (no ``api`` field, ``options.fast``),
+    which :func:`request_from_wire` still decodes but this encoder no
+    longer emits.
+    """
     message: dict[str, Any] = {
+        "api": PROTOCOL_API_VERSION,
         "op": "color",
         "id": request.request_id,
         "shape": list(request.shape),
         "weights": np.ascontiguousarray(request.weights, dtype=np.int64).ravel().tolist(),
         "algorithm": request.algorithm,
     }
-    options: dict[str, Any] = {}
-    if request.fast is not None:
-        options["fast"] = bool(request.fast)
+    if request.tiled:
+        message["runtime"] = "tiled"
+    elif request.fast is not None:
+        message["runtime"] = "kernels" if request.fast else "reference"
+    if request.tile_shape is not None:
+        message["tiles"] = list(request.tile_shape)
     if request.validate:
-        options["validate"] = True
-    if options:
-        message["options"] = options
+        message["validate"] = True
     if request.timeout is not None:
         message["timeout_ms"] = request.timeout * 1000.0
     return message
@@ -179,12 +219,24 @@ def request_to_wire(request: ColorRequest) -> dict[str, Any]:
 def request_from_wire(message: dict[str, Any]) -> ColorRequest:
     """Validate and decode a ``color`` op message.
 
+    Both frame generations decode here: canonical ``"api": 1`` frames
+    (top-level ``runtime`` / ``tiles`` / ``validate``) and legacy frames
+    (no ``api``, ``options.fast`` / ``options.validate``).  When a frame
+    mixes both vocabularies the canonical fields win.
+
     Raises
     ------
     ProtocolError
-        On missing/ill-typed fields, non-2D/3D shapes, shape/weight length
-        mismatches, or negative weights.
+        On missing/ill-typed fields, an unsupported ``api`` version,
+        non-2D/3D shapes, shape/weight length mismatches, or negative
+        weights.
     """
+    api = message.get("api")
+    if api is not None and api != PROTOCOL_API_VERSION:
+        raise ProtocolError(
+            f"unsupported api version {api!r} (this server speaks "
+            f"{PROTOCOL_API_VERSION})"
+        )
     shape = message.get("shape")
     if not isinstance(shape, list) or not all(
         isinstance(s, int) and s > 0 for s in shape
@@ -216,6 +268,35 @@ def request_from_wire(message: dict[str, Any]) -> ColorRequest:
     if fast is not None and not isinstance(fast, bool):
         raise ProtocolError("option 'fast' must be a boolean")
     validate = bool(options.get("validate", False))
+    tiled = False
+    tile_shape: Optional[tuple[int, ...]] = None
+    runtime = message.get("runtime")
+    if runtime is not None:
+        if not isinstance(runtime, str) or runtime not in _WIRE_RUNTIMES:
+            raise ProtocolError(
+                f"'runtime' must be one of {sorted(_WIRE_RUNTIMES)}, got {runtime!r}"
+            )
+        tiled = runtime == "tiled"
+        fast = _WIRE_RUNTIMES[runtime]
+    tiles = message.get("tiles")
+    if tiles is not None:
+        if (
+            not isinstance(tiles, list)
+            or len(tiles) != len(shape)
+            or not all(isinstance(t, int) and t > 0 for t in tiles)
+        ):
+            raise ProtocolError(
+                "'tiles' must be a list of positive per-axis tile dims "
+                "matching the grid rank"
+            )
+        tile_shape = tuple(tiles)
+        tiled = True
+    if tiled and algorithm != "GLL":
+        raise ProtocolError(
+            f"tiled coloring reproduces the GLL scan only, got {algorithm!r}"
+        )
+    if "validate" in message:
+        validate = bool(message["validate"])
     timeout_ms = message.get("timeout_ms")
     timeout: Optional[float] = None
     if timeout_ms is not None:
@@ -232,6 +313,8 @@ def request_from_wire(message: dict[str, Any]) -> ColorRequest:
         validate=validate,
         timeout=timeout,
         request_id=request_id,
+        tiled=tiled,
+        tile_shape=tile_shape,
     )
 
 

@@ -1,0 +1,55 @@
+"""Tiled out-of-core coloring with halo stitching.
+
+Colors grids far larger than memory — **bit-identically** to the monolithic
+GLL kernels — by cutting them into tiles, streaming one sequential *seam
+pass* over outer-axis bands that records each tile's halo strips at their
+exact global values, then coloring every tile interior independently (and
+in parallel, under the engine's crash supervision) against those preset
+halos.  ``docs/tiling.md`` derives the decomposition and the seam-ordering
+invariant that makes the stitched result exact.
+
+Contents:
+
+* :mod:`~repro.tiling.plan` — tile decomposition and exact GLL halo
+  geometry (:func:`plan_tiles`, :func:`derive_tile_shape`,
+  :func:`halo_boxes`).
+* :mod:`~repro.tiling.seams` — the streamed seam pass
+  (:func:`seam_pass`).
+* :mod:`~repro.tiling.pool` / :mod:`~repro.tiling.stitch` — per-tile
+  workers and the orchestrator (:func:`color_tiled`), with memmap output,
+  digest-only verification, and resumable tile logs.
+* :mod:`~repro.tiling.runlog` — the JSONL tile log
+  (:class:`TileLogWriter`, :func:`read_tile_log`).
+"""
+
+from repro.tiling.plan import (
+    Box,
+    Tile,
+    TilePlan,
+    derive_tile_shape,
+    halo_boxes,
+    padded_box,
+    plan_tiles,
+)
+from repro.tiling.runlog import TileLogWriter, TileRecord, read_tile_log
+from repro.tiling.seams import SeamResult, seam_pass
+from repro.tiling.stitch import TiledColoring, TilingError, color_tile, color_tiled
+
+__all__ = [
+    "Box",
+    "SeamResult",
+    "Tile",
+    "TileLogWriter",
+    "TilePlan",
+    "TileRecord",
+    "TiledColoring",
+    "TilingError",
+    "color_tile",
+    "color_tiled",
+    "derive_tile_shape",
+    "halo_boxes",
+    "padded_box",
+    "plan_tiles",
+    "read_tile_log",
+    "seam_pass",
+]

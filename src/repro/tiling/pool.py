@@ -1,0 +1,217 @@
+"""Worker side of the tiled interior pass.
+
+These are the picklable callables :func:`repro.tiling.stitch.color_tiled`
+hands to the engine's supervised pool (:func:`repro.engine.run_supervised`):
+an initializer that installs per-worker state (context from the shipped
+config, weight source, optional output memmap) and a chunk runner that
+colors tile interiors.  The serial path (``jobs=1``) calls the same
+:func:`run_tile` in-process, so crash supervision is the only difference
+between the two.
+
+A tile *cell* is ``(pos, index, box, blocks, attempt)`` — the tile's flat
+position, grid index, interior box, seam-recorded halo strips, and the
+supervisor's retry counter.  Workers never load more than one padded tile
+at a time, which is what bounds their peak memory; results travel back as
+``(pos, TileRecord)`` pairs plus (unless an output memmap absorbs them)
+the interior starts themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.weights import WeightSource
+from repro.kernels.halo import color_region
+from repro.resilience.faults import inject
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import (
+    ExecutionContext,
+    get_context,
+    set_default_context,
+)
+from repro.runtime.fingerprint import array_digest
+from repro.tiling.plan import Box, local_slices, padded_box
+from repro.tiling.runlog import STATUS_ERROR, STATUS_OK, TileRecord
+from repro.tiling.seams import HaloBlocks
+
+__all__ = ["run_tile"]
+
+#: One unit of supervised work: (pos, index, box, halo blocks, attempt).
+TileCell = tuple[int, tuple[int, ...], Box, HaloBlocks, int]
+
+
+@dataclass
+class _TileWorkerState:
+    """Per-worker-process state, installed by the pool initializer."""
+
+    source: WeightSource
+    shape: tuple[int, ...]
+    out_path: Optional[str]
+    return_starts: bool
+    context: Optional[ExecutionContext] = None
+    journal: Optional[object] = None
+    out: Optional[np.memmap] = None
+
+    def out_map(self) -> Optional[np.memmap]:
+        if self.out is None and self.out_path is not None:
+            self.out = np.lib.format.open_memmap(self.out_path, mode="r+")
+        return self.out
+
+
+_TILE_STATE: Optional[_TileWorkerState] = None
+
+
+def _init_tile_worker(
+    config: Optional[RuntimeConfig],
+    source: WeightSource,
+    shape: tuple[int, ...],
+    out_path: Optional[str],
+    return_starts: bool,
+    journal_path: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
+) -> None:
+    """Pool initializer: install the weight source and runtime once.
+
+    Mirrors the engine's ``_init_worker`` contract: the supervisor appends
+    ``journal_path`` as the final positional argument; the serial path
+    passes ``context`` directly and skips journalling.  The output memmap,
+    if any, is opened lazily on first write (each worker holds its own
+    ``r+`` view — tiles never overlap, so concurrent writes are disjoint).
+    """
+    global _TILE_STATE
+    if context is None:
+        if config is not None:
+            context = ExecutionContext(config)
+            set_default_context(context)
+            context.install_faults()
+        else:
+            context = get_context()
+    _TILE_STATE = _TileWorkerState(
+        source=source,
+        shape=tuple(shape),
+        out_path=out_path,
+        return_starts=return_starts,
+        context=context,
+        journal=(
+            open(journal_path, "a", buffering=1) if journal_path is not None else None
+        ),
+    )
+
+
+def run_tile(
+    state: _TileWorkerState,
+    pos: int,
+    index: tuple[int, ...],
+    box: Box,
+    blocks: HaloBlocks,
+    attempt: int = 0,
+) -> tuple[TileRecord, Optional[np.ndarray]]:
+    """Color one tile's interior against its preset halo, never raising.
+
+    Loads the tile's *padded* box from the weight source, presets the seam
+    strips at their global values, runs the region kernel, and cuts the
+    interior back out.  The record carries the interior's maxcolor and a
+    digest of its starts (so a resumed run can verify without re-coloring);
+    the starts themselves go to the output memmap and/or back to the
+    caller, per the worker state.
+    """
+    metrics = state.context.metrics if state.context is not None else None
+    t0 = perf_counter()
+    try:
+        inject("tiling.tile", f"tile-{pos}#{attempt}")
+        padded = padded_box(box, state.shape)
+        weights = state.source.region(padded)
+        mask = None
+        preset = None
+        if blocks:
+            mask = np.zeros(weights.shape, dtype=bool)
+            preset = np.zeros(weights.shape, dtype=np.int64)
+            for strip, values in blocks:
+                sl = local_slices(strip, padded)
+                mask[sl] = True
+                preset[sl] = values
+        starts = color_region(weights, mask, preset)
+        inner = local_slices(box, padded)
+        interior = np.ascontiguousarray(starts[inner])
+        maxcolor = int((interior + weights[inner]).max())
+        out = state.out_map()
+        if out is not None:
+            out[tuple(slice(lo, hi) for lo, hi in box)] = interior
+    except Exception as exc:
+        if metrics is not None:
+            metrics.counter("tiling.tiles_error").inc()
+        record = TileRecord(
+            pos=pos,
+            index=tuple(index),
+            status=STATUS_ERROR,
+            elapsed=perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}",
+            worker=f"pid-{os.getpid()}",
+        )
+        return record, None
+    elapsed = perf_counter() - t0
+    if metrics is not None:
+        metrics.counter("tiling.tiles_ok").inc()
+        metrics.histogram("tiling.tile_seconds").observe(elapsed)
+    record = TileRecord(
+        pos=pos,
+        index=tuple(index),
+        status=STATUS_OK,
+        maxcolor=maxcolor,
+        digest=array_digest(interior).hex(),
+        elapsed=elapsed,
+        worker=f"pid-{os.getpid()}",
+    )
+    return record, (interior if state.return_starts else None)
+
+
+def _run_tile_chunk(cells: Sequence[TileCell]) -> dict:
+    """Run a chunk of tile cells against the installed worker state.
+
+    Journal marks bracket each tile exactly as the engine's cell runner
+    does, so the supervisor's blame isolation (suspects vs. merely-queued)
+    works unchanged at tile granularity.
+    """
+    assert _TILE_STATE is not None, "tile worker state missing — initializer did not run"
+    pairs = []
+    starts: dict[int, np.ndarray] = {}
+    for pos, index, box, blocks, attempt in cells:
+        if _TILE_STATE.journal is not None:
+            _TILE_STATE.journal.write(f"start {pos}\n")
+        record, interior = run_tile(_TILE_STATE, pos, index, box, blocks, attempt)
+        pairs.append((pos, record))
+        if interior is not None:
+            starts[pos] = interior
+        if _TILE_STATE.journal is not None:
+            _TILE_STATE.journal.write(f"done {pos}\n")
+    out = _TILE_STATE.out
+    if out is not None:
+        out.flush()
+    snapshot = (
+        _TILE_STATE.context.metrics.snapshot(include_state=True)
+        if _TILE_STATE.context is not None
+        else None
+    )
+    return {"pairs": pairs, "starts": starts, "pid": os.getpid(), "metrics": snapshot}
+
+
+def _tile_crash_record(cell: TileCell, exc: BaseException) -> tuple[int, TileRecord]:
+    """The error record for a tile whose retry budget crashed away."""
+    pos, index, _box, _blocks, attempt = cell
+    return (
+        pos,
+        TileRecord(
+            pos=pos,
+            index=tuple(index),
+            status=STATUS_ERROR,
+            error=(
+                f"worker crashed on every attempt (x{attempt + 1}): "
+                f"{type(exc).__name__}: {exc}"
+            ),
+        ),
+    )

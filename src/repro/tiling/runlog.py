@@ -1,0 +1,132 @@
+"""JSONL tile run log: per-tile completion records, resumable.
+
+Mirrors the engine's run log (:mod:`repro.engine.runlog`) at tile
+granularity.  The first line is a *header* naming the plan and the weight
+source (by fingerprint); :func:`read_tile_log` refuses to adopt records
+whose header does not match the current run, so a stale log against a
+different grid, tile shape, or weight content is ignored wholesale rather
+than corrupting a resume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "TileRecord",
+    "TileLogWriter",
+    "read_tile_log",
+    "STATUS_OK",
+    "STATUS_ERROR",
+]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+_HEADER_KIND = "tiling-header"
+
+
+@dataclass
+class TileRecord:
+    """The outcome of one tile's interior coloring."""
+
+    pos: int
+    index: tuple[int, ...]
+    status: str = STATUS_OK
+    maxcolor: Optional[int] = None
+    digest: Optional[str] = None
+    elapsed: Optional[float] = None
+    error: Optional[str] = None
+    worker: Optional[str] = None
+    resumed: bool = field(default=False, compare=False)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["index"] = list(self.index)
+        payload.pop("resumed", None)
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TileRecord":
+        known = {f for f in cls.__dataclass_fields__ if f != "resumed"}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        kwargs["index"] = tuple(kwargs.get("index", ()))
+        return cls(**kwargs)
+
+
+class TileLogWriter:
+    """Append-only JSONL writer, header first, one record per line."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        plan_fingerprint: str,
+        source_fingerprint: str,
+        algorithm: str = "GLL",
+    ) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w", buffering=1)
+        header = {
+            "kind": _HEADER_KIND,
+            "plan": plan_fingerprint,
+            "source": source_fingerprint,
+            "algorithm": algorithm,
+        }
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def write(self, record: TileRecord) -> None:
+        self._fh.write(record.to_json() + "\n")
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def read_tile_log(
+    path: Union[str, Path],
+    *,
+    plan_fingerprint: str,
+    source_fingerprint: str,
+) -> dict[int, TileRecord]:
+    """Completed (``ok``) tiles of a matching earlier log, keyed by position.
+
+    Returns ``{}`` when the file is missing, unreadable, or headed by a
+    different plan/source fingerprint.  Torn trailing lines (a run killed
+    mid-write) are skipped; later duplicates win, matching append order.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return {}
+    adopted: dict[int, TileRecord] = {}
+    header_ok = False
+    for lineno, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if lineno == 0:
+            header_ok = (
+                payload.get("kind") == _HEADER_KIND
+                and payload.get("plan") == plan_fingerprint
+                and payload.get("source") == source_fingerprint
+            )
+            if not header_ok:
+                return {}
+            continue
+        if not header_ok:
+            return {}
+        try:
+            record = TileRecord.from_dict(payload)
+        except (TypeError, KeyError):
+            continue
+        if record.status == STATUS_OK and record.digest is not None:
+            record.resumed = True
+            adopted[record.pos] = record
+    return adopted

@@ -1,0 +1,107 @@
+"""The seam pass: stream outer-axis bands, retain only per-tile halo strips.
+
+Tiles cannot be colored independently in any order: GLL's zipper dependency
+(``(i+1, j-1)`` precedes ``(i, j)``) makes vertically adjacent tiles
+mutually dependent — the tile DAG is cyclic at tile granularity.  What *is*
+acyclic is the outer axis: a band of columns (2D) or planes (3D) depends
+only on the trailing column/plane of the previous band.  So the seam pass
+colors the grid once, exactly, in sequential outer-axis bands aligned to
+tile edges, and keeps only what the parallel interior pass needs:
+
+* the *carry* — the band's last column/plane, handed to the next band;
+* each tile's halo strips (:func:`repro.tiling.plan.halo_boxes`), cut out
+  of the band before its working arrays are dropped.
+
+Peak memory is one band — ``prod(shape[:-1]) × (tile_outer + 1)`` cells
+times a handful of ``int64`` arrays — regardless of grid size; the retained
+halos are ``O(cells / tile_edge)`` total.  Because the band kernel is the
+same preset-honoring region kernel the interior pass uses
+(:func:`repro.kernels.halo.color_region`), every recorded strip holds the
+cell's *global* GLL start, which is what makes the stitched result
+bit-identical to the monolithic scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from repro.data.weights import WeightSource
+from repro.kernels.halo import color_region
+from repro.runtime.context import ExecutionContext, get_context
+from repro.tiling.plan import Box, TilePlan, halo_boxes, local_slices
+
+__all__ = ["SeamResult", "seam_pass"]
+
+#: One tile's halo: ``(global box, values)`` strips.
+HaloBlocks = list[tuple[Box, np.ndarray]]
+
+
+@dataclass
+class SeamResult:
+    """What the seam pass retains: halos per tile, and the global maxcolor."""
+
+    halos: dict[int, HaloBlocks] = field(default_factory=dict)
+    maxcolor: int = 0
+    bands: int = 0
+    cells: int = 0
+    elapsed: float = 0.0
+
+
+def seam_pass(
+    source: WeightSource,
+    plan: TilePlan,
+    *,
+    context: Optional[ExecutionContext] = None,
+) -> SeamResult:
+    """Color the grid in streamed bands, recording every tile's halo strips.
+
+    The first band has no carry; a single-band plan (tile spanning the whole
+    outer axis) still runs, recording only the in-band strips.  Single-tile
+    plans record nothing — the interior pass then *is* the monolithic scan.
+    """
+    ctx = context if context is not None else get_context()
+    metrics = ctx.metrics
+    shape = plan.shape
+    full = tuple((0, d) for d in shape[:-1])
+    result = SeamResult()
+    t0 = perf_counter()
+    carry: Optional[np.ndarray] = None
+
+    for band_tiles in plan.bands():
+        b0, b1 = band_tiles[0].box[-1]
+        lo = max(b0 - 1, 0)
+        region: Box = full + ((lo, b1),)
+        tb = perf_counter()
+        weights = source.region(region)
+
+        mask = None
+        preset = None
+        if b0 > 0:
+            mask = np.zeros(weights.shape, dtype=bool)
+            preset = np.zeros(weights.shape, dtype=np.int64)
+            mask[..., 0] = True
+            preset[..., 0] = carry
+        starts = color_region(weights, mask, preset)
+
+        result.maxcolor = max(result.maxcolor, int((starts + weights).max()))
+        for tile in band_tiles:
+            blocks: HaloBlocks = [
+                (box, np.ascontiguousarray(starts[local_slices(box, region)]))
+                for box in halo_boxes(tile.box, shape)
+            ]
+            if blocks:
+                result.halos[tile.pos] = blocks
+        carry = np.ascontiguousarray(starts[..., -1])
+
+        result.bands += 1
+        result.cells += weights.size
+        metrics.counter("tiling.seam_bands").inc()
+        metrics.counter("tiling.seam_cells").inc(weights.size)
+        metrics.histogram("tiling.band_seconds").observe(perf_counter() - tb)
+
+    result.elapsed = perf_counter() - t0
+    return result

@@ -1,0 +1,370 @@
+"""The tiled coloring orchestrator: seam pass, interior fan-out, stitch.
+
+:func:`color_tiled` is the tiler's entry point (reached through
+``repro.api.color(..., runtime="tiled")`` or the ``stencil-ivc tile`` CLI).
+It colors grids too large for the monolithic kernels — bit-identically to
+them — in three steps:
+
+1. **Plan** — cut the grid into tiles (:func:`repro.tiling.plan.plan_tiles`),
+   with the tile shape taken from an explicit argument, the
+   :class:`~repro.runtime.config.TilingConfig`, or derived from its
+   ``tile_cells`` / ``memory_budget_mb``.
+2. **Seam pass** — one sequential streamed scan of outer-axis bands
+   (:func:`repro.tiling.seams.seam_pass`) that retains only each tile's
+   halo strips and the global maxcolor.  Peak memory: one band.
+3. **Interior pass** — every tile colored independently against its preset
+   halo (:func:`repro.tiling.pool.run_tile`), serially or fanned across the
+   engine's crash-supervised pool (:func:`repro.engine.run_supervised`) with
+   per-tile blame isolation and a resumable JSONL tile log.  Peak memory
+   per worker: one padded tile.
+
+Output modes: ``out=`` streams interiors into an ``.npy`` memmap (bounded
+parent memory); the default assembles the full starts array in memory; and
+``assemble=False`` keeps only per-tile digests plus the combined digest —
+how grids that fit on disk but not in RAM (or neither) are verified.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data.weights import WeightSource, as_weight_source
+from repro.runtime.config import TilingConfig
+from repro.runtime.context import ExecutionContext, get_context
+from repro.tiling.plan import (
+    Box,
+    TilePlan,
+    derive_tile_shape,
+    local_slices,
+    padded_box,
+    plan_tiles,
+)
+from repro.tiling.pool import (
+    _init_tile_worker,
+    _run_tile_chunk,
+    _tile_crash_record,
+    _TileWorkerState,
+    run_tile,
+    TileCell,
+)
+from repro.tiling.runlog import (
+    STATUS_OK,
+    TileLogWriter,
+    TileRecord,
+    read_tile_log,
+)
+from repro.tiling.seams import HaloBlocks, seam_pass
+from repro.kernels.halo import color_region
+
+__all__ = ["TiledColoring", "TilingError", "color_tile", "color_tiled"]
+
+
+class TilingError(RuntimeError):
+    """A tiled run finished with failed tiles (records carry the details)."""
+
+    def __init__(self, message: str, records: list[TileRecord]):
+        super().__init__(message)
+        self.records = records
+
+
+@dataclass
+class _SupervisionCounters:
+    pool_restarts: int = 0
+    cells_retried: int = 0
+
+
+@dataclass
+class TiledColoring:
+    """The outcome of a tiled run.
+
+    ``starts`` is the full assembled array (in memory, or a read-only view
+    of the ``out=`` memmap); ``None`` in digest-only mode.  ``digest`` is
+    the combined per-tile digest — two runs (tiled or resumed, any
+    ``jobs``) over the same grid agree on it iff their colorings are
+    byte-identical, which is how grids too large to assemble are compared.
+    """
+
+    plan: TilePlan
+    maxcolor: int
+    digest: str
+    records: list[TileRecord]
+    starts: Optional[np.ndarray] = None
+    out_path: Optional[str] = None
+    seam_bands: int = 0
+    seam_cells: int = 0
+    seam_elapsed: float = 0.0
+    elapsed: float = 0.0
+    resumed_tiles: int = 0
+    pool_restarts: int = 0
+    tiles_retried: int = 0
+    metrics: Optional[dict] = field(default=None, repr=False)
+
+
+def color_tile(
+    source: WeightSource,
+    box: Box,
+    blocks: HaloBlocks,
+    shape: tuple[int, ...],
+) -> np.ndarray:
+    """One tile's interior starts, given its seam-recorded halo strips.
+
+    The pure per-tile computation :func:`repro.tiling.pool.run_tile` wraps
+    with supervision bookkeeping — exposed for tests and one-off checks.
+    """
+    padded = padded_box(box, shape)
+    weights = source.region(padded)
+    mask = None
+    preset = None
+    if blocks:
+        mask = np.zeros(weights.shape, dtype=bool)
+        preset = np.zeros(weights.shape, dtype=np.int64)
+        for strip, values in blocks:
+            sl = local_slices(strip, padded)
+            mask[sl] = True
+            preset[sl] = values
+    starts = color_region(weights, mask, preset)
+    return np.ascontiguousarray(starts[local_slices(box, padded)])
+
+
+def _combined_digest(records: list[TileRecord]) -> str:
+    """One digest over all tiles, in plan order."""
+    h = hashlib.blake2b(digest_size=16)
+    for record in records:
+        h.update(f"{record.pos}:{record.digest};".encode())
+    return h.hexdigest()
+
+
+def color_tiled(
+    weights_or_source,
+    *,
+    tiling: Optional[TilingConfig] = None,
+    tile_shape: Optional[tuple[int, ...]] = None,
+    jobs: Optional[int] = None,
+    out: Optional[Union[str, Path]] = None,
+    assemble: bool = True,
+    log_path: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
+    max_tile_retries: int = 2,
+    context: Optional[ExecutionContext] = None,
+) -> TiledColoring:
+    """Color a 2D/3D grid through the tiler, bit-identically to monolithic.
+
+    Parameters
+    ----------
+    weights_or_source:
+        Anything :func:`repro.data.as_weight_source` accepts — an in-memory
+        array, a path to an ``.npy`` file (memory-mapped), or a
+        :class:`~repro.data.WeightSource` (e.g. synthetic weights for grids
+        that never materialize).
+    tiling:
+        Tiling configuration; defaults to the context's
+        ``config.tiling``.  ``tile_shape`` / ``jobs`` override its fields.
+    out:
+        Path of an ``.npy`` memmap to stream interior starts into; the
+        parent never holds the full grid.  With ``out`` set, ``starts`` on
+        the result is a read-only memmap view.
+    assemble:
+        With no ``out``, whether to assemble the full starts array in
+        memory (default).  ``False`` keeps only digests — the only mode
+        whose peak memory is independent of grid size.
+    log_path / resume_from:
+        JSONL tile log to write / a previous log to resume from.  Resumed
+        tiles are skipped (their recorded digests join the combined
+        digest); a log whose plan or weight fingerprint mismatches is
+        ignored wholesale.  Resuming into assembled in-memory output would
+        silently drop the resumed tiles' starts, so it requires ``out=``
+        (whose memmap still holds them) or ``assemble=False``.
+    max_tile_retries:
+        Crash-retry budget per tile under the supervised pool (parallel
+        runs only), as in :func:`repro.engine.run_grid`.
+
+    Returns
+    -------
+    TiledColoring
+        Starts (per the output mode), global maxcolor, per-tile records,
+        combined digest, and seam/supervision statistics.
+    """
+    ctx = context if context is not None else get_context()
+    source = as_weight_source(weights_or_source)
+    shape = source.shape
+    cfg = tiling if tiling is not None else ctx.config.tiling
+    if tile_shape is not None:
+        cfg = cfg.with_overrides(tile_shape=tuple(int(t) for t in tile_shape))
+    plan = plan_tiles(shape, derive_tile_shape(shape, cfg))
+    jobs = cfg.jobs if jobs is None else int(jobs)
+    t0 = perf_counter()
+    metrics = ctx.metrics
+    metrics.counter("tiling.runs").inc()
+
+    adopted: dict[int, TileRecord] = {}
+    if resume_from is not None:
+        adopted = read_tile_log(
+            resume_from,
+            plan_fingerprint=plan.fingerprint(),
+            source_fingerprint=source.fingerprint(),
+        )
+        if adopted and out is None and assemble:
+            raise ValueError(
+                "resume_from with in-memory assembly would drop the resumed "
+                "tiles' starts — pass out= (their memmap persists) or "
+                "assemble=False"
+            )
+
+    out_path = str(out) if out is not None else None
+    if out_path is not None:
+        existing = Path(out_path).exists()
+        if adopted and existing:
+            mm = np.lib.format.open_memmap(out_path, mode="r+")
+            if mm.shape != shape or mm.dtype != np.int64:
+                raise ValueError(
+                    f"out= memmap {out_path} is {mm.dtype}{mm.shape}, "
+                    f"expected int64{shape}"
+                )
+        else:
+            mm = np.lib.format.open_memmap(
+                out_path, mode="w+", dtype=np.int64, shape=shape
+            )
+            adopted = {}  # no prior data to pair resumed records with
+        mm.flush()
+        del mm  # workers open their own views; keep no handle across fork
+
+    seam = seam_pass(source, plan, context=ctx)
+
+    cells: list[TileCell] = [
+        (tile.pos, tile.index, tile.box, seam.halos.get(tile.pos, []), 0)
+        for tile in plan.tiles
+        if tile.pos not in adopted
+    ]
+    return_starts = out_path is None and assemble
+
+    writer = (
+        TileLogWriter(
+            log_path,
+            plan_fingerprint=plan.fingerprint(),
+            source_fingerprint=source.fingerprint(),
+        )
+        if log_path is not None
+        else None
+    )
+    records: list[Optional[TileRecord]] = [None] * plan.num_tiles
+    starts_by_pos: dict[int, np.ndarray] = {}
+    worker_snaps: dict[int, dict] = {}
+    counters = _SupervisionCounters()
+    for pos, record in adopted.items():
+        records[pos] = record
+        if writer is not None:
+            writer.write(record)
+
+    def store(payload) -> None:
+        if isinstance(payload, dict):  # a chunk payload from _run_tile_chunk
+            if payload["metrics"] is not None:
+                worker_snaps[payload["pid"]] = payload["metrics"]
+            pairs = payload["pairs"]
+            if return_starts:
+                starts_by_pos.update(payload["starts"])
+        else:  # bare pairs (crash records synthesized by the supervisor)
+            pairs = payload
+        for pos, record in pairs:
+            records[pos] = record
+            if writer is not None:
+                writer.write(record)
+
+    try:
+        if not cells:
+            pass  # fully resumed
+        elif jobs <= 1 or len(cells) == 1:
+            state = _TileWorkerState(
+                source=source,
+                shape=shape,
+                out_path=out_path,
+                return_starts=return_starts,
+                context=ctx,
+            )
+            for pos, index, box, blocks, attempt in cells:
+                record, interior = run_tile(state, pos, index, box, blocks, attempt)
+                store([(pos, record)])
+                if interior is not None:
+                    starts_by_pos[pos] = interior
+            if state.out is not None:
+                state.out.flush()
+        else:
+            from repro.engine import resolve_jobs, run_supervised
+
+            jobs = min(resolve_jobs(jobs), len(cells))
+            chunk_size = max(1, math.ceil(len(cells) / (jobs * 4)))
+            chunks = [
+                cells[i : i + chunk_size] for i in range(0, len(cells), chunk_size)
+            ]
+            run_supervised(
+                chunks,
+                task=_run_tile_chunk,
+                initializer=_init_tile_worker,
+                initargs=(ctx.config, source, shape, out_path, return_starts),
+                jobs=jobs,
+                max_cell_retries=max(0, int(max_tile_retries)),
+                store=store,
+                crash_record=_tile_crash_record,
+                counters=counters,
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+
+    assert all(r is not None for r in records)
+    failed = [r for r in records if r.status != STATUS_OK]
+    if failed:
+        where = f"; completed tiles are in {log_path}" if log_path else ""
+        raise TilingError(
+            f"{len(failed)}/{plan.num_tiles} tiles failed "
+            f"(first: tile {failed[0].pos}: {failed[0].error}){where}",
+            records=list(records),
+        )
+
+    tile_max = max(r.maxcolor for r in records)
+    if tile_max != seam.maxcolor:
+        raise AssertionError(
+            f"seam/interior maxcolor mismatch ({seam.maxcolor} vs {tile_max}) "
+            "— tiling invariant broken"
+        )
+
+    starts: Optional[np.ndarray] = None
+    if out_path is not None:
+        starts = np.lib.format.open_memmap(out_path, mode="r")
+    elif return_starts:
+        starts = np.empty(shape, dtype=np.int64)
+        for tile in plan.tiles:
+            starts[tuple(slice(lo, hi) for lo, hi in tile.box)] = starts_by_pos[
+                tile.pos
+            ]
+
+    if worker_snaps:
+        from repro.obs.metrics import merge_snapshots
+
+        merged = merge_snapshots(worker_snaps.values())
+    else:
+        merged = None
+
+    metrics.counter("tiling.tiles_total").inc(plan.num_tiles)
+    return TiledColoring(
+        plan=plan,
+        maxcolor=seam.maxcolor,
+        digest=_combined_digest(records),
+        records=list(records),
+        starts=starts,
+        out_path=out_path,
+        seam_bands=seam.bands,
+        seam_cells=seam.cells,
+        seam_elapsed=seam.elapsed,
+        elapsed=perf_counter() - t0,
+        resumed_tiles=len(adopted),
+        pool_restarts=counters.pool_restarts,
+        tiles_retried=counters.cells_retried,
+        metrics=merged,
+    )

@@ -1,0 +1,128 @@
+"""The ``repro.api`` facade: one entry point, bit-identical to every
+legacy call style, with working deprecation shims on the old names."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import ColoringResult, color
+from repro.core.algorithms.registry import color_with
+from repro.core.problem import IVCInstance
+from repro.data import SyntheticWeightSource
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import ExecutionContext
+
+
+def _weights(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 100, size=shape, dtype=np.int64)
+
+
+class TestFacadeIdentity:
+    @pytest.mark.parametrize("algorithm", ["GLL", "GLF", "BD", "BDP"])
+    def test_matches_color_with_on_grids(self, algorithm):
+        weights = _weights((12, 9))
+        result = color(weights, algorithm)
+        legacy = color_with(IVCInstance.from_grid_2d(weights), algorithm)
+        assert result.maxcolor == legacy.maxcolor
+        np.testing.assert_array_equal(
+            result.starts.ravel(), np.asarray(legacy.starts).ravel()
+        )
+        assert result.starts.shape == weights.shape  # grid-shaped, not flat
+
+    @pytest.mark.parametrize("runtime,fast", [("kernels", True),
+                                              ("reference", False)])
+    def test_runtime_strings_pin_the_fast_path(self, runtime, fast):
+        weights = _weights((10, 10), seed=1)
+        result = color(weights, "GLL", runtime=runtime)
+        legacy = color_with(IVCInstance.from_grid_2d(weights), "GLL", fast=fast)
+        np.testing.assert_array_equal(
+            result.starts.ravel(), np.asarray(legacy.starts).ravel()
+        )
+        assert result.provenance["fast"] is fast
+
+    def test_accepts_prepared_instances(self):
+        weights = _weights((6, 5, 4), seed=2)
+        instance = IVCInstance.from_grid_3d(weights, name="prep")
+        result = color(instance, "BDP")
+        legacy = color_with(instance, "BDP")
+        assert result.maxcolor == legacy.maxcolor
+        np.testing.assert_array_equal(
+            result.starts.ravel(), np.asarray(legacy.starts).ravel()
+        )
+
+    def test_tiled_runtime_is_bit_identical(self):
+        weights = _weights((20, 14), seed=3)
+        tiled = color(weights, runtime="tiled", tile_shape=(6, 6), jobs=1)
+        mono = color(weights, runtime="kernels")
+        assert tiled.mode == "tiled"
+        assert tiled.maxcolor == mono.maxcolor
+        np.testing.assert_array_equal(tiled.starts, mono.starts)
+        assert tiled.provenance["tiles"] > 1
+        assert tiled.tiled is not None
+
+    def test_weight_source_input_goes_tiled(self):
+        source = SyntheticWeightSource((16, 12), seed=4)
+        result = color(source, tile_shape=(5, 5), jobs=1)
+        direct = color(source.region(((0, 16), (0, 12))), runtime="kernels")
+        assert result.mode == "tiled"
+        np.testing.assert_array_equal(result.starts, direct.starts)
+
+
+class TestFacadeContracts:
+    def test_result_carries_provenance_and_metrics(self):
+        result = color(_weights((8, 8)), "GLL", validate=True)
+        assert isinstance(result, ColoringResult)
+        assert result.provenance["mode"] == "monolithic"
+        assert result.provenance["algorithm"] == "GLL"
+        assert isinstance(result.provenance["runtime"], str)
+        assert result.metrics is not None
+        assert result.coloring is not None
+
+    def test_runtime_config_and_context_accepted(self):
+        weights = _weights((9, 9), seed=5)
+        config = RuntimeConfig()
+        via_config = color(weights, runtime=config)
+        via_context = color(weights, runtime=ExecutionContext(config))
+        np.testing.assert_array_equal(via_config.starts, via_context.starts)
+
+    def test_bad_runtime_rejected(self):
+        with pytest.raises(ValueError, match="runtime"):
+            color(_weights((4, 4)), runtime="turbo")
+        with pytest.raises(TypeError):
+            color(_weights((4, 4)), runtime=42)
+
+    def test_tiled_demands_gll(self):
+        with pytest.raises(ValueError, match="GLL"):
+            color(_weights((8, 8)), "BDP", runtime="tiled")
+
+    def test_bad_grid_rank_rejected(self):
+        with pytest.raises(ValueError, match="2D or 3D"):
+            color(np.arange(5), "GLL")
+
+
+class TestDeprecationShims:
+    def test_top_level_color_with_warns_and_delegates(self):
+        weights = _weights((7, 7), seed=6)
+        instance = IVCInstance.from_grid_2d(weights)
+        with pytest.warns(DeprecationWarning, match="repro.api.color"):
+            legacy = repro.color_with(instance, "GLL")
+        fresh = color_with(instance, "GLL")
+        np.testing.assert_array_equal(
+            np.asarray(legacy.starts), np.asarray(fresh.starts)
+        )
+
+    def test_top_level_run_grid_warns(self):
+        instance = IVCInstance.from_grid_2d(_weights((5, 5), seed=7))
+        with pytest.warns(DeprecationWarning, match="repro.engine"):
+            result = repro.run_grid([instance], ["GLL"], jobs=1)
+        assert len(result) == 1  # GridResult is list-like: one cell ran
+
+    def test_facade_is_exported_at_top_level(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the new names must not warn
+            result = repro.color(_weights((5, 5), seed=8), "GLL")
+        assert result.maxcolor > 0
+        assert "color" in repro.__all__ and "api" in repro.__all__

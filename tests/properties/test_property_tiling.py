@@ -1,0 +1,49 @@
+"""Property: the tiler is bit-identical to the monolithic GLL kernel on
+arbitrary grids and tile shapes, 2D and 3D."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms.registry import color_with
+from repro.core.problem import IVCInstance
+from repro.tiling import color_tiled
+
+
+def _monolithic_starts(weights):
+    if weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(weights, name="prop")
+    else:
+        instance = IVCInstance.from_grid_3d(weights, name="prop")
+    coloring = color_with(instance, "GLL")
+    return np.asarray(coloring.starts).ravel(), coloring.maxcolor
+
+
+@given(
+    dims=st.tuples(st.integers(1, 14), st.integers(1, 14)),
+    tile=st.tuples(st.integers(1, 7), st.integers(1, 7)),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_tiled_matches_monolithic_2d(dims, tile, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(0, 50, size=dims, dtype=np.int64)
+    tiled = color_tiled(weights, tile_shape=tile, jobs=1)
+    starts, maxcolor = _monolithic_starts(weights)
+    assert tiled.maxcolor == maxcolor
+    np.testing.assert_array_equal(np.asarray(tiled.starts).ravel(), starts)
+
+
+@given(
+    dims=st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)),
+    tile=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_tiled_matches_monolithic_3d(dims, tile, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(0, 50, size=dims, dtype=np.int64)
+    tiled = color_tiled(weights, tile_shape=tile, jobs=1)
+    starts, maxcolor = _monolithic_starts(weights)
+    assert tiled.maxcolor == maxcolor
+    np.testing.assert_array_equal(np.asarray(tiled.starts).ravel(), starts)

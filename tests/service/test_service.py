@@ -97,6 +97,23 @@ class TestServing:
         response = client._roundtrip({"op": "frobnicate", "id": "y"})
         assert response["status"] == "invalid"
 
+    def test_tiled_request_bit_identical_and_shares_cache(self, client):
+        weights = _grid((14, 12), seed=11)
+        tiled = client.color(weights, "GLL", tiles=(5, 5))
+        assert tiled.ok, tiled.error
+        direct = color_with(IVCInstance.from_grid_2d(weights), "GLL")
+        assert np.array_equal(tiled.starts.ravel(), direct.starts)
+        assert tiled.maxcolor == direct.maxcolor
+        # Bit-identity means the monolithic phrasing of the same grid is a
+        # cache hit — tiled and direct requests share entries by design.
+        again = client.color(weights, "GLL")
+        assert again.ok and again.source == "cache"
+
+    def test_tiled_non_gll_is_invalid(self, client):
+        response = client.color(_grid((6, 6), seed=12), "BDP", tiles=(3, 3))
+        assert response.status == "invalid"
+        assert "GLL" in response.error
+
     def test_queued_deadline_expires(self, client):
         # A microscopic deadline expires inside the batch window.
         response = client.color(_grid((5, 5), seed=9), "GLL",

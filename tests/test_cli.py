@@ -241,3 +241,89 @@ class TestStkde:
         assert rc == 0
         out = capsys.readouterr().out
         assert "colors-vs-runtime" in out
+
+
+class TestRuntimeFlag:
+    def test_runtime_choices_on_suite_and_bench(self):
+        parser = build_parser()
+        for cmd in ("suite", "bench-kernels"):
+            assert parser.parse_args([cmd, "--runtime", "kernels"]).runtime == "kernels"
+            assert parser.parse_args([cmd]).runtime is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["suite", "--runtime", "turbo"])
+
+    def test_legacy_fast_path_flags_still_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["suite", "--fast-path"]).fast_path is True
+        assert parser.parse_args(["suite", "--no-fast-path"]).fast_path is False
+        assert parser.parse_args(["bench-kernels", "--fast-path"]).fast_path is True
+
+    def test_fast_path_is_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--runtime" in help_text
+        assert "--fast-path" not in help_text
+
+    def test_explicit_runtime_beats_legacy_alias(self):
+        from repro.cli import _resolve_runtime
+
+        parser = build_parser()
+        args = parser.parse_args(["suite", "--runtime", "reference", "--fast-path"])
+        assert _resolve_runtime(args) is False
+        assert _resolve_runtime(parser.parse_args(["suite", "--fast-path"])) is True
+        assert _resolve_runtime(parser.parse_args(["suite"])) is None
+
+    def test_bench_kernels_single_runtime(self, capsys):
+        rc = main(["bench-kernels", "--sizes", "24", "--sizes-3d", "8",
+                   "--reps", "1", "--runtime", "kernels", "--out", ""])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernels only, not compared" in out
+
+
+class TestTile:
+    def test_tile_verify_synthetic(self, capsys):
+        import json
+
+        rc = main(["tile", "--shape", "40x30", "--tile", "16x16",
+                   "--jobs", "1", "--verify"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verify"]["identical"] is True
+        assert summary["tiles"] == 6
+        assert summary["maxcolor"] == summary["verify"]["maxcolor"]
+
+    def test_tile_from_npy_with_output(self, tmp_path, capsys):
+        import json
+
+        weights = np.random.default_rng(0).integers(
+            1, 50, size=(20, 20), dtype=np.int64)
+        src = tmp_path / "w.npy"
+        np.save(src, weights)
+        out = tmp_path / "starts.npy"
+        rc = main(["tile", "--input", str(src), "--tile", "8x8",
+                   "--jobs", "1", "--out", str(out), "--verify"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verify"]["identical"] is True
+        assert np.load(out).shape == (20, 20)
+
+    def test_tile_resume_from_log(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "tiles.jsonl"
+        rc = main(["tile", "--shape", "30x20", "--tile", "10x10",
+                   "--jobs", "1", "--log", str(log)])
+        assert rc == 0
+        first = json.loads(capsys.readouterr().out)
+        rc = main(["tile", "--shape", "30x20", "--tile", "10x10",
+                   "--jobs", "1", "--log", str(log), "--resume"])
+        assert rc == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["resumed_tiles"] == first["tiles"]
+        assert resumed["digest"] == first["digest"]
+
+    def test_tile_requires_exactly_one_source(self, capsys):
+        assert main(["tile"]) == 2
+        assert "exactly one" in capsys.readouterr().err

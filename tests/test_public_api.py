@@ -20,13 +20,29 @@ class TestTopLevelExports:
         """The README quickstart must run verbatim."""
         import numpy as np
 
-        from repro import ALGORITHMS, IVCInstance, color_with, lower_bound
+        from repro import ALGORITHMS, IVCInstance, color, lower_bound
+        from repro.core.algorithms.registry import color_with
 
         weights = np.random.default_rng(0).integers(0, 50, size=(16, 16))
         instance = IVCInstance.from_grid_2d(weights)
+        result = color(weights, "BDP", validate=True)
+        assert result.maxcolor >= lower_bound(instance)
         coloring = color_with(instance, "BDP").check()
-        assert coloring.maxcolor >= lower_bound(instance)
+        assert coloring.maxcolor == result.maxcolor
         assert set(ALGORITHMS) == {"GLL", "GZO", "GLF", "GKF", "SGK", "BD", "BDP"}
+
+    def test_legacy_top_level_names_are_deprecated_shims(self):
+        import warnings
+
+        import repro
+
+        instance = repro.IVCInstance.from_grid_2d(
+            np.ones((4, 4), dtype=np.int64)
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.color_with(instance, "GLL")
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 class TestSubpackageExports:

@@ -1,0 +1,148 @@
+"""End-to-end tiler tests: bit-identity to the monolithic GLL kernel,
+output modes, resume, and failure surfacing."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.registry import color_with
+from repro.core.problem import IVCInstance
+from repro.data import SyntheticWeightSource
+from repro.runtime.config import TilingConfig
+from repro.tiling import TilingError, color_tiled, read_tile_log
+
+
+def _weights(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 100, size=shape, dtype=np.int64)
+
+
+def _monolithic(weights):
+    if weights.ndim == 2:
+        instance = IVCInstance.from_grid_2d(weights, name="mono")
+    else:
+        instance = IVCInstance.from_grid_3d(weights, name="mono")
+    return color_with(instance, "GLL")
+
+
+def _assert_identical(tiled, weights):
+    mono = _monolithic(weights)
+    assert tiled.maxcolor == mono.maxcolor
+    np.testing.assert_array_equal(
+        np.asarray(tiled.starts).ravel(), np.asarray(mono.starts).ravel()
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "shape,tile_shape",
+        [
+            ((13, 9), (4, 4)),    # non-divisible
+            ((16, 16), (8, 8)),   # exact division
+            ((7, 7), (7, 7)),     # single tile
+            ((9, 5), (1, 1)),     # tile smaller than the halo margin
+            ((1, 8), (3, 3)),     # degenerate line
+            ((6, 5, 4), (3, 3, 3)),
+            ((4, 4, 4), (1, 1, 1)),
+            ((5, 4, 3), (8, 8, 8)),  # single 3D tile
+        ],
+    )
+    def test_tiled_equals_monolithic(self, shape, tile_shape):
+        weights = _weights(shape)
+        tiled = color_tiled(weights, tile_shape=tile_shape, jobs=1)
+        _assert_identical(tiled, weights)
+
+    @pytest.mark.parametrize("shape,tile_shape", [((24, 18), (7, 7)),
+                                                  ((8, 7, 6), (4, 4, 4))])
+    def test_parallel_workers_match(self, shape, tile_shape):
+        weights = _weights(shape, seed=3)
+        tiled = color_tiled(weights, tile_shape=tile_shape, jobs=2)
+        _assert_identical(tiled, weights)
+        assert len(tiled.records) == len(tiled.plan.tiles)
+
+    def test_synthetic_source_never_materializes_the_grid(self):
+        source = SyntheticWeightSource((20, 15), seed=7)
+        tiled = color_tiled(source, tile_shape=(6, 6), jobs=1)
+        full = source.region(((0, 20), (0, 15)))
+        _assert_identical(tiled, full)
+
+
+class TestOutputModes:
+    def test_memmap_out_matches_in_memory(self, tmp_path):
+        weights = _weights((15, 11), seed=1)
+        out = tmp_path / "starts.npy"
+        tiled = color_tiled(weights, tile_shape=(5, 5), jobs=1, out=out)
+        in_mem = color_tiled(weights, tile_shape=(5, 5), jobs=1)
+        np.testing.assert_array_equal(np.asarray(tiled.starts), in_mem.starts)
+        np.testing.assert_array_equal(np.load(out), in_mem.starts)
+
+    def test_digest_only_mode_carries_no_starts(self):
+        weights = _weights((12, 12), seed=2)
+        full = color_tiled(weights, tile_shape=(5, 5), jobs=1)
+        lean = color_tiled(weights, tile_shape=(5, 5), jobs=1, assemble=False)
+        assert lean.starts is None
+        assert lean.digest == full.digest
+        assert lean.maxcolor == full.maxcolor
+
+
+class TestResume:
+    def test_resume_adopts_completed_tiles(self, tmp_path):
+        weights = _weights((14, 10), seed=4)
+        log = tmp_path / "tiles.jsonl"
+        first = color_tiled(weights, tile_shape=(5, 5), jobs=1, log_path=log)
+        resumed = color_tiled(
+            weights, tile_shape=(5, 5), jobs=1,
+            log_path=log, resume_from=log, assemble=False,
+        )
+        assert resumed.resumed_tiles == len(first.plan.tiles)
+        assert resumed.digest == first.digest
+        assert resumed.maxcolor == first.maxcolor
+
+    def test_stale_log_is_ignored_wholesale(self, tmp_path):
+        log = tmp_path / "tiles.jsonl"
+        color_tiled(_weights((14, 10), seed=4), tile_shape=(5, 5), jobs=1,
+                    log_path=log)
+        other = _weights((14, 10), seed=5)  # same plan, different weights
+        resumed = color_tiled(other, tile_shape=(5, 5), jobs=1,
+                              resume_from=log)
+        assert resumed.resumed_tiles == 0
+        _assert_identical(resumed, other)
+
+    def test_resume_into_assembled_memory_is_refused(self, tmp_path):
+        weights = _weights((14, 10), seed=4)
+        log = tmp_path / "tiles.jsonl"
+        color_tiled(weights, tile_shape=(5, 5), jobs=1, log_path=log)
+        with pytest.raises(ValueError, match="assemble"):
+            color_tiled(weights, tile_shape=(5, 5), jobs=1, resume_from=log)
+
+    def test_log_records_every_tile(self, tmp_path):
+        from repro.data import as_weight_source
+
+        weights = _weights((14, 10), seed=4)
+        log = tmp_path / "tiles.jsonl"
+        tiled = color_tiled(weights, tile_shape=(5, 5), jobs=1, log_path=log)
+        adopted = read_tile_log(
+            log,
+            plan_fingerprint=tiled.plan.fingerprint(),
+            source_fingerprint=as_weight_source(weights).fingerprint(),
+        )
+        assert set(adopted) == set(range(len(tiled.plan.tiles)))
+
+
+class TestFailures:
+    def test_failed_tiles_raise_tiling_error(self):
+        from repro.resilience.faults import clear_plan, install_plan, parse_fault_spec
+
+        install_plan(parse_fault_spec("seed=1;tiling.tile:error=1.0"))
+        try:
+            with pytest.raises(TilingError) as excinfo:
+                color_tiled(_weights((10, 10)), tile_shape=(5, 5), jobs=1)
+            assert excinfo.value.records
+        finally:
+            clear_plan()
+
+    def test_tiling_config_drives_defaults(self):
+        weights = _weights((12, 8), seed=6)
+        cfg = TilingConfig(mode="on", tile_shape=(4, 4))
+        tiled = color_tiled(weights, tiling=cfg, jobs=1)
+        assert tiled.plan.tile_shape == (4, 4)
+        _assert_identical(tiled, weights)

@@ -9,10 +9,11 @@ The repo is layered (see ``docs/architecture.md``)::
     core                            (3)  problem, algorithms, registry
     data, kernels, analysis         (4)  instances, vectorized kernels, stats
     npc, stkde, apps                (5)  applications of the core
-    engine                          (6)  parallel batch execution
+    engine, tiling                  (6)  parallel batch execution, tiler
     service                         (7)  online serving
     experiments, reports            (8)  drivers
-    cli                             (9)  entry point
+    api                             (9)  stable facade
+    cli                             (10) entry point
 
 A module may import ``repro.*`` packages of rank **at most its own**.  Only
 *module-level* imports count: a function-scoped lazy import (the registry's
@@ -24,6 +25,13 @@ The second check asserts configuration discipline: no module outside
 ``repro/runtime/config.py`` and ``repro/resilience/`` may read
 ``os.environ`` / ``os.getenv`` — every knob flows through
 :class:`repro.runtime.config.RuntimeConfig` (or its ``env_*`` helpers).
+
+The third check keeps :mod:`repro.api` the *only* cross-subsystem composer:
+outside ``src/repro/api.py`` (and the root ``__init__``), a module may
+import at module level **at most one** of the heavyweight subsystems
+{``engine``, ``kernels``, ``service``, ``tiling``}.  Code that needs two of
+them composes through the facade — or imports lazily, which the layering
+check already exempts.
 
 Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
 Run from the repo root::
@@ -52,11 +60,20 @@ LAYERS = {
     "stkde": 5,
     "apps": 5,
     "engine": 6,
+    "tiling": 6,
     "service": 7,
     "experiments": 8,
     "reports": 8,
-    "cli": 9,
+    "api": 9,
+    "cli": 10,
 }
+
+#: Heavyweight subsystems: only repro/api.py may compose two or more of
+#: these at module level (the cross-subsystem check).
+SUBSYSTEMS = frozenset({"engine", "kernels", "service", "tiling"})
+
+#: Modules allowed to module-level import any number of subsystems.
+CROSS_EXEMPT = ("src/repro/api.py",)
 
 #: Modules allowed to touch os.environ / os.getenv (repo-relative prefixes).
 ENV_ALLOWED = (
@@ -157,17 +174,31 @@ def check(repo_root: Path) -> list[str]:
             continue
 
         # --- layering -----------------------------------------------------
+        imports = _imported_packages(tree)
         if rel not in ROOT_EXEMPT:
             package = _package_of(path, src)
             if package is not None:
                 rank = LAYERS[package]
-                for lineno, imported in _imported_packages(tree):
+                for lineno, imported in imports:
                     target = LAYERS.get(imported)
                     if target is not None and target > rank:
                         violations.append(
                             f"{rel}:{lineno}: layer '{package}' (rank {rank}) "
                             f"imports higher layer '{imported}' (rank {target})"
                         )
+
+        # --- cross-subsystem discipline -----------------------------------
+        if rel not in ROOT_EXEMPT and rel not in CROSS_EXEMPT:
+            package = _package_of(path, src)
+            foreign = sorted(
+                {pkg for _, pkg in imports if pkg in SUBSYSTEMS and pkg != package}
+            )
+            if len(foreign) > 1:
+                violations.append(
+                    f"{rel}: composes {len(foreign)} subsystems at module "
+                    f"level ({', '.join(foreign)}) — only repro/api.py may; "
+                    "import lazily or go through the facade"
+                )
 
         # --- environment discipline --------------------------------------
         if not any(rel.startswith(prefix) for prefix in ENV_ALLOWED):
