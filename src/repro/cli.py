@@ -36,6 +36,7 @@ processes via the batch engine; ``--jobs 0`` (the default) uses all cores.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 import numpy as np
@@ -503,7 +504,23 @@ def cmd_tile(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.runtime.context import get_context
+    from repro.service.frames import SUPPORTED_FRAME_VERSIONS
     from repro.service.server import ServerConfig, run_service
+
+    protocols = ["ndjson"] + [f"frames/v{v}" for v in SUPPORTED_FRAME_VERSIONS]
+    if args.version:
+        print(f"stencil-ivc service wire protocols: {', '.join(protocols)}")
+        return 0
+
+    workers = args.workers
+    if workers is None:
+        workers = get_context().config.service_workers
+
+    if workers > 1 and args.spill:
+        print("error: --spill is single-process; use --spill-dir with --workers",
+              file=sys.stderr)
+        return 2
 
     config = ServerConfig(
         host=args.host,
@@ -512,18 +529,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1000.0,
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
-        spill_path=args.spill or None,
+        spill_path=(args.spill or None) if workers <= 1 else None,
         compute_threads=args.compute_threads,
         default_timeout=args.default_timeout,
         warm_start=bool(args.spill) and args.warm_start,
     )
 
+    if workers > 1:
+        from repro.service.router import ColoringRouter, RouterConfig, run_router
+
+        router_config = RouterConfig(
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            spill_dir=args.spill_dir or None,
+            worker_config=config,
+        )
+
+        def announce_router(router: ColoringRouter) -> None:
+            print(
+                f"coloring router on {router_config.host}:{router.port} "
+                f"({workers} workers, wire: {', '.join(protocols)}, "
+                f"shared L2: {router.pool.spill_dir})",
+                flush=True,
+            )
+
+        try:
+            asyncio.run(run_router(router_config, ready=announce_router))
+        except KeyboardInterrupt:
+            print("interrupted — shutting down")
+        return 0
+
+    if args.spill_dir:
+        config = dataclasses.replace(
+            config, spill_dir=args.spill_dir, warm_start=True
+        )
+
     def announce(service) -> None:
+        spill = config.spill_dir or config.spill_path
         print(
             f"coloring service on {config.host}:{service.port} "
             f"(max_batch={config.max_batch}, window={args.batch_window_ms}ms, "
-            f"queue_limit={config.queue_limit}, cache={config.cache_size}"
-            f"{', spill=' + str(config.spill_path) if config.spill_path else ''})",
+            f"queue_limit={config.queue_limit}, cache={config.cache_size}, "
+            f"wire: {', '.join(protocols)}"
+            f"{', spill=' + str(spill) if spill else ''})",
             flush=True,
         )
 
@@ -535,6 +584,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
     import time as _time
 
     from repro.resilience import RetryPolicy, install_plan, parse_fault_spec
@@ -607,6 +657,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             max_weight=args.max_weight,
             seed=args.seed,
         )
+        wire = args.wire
+        if wire is None:
+            from repro.runtime.context import get_context
+
+            wire = get_context().config.service_wire
         report = run_loadgen(
             host,
             port,
@@ -617,8 +672,18 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             request_timeout=args.request_timeout or None,
             seed=args.seed,
             retry=retry,
+            zipf=args.zipf,
+            wire=wire,
+            pipeline=args.pipeline,
         )
         print(format_report(report))
+        if args.json:
+            payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    fh.write(payload + "\n")
         if args.shutdown_after:
             with ServiceClient(host, port) as client:
                 client.shutdown()
@@ -928,6 +993,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker threads executing batches")
     p.add_argument("--default-timeout", type=float, default=30.0,
                    help="per-request deadline cap in seconds")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes; >= 2 runs a content-key router in "
+                        "front of N supervised server processes sharing one "
+                        "L2 spill directory (default REPRO_SERVICE_WORKERS "
+                        "or 1)")
+    p.add_argument("--spill-dir", default="",
+                   help="shared L2 spill directory (one JSON file per cached "
+                        "result); with --workers it persists across worker "
+                        "restarts, without it each pool run gets a temp dir")
+    p.add_argument("--version", action="store_true",
+                   help="print the supported wire protocol versions and exit")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -977,6 +1053,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-cache entries for the --spawn server")
     p.add_argument("--spawn-spill", default="",
                    help="JSONL spill file for the --spawn server's cache")
+    p.add_argument("--zipf", type=float, default=0.0, metavar="S",
+                   help="zipf exponent skewing the request schedule toward "
+                        "popular pool items (0 = uniform, the default)")
+    p.add_argument("--wire", default=None,
+                   choices=("auto", "binary", "ndjson"),
+                   help="wire format preference (default REPRO_SERVICE_WIRE "
+                        "or auto-negotiate)")
+    p.add_argument("--pipeline", type=int, default=1, metavar="K",
+                   help="requests in flight per connection before the first "
+                        "read (wrk-style capacity measurement; default 1)")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="also write the report as JSON to PATH ('-' = stdout)")
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")

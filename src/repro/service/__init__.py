@@ -6,15 +6,23 @@ front end over the batch engine and vectorized kernels:
 
 * :mod:`~repro.service.protocol` — typed request/response messages and the
   canonical :func:`~repro.service.protocol.content_key` hash;
+* :mod:`~repro.service.frames` — the binary wire codec (raw little-endian
+  arrays, routing key in a fixed preamble), negotiated per connection with
+  NDJSON as the forever-compatible fallback;
 * :mod:`~repro.service.cache` — content-addressed LRU result cache with
-  optional JSONL disk spill;
+  JSONL spill or the cross-worker shared-directory L2 tier;
 * :mod:`~repro.service.batcher` — micro-batching by ``(shape, algorithm)``
   so one substrate build serves a whole batch, with request coalescing;
 * :mod:`~repro.service.server` — the asyncio TCP server: bounded admission
   queue, per-request deadlines, graceful drain;
-* :mod:`~repro.service.client` — sync and asyncio clients;
-* :mod:`~repro.service.loadgen` — the repeated-shape load generator with
-  served-vs-direct verification;
+* :mod:`~repro.service.workers` — the supervised multi-process
+  :class:`~repro.service.workers.WorkerPool` sharing one L2 directory;
+* :mod:`~repro.service.router` — the accept/route front process: stable
+  content-key (rendezvous) routing, failover, merged fleet metrics;
+* :mod:`~repro.service.client` — sync and asyncio clients with automatic
+  wire negotiation;
+* :mod:`~repro.service.loadgen` — the repeated-shape load generator
+  (uniform or zipf-skewed) with served-vs-direct verification;
 * :mod:`~repro.service.metrics` — counters/gauges/latency histograms
   snapshotted over the wire.
 
@@ -32,6 +40,13 @@ from repro.service.client import (
     ServiceConnectionError,
     ServiceError,
 )
+from repro.service.frames import (
+    FRAME_VERSION,
+    SUPPORTED_FRAME_VERSIONS,
+    Frame,
+    FrameError,
+    TornFrameError,
+)
 from repro.service.loadgen import (
     LoadgenReport,
     build_workload,
@@ -47,15 +62,21 @@ from repro.service.protocol import (
     ServedResult,
     content_key,
 )
+from repro.service.router import ColoringRouter, RouterConfig, RouterThread
 from repro.service.server import ColoringService, ServerConfig, ServerThread
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "AsyncServiceClient",
     "CacheEntry",
     "ColorRequest",
     "ColorResponse",
+    "ColoringRouter",
     "ColoringService",
     "Counter",
+    "FRAME_VERSION",
+    "Frame",
+    "FrameError",
     "Gauge",
     "Histogram",
     "LoadgenReport",
@@ -64,12 +85,17 @@ __all__ = [
     "PROTOCOL_API_VERSION",
     "ProtocolError",
     "ResultCache",
+    "RouterConfig",
+    "RouterThread",
+    "SUPPORTED_FRAME_VERSIONS",
     "ServedResult",
     "ServerConfig",
     "ServerThread",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
+    "TornFrameError",
+    "WorkerPool",
     "build_workload",
     "content_key",
     "parse_shapes",

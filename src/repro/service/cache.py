@@ -1,29 +1,40 @@
-"""Content-addressed result cache with LRU eviction and JSONL disk spill.
+"""Content-addressed result cache with LRU eviction and disk spill tiers.
 
 Entries are keyed by :func:`~repro.service.protocol.content_key`, so a hit is
 *definitionally* the correct coloring — the key commits to the stencil kind,
 shape, weights, and algorithm, and every registry algorithm is deterministic.
 
-The in-memory tier is a plain LRU of :class:`CacheEntry` values.  When a
-``spill_path`` is configured, evicted entries are appended to a JSONL spill
-file (one entry per line, flushed per append — the same append-safety
-contract as the engine run log) and indexed by byte offset; a miss in memory
-that hits the spill index seeks, re-parses, and promotes the entry back to
-the memory tier.  The spill file is append-only and content-addressed, so a
-server restart can warm-start from it via :meth:`ResultCache.load_spill`.
+The in-memory tier is a plain LRU of :class:`CacheEntry` values.  Two spill
+backends exist below it:
 
-Corruption tolerance: a torn or corrupt spill line (a server killed
-mid-append, disk trouble, an injected ``cache.spill.write`` fault) is never
-fatal — the read degrades to a cache miss and the entry is recomputed, and
-:meth:`load_spill` skips damaged lines while indexing the rest.  Every such
-skip is *counted* (``spill_read_errors`` / ``spill_load_skipped`` in
-:meth:`stats`), so silent corruption shows up in ``/metrics`` instead of
-vanishing.
+* **JSONL file** (``spill_path``) — the single-process layout: evicted
+  entries are appended to one JSONL file (flushed per append — the same
+  append-safety contract as the engine run log) and indexed by byte offset;
+  a memory miss that hits the index seeks, re-parses, and promotes.  The
+  file is append-only and content-addressed, so a restart warm-starts from
+  it via :meth:`ResultCache.load_spill`.
+* **Shared directory** (``spill_dir``) — the cross-worker L2 tier behind
+  ``stencil-ivc serve --workers N``: every entry is its own
+  ``<key>.json`` file, written *write-through* on first insert via a
+  temp-file + ``os.replace`` rename, so a write is atomic and a reader
+  never sees a half-written entry.  The router's content-key hashing makes
+  each worker the single writer for its keys, and because any worker may
+  *read* any key, a cold or freshly restarted worker warm-starts from its
+  siblings' results.
+
+Corruption tolerance (both backends): a torn or corrupt spill entry (a
+server killed mid-write, disk trouble, an injected ``cache.spill.write``
+fault) is never fatal — the read degrades to a cache miss and the entry is
+recomputed, and :meth:`load_spill` skips damaged entries while indexing the
+rest.  Every such skip is *counted* (``spill_read_errors`` /
+``spill_load_skipped`` in :meth:`stats`), so silent corruption shows up in
+``/metrics`` instead of vanishing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -74,6 +85,11 @@ class ResultCache:
     ``capacity=0`` disables caching entirely (every :meth:`get` is a miss
     and :meth:`put` is a no-op) — the configuration the service benchmark
     uses for its uncached baseline.
+
+    ``spill_dir`` selects the shared-directory L2 backend (one atomic
+    file per key, write-through, readable by sibling workers) instead of
+    the single-process JSONL ``spill_path`` backend; the two are mutually
+    exclusive.
     """
 
     def __init__(
@@ -81,9 +97,17 @@ class ResultCache:
         capacity: int = 512,
         spill_path: Optional[str | Path] = None,
         max_spill_entries: int = 100_000,
+        *,
+        spill_dir: Optional[str | Path] = None,
     ) -> None:
         self.capacity = int(capacity)
+        if spill_path and spill_dir:
+            raise ValueError("spill_path and spill_dir are mutually exclusive")
         self.spill_path = Path(spill_path) if spill_path else None
+        self.spill_dir = Path(spill_dir) if spill_dir else None
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self._dir_written: set[str] = set()
         self.max_spill_entries = int(max_spill_entries)
         self._items: OrderedDict[str, CacheEntry] = OrderedDict()
         self._spill_index: dict[str, int] = {}
@@ -100,6 +124,18 @@ class ResultCache:
     # ------------------------------------------------------------------ tiers
     def get(self, key: str) -> Optional[CacheEntry]:
         """The cached entry for ``key``, or ``None`` (counted as a miss)."""
+        return self._lookup(key, count_miss=True)
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Like :meth:`get` but an absence is *not* counted as a miss.
+
+        The server's cache fast path probes here before admitting a
+        request to the batcher; a fast-path miss falls through to the
+        batcher's own :meth:`get`, which counts it exactly once.
+        """
+        return self._lookup(key, count_miss=False)
+
+    def _lookup(self, key: str, *, count_miss: bool) -> Optional[CacheEntry]:
         with self._lock:
             entry = self._items.get(key)
             if entry is not None:
@@ -107,14 +143,16 @@ class ResultCache:
                 self._items.move_to_end(key)
                 return entry
             offset = self._spill_index.get(key)
-        if offset is None:
-            with self._lock:
-                self.misses += 1
-            return None
-        entry = self._read_spilled(key, offset)
+        if self.spill_dir is not None:
+            entry = self._read_dir(key)
+        elif offset is not None:
+            entry = self._read_spilled(key, offset)
+        else:
+            entry = None
         with self._lock:
             if entry is None:
-                self.misses += 1
+                if count_miss:
+                    self.misses += 1
                 return None
             self.hits += 1
             self.spill_hits += 1
@@ -122,7 +160,12 @@ class ResultCache:
         return entry
 
     def put(self, key: str, entry: CacheEntry) -> None:
-        """Insert (or refresh) an entry, spilling LRU victims to disk."""
+        """Insert (or refresh) an entry, spilling LRU victims to disk.
+
+        With a shared ``spill_dir``, entries are written through on first
+        insert instead of on eviction, so sibling workers (and a restarted
+        self) can read them while they are still hot here.
+        """
         if self.capacity <= 0:
             return
         victims: list[tuple[str, CacheEntry]] = []
@@ -132,6 +175,9 @@ class ResultCache:
             while len(self._items) > self.capacity:
                 victims.append(self._items.popitem(last=False))
                 self.evictions += 1
+        if self.spill_dir is not None:
+            self._spill_dir(key, entry)
+            return  # victims were already written through on insert
         for victim_key, victim in victims:
             self._spill(victim_key, victim)
 
@@ -157,6 +203,65 @@ class ResultCache:
             self._spill_index[key] = offset
             self.spilled += 1
 
+    def _spill_dir(self, key: str, entry: CacheEntry) -> None:
+        """Write-through one entry to the shared directory, atomically.
+
+        The file is written under a worker-private temp name and moved into
+        place with ``os.replace``, so sibling workers reading concurrently
+        either see the whole entry or no file at all — never a torn one.
+        Injected ``cache.spill.write`` faults corrupt the *content* (the
+        rename itself stays atomic), exercising the reader's degradation.
+        """
+        assert self.spill_dir is not None
+        with self._lock:
+            if key in self._dir_written or len(self._dir_written) >= self.max_spill_entries:
+                return
+            self._dir_written.add(key)
+        payload = json.dumps(entry.to_json(key))
+        fault = draw("cache.spill.write", key)
+        if fault is not None and fault.kind in ("corrupt", "torn"):
+            payload = payload[: max(1, len(payload) // 2)]
+        final = self.spill_dir / f"{key}.json"
+        tmp = self.spill_dir / f".{key}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, final)
+            with self._lock:
+                self.spilled += 1
+        except OSError:
+            # Disk trouble degrades to "not spilled"; forget the key so a
+            # later insert retries the write instead of assuming it landed.
+            with self._lock:
+                self._dir_written.discard(key)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover
+                pass
+
+    def _read_dir(self, key: str) -> Optional[CacheEntry]:
+        """Read one entry from the shared directory; damage degrades to a miss."""
+        assert self.spill_dir is not None
+        path = self.spill_dir / f"{key}.json"
+        try:
+            text = path.read_text()
+        except OSError:
+            return None  # absent (or unreadable): a plain miss, not corruption
+        try:
+            obj = json.loads(text)
+            if obj.get("key") != key:
+                raise ValueError("spill file holds a different key")
+            return CacheEntry.from_json(obj)
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            with self._lock:
+                self.spill_read_errors += 1
+            try:  # drop the damaged file so the single writer can rewrite it
+                path.unlink(missing_ok=True)
+                with self._lock:
+                    self._dir_written.discard(key)
+            except OSError:  # pragma: no cover
+                pass
+            return None
+
     def _read_spilled(self, key: str, offset: int) -> Optional[CacheEntry]:
         if self.spill_path is None or not self.spill_path.exists():
             return None
@@ -181,7 +286,19 @@ class ResultCache:
         corrupt interior lines — are skipped (and counted in
         ``spill_load_skipped``) while every parseable entry is indexed;
         later duplicates of a key win, matching append order.
+
+        With a shared ``spill_dir`` the directory *is* the index — this
+        just enumerates ``*.json`` files (so ``max_spill_entries``
+        accounting survives a restart) without parsing them; damage is
+        detected, counted, and healed lazily on first read.
         """
+        if self.spill_dir is not None:
+            indexed = 0
+            with self._lock:
+                for path in self.spill_dir.glob("*.json"):
+                    self._dir_written.add(path.stem)
+                    indexed += 1
+            return indexed
         if self.spill_path is None or not self.spill_path.exists():
             return 0
         indexed = 0
@@ -233,6 +350,10 @@ class ResultCache:
                 "spill_load_skipped": self.spill_load_skipped,
                 "size": len(self._items),
                 "capacity": self.capacity,
-                "spill_index_size": len(self._spill_index),
+                "spill_index_size": (
+                    len(self._dir_written)
+                    if self.spill_dir is not None
+                    else len(self._spill_index)
+                ),
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }

@@ -40,6 +40,7 @@ from repro.service.client import (
     AsyncServiceClient,
     ColorResponse,
     ServiceConnectionError,
+    prepare_color_request,
 )
 
 
@@ -73,6 +74,11 @@ class LoadgenReport:
     latency_mean_ms: float = 0.0
     concurrency: int = 0
     verify: bool = False
+    wire: str = "ndjson"  # negotiated wire format the run actually used
+    wire_requested: str = "auto"
+    zipf: float = 0.0  # popularity skew of the request schedule (0 = uniform)
+    pipeline: int = 1  # frames in flight per connection before the first read
+    workers_seen: dict = field(default_factory=dict)  # worker_id -> responses
     error_samples: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     faults_fired: dict = field(default_factory=dict)
@@ -101,6 +107,11 @@ class LoadgenReport:
             "latency_mean_ms": self.latency_mean_ms,
             "concurrency": self.concurrency,
             "verify": self.verify,
+            "wire": self.wire,
+            "wire_requested": self.wire_requested,
+            "zipf": self.zipf,
+            "pipeline": self.pipeline,
+            "workers_seen": dict(self.workers_seen),
             "error_samples": self.error_samples[:5],
             "faults_fired": dict(self.faults_fired),
         }
@@ -167,23 +178,104 @@ async def run_loadgen_async(
     seed: int = 0,
     fetch_metrics: bool = True,
     retry: Optional[RetryPolicy] = None,
+    zipf: float = 0.0,
+    wire: str = "auto",
+    pipeline: int = 1,
 ) -> LoadgenReport:
     """Fire ``requests`` sampled requests at the server; aggregate outcomes.
 
     ``retry`` arms each worker's client with transparent
     reconnect-and-retry for transport failures (see the module docstring);
     ``None`` leaves connections brittle, the pre-resilience behaviour.
+
+    ``zipf > 0`` skews the schedule: pool item at rank ``r`` (insertion
+    order) is drawn with probability proportional to ``1 / r**zipf``, the
+    classic popularity curve of repeated interactive queries.  ``zipf=0``
+    keeps the historical uniform draw.  Both are deterministic in ``seed``.
+
+    ``wire`` pins the client wire format (``"auto"``, ``"binary"``, or
+    ``"ndjson"``); the negotiated result is recorded in the report.
+
+    ``pipeline > 1`` keeps that many requests in flight per connection
+    (wrk-style): each worker writes a burst of frames before reading the
+    burst's ordered responses, measuring server capacity rather than
+    per-round-trip latency.  Overloaded responses inside a burst are
+    retried individually.
     """
     rng = random.Random(seed)
-    schedule = [workload[rng.randrange(len(workload))] for _ in range(requests)]
+    if zipf and zipf > 0:
+        ranks = [1.0 / ((i + 1) ** zipf) for i in range(len(workload))]
+        schedule = rng.choices(list(workload), weights=ranks, k=requests)
+    else:
+        schedule = [workload[rng.randrange(len(workload))] for _ in range(requests)]
     truth: dict[int, np.ndarray] = {}
     if verify:
         for item in workload:
             truth[id(item)] = _direct_starts(item)
+    # Encode each pool item once (the workload repeats them): loadgen then
+    # measures the server, not the client's per-send serialization.
+    prepared = {
+        id(item): prepare_color_request(
+            item.weights, item.algorithm,
+            timeout=request_timeout, request_id=item.label,
+        )
+        for item in workload
+    }
 
     next_index = 0
+    pipeline = max(1, int(pipeline))
     latencies: list[float] = []
-    report = LoadgenReport(concurrency=concurrency, verify=verify)
+    report = LoadgenReport(
+        concurrency=concurrency, verify=verify,
+        wire_requested=wire, zipf=float(zipf or 0.0), pipeline=pipeline,
+    )
+
+    def record_lost(count: int, label: str, exc: Exception) -> None:
+        # The client's retry budget is spent — the request is lost.
+        # Count it; a passing chaos run has zero of these.
+        report.requests += count
+        report.errors += count
+        report.connection_failures += count
+        if len(report.error_samples) < 5:
+            report.error_samples.append(f"{label}: [connection] {exc}")
+
+    def record(item: WorkItem, response: ColorResponse) -> None:
+        report.requests += 1
+        latencies.append(response.latency)
+        if response.ok:
+            report.ok += 1
+            if response.worker:
+                report.workers_seen[response.worker] = (
+                    report.workers_seen.get(response.worker, 0) + 1
+                )
+            if response.cached:
+                report.cached += 1
+            else:
+                report.computed += 1
+            if verify and not np.array_equal(response.starts, truth[id(item)]):
+                report.divergences += 1
+        elif response.status == "timeout":
+            report.timeouts += 1
+        else:
+            report.errors += 1
+            if response.error and len(report.error_samples) < 5:
+                report.error_samples.append(
+                    f"{item.label}: [{response.status}] {response.error}"
+                )
+
+    async def send_one(
+        client: AsyncServiceClient, item: WorkItem
+    ) -> ColorResponse:
+        """One request, retrying ``overloaded`` rejections with backoff."""
+        response: Optional[ColorResponse] = None
+        for attempt in range(max_retries + 1):
+            response = await client.color_prepared(prepared[id(item)])
+            if response.status != "overloaded":
+                break
+            report.overloaded_retries += 1
+            await asyncio.sleep(0.002 * (attempt + 1))
+        assert response is not None
+        return response
 
     async def worker(worker_index: int) -> None:
         nonlocal next_index
@@ -193,58 +285,41 @@ async def run_loadgen_async(
             timeout=request_timeout or 120.0,
             retry=retry,
             retry_seed=seed * 1009 + worker_index,
+            wire=wire,
         )
         try:
             while True:
                 if next_index >= len(schedule):
                     return
-                item = schedule[next_index]
-                next_index += 1
-                response: Optional[ColorResponse] = None
-                try:
-                    for attempt in range(max_retries + 1):
-                        response = await client.color(
-                            item.weights,
-                            item.algorithm,
-                            timeout=request_timeout,
-                            request_id=item.label,
+                burst = schedule[next_index : next_index + pipeline]
+                next_index += len(burst)
+                if len(burst) > 1:
+                    try:
+                        responses = await client.color_pipelined(
+                            [prepared[id(item)] for item in burst]
                         )
-                        if response.status != "overloaded":
-                            break
-                        report.overloaded_retries += 1
-                        await asyncio.sleep(0.002 * (attempt + 1))
-                except ServiceConnectionError as exc:
-                    # The client's retry budget is spent — the request is
-                    # lost.  Count it; a passing chaos run has zero of these.
-                    report.requests += 1
-                    report.errors += 1
-                    report.connection_failures += 1
-                    if len(report.error_samples) < 5:
-                        report.error_samples.append(
-                            f"{item.label}: [connection] {exc}"
-                        )
+                    except ServiceConnectionError as exc:
+                        record_lost(len(burst), burst[0].label, exc)
+                        continue
+                    report.wire = client.wire or report.wire
+                    for item, response in zip(burst, responses):
+                        if response.status == "overloaded":
+                            report.overloaded_retries += 1
+                            try:
+                                response = await send_one(client, item)
+                            except ServiceConnectionError as exc:
+                                record_lost(1, item.label, exc)
+                                continue
+                        record(item, response)
                     continue
-                assert response is not None
-                report.requests += 1
-                latencies.append(response.latency)
-                if response.ok:
-                    report.ok += 1
-                    if response.cached:
-                        report.cached += 1
-                    else:
-                        report.computed += 1
-                    if verify and not np.array_equal(
-                        response.starts, truth[id(item)]
-                    ):
-                        report.divergences += 1
-                elif response.status == "timeout":
-                    report.timeouts += 1
-                else:
-                    report.errors += 1
-                    if response.error and len(report.error_samples) < 5:
-                        report.error_samples.append(
-                            f"{item.label}: [{response.status}] {response.error}"
-                        )
+                item = burst[0]
+                try:
+                    response = await send_one(client, item)
+                except ServiceConnectionError as exc:
+                    record_lost(1, item.label, exc)
+                    continue
+                report.wire = client.wire or report.wire
+                record(item, response)
         finally:
             report.connection_retries += client.retries_used
             await client.close()
@@ -263,7 +338,7 @@ async def run_loadgen_async(
         ] * 1000.0
         report.latency_mean_ms = sum(ordered) / len(ordered) * 1000.0
     if fetch_metrics:
-        client = AsyncServiceClient(host, port, retry=retry, retry_seed=seed)
+        client = AsyncServiceClient(host, port, retry=retry, retry_seed=seed, wire=wire)
         try:
             report.metrics = await client.metrics()
         finally:
@@ -293,7 +368,14 @@ def format_report(report: LoadgenReport) -> str:
         f"{report.timeouts} timeouts, {report.errors} errors",
         f"transport  : {report.connection_retries} connection retries, "
         f"{report.connection_failures} requests lost to dead connections",
+        f"wire       : {report.wire} (requested {report.wire_requested}), "
+        f"zipf s={report.zipf:g}, pipeline depth {report.pipeline}",
     ]
+    if report.workers_seen:
+        spread = ", ".join(
+            f"{wid}:{count}" for wid, count in sorted(report.workers_seen.items())
+        )
+        lines.append(f"workers    : {spread}")
     if report.faults_fired:
         fired = ", ".join(
             f"{site} x{count}" for site, count in sorted(report.faults_fired.items())

@@ -256,6 +256,19 @@ def request_from_wire(message: dict[str, Any]) -> ColorRequest:
         arr = np.asarray(weights, dtype=np.int64).reshape(tuple(shape))
     except (TypeError, ValueError, OverflowError) as exc:
         raise ProtocolError(f"weights are not int64 grid data: {exc}") from None
+    return request_from_fields(arr, message)
+
+
+def request_from_fields(arr: np.ndarray, message: dict[str, Any]) -> ColorRequest:
+    """Build a :class:`ColorRequest` from a decoded weight array + fields.
+
+    The shared back half of request decoding: the NDJSON decoder
+    (:func:`request_from_wire`) builds ``arr`` from the ``weights`` list,
+    the binary decoder (:func:`repro.service.frames.decode_color_request`)
+    from the raw payload buffer — both then validate the remaining fields
+    here, so a request means exactly the same thing on either wire.
+    """
+    shape = [int(s) for s in arr.shape]
     if arr.size and arr.min() < 0:
         raise ProtocolError("weights must be non-negative")
     algorithm = message.get("algorithm")

@@ -33,12 +33,33 @@ from repro.runtime.config import RuntimeConfig
 from repro.runtime.context import ExecutionContext, get_context
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResultCache
+from repro.service.frames import (
+    FRAME_MAGIC,
+    OP_COLOR,
+    OP_HELLO,
+    OP_METRICS,
+    OP_PING,
+    OP_RESPONSE,
+    OP_SHUTDOWN,
+    PAYLOAD_DTYPE,
+    SUPPORTED_FRAME_VERSIONS,
+    Frame,
+    FrameError,
+    TornFrameError,
+    decode_color_request,
+    encode_frame,
+    encode_hello_ok,
+    encode_result,
+    read_frame_async,
+)
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
     STATUS_ERROR,
     STATUS_INVALID,
+    STATUS_OK,
     STATUS_OVERLOADED,
     STATUS_TIMEOUT,
+    ColorRequest,
     ProtocolError,
     ServedResult,
     decode_message,
@@ -59,6 +80,8 @@ class ServerConfig:
     queue_limit: int = 256  # admission cap; beyond it requests are rejected
     cache_size: int = 512  # result-cache entries (0 disables caching)
     spill_path: Optional[str] = None  # JSONL disk spill for evicted entries
+    spill_dir: Optional[str] = None  # shared-directory L2 tier (multi-worker)
+    worker_id: str = "w0"  # identity stamped on responses and /metrics
     compute_threads: int = 1
     default_timeout: float = 30.0  # per-request deadline cap, seconds
     drain_timeout: float = 30.0  # graceful-shutdown budget, seconds
@@ -93,7 +116,9 @@ class ColoringService:
             self.context = get_context().child(metrics=MetricsRegistry())
         self.metrics = self.context.metrics
         self.cache = ResultCache(
-            capacity=self.config.cache_size, spill_path=self.config.spill_path
+            capacity=self.config.cache_size,
+            spill_path=self.config.spill_path,
+            spill_dir=self.config.spill_dir,
         )
         self.batcher = MicroBatcher(
             self.cache,
@@ -173,14 +198,56 @@ class ColoringService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Sniff the wire format off the first two bytes, then serve.
+
+        Binary frames open with the magic ``0xA9 0x27``; every NDJSON
+        message opens with ``{``.  The sniffed bytes are handed to the
+        chosen loop so nothing is lost — one connection speaks exactly one
+        format for its lifetime.
+        """
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
         try:
-            while True:
+            try:
+                first = await reader.readexactly(2)
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:  # died after a single byte: torn, counted
+                    self.metrics.counter("torn_lines").inc()
+                return
+            if first == FRAME_MAGIC:
+                await self._serve_binary(reader, writer, first)
+            else:
+                await self._serve_ndjson(reader, writer, first)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _serve_ndjson(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        pending: bytes,
+    ) -> None:
+        """The line-delimited JSON loop (``pending`` = sniffed bytes).
+
+        A connection dying mid-line is tolerated the way the run-log
+        reader tolerates a torn trailing line: the fragment is discarded
+        and counted (``torn_lines``), never parsed or logged as an error.
+        """
+        while True:
+            newline = pending.find(b"\n")
+            if newline >= 0:
+                line, pending = pending[: newline + 1], pending[newline + 1 :]
+            else:
                 try:
-                    line = await reader.readline()
+                    rest = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
                     writer.write(
                         encode_message(
@@ -190,21 +257,59 @@ class ColoringService:
                     )
                     await writer.drain()
                     break
-                if not line:
+                if not rest:
+                    if pending.strip():
+                        self.metrics.counter("torn_lines").inc()
                     break
-                response = await self._handle_message(line)
-                writer.write(encode_message(response))
-                await writer.drain()
-                if response.get("op_effect") == "shutdown":
+                line, pending = pending + rest, b""
+                if not line.endswith(b"\n"):
+                    self.metrics.counter("torn_lines").inc()
                     break
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        finally:
-            writer.close()
+            response = await self._handle_message(line)
+            writer.write(encode_message(response))
+            await writer.drain()
+            if response.get("op_effect") == "shutdown":
+                break
+
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        """The binary-frames loop (``first`` = sniffed magic bytes).
+
+        A peer killed mid-frame surfaces as the typed
+        :class:`~repro.service.frames.TornFrameError`, is counted in
+        ``torn_frames``, and closes the connection quietly.  Any other
+        framing error is answered once (the stream position is untrusted
+        afterwards) and also closes the connection.
+        """
+        self.metrics.counter("binary_connections").inc()
+        while True:
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
+                frame = await read_frame_async(reader, first=first)
+            except TornFrameError:
+                self.metrics.counter("torn_frames").inc()
+                break
+            except FrameError as exc:
+                self.metrics.counter("protocol_errors").inc()
+                writer.write(
+                    encode_frame(
+                        OP_RESPONSE,
+                        {"id": "", "status": STATUS_INVALID, "error": str(exc)},
+                    )
+                )
+                await writer.drain()
+                break
+            first = b""
+            if frame is None:
+                break  # clean EOF at a frame boundary
+            response, shutdown = await self._handle_frame(frame)
+            writer.write(response)
+            await writer.drain()
+            if shutdown:
+                break
 
     async def _handle_message(self, line: bytes) -> dict:
         try:
@@ -217,7 +322,12 @@ class ColoringService:
         if op == "ping":
             return {"id": request_id, "status": "ok", "op_echo": "ping"}
         if op == "metrics":
-            return {"id": request_id, "status": "ok", "metrics": self.snapshot()}
+            include_state = bool(message.get("state"))
+            return {
+                "id": request_id,
+                "status": "ok",
+                "metrics": self.snapshot(include_state=include_state),
+            }
         if op == "shutdown":
             self.request_shutdown()
             return {"id": request_id, "status": "ok", "op_effect": "shutdown"}
@@ -231,29 +341,208 @@ class ColoringService:
         }
 
     async def _handle_color(self, message: dict, request_id: str) -> dict:
-        from repro.core.algorithms.registry import REGISTRY, UnknownAlgorithmError
-
-        received = time.monotonic()
         self.metrics.counter("requests_total").inc()
         try:
             request = request_from_wire(message)
         except ProtocolError as exc:
             self.metrics.counter("invalid_requests").inc()
             return {"id": request_id, "status": STATUS_INVALID, "error": str(exc)}
-        try:
-            REGISTRY.get(request.algorithm)  # cheap pre-admission validation
-        except UnknownAlgorithmError as exc:
+        result, total = await self._serve_color(request)
+        return result_to_wire(
+            result,
+            request_id,
+            extra={"total_ms": total * 1000.0, "worker": self.config.worker_id},
+        )
+
+    # -------------------------------------------------------- binary frames
+    async def _handle_frame(self, frame: Frame) -> tuple[bytes, bool]:
+        """Serve one decoded frame; returns ``(response bytes, shutdown?)``.
+
+        The op vocabulary mirrors :meth:`_handle_message` exactly — same
+        counters, same status strings — so the two wires are two encodings
+        of one protocol, not two protocols.
+        """
+        request_id = frame.request_id
+        if frame.opcode == OP_HELLO:
+            return encode_hello_ok(self.config.worker_id), False
+        if frame.opcode == OP_PING:
+            return (
+                encode_frame(
+                    OP_RESPONSE,
+                    {"id": request_id, "status": "ok", "op_echo": "ping"},
+                ),
+                False,
+            )
+        if frame.opcode == OP_METRICS:
+            include_state = bool(frame.header.get("state"))
+            return (
+                encode_frame(
+                    OP_RESPONSE,
+                    {
+                        "id": request_id,
+                        "status": "ok",
+                        "metrics": self.snapshot(include_state=include_state),
+                    },
+                ),
+                False,
+            )
+        if frame.opcode == OP_SHUTDOWN:
+            self.request_shutdown()
+            return (
+                encode_frame(
+                    OP_RESPONSE,
+                    {"id": request_id, "status": "ok", "op_effect": "shutdown"},
+                ),
+                True,
+            )
+        if frame.opcode == OP_COLOR:
+            self.metrics.counter("requests_total").inc()
+            hot = self._frame_fast_path(frame)
+            if hot is not None:
+                return hot, False
+            try:
+                request = decode_color_request(frame)
+            except ProtocolError as exc:
+                self.metrics.counter("invalid_requests").inc()
+                return (
+                    encode_frame(
+                        OP_RESPONSE,
+                        {
+                            "id": request_id,
+                            "status": STATUS_INVALID,
+                            "error": str(exc),
+                        },
+                    ),
+                    False,
+                )
+            result, total = await self._serve_color(request)
+            return (
+                encode_result(
+                    result,
+                    request_id,
+                    extra={
+                        "total_ms": total * 1000.0,
+                        "worker": self.config.worker_id,
+                    },
+                    key=request.key,
+                ),
+                False,
+            )
+        self.metrics.counter("protocol_errors").inc()
+        return (
+            encode_frame(
+                OP_RESPONSE,
+                {
+                    "id": request_id,
+                    "status": STATUS_INVALID,
+                    "error": f"unexpected opcode {frame.opcode}",
+                },
+            ),
+            False,
+        )
+
+    def _frame_fast_path(self, frame: Frame) -> Optional[bytes]:
+        """Answer a hot binary request straight off its payload bytes.
+
+        A frame's payload *is* the canonical C-order ``int64`` weight
+        bytes, so the content key can be hashed without reconstructing or
+        validating the array — identical bytes are identical weights, and
+        cached entries only ever exist for weights that validated when
+        they were first computed.  Anything irregular (odd header, wrong
+        payload length, cache miss) returns ``None`` and falls through to
+        the full decode path, which is the validator.
+        """
+        from repro.runtime.fingerprint import content_key_from_bytes
+
+        header = frame.header
+        shape = header.get("shape")
+        algorithm = header.get("algorithm")
+        if (
+            not isinstance(shape, list)
+            or len(shape) not in (2, 3)
+            or not all(isinstance(s, int) and s > 0 for s in shape)
+            or not isinstance(algorithm, str)
+            or header.get("dtype", PAYLOAD_DTYPE) != PAYLOAD_DTYPE
+        ):
+            return None
+        cells = 1
+        for s in shape:
+            cells *= s
+        if len(frame.payload) != cells * 8:
+            return None
+        key = content_key_from_bytes(frame.payload, tuple(shape), algorithm)
+        entry = self.cache.peek(key)
+        if entry is None:
+            return None
+        self.metrics.counter("cache_hits").inc()
+        self.metrics.counter("fastpath_hits").inc()
+        self.metrics.counter("responses_ok").inc()
+        self.metrics.histogram("request_latency").observe(0.0)
+        result = ServedResult(
+            status=STATUS_OK,
+            starts=entry.starts,
+            maxcolor=entry.maxcolor,
+            source="cache",
+            compute_seconds=entry.compute_seconds,
+        )
+        return encode_result(
+            result,
+            frame.request_id,
+            extra={"total_ms": 0.0, "worker": self.config.worker_id},
+            key=key,
+        )
+
+    # ------------------------------------------------------- shared color path
+    async def _serve_color(self, request: ColorRequest) -> tuple[ServedResult, float]:
+        """Admission, deadline, and compute for one parsed request.
+
+        Shared by both wire formats.  A content-key hit in the result
+        cache is answered *here* — before admission control and without
+        paying the batch window — which is what lets hot cached traffic
+        run at wire speed while misses still batch normally.
+        """
+        from repro.core.algorithms.registry import REGISTRY, UnknownAlgorithmError
+
+        received = time.monotonic()
+        result = await self._resolve_color(request, REGISTRY, UnknownAlgorithmError)
+        total = time.monotonic() - received
+        self.metrics.histogram("request_latency").observe(total)
+        if result.ok:
+            self.metrics.counter("responses_ok").inc()
+        elif result.status == STATUS_ERROR:
             self.metrics.counter("request_errors").inc()
-            return {"id": request_id, "status": STATUS_ERROR, "error": str(exc)}
+        return result, total
+
+    async def _resolve_color(
+        self, request: ColorRequest, registry, unknown_error
+    ) -> ServedResult:
+        try:
+            registry.get(request.algorithm)  # cheap pre-admission validation
+        except unknown_error as exc:
+            return ServedResult(status=STATUS_ERROR, error=str(exc))
+
+        # Cache fast path: peek (not get — a fast-path absence must not
+        # double-count the miss the batcher will count) and answer hot keys
+        # without touching the queue.
+        entry = self.cache.peek(request.key)
+        if entry is not None:
+            self.metrics.counter("cache_hits").inc()
+            self.metrics.counter("fastpath_hits").inc()
+            return ServedResult(
+                status=STATUS_OK,
+                starts=entry.starts,
+                maxcolor=entry.maxcolor,
+                source="cache",
+                compute_seconds=entry.compute_seconds,
+            )
 
         # Admission control: bounded queue, immediate backpressure beyond it.
         if self.batcher.depth >= self.config.queue_limit:
             self.metrics.counter("rejected_overload").inc()
-            return {
-                "id": request_id,
-                "status": STATUS_OVERLOADED,
-                "error": f"queue full ({self.config.queue_limit} requests)",
-            }
+            return ServedResult(
+                status=STATUS_OVERLOADED,
+                error=f"queue full ({self.config.queue_limit} requests)",
+            )
 
         timeout = min(
             request.timeout or self.config.default_timeout,
@@ -263,29 +552,30 @@ class ColoringService:
             request = replace(request, timeout=timeout)
         future = self.batcher.submit(request)
         try:
-            result = await asyncio.wait_for(future, timeout)
+            return await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
             self.metrics.counter("request_timeouts").inc()
-            result = ServedResult(
+            return ServedResult(
                 status=STATUS_TIMEOUT, error=f"deadline of {timeout:.3f}s expired"
             )
-        total = time.monotonic() - received
-        self.metrics.histogram("request_latency").observe(total)
-        if result.ok:
-            self.metrics.counter("responses_ok").inc()
-        elif result.status == STATUS_ERROR:
-            self.metrics.counter("request_errors").inc()
-        return result_to_wire(result, request_id, extra={"total_ms": total * 1000.0})
 
     # ---------------------------------------------------------------- metrics
-    def snapshot(self) -> dict:
-        """Metrics + cache + substrate-cache state, JSON-serializable."""
+    def snapshot(self, include_state: bool = False) -> dict:
+        """Metrics + cache + substrate-cache state, JSON-serializable.
+
+        ``include_state=True`` carries mergeable histogram state — the form
+        the router requests from each worker so it can fold per-worker
+        snapshots into one fleet view with ``merge_snapshots``.
+        """
         from repro.kernels.substrate import substrate_stats
 
-        snap = self.metrics.snapshot()
+        snap = self.metrics.snapshot(include_state=include_state)
         snap["cache"] = self.cache.stats()
         snap["substrate"] = substrate_stats(self.context)
         snap["server"] = {
+            "worker_id": self.config.worker_id,
+            "wire_protocols": ["ndjson"]
+            + [f"frames/v{v}" for v in SUPPORTED_FRAME_VERSIONS],
             "uptime_seconds": time.monotonic() - self._started_at,
             "queue_depth": self.batcher.depth,
             "queue_limit": self.config.queue_limit,

@@ -102,6 +102,24 @@ class TestFromEnv:
         with pytest.raises(TypeError, match="wavefronts"):
             RuntimeConfig.from_env(wavefronts=2)
 
+    def test_service_knobs_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "4")
+        monkeypatch.setenv("REPRO_SERVICE_WIRE", "Binary")
+        config = RuntimeConfig.from_env()
+        assert config.service_workers == 4
+        assert config.service_wire == "binary"
+
+    def test_service_knob_defaults(self):
+        config = RuntimeConfig()
+        assert config.service_workers == 1
+        assert config.service_wire == "auto"
+
+    def test_service_knob_validation(self):
+        with pytest.raises(ValueError, match="service_workers"):
+            RuntimeConfig(service_workers=0)
+        with pytest.raises(ValueError, match="service_wire"):
+            RuntimeConfig(service_wire="carrier-pigeon")
+
     def test_defaults_without_environment(self, monkeypatch):
         for name in (
             "REPRO_FAST_PATHS", "REPRO_FAST_PATHS_MIN_SIZE",

@@ -3,6 +3,7 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.service.cache import CacheEntry, ResultCache
 
@@ -122,3 +123,75 @@ class TestSpill:
         assert len(lines) == 1
         obj = json.loads(lines[0])
         assert obj["key"] == "a" and obj["maxcolor"] == 2
+
+
+class TestDirSpill:
+    """The cross-worker shared L2 tier: one atomic JSON file per entry."""
+
+    def test_path_and_dir_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ResultCache(
+                capacity=2,
+                spill_path=tmp_path / "a.jsonl",
+                spill_dir=tmp_path / "l2",
+            )
+
+    def test_write_through_on_put(self, tmp_path):
+        cache = ResultCache(capacity=4, spill_dir=tmp_path / "l2")
+        cache.put("aa", _entry(3))
+        files = list((tmp_path / "l2").glob("*.json"))
+        assert [f.stem for f in files] == ["aa"]
+        assert json.loads(files[0].read_text())["maxcolor"] == 3
+        assert not list((tmp_path / "l2").glob(".*tmp"))  # atomic rename
+
+    def test_sibling_cache_reads_cold_entry(self, tmp_path):
+        writer = ResultCache(capacity=4, spill_dir=tmp_path / "l2")
+        writer.put("k1", _entry(7))
+        reader = ResultCache(capacity=4, spill_dir=tmp_path / "l2")
+        entry = reader.get("k1")  # never put here — read from the dir tier
+        assert entry is not None and entry.maxcolor == 7
+        assert np.array_equal(entry.starts, np.arange(7))
+        assert reader.stats()["spill_hits"] == 1
+        # Promoted to this cache's memory: the second read is a plain hit.
+        reader.get("k1")
+        assert reader.stats()["spill_hits"] == 1
+
+    def test_warm_start_indexes_directory(self, tmp_path):
+        first = ResultCache(capacity=4, spill_dir=tmp_path / "l2")
+        first.put("k1", _entry(2))
+        first.put("k2", _entry(3))
+        second = ResultCache(capacity=4, spill_dir=tmp_path / "l2")
+        assert second.load_spill() == 2
+        assert second.stats()["spill_index_size"] == 2
+
+    def test_corrupt_file_is_counted_and_healed(self, tmp_path):
+        cache = ResultCache(capacity=1, spill_dir=tmp_path / "l2")
+        cache.put("bad", _entry(4))
+        (tmp_path / "l2" / "bad.json").write_text('{"key": "bad", "sta')
+        cache.put("evictor", _entry(5))  # evict "bad" from memory
+        assert cache.get("bad") is None  # damaged file → miss, not a crash
+        assert cache.stats()["spill_read_errors"] == 1
+        assert not (tmp_path / "l2" / "bad.json").exists()  # unlinked
+        # A rewrite heals the key (the guard set forgot the damaged file).
+        cache.put("bad", _entry(4))
+        assert (tmp_path / "l2" / "bad.json").exists()
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        cache = ResultCache(capacity=1, spill_dir=tmp_path / "l2")
+        cache.put("honest", _entry(2))
+        # A file renamed to another key must not poison that key.
+        (tmp_path / "l2" / "liar.json").write_text(
+            (tmp_path / "l2" / "honest.json").read_text()
+        )
+        fresh = ResultCache(capacity=1, spill_dir=tmp_path / "l2")
+        fresh.load_spill()
+        assert fresh.get("liar") is None
+        assert fresh.stats()["spill_read_errors"] == 1
+
+    def test_max_spill_entries_bounds_the_directory(self, tmp_path):
+        cache = ResultCache(
+            capacity=8, spill_dir=tmp_path / "l2", max_spill_entries=2
+        )
+        for i in range(5):
+            cache.put(f"k{i}", _entry(i + 1))
+        assert len(list((tmp_path / "l2").glob("*.json"))) == 2

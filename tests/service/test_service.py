@@ -16,7 +16,7 @@ import pytest
 
 from repro.core.algorithms.registry import color_with
 from repro.core.problem import IVCInstance
-from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
 from repro.service.loadgen import build_workload, run_loadgen
 from repro.service.server import ServerConfig, ServerThread
 
@@ -93,9 +93,17 @@ class TestServing:
         assert response["status"] == "invalid"
         assert "non-negative" in response["error"]
 
-    def test_unknown_op_rejected(self, client):
-        response = client._roundtrip({"op": "frobnicate", "id": "y"})
+    def test_unknown_op_rejected(self, server):
+        # The NDJSON wire carries arbitrary op strings; the server answers
+        # them with a typed ``invalid`` status.
+        with ServiceClient("127.0.0.1", server.port, wire="ndjson") as c:
+            response = c._roundtrip({"op": "frobnicate", "id": "y"})
         assert response["status"] == "invalid"
+        # The binary wire has a fixed opcode set, so an unknown op is a
+        # typed client-side error before any bytes are sent.
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as c:
+            with pytest.raises(ServiceError, match="frobnicate"):
+                c._roundtrip({"op": "frobnicate", "id": "y"})
 
     def test_tiled_request_bit_identical_and_shares_cache(self, client):
         weights = _grid((14, 12), seed=11)
@@ -131,6 +139,52 @@ class TestServing:
         assert set(snap["substrate"]) == {"geometries", "substrates"}
         assert "hits" in snap["substrate"]["substrates"]
         assert snap["server"]["queue_limit"] == 64
+
+    def test_binary_ndjson_and_direct_api_bit_identical(self, server):
+        # The acceptance bar of the dual-wire tier: the same grid served
+        # over binary frames, over NDJSON, and colored in-process via
+        # repro.api.color must agree bit for bit.
+        from repro.api import color as api_color
+
+        weights = _grid((13, 9), seed=21)
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as c:
+            binary = c.color(weights, "GLL")
+            assert c.wire == "binary"
+        with ServiceClient("127.0.0.1", server.port, wire="ndjson") as c:
+            ndjson = c.color(weights, "GLL")
+            assert c.wire == "ndjson"
+        direct = api_color(weights, algorithm="GLL")
+        assert binary.ok and ndjson.ok
+        assert np.array_equal(binary.starts, ndjson.starts)
+        assert np.array_equal(binary.starts, np.asarray(direct.starts))
+        assert binary.maxcolor == ndjson.maxcolor == direct.maxcolor
+
+    def test_response_carries_worker_identity(self, client):
+        response = client.color(_grid((5, 5), seed=22), "GLL")
+        assert response.ok and response.worker == "w0"
+        snap = client.metrics()
+        assert snap["server"]["worker_id"] == "w0"
+        assert "frames/v1" in snap["server"]["wire_protocols"]
+        assert "ndjson" in snap["server"]["wire_protocols"]
+
+    def test_torn_binary_frame_counted_not_fatal(self, server):
+        from repro.service.frames import OP_COLOR, encode_frame
+
+        raw = encode_frame(OP_COLOR, {"op": "color", "id": "torn"}, b"\x01" * 64)
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(raw[: len(raw) - 10])  # die mid-frame
+        time.sleep(0.2)
+        with ServiceClient("127.0.0.1", server.port) as c:
+            snap = c.metrics()
+        assert snap["counters"].get("torn_frames", 0) >= 1
+
+    def test_torn_ndjson_line_counted_not_fatal(self, server):
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(b'{"op": "ping", "id": "torn-line"')  # no newline
+        time.sleep(0.2)
+        with ServiceClient("127.0.0.1", server.port) as c:
+            snap = c.metrics()
+        assert snap["counters"].get("torn_lines", 0) >= 1
 
     def test_coalescing_identical_concurrent_requests(self, server):
         weights = _grid((10, 10), seed=6)
@@ -186,6 +240,59 @@ class TestLoadgen:
         assert report.cached > 0  # repeated-shape workload must hit the cache
         assert report.metrics["counters"]["responses_ok"] >= 40
         assert report.throughput_rps > 0
+        assert report.wire == "binary"  # auto-negotiated against this server
+        assert report.workers_seen == {"w0": 40}
+
+    def test_zipf_schedule_is_skewed_and_deterministic(self, server):
+        workload = build_workload([(8, 8)], distinct=6, algorithm="GLL", seed=3)
+        kwargs = dict(
+            requests=60, concurrency=2, seed=3, zipf=1.5, fetch_metrics=False,
+        )
+        first = run_loadgen("127.0.0.1", server.port, workload, **kwargs)
+        second = run_loadgen("127.0.0.1", server.port, workload, **kwargs)
+        assert first.zipf == second.zipf == 1.5
+        assert first.ok == second.ok == 60
+        # Same seed → byte-identical schedule → identical hit profile, and
+        # the skew concentrates traffic: far fewer cold computes than the
+        # pool has items' worth of uniform traffic would produce.
+        assert first.cache_hit_rate > 0.5
+
+    def test_ndjson_wire_pins_the_run(self, server):
+        workload = build_workload([(6, 6)], distinct=2, algorithm="GLL", seed=4)
+        report = run_loadgen(
+            "127.0.0.1", server.port, workload,
+            requests=10, concurrency=2, seed=4, wire="ndjson",
+        )
+        assert report.ok == 10
+        assert report.wire == "ndjson" and report.wire_requested == "ndjson"
+
+    def test_pipelined_bursts_stay_bit_identical(self, server):
+        # pipeline=4: each connection writes 4 frames before its first
+        # read; ordered responses must still pair with their requests,
+        # which verify=True checks against direct colorings.
+        workload = build_workload(
+            [(9, 9), (5, 5, 3)], distinct=4, algorithm="GLL", seed=9
+        )
+        report = run_loadgen(
+            "127.0.0.1", server.port, workload,
+            requests=48, concurrency=3, verify=True, seed=9, pipeline=4,
+        )
+        assert report.pipeline == 4
+        assert report.ok == 48
+        assert report.divergences == 0
+        assert report.errors == 0
+        assert report.to_json()["pipeline"] == 4
+
+    def test_pipelined_ndjson_also_works(self, server):
+        workload = build_workload([(7, 7)], distinct=3, algorithm="GLL", seed=5)
+        report = run_loadgen(
+            "127.0.0.1", server.port, workload,
+            requests=18, concurrency=2, verify=True, seed=5,
+            pipeline=3, wire="ndjson",
+        )
+        assert report.ok == 18
+        assert report.divergences == 0
+        assert report.wire == "ndjson"
 
 
 class TestGracefulShutdown:
