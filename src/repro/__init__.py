@@ -24,6 +24,7 @@ maps onto the historical call styles).  The top-level ``color_with`` /
 """
 
 import functools as _functools
+import sys as _sys
 import warnings as _warnings
 
 from repro.core import (
@@ -60,6 +61,28 @@ from repro.api import ColoringResult, color
 _color_with = color_with
 
 
+def _external_stacklevel() -> int:
+    """Stacklevel attributing a shim's warning to the nearest frame *outside*
+    the ``repro`` package.
+
+    ``stacklevel=2`` is only right when user code calls the shim directly;
+    when the call arrives through an internal re-dispatch the warning (and
+    the dedup key of the default ``once per call site`` filter, which is
+    keyed on the attributed module and line) would land on repro's own
+    frame.  Walking past in-package frames keeps ``-W error`` tracebacks
+    and warning dedup pinned to the caller's file and line.
+    """
+    level = 2  # from the shim's perspective: 1 = shim, 2 = its caller
+    frame = _sys._getframe(2)  # from here: 0 = helper, 1 = shim, 2 = caller
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module != "repro" and not module.startswith("repro."):
+            break
+        frame = frame.f_back
+        level += 1
+    return level
+
+
 def _deprecated_alias(func, home: str):
     @_functools.wraps(func)
     def shim(*args, **kwargs):
@@ -67,7 +90,7 @@ def _deprecated_alias(func, home: str):
             f"repro.{func.__name__} is deprecated; call repro.api.color() or "
             f"import {func.__name__} from {home}",
             DeprecationWarning,
-            stacklevel=2,
+            stacklevel=_external_stacklevel(),
         )
         return func(*args, **kwargs)
 

@@ -30,12 +30,13 @@ from repro.core.algorithms.registry import color_with
 from repro.core.coloring import Coloring
 from repro.core.problem import IVCInstance
 from repro.data.weights import WeightSource
+from repro.incremental.engine import recolor_grid
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.context import ExecutionContext, get_context
 from repro.runtime.fingerprint import config_fingerprint
 from repro.tiling.stitch import TiledColoring, color_tiled
 
-__all__ = ["ColoringResult", "color"]
+__all__ = ["ColoringResult", "color", "recolor"]
 
 #: Accepted ``runtime=`` strings and the per-call ``fast`` they resolve to.
 _RUNTIME_MODES = {
@@ -237,4 +238,113 @@ def color(
         provenance=provenance,
         metrics=ctx.metrics.snapshot(),
         coloring=coloring,
+    )
+
+
+def recolor(
+    weights,
+    base,
+    *,
+    dirty=None,
+    base_weights=None,
+    algorithm: str = "GLL",
+    runtime: Union[None, RuntimeConfig, ExecutionContext] = None,
+    validate: Optional[bool] = None,
+    max_cone_fraction: Optional[float] = None,
+) -> ColoringResult:
+    """Patch an existing coloring for a sparse weight delta.
+
+    Instead of recoloring the whole grid, walk the dependency cone of the
+    changed cells under the algorithm's wavefront schedule and recompute
+    only what can differ (:mod:`repro.incremental`).  The result is
+    **bit-identical** to ``color(weights, algorithm)`` — algorithms the
+    cone walk does not support, and deltas whose cone outgrows
+    ``max_cone_fraction`` of the grid, transparently take a full recolor
+    (``mode="incremental-fallback"``).
+
+    Parameters
+    ----------
+    weights:
+        The grid's **new** weights (2D or 3D array).
+    base:
+        The prior coloring of the *old* weights with the same
+        ``algorithm``: a :class:`ColoringResult` or a grid-shaped starts
+        array.
+    dirty:
+        Flat C-order indices of the cells whose weight changed.  Omit it
+        and pass ``base_weights`` (the old weights) to have the delta
+        derived by comparison; extra indices are safe, missing ones are
+        not.
+    base_weights:
+        The old weights, used to derive ``dirty`` when it is omitted.
+    algorithm:
+        Registry algorithm the base coloring was produced with.
+    runtime:
+        ``None`` (ambient context), a :class:`RuntimeConfig` (fresh
+        context), or an :class:`ExecutionContext`.
+    validate / max_cone_fraction:
+        Overrides for the context's
+        :class:`~repro.runtime.config.IncrementalConfig` — diff against a
+        full recolor / cone budget as a grid fraction.
+
+    Returns
+    -------
+    ColoringResult
+        ``provenance["recolor"]`` carries the delta provenance: cells
+        dirtied, cells recomputed, cells changed, wavefront levels
+        touched, whether the cone spliced back early, and the fallback
+        reason if one engaged.
+    """
+    if runtime is None:
+        ctx = get_context()
+    elif isinstance(runtime, RuntimeConfig):
+        ctx = ExecutionContext(runtime)
+    elif isinstance(runtime, ExecutionContext):
+        ctx = runtime
+    else:
+        raise TypeError(
+            "recolor's runtime must be None, a RuntimeConfig, or an "
+            f"ExecutionContext; got {type(runtime).__name__}"
+        )
+
+    base_starts = base.starts if isinstance(base, ColoringResult) else base
+    if base_starts is None:
+        raise ValueError("base coloring carries no starts (digest-only?)")
+    if dirty is None:
+        if base_weights is None:
+            raise ValueError("give dirty indices or base_weights to diff")
+        old = np.asarray(base_weights)
+        new = np.asarray(weights)
+        if old.shape != new.shape:
+            raise ValueError(
+                f"base_weights shape {old.shape} != weights shape {new.shape}"
+            )
+        dirty = np.flatnonzero(old.ravel() != new.ravel())
+
+    outcome = recolor_grid(
+        weights,
+        base_starts,
+        dirty,
+        algorithm=algorithm,
+        context=ctx,
+        validate=validate,
+        max_cone_fraction=max_cone_fraction,
+    )
+    mode = (
+        "incremental" if outcome.mode == "incremental" else "incremental-fallback"
+    )
+    provenance = {
+        "algorithm": algorithm,
+        "mode": mode,
+        "runtime": config_fingerprint(ctx.config),
+        "shape": tuple(outcome.starts.shape),
+        "recolor": outcome.stats(),
+    }
+    return ColoringResult(
+        starts=outcome.starts,
+        maxcolor=outcome.maxcolor,
+        algorithm=algorithm,
+        mode=mode,
+        provenance=provenance,
+        metrics=ctx.metrics.snapshot(),
     )

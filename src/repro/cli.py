@@ -26,7 +26,14 @@ Subcommands
                 admission control, and a metrics endpoint.
 ``loadgen``     Drive a running service with a repeated-shape workload and
                 report throughput/latency (optionally verifying every served
-                coloring against a direct ``color_with`` call).
+                coloring against a direct ``color_with`` call).  With
+                ``--recolor N`` it switches to delta-stream mode: seed grids
+                into recolor sessions and stream sparse weight deltas through
+                the ``recolor`` verb.
+``recolor``     Offline incremental-recoloring demo: color a seeded grid,
+                apply a sequence of sparse weight deltas through the
+                dirty-region engine, and report cone sizes, fallbacks, and
+                speedup versus recoloring from scratch.
 
 The experiment subcommands (``suite``, ``optimal``, ``stkde``) accept
 ``--jobs N`` to fan their (instance × algorithm) grid across worker
@@ -650,6 +657,57 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 _time.sleep(0.2)
 
     try:
+        wire = args.wire
+        if wire is None:
+            from repro.runtime.context import get_context
+
+            wire = get_context().config.service_wire
+        if args.recolor > 0:
+            from repro.service.loadgen import (
+                format_recolor_report,
+                run_recolor_stream,
+            )
+
+            stream = run_recolor_stream(
+                host,
+                port,
+                shape=shapes[0],
+                algorithm=args.algorithm,
+                sessions=args.recolor_sessions,
+                deltas=args.recolor,
+                delta_cells=args.recolor_cells,
+                max_weight=args.max_weight,
+                seed=args.seed,
+                verify=args.verify,
+                wire=wire,
+                retry=retry,
+            )
+            print(format_recolor_report(stream))
+            if args.json:
+                payload = json.dumps(
+                    stream.to_json(), indent=2, sort_keys=True
+                )
+                if args.json == "-":
+                    print(payload)
+                else:
+                    with open(args.json, "w", encoding="utf-8") as fh:
+                        fh.write(payload + "\n")
+            if args.shutdown_after:
+                with ServiceClient(host, port) as client:
+                    client.shutdown()
+                print("sent shutdown to server")
+            failed = stream.errors > 0 or stream.divergences > 0
+            if stream.divergences > 0:
+                print(
+                    "error: streamed colorings diverged from cold recolor",
+                    file=sys.stderr,
+                )
+            if stream.errors > 0:
+                print(
+                    f"error: {stream.errors} recolor requests failed",
+                    file=sys.stderr,
+                )
+            return 1 if failed else 0
         workload = build_workload(
             shapes,
             distinct=args.distinct,
@@ -657,11 +715,6 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             max_weight=args.max_weight,
             seed=args.seed,
         )
-        wire = args.wire
-        if wire is None:
-            from repro.runtime.context import get_context
-
-            wire = get_context().config.service_wire
         report = run_loadgen(
             host,
             port,
@@ -713,6 +766,95 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         failed = True
     return 1 if failed else 0
+
+
+def cmd_recolor(args: argparse.Namespace) -> int:
+    import json
+    from time import perf_counter
+
+    from repro import api
+    from repro.incremental.engine import RecolorValidationError, full_recolor
+
+    rng = np.random.default_rng(args.seed)
+    weights = rng.integers(
+        1, args.max_weight + 1, size=args.shape, dtype=np.int64
+    )
+    n = weights.size
+
+    t0 = perf_counter()
+    base = api.color(weights, algorithm=args.algorithm)
+    seed_seconds = perf_counter() - t0
+
+    cells = max(1, min(args.cells, n))
+    incremental = fallbacks = 0
+    cone_cells = changed_cells = 0
+    recolor_seconds = full_seconds = 0.0
+    fallback_reasons: dict[str, int] = {}
+    result = base
+    current = weights
+    for _ in range(args.deltas):
+        idx = rng.choice(n, size=cells, replace=False)
+        new_weights = current.copy()
+        new_weights.ravel()[idx] = rng.integers(
+            1, args.max_weight + 1, size=cells, dtype=np.int64
+        )
+        t0 = perf_counter()
+        try:
+            result = api.recolor(
+                new_weights,
+                result,
+                base_weights=current,
+                algorithm=args.algorithm,
+                validate=args.validate or None,
+            )
+        except RecolorValidationError as exc:
+            print(f"error: incremental validation failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        recolor_seconds += perf_counter() - t0
+        stats = result.provenance["recolor"]
+        if result.mode == "incremental":
+            incremental += 1
+        else:
+            fallbacks += 1
+            reason = stats.get("fallback_reason") or "unknown"
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
+        cone_cells += stats["cells_recomputed"]
+        changed_cells += stats["cells_changed"]
+        current = new_weights
+
+    t0 = perf_counter()
+    cold = full_recolor(current, args.algorithm)
+    full_seconds = perf_counter() - t0
+    identical = bool(np.array_equal(result.starts, cold))
+
+    per_delta = recolor_seconds / max(1, args.deltas)
+    summary = {
+        "shape": list(args.shape),
+        "algorithm": args.algorithm,
+        "deltas": args.deltas,
+        "cells_per_delta": cells,
+        "incremental": incremental,
+        "fallbacks": fallbacks,
+        "fallback_reasons": fallback_reasons,
+        "cone_cells_total": int(cone_cells),
+        "cells_changed_total": int(changed_cells),
+        "maxcolor": result.maxcolor,
+        "seed_seconds": round(seed_seconds, 6),
+        "recolor_seconds_per_delta": round(per_delta, 6),
+        "full_recolor_seconds": round(full_seconds, 6),
+        "speedup_vs_full": round(full_seconds / per_delta, 2)
+        if per_delta > 0
+        else None,
+        "matches_full_recolor": identical,
+        "validated": bool(args.validate),
+    }
+    print(json.dumps(summary, indent=2))
+    if not identical:
+        print("error: final streamed coloring diverged from a cold recolor",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_npc(args: argparse.Namespace) -> int:
@@ -1063,9 +1205,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipeline", type=int, default=1, metavar="K",
                    help="requests in flight per connection before the first "
                         "read (wrk-style capacity measurement; default 1)")
+    p.add_argument("--recolor", type=int, default=0, metavar="DELTAS",
+                   help="delta-stream mode: seed --recolor-sessions grids, "
+                        "stream DELTAS sparse weight deltas through the "
+                        "recolor verb, verify the final colorings (replaces "
+                        "the color workload)")
+    p.add_argument("--recolor-sessions", type=int, default=2, metavar="N",
+                   help="live sessions for --recolor mode (default 2)")
+    p.add_argument("--recolor-cells", type=int, default=4, metavar="K",
+                   help="cells rewritten per delta in --recolor mode")
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the report as JSON to PATH ('-' = stdout)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "recolor",
+        help="offline incremental-recoloring demo over a delta stream",
+        epilog="Example: stencil-ivc recolor --shape 512x512 --algorithm GLF "
+               "--deltas 16 --cells 8 --validate",
+    )
+    p.add_argument("--shape", type=_parse_shape, default=(256, 256),
+                   metavar="NxN[xN]", help="synthetic grid shape")
+    p.add_argument("--algorithm", default="GLF",
+                   help="coloring heuristic (default GLF; GLL/GZO also have "
+                        "incremental support, others fall back)")
+    p.add_argument("--deltas", type=int, default=16,
+                   help="sparse weight deltas to stream (default 16)")
+    p.add_argument("--cells", type=int, default=4,
+                   help="cells rewritten per delta (default 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic weight/delta seed")
+    p.add_argument("--max-weight", type=int, default=100,
+                   help="weights drawn uniformly from [1, MAX_WEIGHT]")
+    p.add_argument("--validate", action="store_true",
+                   help="diff every incremental result against a full "
+                        "recolor (slow; exits 1 on any mismatch)")
+    p.set_defaults(func=cmd_recolor)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
     p.add_argument("--vars", type=int, default=4)

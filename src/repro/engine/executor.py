@@ -159,6 +159,7 @@ class _WorkerState:
     context: Optional[ExecutionContext] = None
     journal: Optional[object] = None
     bounds: dict[int, int] = field(default_factory=dict)
+    chunks_done: int = 0
 
     def lower_bound_of(self, index: int) -> int:
         if index not in self.bounds:
@@ -292,9 +293,13 @@ def _run_chunk(cells: Sequence[Cell]) -> dict:
     from cells that were merely queued behind them.
 
     Returns a payload carrying the ``(pos, record)`` pairs plus the worker's
-    pid and its *cumulative* context-metrics snapshot (with histogram bucket
-    state); the parent keeps the latest snapshot per pid and merges them
-    into :attr:`GridResult.metrics` at the end.
+    pid, a per-worker chunk sequence number, and its *cumulative*
+    context-metrics snapshot (with histogram bucket state); the parent keeps
+    the highest-sequence snapshot per pid and merges them into
+    :attr:`GridResult.metrics` at the end.  The sequence number matters:
+    chunk completions arrive at the parent in no particular order, so
+    without it a worker's older (smaller) cumulative snapshot could
+    overwrite its newer one and undercount the merge.
     """
     assert _STATE is not None, "worker state missing — initializer did not run"
     out = []
@@ -304,12 +309,18 @@ def _run_chunk(cells: Sequence[Cell]) -> dict:
         out.append((pos, _run_cell(_STATE, pos, index, name, attempt)))
         if _STATE.journal is not None:
             _STATE.journal.write(f"done {pos}\n")
+    _STATE.chunks_done += 1
     snapshot = (
         _STATE.context.metrics.snapshot(include_state=True)
         if _STATE.context is not None
         else None
     )
-    return {"pairs": out, "pid": os.getpid(), "metrics": snapshot}
+    return {
+        "pairs": out,
+        "pid": os.getpid(),
+        "seq": _STATE.chunks_done,
+        "metrics": snapshot,
+    }
 
 
 def _chunked(cells: Sequence[Cell], chunk_size: int) -> list[list[Cell]]:
@@ -637,12 +648,17 @@ def run_grid(
     jobs = min(resolve_jobs(jobs), max(1, len(cells)))
 
     writer = RunLogWriter(log_path) if log_path is not None else None
-    worker_snaps: dict[int, dict] = {}
+    worker_snaps: dict[int, tuple[int, dict]] = {}  # pid -> (seq, snapshot)
 
     def store(payload) -> None:
         if isinstance(payload, dict):  # a chunk payload from _run_chunk
             if payload["metrics"] is not None:
-                worker_snaps[payload["pid"]] = payload["metrics"]
+                held = worker_snaps.get(payload["pid"])
+                if held is None or payload["seq"] > held[0]:
+                    worker_snaps[payload["pid"]] = (
+                        payload["seq"],
+                        payload["metrics"],
+                    )
             pairs: Iterable[tuple[int, RunRecord]] = payload["pairs"]
         else:  # a bare pair list (crash records synthesized by the parent)
             pairs = payload
@@ -690,6 +706,6 @@ def run_grid(
             writer.close()
 
     assert all(r is not None for r in records)
-    result.metrics = merge_snapshots(worker_snaps.values())
+    result.metrics = merge_snapshots(snap for _, snap in worker_snaps.values())
     result.extend(records)
     return result

@@ -27,6 +27,7 @@ from repro.kernels.config import (
 )
 from repro.kernels.substrate import (
     Substrate,
+    analytic_levels,
     cache_sizes,
     clear_caches,
     get_substrate,
@@ -38,6 +39,7 @@ from repro.kernels.wavefront import wavefront_greedy_color, wavefront_recolor_pa
 __all__ = [
     "MIN_AUTO_SIZE",
     "Substrate",
+    "analytic_levels",
     "cache_sizes",
     "clear_caches",
     "fast_paths",

@@ -38,7 +38,7 @@ from repro.kernels.wavefront import UNCOLORED, first_fit_intervals
 from repro.stencil.grid2d import OFFSETS_9PT
 from repro.stencil.grid3d import OFFSETS_27PT
 
-__all__ = ["color_region"]
+__all__ = ["color_region", "gather_neighbors_2d", "gather_neighbors_3d"]
 
 _OFF_2D = np.asarray(OFFSETS_9PT, dtype=np.int64)  # (8, 2)
 _OFF_3D = np.asarray(OFFSETS_27PT, dtype=np.int64)  # (26, 3)
@@ -69,6 +69,12 @@ def _gather_neighbors_3d(
     nk = k[:, None] + _OFF_3D[:, 2][None, :]
     ok = (ni >= 0) & (ni < X) & (nj >= 0) & (nj < Y) & (nk >= 0) & (nk < Z)
     return np.where(ok, (ni * Y + nj) * Z + nk, pad)
+
+
+# Public aliases: the incremental recolor engine (repro/incremental) walks
+# dependency cones with the same analytic offset gather the tiler uses.
+gather_neighbors_2d = _gather_neighbors_2d
+gather_neighbors_3d = _gather_neighbors_3d
 
 
 def color_region(

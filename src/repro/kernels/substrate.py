@@ -99,6 +99,18 @@ def _line_by_line_levels(shape: tuple[int, ...]) -> np.ndarray:
     return lev.ravel()
 
 
+def analytic_levels(shape: tuple[int, ...]) -> np.ndarray:
+    """Public closed form of the GLL wavefront level of every cell.
+
+    ``levels[flat(i, j)] = i + 2j`` (``i + 2j + 4k`` in 3D), raveled in C
+    order.  For any two *adjacent* cells the sign of the level difference
+    equals the sign of the GLL rank difference, so comparing levels is
+    comparing scan order — the property the dirty-region recolor engine's
+    predecessor masks rely on.
+    """
+    return _line_by_line_levels(tuple(int(d) for d in shape))
+
+
 def analytic_wavefront(shape: tuple[int, ...]) -> Wavefront:
     """The GLL wavefront schedule of a grid shape, from the closed form.
 

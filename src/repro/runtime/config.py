@@ -39,6 +39,10 @@ variable                        field                     values
 ``REPRO_TILING_MIN_CELLS``      ``tiling.min_cells``      int (auto threshold)
 ``REPRO_TILING_JOBS``           ``tiling.jobs``           int (0 = all cores)
 ``REPRO_TILING_BUDGET_MB``      ``tiling.memory_budget_mb``  int (0 = none)
+``REPRO_INCR_CONE_FRACTION``    ``incremental.max_cone_fraction``  float in (0, 1]
+``REPRO_INCR_VALIDATE``         ``incremental.validate``  bool
+``REPRO_INCR_SESSION_LIMIT``    ``incremental.session_limit``  int (sessions)
+``REPRO_INCR_SESSION_TTL``      ``incremental.session_ttl``  float (seconds)
 ============================== ========================= ====================
 
 This module (plus :mod:`repro.resilience.faults`, whose lazy ``REPRO_FAULTS``
@@ -58,6 +62,7 @@ from typing import Optional, Union
 __all__ = [
     "RuntimeConfig",
     "TilingConfig",
+    "IncrementalConfig",
     "FastPathMode",
     "TilingMode",
     "env_str",
@@ -187,6 +192,71 @@ class TilingConfig:
         return replace(self, **changes) if changes else self
 
 
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """How the dirty-region recolor engine (:mod:`repro.incremental`) behaves.
+
+    Frozen and picklable, like its owner :class:`RuntimeConfig`.
+
+    Attributes
+    ----------
+    max_cone_fraction:
+        Fall back to a full recolor once the dependency cone has recomputed
+        more than this fraction of the grid's cells.  Past that point the
+        sparse propagation loop costs more than one monolithic kernel pass,
+        and the fallback is always-correct by construction.
+    validate:
+        When true, every incremental recolor is diffed against a full
+        from-scratch recolor and a divergence raises
+        :class:`~repro.incremental.engine.RecolorValidationError` — the
+        belt-and-braces mode for soak tests and chaos runs.
+    session_limit:
+        Server-side cap on concurrently held ``recolor`` sessions (each
+        pins one weights grid and one starts grid in memory); least
+        recently used sessions are evicted past the cap.
+    session_ttl:
+        Seconds of inactivity after which a held session expires; expired
+        sessions answer with a typed ``unknown-session`` error rather than
+        stale state.
+    """
+
+    max_cone_fraction: float = 0.25
+    validate: bool = False
+    session_limit: int = 64
+    session_ttl: float = 900.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.max_cone_fraction <= 1.0):
+            raise ValueError(
+                f"max_cone_fraction must be in (0, 1], got {self.max_cone_fraction!r}"
+            )
+        if self.session_limit < 1:
+            raise ValueError("session_limit must be at least 1")
+        if self.session_ttl <= 0:
+            raise ValueError("session_ttl must be positive")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "IncrementalConfig":
+        """Defaults, overridden by ``REPRO_INCR_*``, overridden by kwargs."""
+        values = {
+            "max_cone_fraction": env_float("REPRO_INCR_CONE_FRACTION", 0.25),
+            "validate": env_bool("REPRO_INCR_VALIDATE", False),
+            "session_limit": env_int("REPRO_INCR_SESSION_LIMIT", 64),
+            "session_ttl": env_float("REPRO_INCR_SESSION_TTL", 900.0),
+        }
+        for name, value in overrides.items():
+            if name not in values:
+                raise TypeError(f"unknown IncrementalConfig field {name!r}")
+            if value is not None:
+                values[name] = value
+        return cls(**values)
+
+    def with_overrides(self, **overrides) -> "IncrementalConfig":
+        """A copy with ``overrides`` applied (``None`` values are skipped)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self
+
+
 def _parse_fast_path_mode(raw: str) -> FastPathMode:
     """Map a ``REPRO_FAST_PATHS`` value onto the tri-state mode.
 
@@ -244,6 +314,10 @@ class RuntimeConfig:
     tiling:
         The :class:`TilingConfig` governing out-of-core tiled coloring
         (:mod:`repro.tiling`).  A plain dict is accepted and normalized.
+    incremental:
+        The :class:`IncrementalConfig` governing dirty-region recoloring
+        (:mod:`repro.incremental`) and the service's ``recolor`` sessions.
+        A plain dict is accepted and normalized.
     """
 
     fast_paths: FastPathMode = "auto"
@@ -256,12 +330,21 @@ class RuntimeConfig:
     service_workers: int = 1
     service_wire: str = "auto"
     tiling: TilingConfig = field(default_factory=TilingConfig)
+    incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.tiling, dict):
             object.__setattr__(self, "tiling", TilingConfig(**self.tiling))
         elif not isinstance(self.tiling, TilingConfig):
             raise ValueError(f"tiling must be a TilingConfig, got {type(self.tiling)!r}")
+        if isinstance(self.incremental, dict):
+            object.__setattr__(
+                self, "incremental", IncrementalConfig(**self.incremental)
+            )
+        elif not isinstance(self.incremental, IncrementalConfig):
+            raise ValueError(
+                f"incremental must be an IncrementalConfig, got {type(self.incremental)!r}"
+            )
         mode: Union[FastPathMode, bool, None] = self.fast_paths
         if mode is None:
             mode = "auto"
@@ -309,6 +392,7 @@ class RuntimeConfig:
                 env_str("REPRO_SERVICE_WIRE", "auto").strip().lower() or "auto"
             ),
             "tiling": TilingConfig.from_env(),
+            "incremental": IncrementalConfig.from_env(),
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():

@@ -61,6 +61,7 @@ from repro.service.frames import (
     encode_color_request,
     encode_frame,
     encode_hello,
+    encode_recolor_request,
     frame_timeout,
     read_frame,
     read_frame_async,
@@ -68,11 +69,15 @@ from repro.service.frames import (
 )
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
+    STATUS_INVALID,
     STATUS_OK,
+    UNKNOWN_SESSION_CODE,
     ColorRequest,
     ProtocolError,
+    RecolorRequest,
     decode_message,
     encode_message,
+    recolor_to_wire,
     request_to_wire,
 )
 
@@ -155,6 +160,90 @@ def _decode_color_response(
         total_ms=float(message.get("total_ms", 0.0)),
         batch_size=int(message.get("batch_size", 0)),
         error=message.get("error"),
+        latency=latency,
+        request_id=str(message.get("id", "")),
+        worker=str(message.get("worker", "")),
+        raw=message,
+    )
+
+
+@dataclass(frozen=True)
+class RecolorResponse:
+    """One decoded ``recolor`` response (seed or delta form).
+
+    A seed answer carries the grid-shaped ``starts``; a delta answer
+    carries the sparse ``changed_idx`` / ``changed_starts`` pair plus the
+    server's delta provenance in ``recolor`` (cells dirtied, recomputed,
+    changed, fallback reason...).  An unknown/expired session surfaces as
+    ``status == "invalid"`` with :attr:`unknown_session` true — a state
+    miss the caller (or :meth:`ServiceClient.recolor_delta` itself, via
+    ``reseed=True``) recovers from by re-seeding.
+    """
+
+    status: str
+    session: str = ""
+    mode: str = ""  # "seed" | "incremental" | "fallback"
+    starts: Optional[np.ndarray] = None
+    changed_idx: Optional[np.ndarray] = None
+    changed_starts: Optional[np.ndarray] = None
+    maxcolor: Optional[int] = None
+    recolor: dict = field(default_factory=dict)
+    error: Optional[str] = None
+    code: str = ""
+    latency: float = 0.0
+    request_id: str = ""
+    worker: str = ""
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def unknown_session(self) -> bool:
+        return self.status == STATUS_INVALID and self.code == UNKNOWN_SESSION_CODE
+
+
+@dataclass
+class _SessionMirror:
+    """The client's local copy of one server-held recolor session.
+
+    Kept in lock-step with the server by applying each acknowledged delta,
+    it is what makes recovery cheap: on an ``unknown-session`` answer the
+    client re-seeds from the mirror instead of refetching anything.
+    """
+
+    algorithm: str
+    weights: np.ndarray
+    starts: np.ndarray
+    maxcolor: int
+
+
+def _decode_recolor_response(
+    message: dict[str, Any],
+    shape: Optional[tuple[int, ...]],
+    latency: float,
+) -> RecolorResponse:
+    starts = None
+    if message.get("starts") is not None:
+        starts = np.asarray(message["starts"], dtype=np.int64)
+        if shape is not None:
+            starts = starts.reshape(shape)
+    changed_idx = changed_starts = None
+    if message.get("changed_idx") is not None:
+        changed_idx = np.asarray(message["changed_idx"], dtype=np.int64)
+        changed_starts = np.asarray(message["changed_starts"], dtype=np.int64)
+    return RecolorResponse(
+        status=str(message.get("status", "error")),
+        session=str(message.get("session", "")),
+        mode=str(message.get("mode", "")),
+        starts=starts,
+        changed_idx=changed_idx,
+        changed_starts=changed_starts,
+        maxcolor=message.get("maxcolor"),
+        recolor=message.get("recolor") or {},
+        error=message.get("error"),
+        code=str(message.get("code", "")),
         latency=latency,
         request_id=str(message.get("id", "")),
         worker=str(message.get("worker", "")),
@@ -275,6 +364,7 @@ class ServiceClient:
         self._rng = random.Random(retry_seed)
         self._sock: Optional[socket.socket] = None
         self._file = None
+        self._recolor_mirrors: dict[str, _SessionMirror] = {}
 
     # -------------------------------------------------------------- transport
     def connect(self) -> "ServiceClient":
@@ -354,6 +444,10 @@ class ServiceClient:
         """
         if isinstance(request, PreparedColorRequest):
             return request.wire_bytes(self.wire)
+        if isinstance(request, RecolorRequest):
+            if self.wire == "binary":
+                return encode_recolor_request(request)
+            return encode_message(recolor_to_wire(request))
         if request is not None:
             if self.wire == "binary":
                 return encode_color_request(request)
@@ -514,6 +608,108 @@ class ServiceClient:
         return _decode_color_response(
             message, prepared.shape, time.perf_counter() - t0
         )
+
+    # ------------------------------------------------------ recolor sessions
+    def recolor_open(
+        self,
+        session: str,
+        weights,
+        algorithm: str = "GLL",
+        *,
+        request_id: str = "",
+    ) -> RecolorResponse:
+        """Seed (or re-seed) a server-held recolor session.
+
+        The server colors ``weights`` from scratch, stores the grid under
+        ``session``, and returns the full starts; the client keeps a local
+        mirror so later deltas can verify and recover without refetching.
+        Re-seeding an existing session is idempotent.
+        """
+        arr = np.ascontiguousarray(weights, dtype=np.int64)
+        request = RecolorRequest(
+            session=session,
+            request_id=request_id or f"{session}/seed",
+            weights=arr,
+            algorithm=algorithm,
+        )
+        t0 = time.perf_counter()
+        message = self._call(
+            recolor_to_wire(request), request.request_id, request=request
+        )
+        response = _decode_recolor_response(
+            message, tuple(arr.shape), time.perf_counter() - t0
+        )
+        if response.ok and response.starts is not None:
+            self._recolor_mirrors[session] = _SessionMirror(
+                algorithm=algorithm,
+                weights=arr.copy(),
+                starts=response.starts.copy(),
+                maxcolor=int(response.maxcolor or 0),
+            )
+        return response
+
+    def recolor_delta(
+        self,
+        session: str,
+        idx,
+        new_weights,
+        *,
+        request_id: str = "",
+        reseed: bool = True,
+    ) -> RecolorResponse:
+        """Stream one sparse weight delta into a seeded session.
+
+        ``idx`` are flat C-order cell indices, ``new_weights`` their
+        *absolute* new weights — absolute so a delta re-sent after a
+        connection loss or an injected server error is idempotent.  On an
+        ``unknown-session`` answer (server restart, TTL expiry, LRU
+        eviction) with ``reseed=True`` the client transparently re-seeds
+        from its mirror and re-sends the delta once.  The mirror is
+        updated from each acknowledged delta's changed cells.
+        """
+        mirror = self._recolor_mirrors.get(session)
+        idx_arr = np.asarray(idx, dtype=np.int64).ravel()
+        new_arr = np.asarray(new_weights, dtype=np.int64).ravel()
+        request = RecolorRequest(
+            session=session,
+            request_id=request_id or f"{session}/delta",
+            delta_idx=idx_arr,
+            delta_weights=new_arr,
+        )
+        t0 = time.perf_counter()
+        message = self._call(
+            recolor_to_wire(request), request.request_id, request=request
+        )
+        response = _decode_recolor_response(
+            message, None, time.perf_counter() - t0
+        )
+        if response.unknown_session and reseed and mirror is not None:
+            seeded = self.recolor_open(
+                session, mirror.weights, mirror.algorithm
+            )
+            if seeded.ok:
+                return self.recolor_delta(
+                    session, idx_arr, new_arr,
+                    request_id=request.request_id, reseed=False,
+                )
+            return response
+        if response.ok and mirror is not None:
+            mirror.weights.ravel()[idx_arr] = new_arr
+            if response.changed_idx is not None:
+                mirror.starts.ravel()[response.changed_idx] = (
+                    response.changed_starts
+                )
+            mirror.maxcolor = int(response.maxcolor or mirror.maxcolor)
+        return response
+
+    def recolor_state(
+        self, session: str
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """The mirror's ``(weights, starts)`` for a session, or ``None``."""
+        mirror = self._recolor_mirrors.get(session)
+        if mirror is None:
+            return None
+        return mirror.weights, mirror.starts
 
     def metrics(self, *, include_state: bool = False) -> dict[str, Any]:
         """The server's metrics snapshot (``include_state`` adds mergeable

@@ -67,7 +67,9 @@ from repro.service.protocol import (
     PROTOCOL_API_VERSION,
     ColorRequest,
     ProtocolError,
+    RecolorRequest,
     ServedResult,
+    recolor_from_arrays,
     request_from_fields,
 )
 
@@ -92,8 +94,17 @@ OP_METRICS = 2
 OP_PING = 3
 OP_SHUTDOWN = 4
 OP_RESPONSE = 5
+OP_RECOLOR = 6
 
-_OPCODES = (OP_HELLO, OP_COLOR, OP_METRICS, OP_PING, OP_SHUTDOWN, OP_RESPONSE)
+_OPCODES = (
+    OP_HELLO,
+    OP_COLOR,
+    OP_METRICS,
+    OP_PING,
+    OP_SHUTDOWN,
+    OP_RESPONSE,
+    OP_RECOLOR,
+)
 
 #: Preamble: magic, version, flags, opcode, routing key, header len, payload len.
 _PREAMBLE = struct.Struct("<2sBBB20sIQ")
@@ -293,6 +304,119 @@ def decode_color_request(frame: Frame) -> ColorRequest:
     return request_from_fields(arr, header)
 
 
+def encode_recolor_request(request: RecolorRequest) -> bytes:
+    """A ``recolor`` frame, in either of the op's two forms.
+
+    Seed form: the header carries ``shape`` + ``algorithm`` and the payload
+    is the raw C-order weight bytes — byte-identical to a ``color``
+    payload.  Delta form: the header carries ``"delta": K`` and the payload
+    is ``K`` flat indices followed by ``K`` absolute new weights, both raw
+    ``<i8``.
+    """
+    header: dict[str, Any] = {
+        "api": PROTOCOL_API_VERSION,
+        "op": "recolor",
+        "id": request.request_id,
+        "session": request.session,
+        "dtype": PAYLOAD_DTYPE,
+    }
+    if request.is_seed:
+        header["shape"] = [int(s) for s in request.weights.shape]
+        header["algorithm"] = request.algorithm
+        payload = np.ascontiguousarray(
+            request.weights, dtype=PAYLOAD_DTYPE
+        ).tobytes()
+    else:
+        idx = np.ascontiguousarray(request.delta_idx, dtype=PAYLOAD_DTYPE)
+        new = np.ascontiguousarray(request.delta_weights, dtype=PAYLOAD_DTYPE)
+        header["delta"] = int(idx.size)
+        payload = idx.tobytes() + new.tobytes()
+    return encode_frame(OP_RECOLOR, header, payload)
+
+
+def decode_recolor_request(frame: Frame) -> RecolorRequest:
+    """Validate and decode a ``recolor`` frame (either form).
+
+    Array building is the only wire-specific part; the field validation is
+    the shared :func:`~repro.service.protocol.recolor_from_arrays`, so a
+    recolor op decodes identically on either wire.
+    """
+    header = frame.header
+    dtype = header.get("dtype", PAYLOAD_DTYPE)
+    if dtype != PAYLOAD_DTYPE:
+        raise ProtocolError(
+            f"unsupported payload dtype {dtype!r} (this server speaks "
+            f"{PAYLOAD_DTYPE!r})"
+        )
+    if "shape" in header:
+        shape = header.get("shape")
+        if not isinstance(shape, list) or not all(
+            isinstance(s, int) and s > 0 for s in shape
+        ):
+            raise ProtocolError("'shape' must be a list of positive integers")
+        if len(shape) not in (2, 3):
+            raise ProtocolError(
+                f"expected a 2D or 3D shape, got {len(shape)} dims"
+            )
+        expected = int(np.prod([int(s) for s in shape])) * 8
+        if len(frame.payload) != expected:
+            raise ProtocolError(
+                f"expected {expected} payload bytes for shape {tuple(shape)}, "
+                f"got {len(frame.payload)}"
+            )
+        arr = (
+            np.frombuffer(frame.payload, dtype=PAYLOAD_DTYPE)
+            .reshape(tuple(shape))
+            .copy()
+        )
+        return recolor_from_arrays(header, weights=arr)
+    count = header.get("delta")
+    if not isinstance(count, int) or count < 0:
+        raise ProtocolError("'delta' must be the non-negative update count")
+    if len(frame.payload) != count * 16:
+        raise ProtocolError(
+            f"expected {count * 16} payload bytes for a {count}-cell delta, "
+            f"got {len(frame.payload)}"
+        )
+    flat = np.frombuffer(frame.payload, dtype=PAYLOAD_DTYPE)
+    return recolor_from_arrays(
+        header,
+        delta_idx=flat[:count].copy(),
+        delta_weights=flat[count:].copy(),
+    )
+
+
+def encode_recolor_result(
+    header: dict[str, Any],
+    *,
+    starts: Optional[np.ndarray] = None,
+    changed_idx: Optional[np.ndarray] = None,
+    changed_starts: Optional[np.ndarray] = None,
+) -> bytes:
+    """A response frame for a recolor op.
+
+    A seed answer ships the full ``starts`` as payload (the ordinary
+    response shape); a delta answer ships ``changed_idx ++ changed_starts``
+    with ``"changed": K`` in the header so
+    :func:`response_to_message` can split the concatenation back apart.
+    """
+    header = dict(header)
+    payload = b""
+    if starts is not None:
+        header["dtype"] = PAYLOAD_DTYPE
+        payload = np.ascontiguousarray(
+            np.asarray(starts).ravel(), dtype=PAYLOAD_DTYPE
+        ).tobytes()
+    elif changed_idx is not None:
+        assert changed_starts is not None
+        idx = np.ascontiguousarray(changed_idx, dtype=PAYLOAD_DTYPE)
+        new = np.ascontiguousarray(changed_starts, dtype=PAYLOAD_DTYPE)
+        header["dtype"] = PAYLOAD_DTYPE
+        header["changed"] = int(idx.size)
+        payload = idx.tobytes() + new.tobytes()
+    return encode_frame(OP_RESPONSE, header, payload)
+
+
 def encode_result(
     result: ServedResult,
     request_id: str,
@@ -325,7 +449,9 @@ def response_to_message(frame: Frame) -> dict[str, Any]:
     """A response frame as the equivalent NDJSON message dict.
 
     The payload (if any) becomes a ``starts`` ndarray — downstream client
-    code reshapes it exactly as it reshapes the JSON list.
+    code reshapes it exactly as it reshapes the JSON list.  A recolor-delta
+    response (``"changed": K`` in the header) instead splits its payload
+    into ``changed_idx`` / ``changed_starts`` arrays of ``K`` values each.
     """
     message = dict(frame.header)
     if frame.payload:
@@ -334,7 +460,22 @@ def response_to_message(frame: Frame) -> dict[str, Any]:
                 f"response payload of {len(frame.payload)} bytes is not a "
                 "whole number of int64 values"
             )
-        message["starts"] = np.frombuffer(frame.payload, dtype=PAYLOAD_DTYPE)
+        if "changed" in message:
+            count = int(message["changed"])
+            if len(frame.payload) != count * 16:
+                raise FrameError(
+                    f"changed-cells payload of {len(frame.payload)} bytes "
+                    f"does not hold {count} (idx, start) pairs"
+                )
+            flat = np.frombuffer(frame.payload, dtype=PAYLOAD_DTYPE)
+            message["changed_idx"] = flat[:count]
+            message["changed_starts"] = flat[count:]
+        else:
+            message["starts"] = np.frombuffer(frame.payload, dtype=PAYLOAD_DTYPE)
+    elif "changed" in message and int(message["changed"]) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        message["changed_idx"] = empty
+        message["changed_starts"] = empty
     return message
 
 

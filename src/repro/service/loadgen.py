@@ -390,3 +390,217 @@ def format_report(report: LoadgenReport) -> str:
     for sample in report.error_samples:
         lines.append(f"  error: {sample}")
     return "\n".join(lines)
+
+
+# --------------------------------------------------------- delta streaming
+@dataclass
+class RecolorStreamReport:
+    """Aggregated outcome of one delta-stream (``recolor``) run.
+
+    The workload model is the sliding STKDE window: a few long-lived
+    sessions, each receiving a causally ordered stream of sparse weight
+    deltas.  Deltas are therefore sent sequentially round-robin across
+    sessions — concurrency is a property of the *color* workload, not of a
+    delta stream, where each update depends on the last.
+    """
+
+    sessions: int = 0
+    deltas: int = 0
+    delta_cells: int = 0
+    ok: int = 0
+    incremental: int = 0
+    fallbacks: int = 0
+    unknown_sessions: int = 0
+    errors: int = 0
+    divergences: int = 0
+    seed_seconds: float = 0.0
+    duration_seconds: float = 0.0
+    deltas_per_second: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    cells_changed_total: int = 0
+    cells_recomputed_total: int = 0
+    algorithm: str = "GLF"
+    shape: tuple = ()
+    wire: str = "ndjson"
+    verify: bool = False
+    error_samples: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "deltas": self.deltas,
+            "delta_cells": self.delta_cells,
+            "ok": self.ok,
+            "incremental": self.incremental,
+            "fallbacks": self.fallbacks,
+            "unknown_sessions": self.unknown_sessions,
+            "errors": self.errors,
+            "divergences": self.divergences,
+            "seed_seconds": self.seed_seconds,
+            "duration_seconds": self.duration_seconds,
+            "deltas_per_second": self.deltas_per_second,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "cells_changed_total": self.cells_changed_total,
+            "cells_recomputed_total": self.cells_recomputed_total,
+            "algorithm": self.algorithm,
+            "shape": list(self.shape),
+            "wire": self.wire,
+            "verify": self.verify,
+            "error_samples": self.error_samples[:5],
+        }
+
+
+def run_recolor_stream(
+    host: str,
+    port: int,
+    *,
+    shape: tuple[int, ...] = (128, 128),
+    algorithm: str = "GLF",
+    sessions: int = 2,
+    deltas: int = 32,
+    delta_cells: int = 4,
+    max_weight: int = 100,
+    seed: int = 0,
+    verify: bool = True,
+    wire: str = "auto",
+    retry: Optional[RetryPolicy] = None,
+    fetch_metrics: bool = True,
+) -> RecolorStreamReport:
+    """Seed ``sessions`` grids, stream ``deltas`` sparse updates, verify.
+
+    Each delta rewrites ``delta_cells`` uniformly random cells with fresh
+    weights (absolute values — idempotent under retry).  With
+    ``verify=True`` the client mirror of every session — weights *and*
+    starts, as maintained from the server's changed-cells answers — is
+    compared bit-for-bit against a direct in-process full recolor of the
+    final weights: one check that covers seeding, every delta, splicing,
+    and any mid-stream re-seed recoveries.
+    """
+    from repro.service.client import ServiceClient
+
+    rng = np.random.default_rng(seed)
+    report = RecolorStreamReport(
+        sessions=sessions,
+        deltas=deltas,
+        delta_cells=delta_cells,
+        algorithm=algorithm,
+        shape=tuple(int(s) for s in shape),
+        verify=verify,
+    )
+    n = int(np.prod(shape))
+    latencies: list[float] = []
+    client = ServiceClient(host, port, retry=retry, retry_seed=seed, wire=wire)
+    client.connect()
+    report.wire = client.wire
+    try:
+        names = [f"loadgen-s{i}" for i in range(sessions)]
+        t0 = time.perf_counter()
+        for name in names:
+            weights = rng.integers(
+                1, max_weight + 1, size=shape, dtype=np.int64
+            )
+            response = client.recolor_open(name, weights, algorithm)
+            if not response.ok:
+                report.errors += 1
+                report.error_samples.append(
+                    f"{name} seed: {response.status}: {response.error}"
+                )
+        report.seed_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for step in range(deltas):
+            name = names[step % sessions]
+            idx = rng.choice(n, size=min(delta_cells, n), replace=False)
+            vals = rng.integers(1, max_weight + 1, size=idx.size)
+            response = client.recolor_delta(
+                name, idx, vals, request_id=f"{name}/d{step}"
+            )
+            if response.ok:
+                report.ok += 1
+                latencies.append(response.latency)
+                stats = response.recolor
+                if stats.get("mode") == "incremental":
+                    report.incremental += 1
+                else:
+                    report.fallbacks += 1
+                report.cells_changed_total += int(
+                    stats.get("cells_changed", 0)
+                )
+                report.cells_recomputed_total += int(
+                    stats.get("cells_recomputed", 0)
+                )
+            else:
+                if response.unknown_session:
+                    report.unknown_sessions += 1
+                report.errors += 1
+                report.error_samples.append(
+                    f"{name} delta {step}: {response.status}: {response.error}"
+                )
+        report.duration_seconds = time.perf_counter() - t0
+        if report.duration_seconds > 0:
+            report.deltas_per_second = report.ok / report.duration_seconds
+        if latencies:
+            arr = np.asarray(latencies) * 1000.0
+            report.latency_p50_ms = float(np.percentile(arr, 50))
+            report.latency_p99_ms = float(np.percentile(arr, 99))
+
+        if verify:
+            from repro.incremental.engine import full_recolor
+
+            for name in names:
+                state = client.recolor_state(name)
+                if state is None:
+                    report.divergences += 1
+                    continue
+                weights, starts = state
+                if not np.array_equal(
+                    starts, full_recolor(weights, algorithm)
+                ):
+                    report.divergences += 1
+        if fetch_metrics:
+            try:
+                snap = client.metrics()
+                counters = snap.get("counters", {})
+                report.metrics = {
+                    "sessions": snap.get("sessions", {}),
+                    "recolor": {
+                        k: v
+                        for k, v in counters.items()
+                        if isinstance(k, str) and k.startswith("recolor_")
+                    },
+                }
+            except Exception:
+                pass
+    finally:
+        client.close()
+    return report
+
+
+def format_recolor_report(report: RecolorStreamReport) -> str:
+    """Human-readable summary printed by ``stencil-ivc loadgen --recolor``."""
+    lines = [
+        f"sessions   : {report.sessions} x {report.shape} {report.algorithm}, "
+        f"seeded in {report.seed_seconds:.2f}s",
+        f"deltas     : {report.deltas} x {report.delta_cells} cells in "
+        f"{report.duration_seconds:.2f}s ({report.deltas_per_second:.1f}/s) "
+        f"over {report.wire}",
+        f"latency    : p50 {report.latency_p50_ms:.2f} ms, "
+        f"p99 {report.latency_p99_ms:.2f} ms",
+        f"served     : {report.ok} ok ({report.incremental} incremental, "
+        f"{report.fallbacks} fallback), {report.cells_changed_total} cells "
+        f"changed, {report.cells_recomputed_total} recomputed",
+        f"recovery   : {report.unknown_sessions} unknown-session answers, "
+        f"{report.errors} errors",
+    ]
+    if report.verify:
+        verdict = "bit-identical" if report.divergences == 0 else "DIVERGED"
+        lines.append(
+            f"verify     : {report.divergences} divergences vs direct full "
+            f"recolor ({verdict})"
+        )
+    for sample in report.error_samples:
+        lines.append(f"  error: {sample}")
+    return "\n".join(lines)

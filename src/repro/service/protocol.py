@@ -8,6 +8,7 @@ transport.  Every request carries an ``op`` plus an optional client-chosen
 ``op``      meaning
 ========== ============================================================
 ``color``   color a weight grid with a registry algorithm
+``recolor`` seed or delta-update a server-held recolor session
 ``metrics`` snapshot the server's metrics registry (+ cache/substrate)
 ``ping``    liveness probe
 ``shutdown`` ask the server to drain and stop (used by tests/CI)
@@ -16,6 +17,18 @@ transport.  Every request carries an ``op`` plus an optional client-chosen
 ``status`` is one of ``ok``, ``error`` (algorithm raised / unknown),
 ``invalid`` (malformed request), ``timeout`` (deadline expired), or
 ``overloaded`` (admission queue full — backpressure, retry later).
+
+The ``recolor`` op has two forms sharing one decoder
+(:func:`recolor_from_wire`): a **seed** (``session`` + ``shape`` +
+``weights`` + ``algorithm`` — the server colors the grid, stores it under
+the session id, and answers with the full starts) and a **delta**
+(``session`` + ``delta: {idx, weights}`` — *absolute* new weights at flat
+indices, so a retried delta is idempotent; the server patches the held
+coloring through :mod:`repro.incremental` and answers with only the
+changed cells).  A delta naming a session the server no longer holds is
+answered ``invalid`` with ``code: "unknown-session"`` on the *open*
+connection — it is a state miss, not a protocol breach, and the client
+recovers by re-seeding.
 
 Versioning
 ----------
@@ -138,6 +151,170 @@ class ColorRequest:
         return (self.shape, self.algorithm)
 
 
+#: Wire error code answered to a delta whose session the server lost.
+UNKNOWN_SESSION_CODE = "unknown-session"
+
+
+@dataclass(frozen=True)
+class RecolorRequest:
+    """One decoded ``recolor`` op, in either of its two forms.
+
+    *Seed* form: ``weights`` is the full grid (``algorithm`` names the
+    heuristic); *delta* form: ``delta_idx`` / ``delta_weights`` carry the
+    sparse update — absolute new weights at flat C-order indices, so
+    re-sending the same delta after a connection loss is harmless.
+    """
+
+    session: str
+    request_id: str = ""
+    weights: Optional[np.ndarray] = None  # seed form: the full new grid
+    algorithm: str = "GLL"
+    delta_idx: Optional[np.ndarray] = None  # delta form: flat indices
+    delta_weights: Optional[np.ndarray] = None  # absolute new weights
+
+    @property
+    def is_seed(self) -> bool:
+        return self.weights is not None
+
+
+def _decode_grid(message: dict[str, Any]) -> np.ndarray:
+    """The ``shape`` + flat ``weights`` fields as a grid array (shared by
+    the ``color`` and seed-``recolor`` decoders)."""
+    shape = message.get("shape")
+    if not isinstance(shape, list) or not all(
+        isinstance(s, int) and s > 0 for s in shape
+    ):
+        raise ProtocolError("'shape' must be a list of positive integers")
+    if len(shape) not in (2, 3):
+        raise ProtocolError(f"expected a 2D or 3D shape, got {len(shape)} dims")
+    weights = message.get("weights")
+    if not isinstance(weights, list):
+        raise ProtocolError("'weights' must be a flat list of integers")
+    expected = int(np.prod([int(s) for s in shape]))
+    if len(weights) != expected:
+        raise ProtocolError(
+            f"expected {expected} weights for shape {tuple(shape)}, got {len(weights)}"
+        )
+    try:
+        return np.asarray(weights, dtype=np.int64).reshape(tuple(shape))
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"weights are not int64 grid data: {exc}") from None
+
+
+def recolor_session_fields(message: dict[str, Any]) -> tuple[str, str]:
+    """``(session, request_id)`` of a recolor message, validated.
+
+    Shared by the NDJSON decoder and the binary frame decoder so both
+    wires enforce the same session-id discipline.
+    """
+    api = message.get("api")
+    if api is not None and api != PROTOCOL_API_VERSION:
+        raise ProtocolError(
+            f"unsupported api version {api!r} (this server speaks "
+            f"{PROTOCOL_API_VERSION})"
+        )
+    session = message.get("session")
+    if not isinstance(session, str) or not session:
+        raise ProtocolError("'session' must be a non-empty string")
+    request_id = message.get("id", "")
+    if not isinstance(request_id, str):
+        request_id = str(request_id)
+    return session, request_id
+
+
+def recolor_from_arrays(
+    message: dict[str, Any],
+    *,
+    weights: Optional[np.ndarray] = None,
+    delta_idx: Optional[np.ndarray] = None,
+    delta_weights: Optional[np.ndarray] = None,
+) -> RecolorRequest:
+    """Build a :class:`RecolorRequest` from decoded arrays + header fields.
+
+    The back half shared by both wires — the NDJSON decoder builds the
+    arrays from JSON lists, the binary decoder from the payload buffer —
+    so a recolor op means exactly the same thing on either wire.
+    """
+    session, request_id = recolor_session_fields(message)
+    if weights is not None:
+        if delta_idx is not None or delta_weights is not None:
+            raise ProtocolError("a recolor op is a seed or a delta, not both")
+        if weights.size and weights.min() < 0:
+            raise ProtocolError("weights must be non-negative")
+        algorithm = message.get("algorithm", "GLL")
+        if not isinstance(algorithm, str) or not algorithm:
+            raise ProtocolError("'algorithm' must be a non-empty string")
+        return RecolorRequest(
+            session=session,
+            request_id=request_id,
+            weights=weights,
+            algorithm=algorithm,
+        )
+    if delta_idx is None or delta_weights is None:
+        raise ProtocolError(
+            "recolor needs 'weights' (seed form) or 'delta' (delta form)"
+        )
+    if delta_idx.shape != delta_weights.shape or delta_idx.ndim != 1:
+        raise ProtocolError("delta idx and weights must be equal-length vectors")
+    if delta_idx.size and delta_idx.min() < 0:
+        raise ProtocolError("delta indices must be non-negative")
+    if delta_weights.size and delta_weights.min() < 0:
+        raise ProtocolError("delta weights must be non-negative")
+    return RecolorRequest(
+        session=session,
+        request_id=request_id,
+        delta_idx=delta_idx,
+        delta_weights=delta_weights,
+    )
+
+
+def recolor_from_wire(message: dict[str, Any]) -> RecolorRequest:
+    """Validate and decode a ``recolor`` op NDJSON message (either form)."""
+    if "weights" in message or "shape" in message:
+        return recolor_from_arrays(message, weights=_decode_grid(message))
+    delta = message.get("delta")
+    if not isinstance(delta, dict):
+        raise ProtocolError(
+            "recolor needs 'weights' (seed form) or 'delta' (delta form)"
+        )
+    idx = delta.get("idx")
+    new = delta.get("weights")
+    if not isinstance(idx, list) or not isinstance(new, list):
+        raise ProtocolError("'delta' must carry 'idx' and 'weights' lists")
+    try:
+        idx_arr = np.asarray(idx, dtype=np.int64)
+        new_arr = np.asarray(new, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"delta is not int64 data: {exc}") from None
+    if idx_arr.ndim != 1 or new_arr.ndim != 1:
+        raise ProtocolError("delta idx and weights must be flat lists")
+    return recolor_from_arrays(
+        message, delta_idx=idx_arr, delta_weights=new_arr
+    )
+
+
+def recolor_to_wire(request: RecolorRequest) -> dict[str, Any]:
+    """The canonical NDJSON message for a recolor request (either form)."""
+    message: dict[str, Any] = {
+        "api": PROTOCOL_API_VERSION,
+        "op": "recolor",
+        "id": request.request_id,
+        "session": request.session,
+    }
+    if request.is_seed:
+        message["shape"] = [int(s) for s in request.weights.shape]
+        message["weights"] = (
+            np.ascontiguousarray(request.weights, dtype=np.int64).ravel().tolist()
+        )
+        message["algorithm"] = request.algorithm
+    else:
+        message["delta"] = {
+            "idx": np.asarray(request.delta_idx, dtype=np.int64).tolist(),
+            "weights": np.asarray(request.delta_weights, dtype=np.int64).tolist(),
+        }
+    return message
+
+
 @dataclass(frozen=True)
 class ServedResult:
     """The outcome of one request, as resolved by the batcher.
@@ -237,26 +414,7 @@ def request_from_wire(message: dict[str, Any]) -> ColorRequest:
             f"unsupported api version {api!r} (this server speaks "
             f"{PROTOCOL_API_VERSION})"
         )
-    shape = message.get("shape")
-    if not isinstance(shape, list) or not all(
-        isinstance(s, int) and s > 0 for s in shape
-    ):
-        raise ProtocolError("'shape' must be a list of positive integers")
-    if len(shape) not in (2, 3):
-        raise ProtocolError(f"expected a 2D or 3D shape, got {len(shape)} dims")
-    weights = message.get("weights")
-    if not isinstance(weights, list):
-        raise ProtocolError("'weights' must be a flat list of integers")
-    expected = int(np.prod([int(s) for s in shape]))
-    if len(weights) != expected:
-        raise ProtocolError(
-            f"expected {expected} weights for shape {tuple(shape)}, got {len(weights)}"
-        )
-    try:
-        arr = np.asarray(weights, dtype=np.int64).reshape(tuple(shape))
-    except (TypeError, ValueError, OverflowError) as exc:
-        raise ProtocolError(f"weights are not int64 grid data: {exc}") from None
-    return request_from_fields(arr, message)
+    return request_from_fields(_decode_grid(message), message)
 
 
 def request_from_fields(arr: np.ndarray, message: dict[str, Any]) -> ColorRequest:

@@ -28,17 +28,21 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+import numpy as np
+
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.context import ExecutionContext, get_context
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResultCache
+from repro.resilience.faults import inject
 from repro.service.frames import (
     FRAME_MAGIC,
     OP_COLOR,
     OP_HELLO,
     OP_METRICS,
     OP_PING,
+    OP_RECOLOR,
     OP_RESPONSE,
     OP_SHUTDOWN,
     PAYLOAD_DTYPE,
@@ -47,8 +51,10 @@ from repro.service.frames import (
     FrameError,
     TornFrameError,
     decode_color_request,
+    decode_recolor_request,
     encode_frame,
     encode_hello_ok,
+    encode_recolor_result,
     encode_result,
     read_frame_async,
 )
@@ -59,14 +65,18 @@ from repro.service.protocol import (
     STATUS_OK,
     STATUS_OVERLOADED,
     STATUS_TIMEOUT,
+    UNKNOWN_SESSION_CODE,
     ColorRequest,
     ProtocolError,
+    RecolorRequest,
     ServedResult,
     decode_message,
     encode_message,
+    recolor_from_wire,
     request_from_wire,
     result_to_wire,
 )
+from repro.service.sessions import SessionStore, UnknownSessionError
 
 
 @dataclass
@@ -128,9 +138,14 @@ class ColoringService:
             compute_threads=self.config.compute_threads,
             context=self.context,
         )
+        incr = self.context.config.incremental
+        self.sessions = SessionStore(
+            limit=incr.session_limit, ttl=incr.session_ttl
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
         self._shutdown_requested: Optional[asyncio.Event] = None
+        self._recolor_lock: Optional[asyncio.Lock] = None
         self._started_at = 0.0
 
     # -------------------------------------------------------------- lifecycle
@@ -147,6 +162,7 @@ class ColoringService:
                 self.metrics.counter("spill_warm_entries").inc(indexed)
         await self.batcher.start()
         self._shutdown_requested = asyncio.Event()
+        self._recolor_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
@@ -333,6 +349,25 @@ class ColoringService:
             return {"id": request_id, "status": "ok", "op_effect": "shutdown"}
         if op == "color":
             return await self._handle_color(message, request_id)
+        if op == "recolor":
+            try:
+                request = recolor_from_wire(message)
+            except ProtocolError as exc:
+                self.metrics.counter("invalid_requests").inc()
+                return {
+                    "id": request_id,
+                    "status": STATUS_INVALID,
+                    "error": str(exc),
+                }
+            header, starts, changed = await self._serve_recolor(request)
+            if starts is not None:
+                header["starts"] = starts.ravel().tolist()
+            if changed is not None:
+                idx, new = changed
+                header["changed"] = int(idx.size)
+                header["changed_idx"] = idx.tolist()
+                header["changed_starts"] = new.tolist()
+            return header
         self.metrics.counter("protocol_errors").inc()
         return {
             "id": request_id,
@@ -395,6 +430,32 @@ class ColoringService:
                 ),
                 True,
             )
+        if frame.opcode == OP_RECOLOR:
+            try:
+                request = decode_recolor_request(frame)
+            except ProtocolError as exc:
+                self.metrics.counter("invalid_requests").inc()
+                return (
+                    encode_frame(
+                        OP_RESPONSE,
+                        {
+                            "id": request_id,
+                            "status": STATUS_INVALID,
+                            "error": str(exc),
+                        },
+                    ),
+                    False,
+                )
+            header, starts, changed = await self._serve_recolor(request)
+            if changed is not None:
+                idx, new = changed
+                return (
+                    encode_recolor_result(
+                        header, changed_idx=idx, changed_starts=new
+                    ),
+                    False,
+                )
+            return encode_recolor_result(header, starts=starts), False
         if frame.opcode == OP_COLOR:
             self.metrics.counter("requests_total").inc()
             hot = self._frame_fast_path(frame)
@@ -559,6 +620,136 @@ class ColoringService:
                 status=STATUS_TIMEOUT, error=f"deadline of {timeout:.3f}s expired"
             )
 
+    # ------------------------------------------------------- recolor sessions
+    async def _serve_recolor(
+        self, request: RecolorRequest
+    ) -> tuple[dict, Optional[np.ndarray], Optional[tuple]]:
+        """Serve one recolor op; ``(header, full starts?, (idx, starts)?)``.
+
+        Wire-agnostic: the NDJSON handler JSON-encodes the arrays, the
+        binary handler ships them as payload bytes.  A seed colors the grid
+        from scratch and stores the session; a delta patches the held
+        coloring through :func:`repro.incremental.recolor_grid` and answers
+        with only the cells whose start changed.  An unknown/expired
+        session is a typed ``invalid`` answer (``code: "unknown-session"``)
+        on the live connection — state loss is recoverable, so it must not
+        cost the client its transport.
+
+        The ``service.recolor`` fault site is drawn *before* any session
+        state is mutated, so an injected error leaves the session exactly
+        as the previous delta committed it — a client retry (deltas carry
+        absolute weights) is then idempotent.  One lock serializes recolor
+        computes: deltas are causally ordered per session, and cross-session
+        fairness is not worth racing commits for.
+        """
+        from repro.incremental.engine import full_recolor, recolor_grid
+
+        self.metrics.counter("requests_total").inc()
+        received = time.monotonic()
+        loop = asyncio.get_running_loop()
+        rid = request.request_id
+        base = {"id": rid, "session": request.session,
+                "worker": self.config.worker_id}
+        assert self._recolor_lock is not None
+        try:
+            async with self._recolor_lock:
+                if request.is_seed:
+                    inject("service.recolor", f"{request.session}#seed")
+                    weights = request.weights
+                    starts = await loop.run_in_executor(
+                        None,
+                        lambda: full_recolor(
+                            weights, request.algorithm, context=self.context
+                        ),
+                    )
+                    maxcolor = int((starts + weights).max()) if weights.size else 0
+                    self.sessions.open(
+                        request.session, request.algorithm, weights, starts,
+                        maxcolor,
+                    )
+                    header = {
+                        **base,
+                        "status": STATUS_OK,
+                        "mode": "seed",
+                        "algorithm": request.algorithm,
+                        "shape": [int(s) for s in weights.shape],
+                        "maxcolor": maxcolor,
+                    }
+                    self._finish_recolor(received, ok=True)
+                    return header, starts, None
+
+                try:
+                    session = self.sessions.get(request.session)
+                except UnknownSessionError as exc:
+                    self.metrics.counter("recolor_unknown_sessions").inc()
+                    header = {
+                        **base,
+                        "status": STATUS_INVALID,
+                        "code": UNKNOWN_SESSION_CODE,
+                        "error": str(exc),
+                    }
+                    return header, None, None
+                n = session.weights.size
+                idx = request.delta_idx
+                if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= n):
+                    self.metrics.counter("invalid_requests").inc()
+                    header = {
+                        **base,
+                        "status": STATUS_INVALID,
+                        "error": f"delta indices out of range [0, {n})",
+                    }
+                    return header, None, None
+                inject(
+                    "service.recolor",
+                    f"{request.session}#{session.deltas_applied}",
+                )
+                new_weights = session.weights.copy()
+                new_weights.ravel()[idx] = request.delta_weights
+                old_starts = session.starts
+                outcome = await loop.run_in_executor(
+                    None,
+                    lambda: recolor_grid(
+                        new_weights,
+                        old_starts,
+                        idx,
+                        algorithm=session.algorithm,
+                        context=self.context,
+                    ),
+                )
+                changed_idx = np.flatnonzero(
+                    outcome.starts.ravel() != old_starts.ravel()
+                )
+                changed_starts = outcome.starts.ravel()[changed_idx]
+                self.sessions.commit(
+                    session, new_weights, outcome.starts, outcome.maxcolor
+                )
+                header = {
+                    **base,
+                    "status": STATUS_OK,
+                    "mode": outcome.mode,
+                    "maxcolor": outcome.maxcolor,
+                    "deltas_applied": session.deltas_applied,
+                    "recolor": outcome.stats(),
+                }
+                self._finish_recolor(received, ok=True)
+                return header, None, (changed_idx, changed_starts)
+        except Exception as exc:
+            self._finish_recolor(received, ok=False)
+            header = {
+                **base,
+                "status": STATUS_ERROR,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            return header, None, None
+
+    def _finish_recolor(self, received: float, *, ok: bool) -> None:
+        total = time.monotonic() - received
+        self.metrics.histogram("request_latency").observe(total)
+        if ok:
+            self.metrics.counter("responses_ok").inc()
+        else:
+            self.metrics.counter("request_errors").inc()
+
     # ---------------------------------------------------------------- metrics
     def snapshot(self, include_state: bool = False) -> dict:
         """Metrics + cache + substrate-cache state, JSON-serializable.
@@ -571,6 +762,7 @@ class ColoringService:
 
         snap = self.metrics.snapshot(include_state=include_state)
         snap["cache"] = self.cache.stats()
+        snap["sessions"] = self.sessions.stats()
         snap["substrate"] = substrate_stats(self.context)
         snap["server"] = {
             "worker_id": self.config.worker_id,

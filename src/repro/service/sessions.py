@@ -1,0 +1,186 @@
+"""Server-held recolor sessions: the grids behind the ``recolor`` verb.
+
+A delta-streaming client seeds a session once (full weights + algorithm),
+then sends only sparse weight deltas; the server keeps the authoritative
+``(weights, starts)`` pair and answers each delta with just the changed
+cells.  :class:`SessionStore` is that server-global map, bounded two ways:
+
+* **Capacity** — at most ``limit`` sessions; opening one beyond the limit
+  evicts the least-recently-used session (an eviction, like an expiry,
+  surfaces to the affected client as a typed ``unknown-session`` response,
+  and the client re-seeds from its local mirror).
+* **TTL** — a session untouched for ``ttl`` seconds is expired on next
+  access.  Nothing scans in the background; expiry is checked lazily.
+
+Lookups raise the typed :class:`UnknownSessionError` (wire code
+``unknown-session``) rather than returning ``None``, so the server answers
+with an ``invalid`` response on a live connection instead of guessing.
+
+Both bounds default from :class:`repro.runtime.config.IncrementalConfig`
+(``REPRO_INCR_SESSION_LIMIT`` / ``REPRO_INCR_SESSION_TTL``).  The store is
+lock-protected: the service mutates it from its event loop but tests and
+``/metrics`` snapshots may read from other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["RecolorSession", "SessionStore", "UnknownSessionError"]
+
+#: Wire error code for a lookup that found nothing (see docs/service.md).
+UNKNOWN_SESSION_CODE = "unknown-session"
+
+
+class UnknownSessionError(KeyError):
+    """A recolor delta named a session the server does not hold.
+
+    ``reason`` distinguishes a session that never existed (or was evicted:
+    ``"missing"``) from one that outlived its TTL (``"expired"``) — both
+    map to the same ``unknown-session`` wire code, because the client's
+    recovery is identical: re-seed and resend.
+    """
+
+    code = UNKNOWN_SESSION_CODE
+
+    def __init__(self, session_id: str, reason: str = "missing") -> None:
+        super().__init__(session_id)
+        self.session_id = session_id
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"unknown recolor session {self.session_id!r} ({self.reason})"
+
+
+@dataclass
+class RecolorSession:
+    """One live session: the authoritative grid state plus bookkeeping."""
+
+    session_id: str
+    algorithm: str
+    weights: np.ndarray  # grid-shaped int64, post-delta
+    starts: np.ndarray  # grid-shaped int64, coloring of `weights`
+    maxcolor: int
+    created: float
+    touched: float
+    deltas_applied: int = 0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(int(s) for s in self.weights.shape)
+
+
+class SessionStore:
+    """Bounded, TTL'd, LRU map of :class:`RecolorSession` (see module doc)."""
+
+    def __init__(
+        self,
+        limit: int = 64,
+        ttl: float = 900.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"session limit must be >= 1, got {limit}")
+        if ttl <= 0:
+            raise ValueError(f"session ttl must be positive, got {ttl!r}")
+        self.limit = int(limit)
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: OrderedDict[str, RecolorSession] = OrderedDict()
+        self._opened = 0
+        self._evicted = 0
+        self._expired = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def open(
+        self,
+        session_id: str,
+        algorithm: str,
+        weights: np.ndarray,
+        starts: np.ndarray,
+        maxcolor: int,
+    ) -> RecolorSession:
+        """Create (or replace — re-seeding is idempotent) a session."""
+        now = self._clock()
+        session = RecolorSession(
+            session_id=session_id,
+            algorithm=algorithm,
+            weights=weights,
+            starts=starts,
+            maxcolor=int(maxcolor),
+            created=now,
+            touched=now,
+        )
+        with self._lock:
+            existed = self._sessions.pop(session_id, None)
+            self._sessions[session_id] = session
+            if existed is None:
+                self._opened += 1
+            while len(self._sessions) > self.limit:
+                self._sessions.popitem(last=False)
+                self._evicted += 1
+        return session
+
+    def get(self, session_id: str) -> RecolorSession:
+        """The live session, LRU-touched; :class:`UnknownSessionError` if not.
+
+        Expiry is enforced here: a session past its TTL is dropped and
+        reported as ``"expired"``.
+        """
+        now = self._clock()
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise UnknownSessionError(session_id, "missing")
+            if now - session.touched > self.ttl:
+                del self._sessions[session_id]
+                self._expired += 1
+                raise UnknownSessionError(session_id, "expired")
+            session.touched = now
+            self._sessions.move_to_end(session_id)
+            return session
+
+    def commit(
+        self,
+        session: RecolorSession,
+        weights: np.ndarray,
+        starts: np.ndarray,
+        maxcolor: int,
+    ) -> None:
+        """Publish a delta's outcome as the session's new authoritative state."""
+        with self._lock:
+            session.weights = weights
+            session.starts = starts
+            session.maxcolor = int(maxcolor)
+            session.deltas_applied += 1
+            session.touched = self._clock()
+
+    def drop(self, session_id: str) -> bool:
+        """Explicitly close a session; ``True`` if it existed."""
+        with self._lock:
+            return self._sessions.pop(session_id, None) is not None
+
+    def stats(self) -> dict:
+        """JSON-ready counters for ``/metrics``."""
+        with self._lock:
+            cells = sum(s.weights.size for s in self._sessions.values())
+            return {
+                "live": len(self._sessions),
+                "limit": self.limit,
+                "ttl_seconds": self.ttl,
+                "opened": self._opened,
+                "evicted": self._evicted,
+                "expired": self._expired,
+                "held_cells": int(cells),
+            }

@@ -56,6 +56,7 @@ class _TileWorkerState:
     context: Optional[ExecutionContext] = None
     journal: Optional[object] = None
     out: Optional[np.memmap] = None
+    chunks_done: int = 0
 
     def out_map(self) -> Optional[np.memmap]:
         if self.out is None and self.out_path is not None:
@@ -192,12 +193,21 @@ def _run_tile_chunk(cells: Sequence[TileCell]) -> dict:
     out = _TILE_STATE.out
     if out is not None:
         out.flush()
+    _TILE_STATE.chunks_done += 1
     snapshot = (
         _TILE_STATE.context.metrics.snapshot(include_state=True)
         if _TILE_STATE.context is not None
         else None
     )
-    return {"pairs": pairs, "starts": starts, "pid": os.getpid(), "metrics": snapshot}
+    # The sequence number lets the parent keep the *newest* cumulative
+    # snapshot per worker even when chunk completions arrive out of order.
+    return {
+        "pairs": pairs,
+        "starts": starts,
+        "pid": os.getpid(),
+        "seq": _TILE_STATE.chunks_done,
+        "metrics": snapshot,
+    }
 
 
 def _tile_crash_record(cell: TileCell, exc: BaseException) -> tuple[int, TileRecord]:

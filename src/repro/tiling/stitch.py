@@ -255,7 +255,7 @@ def color_tiled(
     )
     records: list[Optional[TileRecord]] = [None] * plan.num_tiles
     starts_by_pos: dict[int, np.ndarray] = {}
-    worker_snaps: dict[int, dict] = {}
+    worker_snaps: dict[int, tuple[int, dict]] = {}  # pid -> (seq, snapshot)
     counters = _SupervisionCounters()
     for pos, record in adopted.items():
         records[pos] = record
@@ -265,7 +265,12 @@ def color_tiled(
     def store(payload) -> None:
         if isinstance(payload, dict):  # a chunk payload from _run_tile_chunk
             if payload["metrics"] is not None:
-                worker_snaps[payload["pid"]] = payload["metrics"]
+                held = worker_snaps.get(payload["pid"])
+                if held is None or payload["seq"] > held[0]:
+                    worker_snaps[payload["pid"]] = (
+                        payload["seq"],
+                        payload["metrics"],
+                    )
             pairs = payload["pairs"]
             if return_starts:
                 starts_by_pos.update(payload["starts"])
@@ -347,7 +352,7 @@ def color_tiled(
     if worker_snaps:
         from repro.obs.metrics import merge_snapshots
 
-        merged = merge_snapshots(worker_snaps.values())
+        merged = merge_snapshots(snap for _, snap in worker_snaps.values())
     else:
         merged = None
 

@@ -1,0 +1,235 @@
+"""Unit tests for the dirty-region recolor engine (:mod:`repro.incremental`)."""
+
+import numpy as np
+import pytest
+
+from repro.incremental.engine import (
+    SUPPORTED_ALGORITHMS,
+    RecolorValidationError,
+    full_recolor,
+    recolor_grid,
+)
+from repro.runtime.config import IncrementalConfig, RuntimeConfig
+from repro.runtime.context import ExecutionContext
+
+
+def _grid(shape, seed=0, high=20):
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, high, size=shape).astype(np.int64)
+
+
+def _delta(weights, idx, seed=1, high=20):
+    rng = np.random.default_rng(seed)
+    out = weights.copy()
+    out.ravel()[np.asarray(idx)] = rng.integers(1, high, size=len(idx))
+    return out
+
+
+class TestRecolorGrid:
+    def test_supported_algorithm_set(self):
+        assert SUPPORTED_ALGORITHMS == frozenset({"GLL", "GZO", "GLF"})
+
+    @pytest.mark.parametrize("algorithm", sorted(SUPPORTED_ALGORITHMS))
+    def test_single_cell_delta_bit_identical_2d(self, algorithm):
+        weights = _grid((24, 24))
+        new_weights = _delta(weights, [100])
+        base = full_recolor(weights, algorithm)
+        outcome = recolor_grid(new_weights, base, [100], algorithm=algorithm)
+        assert np.array_equal(outcome.starts, full_recolor(new_weights, algorithm))
+        assert outcome.algorithm == algorithm
+        assert outcome.cells_dirty == 1
+
+    @pytest.mark.parametrize("algorithm", sorted(SUPPORTED_ALGORITHMS))
+    def test_single_cell_delta_bit_identical_3d(self, algorithm):
+        weights = _grid((8, 8, 8))
+        new_weights = _delta(weights, [77])
+        base = full_recolor(weights, algorithm)
+        outcome = recolor_grid(new_weights, base, [77], algorithm=algorithm)
+        assert np.array_equal(outcome.starts, full_recolor(new_weights, algorithm))
+        assert outcome.starts.shape == (8, 8, 8)
+
+    def test_empty_delta_is_a_no_op_even_for_unsupported(self):
+        weights = _grid((6, 6))
+        base = full_recolor(weights, "BD")
+        outcome = recolor_grid(weights, base, [], algorithm="BD")
+        assert outcome.mode == "incremental"
+        assert outcome.cells_changed == 0
+        assert outcome.fallback_reason is None
+        assert np.array_equal(outcome.starts, base)
+
+    def test_unsupported_algorithm_falls_back(self):
+        weights = _grid((10, 10))
+        new_weights = _delta(weights, [5])
+        base = full_recolor(weights, "BD")
+        outcome = recolor_grid(new_weights, base, [5], algorithm="BD")
+        assert outcome.mode == "fallback"
+        assert outcome.fallback_reason == "unsupported-algorithm"
+        assert np.array_equal(outcome.starts, full_recolor(new_weights, "BD"))
+
+    def test_tiny_budget_falls_back_with_cone_budget_reason(self):
+        weights = _grid((16, 16))
+        dirty = np.arange(weights.size)
+        new_weights = _delta(weights, dirty)
+        base = full_recolor(weights, "GLL")
+        outcome = recolor_grid(
+            new_weights, base, dirty, algorithm="GLL", max_cone_fraction=0.01
+        )
+        assert outcome.mode == "fallback"
+        assert outcome.fallback_reason == "cone-budget"
+        assert np.array_equal(outcome.starts, full_recolor(new_weights, "GLL"))
+
+    def test_maxcolor_matches_starts_plus_weights(self):
+        weights = _grid((12, 12))
+        new_weights = _delta(weights, [3, 17, 60])
+        base = full_recolor(weights, "GLF")
+        outcome = recolor_grid(new_weights, base, [3, 17, 60], algorithm="GLF")
+        assert outcome.maxcolor == int((outcome.starts + new_weights).max())
+
+    def test_stats_is_json_ready_provenance(self):
+        weights = _grid((8, 8))
+        new_weights = _delta(weights, [9])
+        base = full_recolor(weights, "GLL")
+        stats = recolor_grid(new_weights, base, [9], algorithm="GLL").stats()
+        assert set(stats) == {
+            "mode", "algorithm", "cells_dirty", "cells_recomputed",
+            "cells_changed", "levels_touched", "spliced", "fallback_reason",
+            "elapsed",
+        }
+        assert stats["mode"] == "incremental"
+        assert stats["cells_dirty"] == 1
+        import json
+
+        json.dumps(stats)  # must not raise
+
+    def test_validate_passes_on_correct_incremental(self):
+        weights = _grid((10, 10))
+        new_weights = _delta(weights, [42])
+        base = full_recolor(weights, "GLL")
+        # Open budget: GLL cascades can legitimately exceed the default
+        # cone fraction on a grid this small, and this test is about the
+        # validate path, not the fallback policy.
+        outcome = recolor_grid(
+            new_weights, base, [42], algorithm="GLL",
+            validate=True, max_cone_fraction=1.0,
+        )
+        assert outcome.mode == "incremental"
+
+    def test_validate_raises_on_corrupt_base(self):
+        # An empty delta echoes the base coloring back, so a corrupt base
+        # with validate=True must trip the divergence check.
+        weights = _grid((6, 6))
+        corrupt = np.zeros_like(weights)
+        with pytest.raises(RecolorValidationError):
+            recolor_grid(weights, corrupt, [], algorithm="GLL", validate=True)
+
+    def test_dirty_out_of_range_rejected(self):
+        weights = _grid((4, 4))
+        base = full_recolor(weights, "GLL")
+        with pytest.raises(ValueError, match="out of range"):
+            recolor_grid(weights, base, [16], algorithm="GLL")
+        with pytest.raises(ValueError, match="out of range"):
+            recolor_grid(weights, base, [-1], algorithm="GLL")
+
+    def test_shape_mismatch_rejected(self):
+        weights = _grid((4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            recolor_grid(weights, np.zeros((5, 5), dtype=np.int64), [0])
+
+    def test_bad_cone_fraction_rejected(self):
+        weights = _grid((4, 4))
+        base = full_recolor(weights, "GLL")
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="max_cone_fraction"):
+                recolor_grid(weights, base, [0], max_cone_fraction=bad)
+
+    def test_extra_clean_dirty_indices_are_safe(self):
+        # Claiming clean cells dirty may only widen the cone, never change
+        # the answer.
+        weights = _grid((16, 16))
+        new_weights = _delta(weights, [30])
+        base = full_recolor(weights, "GLL")
+        wide = recolor_grid(
+            new_weights, base, [30, 31, 32, 200], algorithm="GLL"
+        )
+        assert np.array_equal(wide.starts, full_recolor(new_weights, "GLL"))
+
+    def test_metrics_counters_flow_to_context(self):
+        ctx = ExecutionContext()
+        weights = _grid((16, 16))
+        new_weights = _delta(weights, [7])
+        base = full_recolor(weights, "GLL", context=ctx)
+        recolor_grid(new_weights, base, [7], algorithm="GLL", context=ctx)
+        recolor_grid(new_weights, base, [7], algorithm="BD", context=ctx)
+        snap = ctx.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["recolor_calls"] == 2
+        assert counters["recolor_fallbacks"] == 1
+        assert counters["recolor_cone_cells"] >= 1
+        assert snap["histograms"]["recolor_splice_seconds"]["count"] == 2
+
+
+class TestIncrementalConfig:
+    def test_defaults(self):
+        cfg = IncrementalConfig()
+        assert cfg.max_cone_fraction == 0.25
+        assert cfg.validate is False
+        assert cfg.session_limit == 64
+        assert cfg.session_ttl == 900.0
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCR_CONE_FRACTION", "0.5")
+        monkeypatch.setenv("REPRO_INCR_VALIDATE", "1")
+        monkeypatch.setenv("REPRO_INCR_SESSION_LIMIT", "8")
+        monkeypatch.setenv("REPRO_INCR_SESSION_TTL", "12.5")
+        cfg = IncrementalConfig.from_env()
+        assert cfg == IncrementalConfig(
+            max_cone_fraction=0.5, validate=True,
+            session_limit=8, session_ttl=12.5,
+        )
+
+    def test_kwargs_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCR_SESSION_LIMIT", "8")
+        assert IncrementalConfig.from_env(session_limit=3).session_limit == 3
+        assert IncrementalConfig.from_env(session_limit=None).session_limit == 8
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError, match="unknown"):
+            IncrementalConfig.from_env(bogus=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalConfig(max_cone_fraction=0.0)
+        with pytest.raises(ValueError):
+            IncrementalConfig(max_cone_fraction=1.5)
+        with pytest.raises(ValueError):
+            IncrementalConfig(session_limit=0)
+        with pytest.raises(ValueError):
+            IncrementalConfig(session_ttl=0.0)
+
+    def test_with_overrides_skips_none(self):
+        cfg = IncrementalConfig()
+        assert cfg.with_overrides(validate=None) is cfg
+        assert cfg.with_overrides(validate=True).validate is True
+
+    def test_rides_on_runtime_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCR_CONE_FRACTION", "0.75")
+        cfg = RuntimeConfig.from_env()
+        assert cfg.incremental.max_cone_fraction == 0.75
+
+    def test_runtime_config_normalizes_dict(self):
+        cfg = RuntimeConfig(incremental={"max_cone_fraction": 0.5})
+        assert isinstance(cfg.incremental, IncrementalConfig)
+        assert cfg.incremental.max_cone_fraction == 0.5
+
+    def test_engine_reads_context_config(self):
+        ctx = ExecutionContext(
+            RuntimeConfig(incremental=IncrementalConfig(max_cone_fraction=0.01))
+        )
+        weights = _grid((16, 16))
+        dirty = np.arange(weights.size)
+        new_weights = _delta(weights, dirty)
+        base = full_recolor(weights, "GLL", context=ctx)
+        outcome = recolor_grid(
+            new_weights, base, dirty, algorithm="GLL", context=ctx
+        )
+        assert outcome.fallback_reason == "cone-budget"

@@ -1,0 +1,136 @@
+"""Property-based tests: incremental recoloring vs recoloring from scratch.
+
+Hypothesis drives random grids (2D and 3D, zero weights included), random
+sparse dirty sets, and every registry algorithm that declares a fast path
+through :func:`repro.incremental.engine.recolor_grid`, requiring the result
+to be bit-identical to a cold :func:`full_recolor` of the new weights.  The
+supported algorithms (GLL/GZO/GLF) exercise the cone walk; the rest must
+take the always-correct fallback.  Edge cases get dedicated properties: a
+delta touching the grid boundary, and a delta rewriting the whole grid with
+the cone budget opened wide enough that the cone — not the fallback — must
+reproduce the from-scratch answer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms.registry import REGISTRY
+from repro.incremental.engine import (
+    SUPPORTED_ALGORITHMS,
+    full_recolor,
+    recolor_grid,
+)
+
+FAST_ALGORITHMS = tuple(
+    spec.name for spec in REGISTRY.specs() if spec.fast_fn is not None
+)
+
+grids_2d = st.tuples(st.integers(2, 7), st.integers(2, 7))
+grids_3d = st.tuples(st.integers(2, 4), st.integers(2, 4), st.integers(2, 4))
+grids = st.one_of(grids_2d, grids_3d)
+seeds = st.integers(0, 100_000)
+algorithms = st.sampled_from(FAST_ALGORITHMS)
+
+
+def _weights(shape, seed):
+    # From 0: zero-weight vertices are skipped by first-fit and must be
+    # skipped identically inside the cone walk.
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10, size=shape).astype(np.int64)
+
+
+def _mutate(weights, dirty, seed):
+    rng = np.random.default_rng(seed)
+    out = weights.copy()
+    out.ravel()[dirty] = rng.integers(0, 10, size=np.asarray(dirty).size)
+    return out
+
+
+def _check_identical(algorithm, old_weights, new_weights, dirty, **kwargs):
+    base = full_recolor(old_weights, algorithm)
+    outcome = recolor_grid(
+        new_weights, base, dirty, algorithm=algorithm, **kwargs
+    )
+    cold = full_recolor(new_weights, algorithm)
+    assert np.array_equal(outcome.starts, cold), (
+        algorithm, old_weights.shape, outcome.mode, outcome.fallback_reason
+    )
+    assert outcome.maxcolor == int((cold + new_weights).max())
+    return outcome
+
+
+@given(shape=grids, seed=seeds, delta_seed=seeds, algorithm=algorithms)
+@settings(max_examples=60, deadline=None)
+def test_sparse_delta_matches_full_recolor(shape, seed, delta_seed, algorithm):
+    weights = _weights(shape, seed)
+    rng = np.random.default_rng(delta_seed)
+    n = weights.size
+    k = int(rng.integers(1, max(2, n // 4)))
+    dirty = rng.choice(n, size=min(k, n), replace=False)
+    new_weights = _mutate(weights, dirty, delta_seed)
+    outcome = _check_identical(algorithm, weights, new_weights, dirty)
+    if algorithm not in SUPPORTED_ALGORITHMS:
+        assert outcome.mode == "fallback"
+        assert outcome.fallback_reason == "unsupported-algorithm"
+
+
+@given(shape=grids, seed=seeds, delta_seed=seeds, algorithm=algorithms)
+@settings(max_examples=40, deadline=None)
+def test_boundary_touching_delta_matches_full_recolor(
+    shape, seed, delta_seed, algorithm
+):
+    weights = _weights(shape, seed)
+    n = weights.size
+    # Both extreme corners: the cone walk must clip its neighbor gathers at
+    # the grid boundary exactly like the from-scratch kernels do.
+    dirty = np.array([0, n - 1], dtype=np.int64)
+    new_weights = _mutate(weights, dirty, delta_seed)
+    _check_identical(
+        algorithm, weights, new_weights, dirty, max_cone_fraction=1.0
+    )
+
+
+@given(shape=grids, seed=seeds, delta_seed=seeds, algorithm=algorithms)
+@settings(max_examples=30, deadline=None)
+def test_whole_grid_delta_with_open_budget(shape, seed, delta_seed, algorithm):
+    weights = _weights(shape, seed)
+    n = weights.size
+    dirty = np.arange(n, dtype=np.int64)
+    new_weights = _mutate(weights, dirty, delta_seed)
+    # Budget opened to the full grid: for supported algorithms the cone walk
+    # itself (not the fallback) must reproduce the from-scratch coloring
+    # even when every cell is dirty.
+    outcome = _check_identical(
+        algorithm, weights, new_weights, dirty, max_cone_fraction=1.0
+    )
+    if algorithm in SUPPORTED_ALGORITHMS:
+        assert outcome.mode == "incremental"
+        assert outcome.cells_recomputed >= n
+
+
+@given(shape=grids, seed=seeds, delta_seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_whole_grid_delta_trips_default_budget(shape, seed, delta_seed):
+    weights = _weights(shape, seed)
+    n = weights.size
+    dirty = np.arange(n, dtype=np.int64)
+    new_weights = _mutate(weights, dirty, delta_seed)
+    outcome = _check_identical(
+        "GLL", weights, new_weights, dirty, max_cone_fraction=0.05
+    )
+    assert outcome.mode == "fallback"
+    assert outcome.fallback_reason == "cone-budget"
+
+
+@given(shape=grids, seed=seeds, algorithm=algorithms)
+@settings(max_examples=20, deadline=None)
+def test_empty_delta_is_identity(shape, seed, algorithm):
+    weights = _weights(shape, seed)
+    base = full_recolor(weights, algorithm)
+    outcome = recolor_grid(
+        weights, base, np.array([], dtype=np.int64), algorithm=algorithm
+    )
+    assert outcome.mode == "incremental"
+    assert outcome.cells_changed == 0
+    assert np.array_equal(outcome.starts, base)

@@ -1,0 +1,120 @@
+"""The deprecated top-level aliases must warn *at the caller's line*.
+
+``repro.color_with`` / ``repro.run_grid`` are shims around their home-package
+implementations.  The contract tested here:
+
+- the ``DeprecationWarning`` is attributed to the **caller's** file and line
+  (not to ``repro/__init__.py``, and not to any intermediate repro-internal
+  frame), so ``python -W error::DeprecationWarning`` tracebacks pinpoint the
+  exact call site to migrate;
+- under the default warning filter each distinct call site warns exactly
+  once — repeated calls from the same line stay quiet after the first.
+"""
+
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture()
+def instance():
+    return repro.IVCInstance.from_grid_2d(np.ones((3, 3), dtype=np.int64))
+
+
+def _caught_deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)
+            and "deprecated" in str(w.message)]
+
+
+class TestCallerAttribution:
+    def test_color_with_warns_at_this_file_and_line(self, instance):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.color_with(instance, "GLL"); lineno = sys._getframe().f_lineno  # noqa: E702
+        (record,) = _caught_deprecations(caught)
+        assert record.filename == __file__
+        assert record.lineno == lineno
+
+    def test_run_grid_warns_at_this_file_and_line(self, instance):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.run_grid([instance], ["GLL"]); lineno = sys._getframe().f_lineno  # noqa: E702
+        (record,) = _caught_deprecations(caught)
+        assert record.filename == __file__
+        assert record.lineno == lineno
+
+    def test_internal_repro_frames_are_skipped(self, instance):
+        # A call arriving through a repro-internal frame must still be
+        # attributed to the outermost external caller, not the internal
+        # module — else the once-per-call-site dedup keys on repro's own
+        # line and every external call site shares one suppressed warning.
+        ns = {"__name__": "repro._fake_internal", "repro": repro}
+        exec(
+            "def indirect(instance):\n"
+            "    return repro.color_with(instance, 'GLL')\n",
+            ns,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ns["indirect"](instance); lineno = sys._getframe().f_lineno  # noqa: E702
+        (record,) = _caught_deprecations(caught)
+        assert record.filename == __file__
+        assert record.lineno == lineno
+
+    def test_wrapped_attribute_exposes_the_real_function(self):
+        from repro.core import color_with as home_color_with
+
+        assert repro.color_with.__wrapped__ is home_color_with
+
+
+class TestOncePerCallSite:
+    def test_same_line_warns_once_default_filter(self, instance):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(3):
+                repro.color_with(instance, "GLL")
+        assert len(_caught_deprecations(caught)) == 1
+
+    def test_distinct_lines_each_warn(self, instance):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            repro.color_with(instance, "GLL")
+            repro.color_with(instance, "GLL")
+        assert len(_caught_deprecations(caught)) == 2
+
+
+class TestErrorFilterPinpointsCaller:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            'repro.color_with(inst, "GLL")',
+            'repro.run_grid([inst], ["GLL"])',
+        ],
+        ids=["color_with", "run_grid"],
+    )
+    def test_dash_w_error_traceback_names_caller_line(self, tmp_path, call):
+        script = tmp_path / "legacy_caller.py"
+        script.write_text(
+            "import numpy as np\n"
+            "import repro\n"
+            "inst = repro.IVCInstance.from_grid_2d("
+            "np.ones((3, 3), dtype=np.int64))\n"
+            f"{call}\n"  # line 4
+        )
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", str(script)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode != 0
+        assert "DeprecationWarning" in proc.stderr
+        assert f'{script.name}", line 4' in proc.stderr

@@ -69,3 +69,48 @@ def test_lint_exempts_function_scoped_imports(tmp_path):
         "def f():\n    from repro.kernels import colorings\n    return colorings\n"
     )
     assert checker.check(tmp_path) == []
+
+
+def test_incremental_is_a_known_subsystem():
+    """The recolor engine takes part in the cross-subsystem discipline."""
+    checker = _load_checker()
+    assert "incremental" in checker.LAYERS
+    assert "incremental" in checker.SUBSYSTEMS
+    assert checker.INCREMENTAL_BANNED == frozenset({"service", "tiling"})
+
+
+def test_lint_bans_lazy_service_import_in_incremental(tmp_path):
+    """Inside repro/incremental even a function-scoped service import is an
+    edge — the engine must stay composable below the service layer."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "incremental"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "def f():\n    from repro.service import client\n    return client\n"
+    )
+    violations = checker.check(tmp_path)
+    assert len(violations) == 1
+    assert "repro.service" in violations[0]
+    assert "bad.py:2" in violations[0]
+
+
+def test_lint_bans_tiling_import_in_incremental(tmp_path):
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "incremental"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import repro.tiling.stitch\n")
+    violations = checker.check(tmp_path)
+    assert any("repro.tiling" in v for v in violations)
+
+
+def test_lint_allows_kernels_import_in_incremental(tmp_path):
+    """kernels/core are the engine's sanctioned dependencies."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "incremental"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        "from repro.kernels.wavefront import first_fit_intervals\n"
+        "def f():\n    from repro.core.problem import IVCInstance\n"
+        "    return IVCInstance\n"
+    )
+    assert checker.check(tmp_path) == []

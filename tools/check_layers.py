@@ -9,7 +9,7 @@ The repo is layered (see ``docs/architecture.md``)::
     core                            (3)  problem, algorithms, registry
     data, kernels, analysis         (4)  instances, vectorized kernels, stats
     npc, stkde, apps                (5)  applications of the core
-    engine, tiling                  (6)  parallel batch execution, tiler
+    engine, tiling, incremental     (6)  batch execution, tiler, recolorer
     service                         (7)  online serving
     experiments, reports            (8)  drivers
     api                             (9)  stable facade
@@ -32,6 +32,12 @@ import at module level **at most one** of the heavyweight subsystems
 {``engine``, ``kernels``, ``service``, ``tiling``}.  Code that needs two of
 them composes through the facade — or imports lazily, which the layering
 check already exempts.
+
+The fourth check isolates the incremental recolor engine: nothing under
+``src/repro/incremental/`` may import ``repro.service`` or ``repro.tiling``
+**anywhere** — function bodies included, unlike the layering rule.  The
+engine must stay composable below the service and the tiler; only
+``repro/api.py`` wires them together.
 
 Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
 Run from the repo root::
@@ -61,6 +67,7 @@ LAYERS = {
     "apps": 5,
     "engine": 6,
     "tiling": 6,
+    "incremental": 6,
     "service": 7,
     "experiments": 8,
     "reports": 8,
@@ -70,7 +77,11 @@ LAYERS = {
 
 #: Heavyweight subsystems: only repro/api.py may compose two or more of
 #: these at module level (the cross-subsystem check).
-SUBSYSTEMS = frozenset({"engine", "kernels", "service", "tiling"})
+SUBSYSTEMS = frozenset({"engine", "incremental", "kernels", "service", "tiling"})
+
+#: Packages src/repro/incremental/ may never import — not even lazily.  The
+#: recolor engine sits below the service and the tiler by construction.
+INCREMENTAL_BANNED = frozenset({"service", "tiling"})
 
 #: Modules allowed to module-level import any number of subsystems.
 CROSS_EXEMPT = ("src/repro/api.py",)
@@ -139,6 +150,31 @@ def _imported_packages(tree: ast.Module) -> list[tuple[int, str]]:
     return out
 
 
+def _all_imported_packages(tree: ast.Module) -> list[tuple[int, str]]:
+    """Top-level repro packages imported *anywhere* in the module.
+
+    Unlike :func:`_imported_packages` this walks function and method bodies
+    too — for rules where a lazy import is still a forbidden edge.
+    """
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    out.append((node.lineno, parts[1]))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module:
+                parts = node.module.split(".")
+                if parts[0] == "repro":
+                    if len(parts) > 1:
+                        out.append((node.lineno, parts[1]))
+                    else:
+                        for alias in node.names:
+                            out.append((node.lineno, alias.name))
+    return out
+
+
 class _EnvVisitor(ast.NodeVisitor):
     """Collects os.environ / os.getenv uses anywhere in a module."""
 
@@ -199,6 +235,17 @@ def check(repo_root: Path) -> list[str]:
                     f"level ({', '.join(foreign)}) — only repro/api.py may; "
                     "import lazily or go through the facade"
                 )
+
+        # --- incremental isolation ---------------------------------------
+        if rel.startswith("src/repro/incremental/"):
+            for lineno, imported in _all_imported_packages(tree):
+                if imported in INCREMENTAL_BANNED:
+                    violations.append(
+                        f"{rel}:{lineno}: repro.incremental imports "
+                        f"'repro.{imported}' — the recolor engine depends on "
+                        "kernels/core only, never service or tiling (even "
+                        "lazily); compose through repro/api.py"
+                    )
 
         # --- environment discipline --------------------------------------
         if not any(rel.startswith(prefix) for prefix in ENV_ALLOWED):
