@@ -857,6 +857,68 @@ def cmd_recolor(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sessions(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service.durability import SessionDurability
+
+    root = Path(args.spill_dir) / "sessions"
+    if args.action in ("inspect", "compact") and not args.session:
+        print(f"error: 'sessions {args.action}' needs a SESSION id",
+              file=sys.stderr)
+        return 2
+    if not root.is_dir():
+        if args.action == "list":
+            print(json.dumps([]) if args.json
+                  else f"no durable sessions under {root}")
+            return 0
+        print(f"error: no session directory at {root}", file=sys.stderr)
+        return 1
+    store = SessionDurability(root)
+
+    if args.action == "list":
+        summaries = store.list_sessions()
+        if args.json:
+            print(json.dumps(summaries, indent=2))
+            return 0
+        if not summaries:
+            print(f"no durable sessions under {root}")
+            return 0
+        for s in summaries:
+            name = s.get("session") or f"<{s['stem'][:12]}…>"
+            ck = (f"checkpoint seq {s['checkpoint_seq']}"
+                  if s.get("checkpoint_verified")
+                  else "checkpoint DAMAGED"
+                  if "checkpoint_verified" in s
+                  else "no checkpoint")
+            parts = [
+                f"{name}:",
+                f"{s.get('journal_deltas', 0)} journal deltas "
+                f"({s.get('journal_bytes', 0)} B",
+                f"{s.get('journal_skipped', 0)} torn),",
+                ck,
+            ]
+            if s.get("algorithm"):
+                shape = "x".join(str(d) for d in s.get("shape") or [])
+                parts.append(f"[{s['algorithm']} {shape}]")
+            print(" ".join(parts))
+        return 0
+
+    if args.action == "inspect":
+        detail = store.inspect(args.session)
+        print(json.dumps(detail, indent=2))
+        return 0 if detail["recoverable"] else 1
+
+    summary = store.compact(args.session)
+    if summary is None:
+        print(f"error: session {args.session!r} is not recoverable "
+              f"(no usable checkpoint or seed record)", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2))
+    return 0 if summary["compacted"] else 1
+
+
 def cmd_npc(args: argparse.Namespace) -> int:
     from repro.npc.decision import decide_stencil_coloring
     from repro.npc.nae3sat import random_nae3sat, unsatisfiable_example
@@ -1241,6 +1303,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diff every incremental result against a full "
                         "recolor (slow; exits 1 on any mismatch)")
     p.set_defaults(func=cmd_recolor)
+
+    p = sub.add_parser(
+        "sessions",
+        help="inspect or compact durable recolor-session journals offline",
+        epilog="Examples: stencil-ivc sessions list --spill-dir /tmp/l2 | "
+               "stencil-ivc sessions inspect my-session --spill-dir /tmp/l2 "
+               "| stencil-ivc sessions compact my-session --spill-dir /tmp/l2",
+    )
+    p.add_argument("action", choices=("list", "inspect", "compact"),
+                   help="list every durable session, inspect one session's "
+                        "journal/checkpoint, or compact its journal into a "
+                        "verified checkpoint")
+    p.add_argument("session", nargs="?", default="",
+                   help="session id (required for inspect/compact)")
+    p.add_argument("--spill-dir", required=True,
+                   help="the serve --spill-dir whose sessions/ subdirectory "
+                        "holds the journals")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable list output")
+    p.set_defaults(func=cmd_sessions)
 
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
     p.add_argument("--vars", type=int, default=4)

@@ -27,6 +27,19 @@ site               kinds honoured          where
                                            attempt only — triggers the
                                            degraded slow-path fallback)
 ``cache.spill.write`` corrupt, torn        result-cache spill append
+``service.recolor`` crash, error, slow     recolor verb, before seed/delta
+                                           state is mutated (retry-safe)
+``durability.journal.append`` torn, error  session WAL append: ``torn``
+                                           writes half the record then
+                                           raises (the un-acked delta is
+                                           re-sent and re-journaled),
+                                           ``error`` fails before writing
+``durability.checkpoint.write`` corrupt, stale  session checkpoint
+                                           compaction: ``corrupt`` damages
+                                           the snapshot so read-back
+                                           verification rejects it (journal
+                                           kept), ``stale`` skips the
+                                           checkpoint (journal grows)
 ================== ======================= =================================
 
 Activation

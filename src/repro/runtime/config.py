@@ -43,6 +43,9 @@ variable                        field                     values
 ``REPRO_INCR_VALIDATE``         ``incremental.validate``  bool
 ``REPRO_INCR_SESSION_LIMIT``    ``incremental.session_limit``  int (sessions)
 ``REPRO_INCR_SESSION_TTL``      ``incremental.session_ttl``  float (seconds)
+``REPRO_DURABILITY``            ``durability.enabled``    bool (session WAL)
+``REPRO_DURABILITY_FSYNC``      ``durability.fsync``      ``never``/``checkpoint``/``always``
+``REPRO_DURABILITY_CHECKPOINT_INTERVAL`` ``durability.checkpoint_interval`` int (deltas, 0 = never)
 ============================== ========================= ====================
 
 This module (plus :mod:`repro.resilience.faults`, whose lazy ``REPRO_FAULTS``
@@ -63,6 +66,7 @@ __all__ = [
     "RuntimeConfig",
     "TilingConfig",
     "IncrementalConfig",
+    "DurabilityConfig",
     "FastPathMode",
     "TilingMode",
     "env_str",
@@ -257,6 +261,76 @@ class IncrementalConfig:
         return replace(self, **changes) if changes else self
 
 
+#: Journal fsync policies: ``"never"`` trusts the OS page cache,
+#: ``"checkpoint"`` fsyncs only checkpoint snapshots (the default — a torn
+#: trailing journal record is tolerated by replay anyway), ``"always"``
+#: fsyncs every appended journal record.
+_FSYNC_POLICIES = ("never", "checkpoint", "always")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How ``recolor`` sessions are journaled and recovered
+    (:mod:`repro.service.durability`).
+
+    Frozen and picklable, like its owner :class:`RuntimeConfig`.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Durability additionally requires a shared spill
+        directory (``stencil-ivc serve --spill-dir``): without one there is
+        no place for journals to live and sessions stay memory-only.
+    fsync:
+        One of ``"never"``, ``"checkpoint"``, ``"always"`` — how hard the
+        journal pushes appended records to stable storage.  ``"checkpoint"``
+        (default) fsyncs checkpoint snapshots only; replay tolerates a torn
+        trailing journal record, so the exposure is the last few deltas on
+        a kernel (not process) crash.
+    checkpoint_interval:
+        Compact the journal into a fingerprinted checkpoint snapshot every
+        this many applied deltas (``0`` disables compaction — the journal
+        grows without bound and replay starts from the seed frame).
+    """
+
+    enabled: bool = True
+    fsync: str = "checkpoint"
+    checkpoint_interval: int = 16
+
+    def __post_init__(self) -> None:
+        if self.fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "DurabilityConfig":
+        """Defaults, overridden by ``REPRO_DURABILITY*``, overridden by kwargs."""
+        values = {
+            "enabled": env_bool("REPRO_DURABILITY", True),
+            "fsync": (
+                env_str("REPRO_DURABILITY_FSYNC", "checkpoint").strip().lower()
+                or "checkpoint"
+            ),
+            "checkpoint_interval": env_int(
+                "REPRO_DURABILITY_CHECKPOINT_INTERVAL", 16
+            ),
+        }
+        for name, value in overrides.items():
+            if name not in values:
+                raise TypeError(f"unknown DurabilityConfig field {name!r}")
+            if value is not None:
+                values[name] = value
+        return cls(**values)
+
+    def with_overrides(self, **overrides) -> "DurabilityConfig":
+        """A copy with ``overrides`` applied (``None`` values are skipped)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self
+
+
 def _parse_fast_path_mode(raw: str) -> FastPathMode:
     """Map a ``REPRO_FAST_PATHS`` value onto the tri-state mode.
 
@@ -318,6 +392,10 @@ class RuntimeConfig:
         The :class:`IncrementalConfig` governing dirty-region recoloring
         (:mod:`repro.incremental`) and the service's ``recolor`` sessions.
         A plain dict is accepted and normalized.
+    durability:
+        The :class:`DurabilityConfig` governing session write-ahead
+        journaling and crash recovery (:mod:`repro.service.durability`).
+        A plain dict is accepted and normalized.
     """
 
     fast_paths: FastPathMode = "auto"
@@ -331,6 +409,7 @@ class RuntimeConfig:
     service_wire: str = "auto"
     tiling: TilingConfig = field(default_factory=TilingConfig)
     incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.tiling, dict):
@@ -344,6 +423,14 @@ class RuntimeConfig:
         elif not isinstance(self.incremental, IncrementalConfig):
             raise ValueError(
                 f"incremental must be an IncrementalConfig, got {type(self.incremental)!r}"
+            )
+        if isinstance(self.durability, dict):
+            object.__setattr__(
+                self, "durability", DurabilityConfig(**self.durability)
+            )
+        elif not isinstance(self.durability, DurabilityConfig):
+            raise ValueError(
+                f"durability must be a DurabilityConfig, got {type(self.durability)!r}"
             )
         mode: Union[FastPathMode, bool, None] = self.fast_paths
         if mode is None:
@@ -393,6 +480,7 @@ class RuntimeConfig:
             ),
             "tiling": TilingConfig.from_env(),
             "incremental": IncrementalConfig.from_env(),
+            "durability": DurabilityConfig.from_env(),
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():

@@ -193,6 +193,7 @@ class RecolorResponse:
     latency: float = 0.0
     request_id: str = ""
     worker: str = ""
+    recovered: bool = False  # server rebuilt the session by journal replay
     raw: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -247,6 +248,7 @@ def _decode_recolor_response(
         latency=latency,
         request_id=str(message.get("id", "")),
         worker=str(message.get("worker", "")),
+        recovered=bool(message.get("recovered", False)),
         raw=message,
     )
 
@@ -272,6 +274,15 @@ def _build_request(
 #: ``socket.timeout``/``TimeoutError`` and the ``Connection*`` family are all
 #: ``OSError`` subclasses; ``asyncio.TimeoutError`` is separate before 3.11.
 _TRANSPORT_ERRORS = (OSError, asyncio.TimeoutError, TimeoutError)
+
+#: Bounded budget for the last-resort mirror re-seed loop of
+#: :meth:`ServiceClient.recolor_delta`.  One attempt loses the race against
+#: a worker restart window (the re-seeded session dies with the next crash
+#: before the delta lands); three attempts with backoff rides it out.
+RESEED_ATTEMPTS = 3
+
+#: Base delay (seconds) of the re-seed loop's jittered exponential backoff.
+RESEED_BACKOFF = 0.05
 
 
 class PreparedColorRequest:
@@ -365,6 +376,7 @@ class ServiceClient:
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._recolor_mirrors: dict[str, _SessionMirror] = {}
+        self.reseeds_used = 0  # mirror re-seed attempts (last-resort path)
 
     # -------------------------------------------------------------- transport
     def connect(self) -> "ServiceClient":
@@ -661,11 +673,19 @@ class ServiceClient:
 
         ``idx`` are flat C-order cell indices, ``new_weights`` their
         *absolute* new weights — absolute so a delta re-sent after a
-        connection loss or an injected server error is idempotent.  On an
-        ``unknown-session`` answer (server restart, TTL expiry, LRU
-        eviction) with ``reseed=True`` the client transparently re-seeds
-        from its mirror and re-sends the delta once.  The mirror is
-        updated from each acknowledged delta's changed cells.
+        connection loss or an injected server error is idempotent.
+
+        Recovery order on an ``unknown-session`` answer: the *server* gets
+        the first shot — a durability-enabled worker replays the session's
+        journal before ever answering unknown-session (``recovered: true``
+        rides on the response), so this client usually never sees one.
+        Only when the server genuinely has nothing (durability off, journal
+        gone) does ``reseed=True`` fall back to re-seeding from the local
+        mirror — a bounded loop of :data:`RESEED_ATTEMPTS` tries with
+        jittered exponential backoff, because a single immediate re-send
+        loses the race against a worker restart window.  Attempts are
+        counted in :attr:`reseeds_used`.  The mirror is updated from each
+        acknowledged delta's changed cells.
         """
         mirror = self._recolor_mirrors.get(session)
         idx_arr = np.asarray(idx, dtype=np.int64).ravel()
@@ -684,14 +704,30 @@ class ServiceClient:
             message, None, time.perf_counter() - t0
         )
         if response.unknown_session and reseed and mirror is not None:
-            seeded = self.recolor_open(
-                session, mirror.weights, mirror.algorithm
-            )
-            if seeded.ok:
-                return self.recolor_delta(
+            for attempt in range(RESEED_ATTEMPTS):
+                self.reseeds_used += 1
+                if attempt:
+                    # Jittered exponential backoff: the unknown-session
+                    # answer may come from a worker that is mid-restart
+                    # (or a sibling that has not seen the journal yet) —
+                    # immediate re-seeds lose that race.
+                    time.sleep(
+                        RESEED_BACKOFF
+                        * (2**attempt)
+                        * (0.5 + self._rng.random())
+                    )
+                seeded = self.recolor_open(
+                    session, mirror.weights, mirror.algorithm
+                )
+                if not seeded.ok:
+                    continue
+                retry = self.recolor_delta(
                     session, idx_arr, new_arr,
                     request_id=request.request_id, reseed=False,
                 )
+                if not retry.unknown_session:
+                    return retry
+                response = retry
             return response
         if response.ok and mirror is not None:
             mirror.weights.ravel()[idx_arr] = new_arr

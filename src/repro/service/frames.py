@@ -56,6 +56,7 @@ the torn-trailing-line tolerance of the JSONL run-log reader.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import struct
 from typing import Any, NamedTuple, Optional
@@ -304,6 +305,19 @@ def decode_color_request(frame: Frame) -> ColorRequest:
     return request_from_fields(arr, header)
 
 
+def session_routing_key(session: str) -> str:
+    """The preamble routing key for a recolor session (hex, 20 bytes).
+
+    ``color`` frames route by content key so identical grids land on one
+    worker's cache; ``recolor`` ops must instead route by *session* — every
+    seed and delta of one session has to reach the worker holding (or able
+    to journal-recover) its state.  Hashing the client-chosen session id to
+    the fixed :data:`KEY_SIZE` keeps arbitrary-length ids out of the
+    preamble while the router's rendezvous ranking stays deterministic.
+    """
+    return hashlib.blake2b(session.encode(), digest_size=KEY_SIZE).hexdigest()
+
+
 def encode_recolor_request(request: RecolorRequest) -> bytes:
     """A ``recolor`` frame, in either of the op's two forms.
 
@@ -312,6 +326,12 @@ def encode_recolor_request(request: RecolorRequest) -> bytes:
     payload.  Delta form: the header carries ``"delta": K`` and the payload
     is ``K`` flat indices followed by ``K`` absolute new weights, both raw
     ``<i8``.
+
+    Both forms stamp :func:`session_routing_key` into the preamble, so a
+    router forwards the whole session to one rendezvous-chosen worker (and
+    to the same sibling on failover, where journal replay picks it up).
+    A delta answer may carry ``"recovered": true`` in its header when the
+    serving worker rebuilt the session from its journal first.
     """
     header: dict[str, Any] = {
         "api": PROTOCOL_API_VERSION,
@@ -331,7 +351,9 @@ def encode_recolor_request(request: RecolorRequest) -> bytes:
         new = np.ascontiguousarray(request.delta_weights, dtype=PAYLOAD_DTYPE)
         header["delta"] = int(idx.size)
         payload = idx.tobytes() + new.tobytes()
-    return encode_frame(OP_RECOLOR, header, payload)
+    return encode_frame(
+        OP_RECOLOR, header, payload, key=session_routing_key(request.session)
+    )
 
 
 def decode_recolor_request(frame: Frame) -> RecolorRequest:

@@ -411,6 +411,8 @@ class RecolorStreamReport:
     incremental: int = 0
     fallbacks: int = 0
     unknown_sessions: int = 0
+    reseeds: int = 0  # client mirror re-seed attempts (last-resort recovery)
+    recoveries: int = 0  # server-side journal replays (recovered: true)
     errors: int = 0
     divergences: int = 0
     seed_seconds: float = 0.0
@@ -436,6 +438,8 @@ class RecolorStreamReport:
             "incremental": self.incremental,
             "fallbacks": self.fallbacks,
             "unknown_sessions": self.unknown_sessions,
+            "reseeds": self.reseeds,
+            "recoveries": self.recoveries,
             "errors": self.errors,
             "divergences": self.divergences,
             "seed_seconds": self.seed_seconds,
@@ -521,6 +525,8 @@ def run_recolor_stream(
             if response.ok:
                 report.ok += 1
                 latencies.append(response.latency)
+                if response.recovered:
+                    report.recoveries += 1
                 stats = response.recolor
                 if stats.get("mode") == "incremental":
                     report.incremental += 1
@@ -540,6 +546,7 @@ def run_recolor_stream(
                     f"{name} delta {step}: {response.status}: {response.error}"
                 )
         report.duration_seconds = time.perf_counter() - t0
+        report.reseeds = client.reseeds_used
         if report.duration_seconds > 0:
             report.deltas_per_second = report.ok / report.duration_seconds
         if latencies:
@@ -569,7 +576,10 @@ def run_recolor_stream(
                     "recolor": {
                         k: v
                         for k, v in counters.items()
-                        if isinstance(k, str) and k.startswith("recolor_")
+                        if isinstance(k, str)
+                        and k.startswith(
+                            ("recolor_", "session_", "journal_", "checkpoint")
+                        )
                     },
                 }
             except Exception:
@@ -593,7 +603,8 @@ def format_recolor_report(report: RecolorStreamReport) -> str:
         f"{report.fallbacks} fallback), {report.cells_changed_total} cells "
         f"changed, {report.cells_recomputed_total} recomputed",
         f"recovery   : {report.unknown_sessions} unknown-session answers, "
-        f"{report.errors} errors",
+        f"{report.recoveries} server journal replays, "
+        f"{report.reseeds} client reseed attempts, {report.errors} errors",
     ]
     if report.verify:
         verdict = "bit-identical" if report.divergences == 0 else "DIVERGED"

@@ -16,6 +16,14 @@ cache entry.  NDJSON clients get the same routing: the router decodes the
 line (the compat path pays JSON once), reframes it as binary for the
 worker hop, and re-encodes the response as JSON.
 
+**Session routing.**  ``recolor`` frames route the same way but by a
+*session*-derived key (:func:`repro.service.frames.session_routing_key`),
+so one session's seed and every delta land on the same worker.  When that
+worker dies the failover walk re-sends to a sibling, which replays the
+session's write-ahead journal from the shared spill directory
+(:mod:`repro.service.durability`) before serving — crash-transparent to
+the streaming client.
+
 **Failover and supervision.**  A forward that fails mid-flight walks down
 the rendezvous ranking and re-sends — safe because requests are
 content-addressed and idempotent — while a supervisor task respawns dead
@@ -46,6 +54,7 @@ from repro.service.frames import (
     OP_HELLO,
     OP_METRICS,
     OP_PING,
+    OP_RECOLOR,
     OP_RESPONSE,
     OP_SHUTDOWN,
     PREAMBLE_SIZE,
@@ -56,8 +65,10 @@ from repro.service.frames import (
     encode_color_request,
     encode_frame,
     encode_hello_ok,
+    encode_recolor_request,
     frame_timeout,
     response_to_message,
+    session_routing_key,
 )
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
@@ -67,6 +78,7 @@ from repro.service.protocol import (
     ProtocolError,
     decode_message,
     encode_message,
+    recolor_from_wire,
     request_from_wire,
 )
 from repro.service.server import ServerConfig
@@ -432,7 +444,13 @@ class ColoringRouter:
                 if framed is None:
                     break
                 opcode, key, raw = framed
-                if opcode == OP_COLOR:
+                if opcode in (OP_COLOR, OP_RECOLOR):
+                    # Recolor frames carry a session-derived preamble key
+                    # (see frames.session_routing_key), so a session's
+                    # whole delta stream lands on one rendezvous-chosen
+                    # worker; failover re-sends are safe because deltas
+                    # carry absolute weights (idempotent) and the sibling
+                    # replays the shared-spill journal before answering.
                     slot, entry = await self._pipeline_forward(key, raw, conns)
                     await pending.put(("read", slot, entry, key, raw))
                     continue
@@ -667,6 +685,34 @@ class ColoringRouter:
             reply = response_to_message(decode_frame(forwarded))
             if reply.get("starts") is not None:
                 reply["starts"] = [int(s) for s in reply["starts"]]
+            reply["id"] = request_id
+            return reply
+        if op == "recolor":
+            # Same decode/reframe/forward dance as "color", but routed by
+            # the session key so the stream stays on one worker.
+            try:
+                request = recolor_from_wire(message)
+            except ProtocolError as exc:
+                self.metrics.counter("protocol_errors").inc()
+                return {
+                    "id": request_id,
+                    "status": STATUS_INVALID,
+                    "error": str(exc),
+                }
+            raw = encode_recolor_request(request)
+            forwarded, error = await self._forward_raw(
+                session_routing_key(request.session), raw, conns
+            )
+            if forwarded is None:
+                return {
+                    "id": request_id,
+                    "status": STATUS_ERROR,
+                    "error": f"all workers unreachable: {error}",
+                }
+            reply = response_to_message(decode_frame(forwarded))
+            for name in ("starts", "changed_idx", "changed_starts"):
+                if reply.get(name) is not None:
+                    reply[name] = [int(v) for v in reply[name]]
             reply["id"] = request_id
             return reply
         self.metrics.counter("protocol_errors").inc()

@@ -26,6 +26,7 @@ import asyncio
 import threading
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
@@ -76,6 +77,7 @@ from repro.service.protocol import (
     request_from_wire,
     result_to_wire,
 )
+from repro.service.durability import SessionDurability
 from repro.service.sessions import SessionStore, UnknownSessionError
 
 
@@ -139,8 +141,25 @@ class ColoringService:
             context=self.context,
         )
         incr = self.context.config.incremental
+        dura = self.context.config.durability
+        self.durability: Optional[SessionDurability] = None
+        if dura.enabled and self.config.spill_dir:
+            # Sessions journal under the *shared* spill directory so a
+            # restarted or sibling worker sees them — the same tier the
+            # result cache uses for L2 entries (different file suffixes,
+            # own `sessions/` subdirectory: no collisions).
+            self.durability = SessionDurability(
+                Path(self.config.spill_dir) / "sessions",
+                dura,
+                metrics=self.metrics,
+            )
         self.sessions = SessionStore(
-            limit=incr.session_limit, ttl=incr.session_ttl
+            limit=incr.session_limit,
+            ttl=incr.session_ttl,
+            metrics=self.metrics,
+            recovery=(
+                self.durability.recover if self.durability is not None else None
+            ),
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
@@ -641,6 +660,15 @@ class ColoringService:
         absolute weights) is then idempotent.  One lock serializes recolor
         computes: deltas are causally ordered per session, and cross-session
         fairness is not worth racing commits for.
+
+        With durability active (``--spill-dir`` + ``DurabilityConfig``),
+        every delta is journaled *before* it is acknowledged — a failed
+        append answers ``error`` and the client's idempotent re-send
+        journals again — and an unknown session first attempts journal/
+        checkpoint replay (``session_recoveries``/``journal_replay_seconds``
+        in ``/metrics``, ``recovered: true`` on the response) before the
+        typed error is emitted, making worker crashes and router failover
+        invisible to a mid-stream client.
         """
         from repro.incremental.engine import full_recolor, recolor_grid
 
@@ -663,10 +691,17 @@ class ColoringService:
                         ),
                     )
                     maxcolor = int((starts + weights).max()) if weights.size else 0
-                    self.sessions.open(
+                    session = self.sessions.open(
                         request.session, request.algorithm, weights, starts,
                         maxcolor,
                     )
+                    if self.durability is not None:
+                        # WAL the seed before acknowledging it: a failed
+                        # journal write fails the seed (the client retries)
+                        # rather than leaving an unrecoverable session.
+                        await loop.run_in_executor(
+                            None, self.durability.record_seed, session
+                        )
                     header = {
                         **base,
                         "status": STATUS_OK,
@@ -678,8 +713,14 @@ class ColoringService:
                     self._finish_recolor(received, ok=True)
                     return header, starts, None
 
+                lookup_started = time.perf_counter()
                 try:
-                    session = self.sessions.get(request.session)
+                    # Recovery-aware lookup: an unknown session first gets
+                    # a journal/checkpoint replay (run in the executor —
+                    # it does full numpy recolors) before the typed error.
+                    session, recovered = await loop.run_in_executor(
+                        None, self.sessions.get_or_recover, request.session
+                    )
                 except UnknownSessionError as exc:
                     self.metrics.counter("recolor_unknown_sessions").inc()
                     header = {
@@ -689,6 +730,11 @@ class ColoringService:
                         "error": str(exc),
                     }
                     return header, None, None
+                if recovered:
+                    self.metrics.histogram("journal_replay_seconds").observe(
+                        time.perf_counter() - lookup_started
+                    )
+                    base["recovered"] = True
                 n = session.weights.size
                 idx = request.delta_idx
                 if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= n):
@@ -720,9 +766,31 @@ class ColoringService:
                     outcome.starts.ravel() != old_starts.ravel()
                 )
                 changed_starts = outcome.starts.ravel()[changed_idx]
+                if self.durability is not None:
+                    # WAL-before-ack: journal the delta before committing
+                    # it.  A failed append raises into the generic error
+                    # answer below; the session is untouched and the
+                    # client's re-send (absolute weights) is idempotent.
+                    seq = session.deltas_applied + 1
+                    await loop.run_in_executor(
+                        None,
+                        lambda: self.durability.record_delta(
+                            request.session, seq, idx, request.delta_weights
+                        ),
+                    )
                 self.sessions.commit(
                     session, new_weights, outcome.starts, outcome.maxcolor
                 )
+                if self.durability is not None:
+                    # Compaction is best-effort and never fails the delta:
+                    # a skipped/corrupt checkpoint just leaves the journal
+                    # longer for the next replay.
+                    try:
+                        await loop.run_in_executor(
+                            None, self.durability.maybe_checkpoint, session
+                        )
+                    except Exception:
+                        self.metrics.counter("checkpoint_write_errors").inc()
                 header = {
                     **base,
                     "status": STATUS_OK,
@@ -763,6 +831,8 @@ class ColoringService:
         snap = self.metrics.snapshot(include_state=include_state)
         snap["cache"] = self.cache.stats()
         snap["sessions"] = self.sessions.stats()
+        if self.durability is not None:
+            snap["sessions"]["durability"] = self.durability.stats()
         snap["substrate"] = substrate_stats(self.context)
         snap["server"] = {
             "worker_id": self.config.worker_id,

@@ -20,6 +20,16 @@ Both bounds default from :class:`repro.runtime.config.IncrementalConfig`
 (``REPRO_INCR_SESSION_LIMIT`` / ``REPRO_INCR_SESSION_TTL``).  The store is
 lock-protected: the service mutates it from its event loop but tests and
 ``/metrics`` snapshots may read from other threads.
+
+With a ``recovery`` callable wired in (the durability layer's
+``SessionDurability.recover``), :meth:`SessionStore.get_or_recover` turns
+a would-be ``unknown-session`` answer into a journal replay: evictions and
+expiries free memory but leave the journal, so a later delta transparently
+rebuilds the session instead of bouncing the client.  The two eviction
+causes are counted separately (``session_evictions_lru`` vs
+``session_evictions_ttl`` in ``/metrics``) because their remedies differ:
+LRU pressure means ``session_limit`` is too small for the working set,
+TTL expiry means clients genuinely went away.
 """
 
 from __future__ import annotations
@@ -85,6 +95,8 @@ class SessionStore:
         ttl: float = 900.0,
         *,
         clock: Callable[[], float] = time.monotonic,
+        metrics=None,
+        recovery: Optional[Callable[[str], object]] = None,
     ) -> None:
         if limit < 1:
             raise ValueError(f"session limit must be >= 1, got {limit}")
@@ -93,11 +105,18 @@ class SessionStore:
         self.limit = int(limit)
         self.ttl = float(ttl)
         self._clock = clock
+        self._metrics = metrics
+        self._recovery = recovery
         self._lock = threading.Lock()
         self._sessions: OrderedDict[str, RecolorSession] = OrderedDict()
         self._opened = 0
         self._evicted = 0
         self._expired = 0
+        self._recovered = 0
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -130,6 +149,7 @@ class SessionStore:
             while len(self._sessions) > self.limit:
                 self._sessions.popitem(last=False)
                 self._evicted += 1
+                self._count("session_evictions_lru")
         return session
 
     def get(self, session_id: str) -> RecolorSession:
@@ -146,10 +166,47 @@ class SessionStore:
             if now - session.touched > self.ttl:
                 del self._sessions[session_id]
                 self._expired += 1
+                self._count("session_evictions_ttl")
                 raise UnknownSessionError(session_id, "expired")
             session.touched = now
             self._sessions.move_to_end(session_id)
             return session
+
+    def get_or_recover(self, session_id: str) -> tuple[RecolorSession, bool]:
+        """Like :meth:`get`, but replay durable state before giving up.
+
+        Returns ``(session, recovered)``: ``recovered`` is ``True`` when
+        the session was not held in memory (crashed worker, LRU eviction,
+        TTL expiry, sibling failover) and was rebuilt by the ``recovery``
+        callable — the durability layer's journal/checkpoint replay.  Only
+        when recovery also comes up empty does the original typed
+        :class:`UnknownSessionError` propagate, preserving the exact
+        ``missing``/``expired`` answer the memory-only store would give.
+
+        The replay runs outside the store lock (it does full numpy
+        recolors); the rebuilt session is then re-``open``-ed, making it
+        LRU-fresh and subject to the same bounds as any other.
+        """
+        try:
+            return self.get(session_id), False
+        except UnknownSessionError:
+            if self._recovery is None:
+                raise
+            recovered = self._recovery(session_id)
+            if recovered is None:
+                raise
+            session = self.open(
+                session_id,
+                recovered.algorithm,
+                recovered.weights,
+                recovered.starts,
+                recovered.maxcolor,
+            )
+            session.deltas_applied = int(recovered.deltas_applied)
+            with self._lock:
+                self._recovered += 1
+            self._count("session_recoveries")
+            return session, True
 
     def commit(
         self,
@@ -182,5 +239,6 @@ class SessionStore:
                 "opened": self._opened,
                 "evicted": self._evicted,
                 "expired": self._expired,
+                "recovered": self._recovered,
                 "held_cells": int(cells),
             }

@@ -17,6 +17,12 @@ The pool is the supervised layer underneath the router
 * **Fault parity** — workers are spawned with the parent's environment,
   so ``REPRO_*`` runtime settings and ``REPRO_FAULTS`` fault plans apply
   inside each worker exactly as they would in a single-process server.
+  A programmatic ``ServerConfig.runtime`` survives the spawn pickle too
+  (rebuilt from its ``asdict`` form in the child).
+* **Durable sessions** — the shared ``spill_dir`` also holds the recolor
+  session journals (:mod:`repro.service.durability`), so a restarted
+  worker — or a sibling taking over after failover — rebuilds a dead
+  worker's sessions by journal replay instead of bouncing clients.
 
 The pool is transport-agnostic: it spawns, watches, and stops processes.
 Routing requests to workers is the router's job.
@@ -46,6 +52,7 @@ def _worker_main(conn, config_fields: dict) -> None:
     """
     import asyncio
 
+    from repro.runtime.config import RuntimeConfig
     from repro.runtime.context import ExecutionContext, set_default_context
 
     context = ExecutionContext.from_env()
@@ -54,6 +61,13 @@ def _worker_main(conn, config_fields: dict) -> None:
 
     from repro.service.server import run_service
 
+    # asdict() flattened any programmatic RuntimeConfig (and its nested
+    # tiling/incremental/durability configs) into plain dicts for the spawn
+    # pickle; rebuild it so workers honor the parent's explicit runtime
+    # instead of silently falling back to the environment.
+    runtime = config_fields.get("runtime")
+    if isinstance(runtime, dict):
+        config_fields = {**config_fields, "runtime": RuntimeConfig(**runtime)}
     config = ServerConfig(**config_fields)
 
     def ready(service) -> None:

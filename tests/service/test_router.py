@@ -18,7 +18,9 @@ import pytest
 
 from repro.core.algorithms.registry import color_with
 from repro.core.problem import IVCInstance
+from repro.incremental.engine import full_recolor
 from repro.service.client import ServiceClient
+from repro.service.frames import session_routing_key
 from repro.service.router import RouterConfig, RouterThread, rank_workers
 from repro.service.server import ServerConfig
 
@@ -172,3 +174,67 @@ class TestFailover:
             recovered = client.color(weights, "GLL")
             assert recovered.ok
             assert np.array_equal(recovered.starts, first.starts)
+
+
+class TestRecolorRouting:
+    def _stream(self, client, session, shape, deltas, seed):
+        weights = _grid(shape, seed=seed)
+        assert client.recolor_open(session, weights, "GLF").ok
+        rng = np.random.default_rng(seed + 100)
+        current = weights.copy()
+        for _ in range(deltas):
+            idx = rng.choice(current.size, size=3, replace=False)
+            vals = rng.integers(1, 50, size=3, dtype=np.int64)
+            response = client.recolor_delta(session, idx, vals)
+            assert response.ok, response.error
+            current.ravel()[idx] = vals
+        return current
+
+    @pytest.mark.parametrize("wire", ["binary", "ndjson"])
+    def test_session_streams_through_router_bit_identical(self, router, wire):
+        # The recolor verb pipelines through the router exactly like color,
+        # but routed by the session key so every delta of a session lands
+        # on the same worker's in-memory state.
+        with ServiceClient("127.0.0.1", router.port, timeout=30.0,
+                           wire=wire) as client:
+            session = f"route-{wire}"
+            current = self._stream(client, session, (12, 12), 5, seed=31)
+            mirror_w, mirror_s = client.recolor_state(session)
+            assert np.array_equal(mirror_w, current)
+            assert np.array_equal(mirror_s, full_recolor(current, "GLF"))
+            assert client.reseeds_used == 0
+
+    def test_owner_kill_mid_stream_recovers_without_reseed(self, router):
+        # The chaos contract: SIGKILL the worker owning an active session
+        # mid delta-stream.  The journal under the shared spill dir lets
+        # whichever worker next sees the session (failover sibling or the
+        # restarted slot) replay it — the stream completes bit-identically
+        # with ZERO client mirror re-seeds.
+        with ServiceClient("127.0.0.1", router.port, timeout=30.0) as client:
+            session = "durable-kill"
+            current = self._stream(client, session, (14, 14), 3, seed=37)
+            owner = f"w{rank_workers(session_routing_key(session), 2)[0]}"
+            handle = next(
+                h for h in router.router.pool.handles if h.worker_id == owner
+            )
+            handle.process.kill()
+            handle.process.join(5.0)
+
+            rng = np.random.default_rng(41)
+            saw_recovery = False
+            for _ in range(4):
+                idx = rng.choice(current.size, size=3, replace=False)
+                vals = rng.integers(1, 50, size=3, dtype=np.int64)
+                response = client.recolor_delta(session, idx, vals)
+                assert response.ok, response.error
+                saw_recovery = saw_recovery or response.recovered
+                current.ravel()[idx] = vals
+            assert saw_recovery
+            assert client.reseeds_used == 0
+
+            mirror_w, mirror_s = client.recolor_state(session)
+            assert np.array_equal(mirror_w, current)
+            assert np.array_equal(mirror_s, full_recolor(current, "GLF"))
+            assert client.metrics()["fleet"]["counters"].get(
+                "session_recoveries", 0
+            ) >= 1

@@ -327,3 +327,92 @@ class TestTile:
     def test_tile_requires_exactly_one_source(self, capsys):
         assert main(["tile"]) == 2
         assert "exactly one" in capsys.readouterr().err
+
+
+class TestSessions:
+    """Offline `stencil-ivc sessions` against a populated spill directory."""
+
+    @pytest.fixture()
+    def spill(self, tmp_path):
+        from repro.incremental.engine import full_recolor
+        from repro.runtime.config import DurabilityConfig
+        from repro.service.durability import SessionDurability
+        from repro.service.sessions import RecolorSession
+
+        store = SessionDurability(
+            tmp_path / "sessions", DurabilityConfig(checkpoint_interval=0)
+        )
+        weights = np.random.default_rng(3).integers(
+            1, 50, size=(8, 8), dtype=np.int64)
+        starts = full_recolor(weights, "GLF")
+        session = RecolorSession(
+            session_id="cli-demo", algorithm="GLF", weights=weights,
+            starts=starts, maxcolor=int((starts + weights).max()),
+            created=0.0, touched=0.0,
+        )
+        store.record_seed(session)
+        current = weights.copy()
+        rng = np.random.default_rng(4)
+        for seq in (1, 2, 3):
+            idx = rng.choice(current.size, size=2, replace=False)
+            vals = rng.integers(1, 50, size=2, dtype=np.int64)
+            store.record_delta("cli-demo", seq, idx, vals)
+            current.ravel()[idx] = vals
+        return tmp_path
+
+    def test_list_human_and_json(self, spill, capsys):
+        import json
+
+        rc = main(["sessions", "list", "--spill-dir", str(spill)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-demo" in out and "3 journal deltas" in out
+
+        rc = main(["sessions", "list", "--spill-dir", str(spill), "--json"])
+        assert rc == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert listed[0]["session"] == "cli-demo"
+        assert listed[0]["journal_deltas"] == 3
+
+    def test_inspect_reports_recoverable(self, spill, capsys):
+        import json
+
+        rc = main(["sessions", "inspect", "cli-demo",
+                   "--spill-dir", str(spill)])
+        assert rc == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["recoverable"] is True
+        assert detail["deltas_applied"] == 3
+        assert detail["journal_seqs"] == [0, 1, 2, 3]
+
+    def test_compact_folds_journal_into_checkpoint(self, spill, capsys):
+        import json
+
+        rc = main(["sessions", "compact", "cli-demo",
+                   "--spill-dir", str(spill)])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["compacted"] is True and summary["seq"] == 3
+        # The journal is now empty and the state lives in the checkpoint.
+        rc = main(["sessions", "list", "--spill-dir", str(spill), "--json"])
+        assert rc == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert listed[0]["checkpoint_verified"] is True
+        assert listed[0]["checkpoint_seq"] == 3
+        assert listed[0]["journal_deltas"] == 0
+
+    def test_inspect_requires_session_arg(self, capsys):
+        assert main(["sessions", "inspect", "--spill-dir", "/tmp/x"]) == 2
+        assert "needs a SESSION" in capsys.readouterr().err
+
+    def test_missing_directory(self, tmp_path, capsys):
+        rc = main(["sessions", "list", "--spill-dir", str(tmp_path / "no")])
+        assert rc == 0
+        assert "no durable sessions" in capsys.readouterr().out
+        rc = main(["sessions", "inspect", "x",
+                   "--spill-dir", str(tmp_path / "no")])
+        assert rc == 1
+
+    def test_unknown_session_inspect_fails(self, spill, capsys):
+        rc = main(["sessions", "inspect", "nope", "--spill-dir", str(spill)])
+        assert rc == 1
