@@ -3,64 +3,34 @@
 The paper's 2D/3D ranking flip (BDP dominates 2D, GLF/SGK dominate 3D) is a
 weight-regime effect: dense, smooth count grids favor the construction-based
 BDP, while sparse/heavy-tailed grids favor weight-driven first fit.  This
-bench makes the mechanism explicit on controlled weight distributions, which
-is how EXPERIMENTS.md explains any ranking deltas between the paper's real
-datasets and our synthetic analogues.
+bench runs ``campaigns/weight_regime.toml`` — controlled weight
+distributions, bit-identical to the pre-campaign version of this file —
+which is how EXPERIMENTS.md explains any ranking deltas between the paper's
+real datasets and our synthetic analogues.
 """
 
-import numpy as np
+from repro.campaign import suite_result_from_harvest
 
-from repro.analysis.reporting import format_table
-from repro.core.algorithms.registry import ALGORITHMS, color_with
-from repro.core.bounds import lower_bound
-from repro.core.problem import IVCInstance
-
-from benchmarks.conftest import emit
-
-SHAPE = (16, 16)
-REPEATS = 8
+from benchmarks.conftest import bench_campaign, campaign_docs, emit_doc
 
 
-def _regimes(rng):
-    yield "near-constant", lambda: rng.integers(45, 55, size=SHAPE)
-    yield "uniform dense", lambda: rng.integers(10, 50, size=SHAPE)
-    yield "exponential", lambda: rng.poisson(rng.exponential(5.0, size=SHAPE))
-
-    def sparse_spiky():
-        grid = np.zeros(SHAPE, dtype=int)
-        idx = rng.integers(0, SHAPE[0], size=(30, 2))
-        for i, j in idx:
-            grid[i, j] += int(rng.integers(5, 60))
-        return grid
-
-    yield "sparse spiky", sparse_spiky
+def _regime_ratios(result, label):
+    idx = result.indices_by_metadata("regime", label)
+    lb_total = sum(result.lower_bounds[i] for i in idx)
+    return {
+        name: sum(result.maxcolors[name][i] for i in idx) / max(lb_total, 1)
+        for name in result.algorithms
+    }
 
 
 def test_ablation_weight_regime(benchmark):
-    rng = np.random.default_rng(42)
-
-    def run():
-        rows = []
-        for label, gen in _regimes(rng):
-            totals = {name: 0 for name in ALGORITHMS}
-            lb_total = 0
-            for _ in range(REPEATS):
-                inst = IVCInstance.from_grid_2d(gen())
-                lb_total += lower_bound(inst)
-                for name in ALGORITHMS:
-                    totals[name] += color_with(inst, name).maxcolor
-            rows.append(
-                (label, *[totals[name] / max(lb_total, 1) for name in ALGORITHMS])
-            )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    body = format_table(("regime", *ALGORITHMS), rows) + (
-        "\n\nratios to the K4 lower bound; lower is better.  BDP/BD dominate"
-        " the smooth regimes, GLF/SGK the spiky ones — the paper's 2D-vs-3D"
-        " ranking flip in miniature."
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("weight_regime.toml"), rounds=1, iterations=1
     )
-    emit("ablation weight regime", body)
-    by_label = {r[0]: dict(zip(ALGORITHMS, r[1:])) for r in rows}
-    assert by_label["near-constant"]["BDP"] < by_label["near-constant"]["GLF"]
-    assert by_label["sparse spiky"]["GLF"] < by_label["sparse spiky"]["BDP"]
+    for doc in docs:
+        emit_doc(doc)
+    result = suite_result_from_harvest(bench_campaign("weight_regime.toml"))
+    smooth = _regime_ratios(result, "near-constant")
+    spiky = _regime_ratios(result, "sparse spiky")
+    assert smooth["BDP"] < smooth["GLF"]
+    assert spiky["GLF"] < spiky["BDP"]

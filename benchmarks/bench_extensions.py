@@ -1,50 +1,27 @@
 """Extension heuristics vs the paper's seven (future-work exploration).
 
 The paper's conclusion asks whether better heuristics exist.  This bench
-pits the extension set — greedy smallest-last (GSL), post-optimized GLF
-(GLF+P), iterated fixed-point BD post-optimization (BD+IP), and SGK's
-weight-sorted shortcut everywhere (SGK-ws) — against the original seven on
-the 2D suite.
+runs ``campaigns/extensions.toml`` — the extension set (greedy
+smallest-last GSL, post-optimized GLF+P, iterated fixed-point BD+IP, and
+SGK's weight-sorted shortcut SGK-ws) against the original seven on a
+~120-instance sample of the 2D suite — and asserts the extensions'
+construction guarantees on the harvested colorings.
 """
 
 import numpy as np
 
-from repro.analysis.performance_profiles import profile_to_text
-from repro.analysis.reporting import format_table
-from repro.analysis.stats import mean_ratio_to
-from repro.core.algorithms.registry import EXTENDED_ALGORITHMS
-from repro.experiments import run_suite
+from repro.campaign import suite_result_from_harvest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_campaign, campaign_docs, emit_doc
 
 
-def test_extension_algorithms(benchmark, suite2d):
-    sample = suite2d[:: max(1, len(suite2d) // 120)]
-
-    def run():
-        return run_suite(sample, algorithms=list(EXTENDED_ALGORITHMS))
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    prof = result.profile()
-    lbs = [float(b) for b in result.lower_bounds]
-    rows = [
-        (
-            name,
-            mean_ratio_to([float(v) for v in result.maxcolors[name]], lbs),
-            float(np.sum(result.times[name])),
-        )
-        for name in result.algorithms
-    ]
-    body = "\n".join(
-        [
-            f"instances: {result.num_instances}",
-            "",
-            profile_to_text(prof),
-            "",
-            format_table(("algorithm", "mean ratio to LB", "total s"), rows),
-        ]
+def test_extension_algorithms(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("extensions.toml"), rounds=1, iterations=1
     )
-    emit("extensions vs paper algorithms", body)
+    for doc in docs:
+        emit_doc(doc)
+    result = suite_result_from_harvest(bench_campaign("extensions.toml"))
     # Extensions must honor their construction guarantees.
     glf = np.array(result.maxcolors["GLF"])
     glfp = np.array(result.maxcolors["GLF+P"])

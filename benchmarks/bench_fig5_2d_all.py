@@ -2,22 +2,18 @@
 
 * ``test_fig5a_runtime_*`` — pytest-benchmark times each algorithm over a
   fixed sample of suite instances (the runtime-comparison bars of Fig. 5a).
-* ``test_fig5b_profile`` — emits the performance profile over the full 2D
-  suite (Fig. 5b) and the §VI.B text statistics via
-  :mod:`repro.reports`.
+* ``test_fig5b_profile_and_stats`` — renders ``campaigns/fig5.toml``: the
+  performance profile over the full 2D suite (Fig. 5b), the §VI.B text
+  statistics, and the runtime summary, all from the shared base-2D campaign
+  run (``stencil-ivc campaign run campaigns/fig5.toml`` reproduces the same
+  tables byte-for-byte).
 """
 
 import pytest
 
-from repro.analysis.stats import runtime_summary
 from repro.core.algorithms.registry import ALGORITHMS
-from repro.reports import (
-    bd_improvement_report,
-    suite_quality_report,
-    suite_runtime_report,
-)
 
-from benchmarks.conftest import emit, emit_svg
+from benchmarks.conftest import campaign_docs, emit_doc
 
 
 @pytest.fixture(scope="module")
@@ -37,31 +33,9 @@ def test_fig5a_runtime(benchmark, sample2d, algorithm):
     benchmark(run_all)
 
 
-def test_fig5b_profile_and_stats(benchmark, result2d):
-    def report():
-        return "\n\n".join(
-            [
-                suite_quality_report(result2d, "K4 LB"),
-                bd_improvement_report(result2d),
-            ]
-        )
-
-    body = benchmark.pedantic(report, rounds=1, iterations=1)
-    emit("fig5b 2d performance profile", body)
-    emit("fig5a 2d runtime summary", suite_runtime_report(result2d))
-
-    from repro.analysis.svgplot import bars_svg, profile_svg
-
-    emit_svg(
-        "fig5b 2d performance profile",
-        profile_svg(result2d.profile(), title="Fig 5b — 2D performance profile"),
+def test_fig5b_profile_and_stats(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("fig5.toml"), rounds=1, iterations=1
     )
-    summary = runtime_summary(result2d.times)
-    emit_svg(
-        "fig5a 2d runtime comparison",
-        bars_svg(
-            list(summary),
-            [s["total"] for s in summary.values()],
-            title="Fig 5a — 2D total runtime per algorithm",
-        ),
-    )
+    for doc in docs:
+        emit_doc(doc)

@@ -1,32 +1,16 @@
 """Figure 6 — 2D performance profiles broken down per dataset.
 
-Reproduces the per-dataset view, including the paper's FluAnimal anomaly:
+Renders ``campaigns/fig6.toml`` from the shared base-2D campaign run,
+reproducing the per-dataset view — including the paper's FluAnimal anomaly:
 on the sparse FluAnimal instances the clique-first heuristics overtake BDP.
 """
 
-from repro.analysis.performance_profiles import profile_to_text
-from repro.analysis.svgplot import profile_svg
-
-from benchmarks.conftest import emit, emit_svg
-
-DATASETS = ("Dengue", "FluAnimal", "Pollen", "PollenUS")
+from benchmarks.conftest import campaign_docs, emit_doc
 
 
-def test_fig6_profiles_by_dataset(benchmark, result2d):
-    def report():
-        from repro.reports import per_dataset_report
-
-        return per_dataset_report(result2d, DATASETS)
-
-    body = benchmark.pedantic(report, rounds=1, iterations=1)
-    emit("fig6 2d profiles by dataset", body)
-    for name in DATASETS:
-        idx = result2d.indices_by_metadata("dataset", name)
-        if idx:
-            emit_svg(
-                f"fig6 2d profile {name}",
-                profile_svg(
-                    result2d.subset(idx).profile(),
-                    title=f"Fig 6 — 2D profile, {name}",
-                ),
-            )
+def test_fig6_profiles_by_dataset(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("fig6.toml"), rounds=1, iterations=1
+    )
+    for doc in docs:
+        emit_doc(doc)

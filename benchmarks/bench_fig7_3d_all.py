@@ -1,17 +1,16 @@
 """Figures 7a/7b — 3D results over all instances, plus the §VI.C statistics.
 
 The paper's 3D findings: GLF and SGK lead on quality, GLF is much faster,
-SGK is the slowest, and BDP loses the dominance it had in 2D.
+SGK is the slowest, and BDP loses the dominance it had in 2D.  The tables
+render from ``campaigns/fig7.toml`` over the shared base-3D campaign run;
+the ``test_fig7a_runtime_*`` kernel timings stay pytest-benchmark.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis.stats import relative_slowdown, runtime_summary
 from repro.core.algorithms.registry import ALGORITHMS
-from repro.reports import suite_quality_report, suite_runtime_report
 
-from benchmarks.conftest import emit, emit_svg
+from benchmarks.conftest import campaign_docs, emit_doc
 
 
 @pytest.fixture(scope="module")
@@ -30,40 +29,9 @@ def test_fig7a_runtime(benchmark, sample3d, algorithm):
     benchmark(run_all)
 
 
-def test_fig7b_profile_and_stats(benchmark, result3d):
-    def report():
-        sgk = np.array(result3d.maxcolors["SGK"], dtype=float)
-        glf = np.array(result3d.maxcolors["GLF"], dtype=float)
-        bdp = np.array(result3d.maxcolors["BDP"], dtype=float)
-        extras = "\n".join(
-            [
-                f"SGK vs GLF mean quality gain: {(1 - sgk.sum() / glf.sum()) * 100:.2f}% "
-                "(paper: SGK ~0.57% better)",
-                f"GLF speed advantage over SGK: "
-                f"{relative_slowdown(result3d.times, 'SGK', 'GLF'):.0f}% slower SGK "
-                "(paper: GLF 142% faster)",
-                f"instances where BDP strictly beats SGK: "
-                f"{float(np.mean(bdp < sgk)) * 100:.1f}% (paper: 18.1%)",
-            ]
-        )
-        return suite_quality_report(result3d, "K8 LB") + "\n\n" + extras
-
-    body = benchmark.pedantic(report, rounds=1, iterations=1)
-    emit("fig7b 3d performance profile", body)
-    emit("fig7a 3d runtime summary", suite_runtime_report(result3d))
-
-    from repro.analysis.svgplot import bars_svg, profile_svg
-
-    emit_svg(
-        "fig7b 3d performance profile",
-        profile_svg(result3d.profile(), title="Fig 7b — 3D performance profile"),
+def test_fig7b_profile_and_stats(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("fig7.toml"), rounds=1, iterations=1
     )
-    summary = runtime_summary(result3d.times)
-    emit_svg(
-        "fig7a 3d runtime comparison",
-        bars_svg(
-            list(summary),
-            [s["total"] for s in summary.values()],
-            title="Fig 7a — 3D total runtime per algorithm",
-        ),
-    )
+    for doc in docs:
+        emit_doc(doc)

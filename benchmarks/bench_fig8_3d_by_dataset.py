@@ -1,29 +1,14 @@
-"""Figure 8 — 3D performance profiles broken down per dataset."""
+"""Figure 8 — 3D performance profiles broken down per dataset.
 
-from repro.analysis.performance_profiles import profile_to_text
+Renders ``campaigns/fig8.toml`` from the shared base-3D campaign run.
+"""
 
-from benchmarks.conftest import emit, emit_svg
-
-DATASETS = ("Dengue", "FluAnimal", "Pollen", "PollenUS")
+from benchmarks.conftest import campaign_docs, emit_doc
 
 
-def test_fig8_profiles_by_dataset(benchmark, result3d):
-    def report():
-        from repro.reports import per_dataset_report
-
-        return per_dataset_report(result3d, DATASETS)
-
-    body = benchmark.pedantic(report, rounds=1, iterations=1)
-    emit("fig8 3d profiles by dataset", body)
-    from repro.analysis.svgplot import profile_svg
-
-    for name in DATASETS:
-        idx = result3d.indices_by_metadata("dataset", name)
-        if idx:
-            emit_svg(
-                f"fig8 3d profile {name}",
-                profile_svg(
-                    result3d.subset(idx).profile(),
-                    title=f"Fig 8 — 3D profile, {name}",
-                ),
-            )
+def test_fig8_profiles_by_dataset(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("fig8.toml"), rounds=1, iterations=1
+    )
+    for doc in docs:
+        emit_doc(doc)

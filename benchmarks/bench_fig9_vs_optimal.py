@@ -5,80 +5,27 @@ gets a few seconds per instance, and — exactly like the paper — the
 unsolved minority is excluded.  Also regenerates the §VI.D statistic that
 the max-clique lower bound equals the optimum on the vast majority of
 solved instances.
+
+The heuristic colorings come from the shared base campaign runs
+(``campaigns/fig9a.toml`` / ``fig9b.toml``); the MILP pass happens at
+report time against instances rebuilt from the spec embedded in the
+harvest, capped at ``max_cells`` to keep the bench laptop-sized.
 """
 
-import pytest
-
-from repro.analysis.performance_profiles import profile_to_text
-from repro.analysis.stats import fraction_matching
-from repro.experiments import SuiteResult, solve_suite_optimal
-
-from benchmarks.conftest import emit, emit_svg
-
-#: Per-instance HiGHS budget (the paper gave Gurobi 86400s).
-TIME_LIMIT = 5.0
-#: Cap on instance size for the MILP pass, keeping the bench laptop-sized.
-MAX_CELLS_2D = 144
-MAX_CELLS_3D = 80
+from benchmarks.conftest import campaign_docs, emit_doc
 
 
-def _restrict(result: SuiteResult, max_cells: int) -> SuiteResult:
-    keep = [
-        i
-        for i, inst in enumerate(result.instances)
-        if inst.num_vertices <= max_cells
-    ]
-    return result.subset(keep)
-
-
-def _report(result: SuiteResult, label: str) -> tuple[str, object]:
-    solved, optima = solve_suite_optimal(result, time_limit=TIME_LIMIT)
-    sub = result.subset(solved)
-    profile = sub.profile(best=[float(v) for v in optima])
-    lines = [
-        f"{label}: MILP solved {len(solved)}/{result.num_instances} instances "
-        f"within {TIME_LIMIT}s each (paper: 97.5% 2D / 83.1% 3D in a day)",
-        "",
-        profile_to_text(profile),
-    ]
-    lb_match = fraction_matching(
-        [float(v) for v in optima], [float(b) for b in sub.lower_bounds]
+def test_fig9a_2d_vs_optimal(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("fig9a.toml"), rounds=1, iterations=1
     )
-    lines += [
-        "",
-        f"max-clique bound == optimum on {lb_match * 100:.1f}% of solved "
-        "instances (paper: ~95.7% 2D / ~97.4% 3D)",
-    ]
-    return "\n".join(lines), profile
+    for doc in docs:
+        emit_doc(doc)
 
 
-def test_fig9a_2d_vs_optimal(benchmark, result2d):
-    from repro.analysis.svgplot import profile_svg
-
-    small = _restrict(result2d, MAX_CELLS_2D)
-
-    def report():
-        return _report(small, "2D")
-
-    body, profile = benchmark.pedantic(report, rounds=1, iterations=1)
-    emit("fig9a 2d vs optimal", body)
-    emit_svg(
-        "fig9a 2d vs optimal",
-        profile_svg(profile, title="Fig 9a — 2D profile vs MILP optimum"),
+def test_fig9b_3d_vs_optimal(benchmark):
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("fig9b.toml"), rounds=1, iterations=1
     )
-
-
-def test_fig9b_3d_vs_optimal(benchmark, result3d):
-    from repro.analysis.svgplot import profile_svg
-
-    small = _restrict(result3d, MAX_CELLS_3D)
-
-    def report():
-        return _report(small, "3D")
-
-    body, profile = benchmark.pedantic(report, rounds=1, iterations=1)
-    emit("fig9b 3d vs optimal", body)
-    emit_svg(
-        "fig9b 3d vs optimal",
-        profile_svg(profile, title="Fig 9b — 3D profile vs MILP optimum"),
-    )
+    for doc in docs:
+        emit_doc(doc)

@@ -3,7 +3,8 @@
 The perf half of the kernels subsystem's acceptance test: run each fast-path
 algorithm through both code paths on the same random grids, assert the
 colorings are *identical* (same starts, not just the same maxcolor), and
-emit the speedup table plus ``benchmarks/out/BENCH_kernels.json``.  Sizes
+emit the speedup table plus ``BENCH_kernels.json`` under the artifact root
+(``out/benchmarks/``, see ``conftest.out_dir``).  Sizes
 here are deliberately small so the bench doubles as a CI smoke step; the
 committed repo-root ``BENCH_kernels.json`` holds the full-size sweep
 (``stencil-ivc bench-kernels``).
@@ -18,7 +19,7 @@ from repro.kernels.bench import (
     summary_line,
 )
 
-from benchmarks.conftest import OUT_DIR, emit
+from benchmarks.conftest import emit, out_dir
 
 SIZES_2D = (32, 64)
 SIZES_3D = (8, 12)
@@ -36,8 +37,9 @@ def test_kernels_vs_reference(benchmark):
         iterations=1,
     )
     emit("kernel speedups", format_report(report) + "\n\n" + summary_line(report))
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_kernels.json").write_text(json.dumps(report, indent=2) + "\n")
+    d = out_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    (d / "BENCH_kernels.json").write_text(json.dumps(report, indent=2) + "\n")
     # The hard guarantee: every kernel coloring is bit-identical to the
     # reference — a speedup that changes results is a bug, not a feature.
     assert report["all_identical"], [

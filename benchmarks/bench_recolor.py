@@ -11,7 +11,8 @@ the dense end where the cone budget trips and the always-correct fallback
 engages.
 
 The pytest entry runs a small smoke sweep and writes
-``benchmarks/out/BENCH_recolor.json``; the committed repo-root
+``BENCH_recolor.json`` under the artifact root (``out/benchmarks/``,
+see ``conftest.out_dir``); the committed repo-root
 ``BENCH_recolor.json`` holds the full-size sweep
 (``python benchmarks/bench_recolor.py``) on 512x512 and 40^3 grids.
 """
@@ -129,7 +130,7 @@ def format_recolor_table(report):
 
 
 def test_recolor_speedup_smoke(benchmark):
-    from benchmarks.conftest import OUT_DIR, emit
+    from benchmarks.conftest import emit, out_dir
 
     report = benchmark.pedantic(
         lambda: run_recolor_benchmark(shapes=SMOKE_SHAPES, reps=2),
@@ -137,8 +138,9 @@ def test_recolor_speedup_smoke(benchmark):
         iterations=1,
     )
     emit("recolor speedups", format_recolor_table(report))
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_recolor.json").write_text(
+    d = out_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    (d / "BENCH_recolor.json").write_text(
         json.dumps(report, indent=2) + "\n"
     )
     # The hard guarantee at any scale: incremental == from-scratch, every

@@ -3,55 +3,29 @@
 Validates the complexity claims of Section V: the greedy family and BD are
 (near-)linear in the number of edges (`O(E log E)` with constant-bounded
 degrees on stencils), and SGK's 2D permutation search costs a constant
-factor more per clique.  Each algorithm runs on square 2D grids of doubling
-side; the emitted table reports seconds and the growth ratio per doubling
-(a ratio near 4 = linear in cells).
+factor more per clique.  ``campaigns/scaling.toml`` runs each algorithm on
+square 2D grids of doubling side; the emitted table reports seconds and the
+growth ratio per doubling (a ratio near 4 = linear in cells).
 """
 
-import time
+from repro.campaign import suite_result_from_harvest
 
-import numpy as np
-
-from repro.analysis.reporting import format_table
-from repro.core.algorithms.registry import ALGORITHMS
-from repro.core.problem import IVCInstance
-
-from benchmarks.conftest import emit
-
-SIDES = (8, 16, 32, 64)
+from benchmarks.conftest import bench_campaign, campaign_docs, emit_doc
 
 
 def test_scaling_with_grid_size(benchmark):
-    rng = np.random.default_rng(0)
-    instances = {
-        side: IVCInstance.from_grid_2d(rng.integers(0, 50, size=(side, side)))
-        for side in SIDES
-    }
-
-    def run():
-        table = {}
-        for name, fn in ALGORITHMS.items():
-            times = []
-            for side in SIDES:
-                t0 = time.perf_counter()
-                coloring = fn(instances[side])
-                times.append(time.perf_counter() - t0)
-                assert coloring.is_valid()
-            table[name] = times
-        return table
-
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = []
-    for name, times in table.items():
-        ratios = [times[i + 1] / max(times[i], 1e-9) for i in range(len(SIDES) - 1)]
-        rows.append((name, *[t * 1e3 for t in times], max(ratios)))
-    headers = ("algorithm", *(f"{s}x{s} ms" for s in SIDES), "max ratio/doubling")
-    body = format_table(headers, rows) + (
-        "\n\ncells quadruple per doubling; a max ratio near 4 means linear"
-        " cost in the number of cells/edges."
+    docs = benchmark.pedantic(
+        lambda: campaign_docs("scaling.toml"), rounds=1, iterations=1
     )
-    emit("scaling with grid size", body)
+    for doc in docs:
+        emit_doc(doc)
+    result = suite_result_from_harvest(bench_campaign("scaling.toml"))
+    sides = sorted(int(inst.metadata["side"]) for inst in result.instances)
+    index_of = {
+        int(inst.metadata["side"]): i for i, inst in enumerate(result.instances)
+    }
     # Loose sanity: no algorithm grows super-quadratically in cells.
-    for name, times in table.items():
-        for i in range(len(SIDES) - 1):
+    for name in result.algorithms:
+        times = [result.times[name][index_of[side]] for side in sides]
+        for i in range(len(sides) - 1):
             assert times[i + 1] <= 40 * max(times[i], 1e-5), (name, i)

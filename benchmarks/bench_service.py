@@ -34,7 +34,8 @@ Run standalone (writes the repo-root ``BENCH_service.json``)::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--out PATH]
 
-or through pytest-benchmark (writes ``benchmarks/out/BENCH_service.json``)::
+or through pytest-benchmark (writes ``BENCH_service.json`` under the
+artifact root, ``out/benchmarks/``)::
 
     python -m pytest benchmarks/bench_service.py --benchmark-only
 """
@@ -391,9 +392,11 @@ def test_service_benchmark(benchmark):
         rounds=1,
         iterations=1,
     )
-    out_dir = Path(__file__).parent / "out"
-    out_dir.mkdir(exist_ok=True)
-    (out_dir / "BENCH_service.json").write_text(json.dumps(report, indent=2) + "\n")
+    from benchmarks.conftest import out_dir
+
+    d = out_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    (d / "BENCH_service.json").write_text(json.dumps(report, indent=2) + "\n")
     print("\n" + format_summary(report))
     assert not _check(report), _check(report)
 

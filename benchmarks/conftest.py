@@ -1,14 +1,25 @@
 """Shared infrastructure for the figure-regeneration benchmarks.
 
 Every file in this directory regenerates one table/figure of the paper (see
-DESIGN.md §4).  Conventions:
+DESIGN.md §4).  The figure benches are thin runners over the committed
+campaign specs in ``campaigns/``: each one executes (or resume-adopts) its
+spec through :mod:`repro.campaign` and emits the rendered report docs, so
+``pytest benchmarks/`` and ``stencil-ivc campaign run/harvest/report``
+produce byte-identical tables from the same artifact directory.
 
-* Suites are built once per session (fixtures below) and shared across
-  benches; sizes scale with ``REPRO_BENCH_SCALE`` (default 1.0) and the
-  dimension caps with ``REPRO_BENCH_DIM_CAP_{2D,3D}``.
-* Quality tables are emitted straight to the terminal (bypassing pytest's
-  capture, so ``pytest benchmarks/ --benchmark-only | tee`` records them)
-  and also written under ``benchmarks/out/``.
+Conventions:
+
+* Campaign runs land under ``<out>/benchmarks/plans/<plan-fingerprint>/``
+  — figure specs that share a plan (fig5/fig6/fig9a all ride the 2D base
+  suite) share one run.  ``<out>`` defaults to the repo-wide artifact root
+  (``out/``, override with ``--repro-out`` or ``REPRO_OUT_DIR``).
+* Emitted tables/figures land under ``<out>/benchmarks/`` and are streamed
+  to the terminal (bypassing pytest's capture, so
+  ``pytest benchmarks/ --benchmark-only | tee`` records them).
+* Suite sizes scale with ``REPRO_BENCH_SCALE`` (default 1.0) and the
+  dimension caps with ``REPRO_BENCH_DIM_CAP_{2D,3D}``; the overrides are
+  applied to the spec's scenario, so a scaled run gets its own plan
+  fingerprint (and artifact dir) instead of clobbering the default one.
 * pytest-benchmark times the algorithm kernels themselves, which is the
   runtime-comparison half of Figures 5a/7a.
 """
@@ -20,46 +31,130 @@ from pathlib import Path
 
 import pytest
 
+from repro.campaign import (
+    CampaignSpec,
+    ReportDoc,
+    artifact_root,
+    bench_dir,
+    harvest_campaign,
+    load_spec,
+    render_reports,
+    run_campaign,
+    slug as _slug,
+)
 from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
 from repro.data.synthetic import standard_datasets
-from repro.experiments import run_suite
 from repro.runtime.config import env_float, env_int
 
-OUT_DIR = Path(__file__).parent / "out"
+CAMPAIGNS_DIR = Path(__file__).resolve().parent.parent / "campaigns"
 
 BENCH_SCALE = env_float("REPRO_BENCH_SCALE", 1.0)
 DIM_CAP_2D = env_int("REPRO_BENCH_DIM_CAP_2D", 16)
 DIM_CAP_3D = env_int("REPRO_BENCH_DIM_CAP_3D", 8)
-# Engine worker processes for the suite fixtures.  Default 1 (serial, same
+# Engine worker processes for the campaign runs.  Default 1 (serial, same
 # code path) so per-cell timings stay uncontended; set 0 to use all cores.
 BENCH_JOBS = env_int("REPRO_BENCH_JOBS", 1)
 
+#: Artifact root for this session; ``--repro-out`` rebinds it in
+#: :func:`pytest_configure`.
+OUT_ROOT = artifact_root(None)
 
-def _slug(title: str) -> str:
-    return title.lower().replace(" ", "_").replace("/", "-")
+#: plan fingerprint -> harvest document, so figure benches sharing a plan
+#: run the suite once per session.
+_HARVESTS: dict[str, dict] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-out",
+        default=None,
+        help="artifact root for benchmark outputs (default: REPRO_OUT_DIR or ./out)",
+    )
+
+
+def pytest_configure(config):
+    global OUT_ROOT
+    OUT_ROOT = artifact_root(config.getoption("--repro-out", default=None))
+
+
+def out_dir() -> Path:
+    """Directory for emitted tables/figures (``<artifact root>/benchmarks``)."""
+    return bench_dir(OUT_ROOT)
 
 
 def emit(title: str, body: str) -> None:
-    """Print a report block and save it to out/.
+    """Print a report block and save it under the artifact root.
 
     Under pytest's default fd-level capture the printed block is swallowed
     for passing tests (run with ``-s`` to stream reports live); the
-    authoritative copies always land in ``benchmarks/out/*.txt``.
+    authoritative copies always land in ``<out>/benchmarks/*.txt``.
     """
     text = f"\n=== {title} ===\n{body}\n"
     sys.__stdout__.write(text)
     sys.__stdout__.flush()
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / f"{_slug(title)}.txt").write_text(body + "\n")
+    d = out_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    (d / f"{_slug(title)}.txt").write_text(body + "\n")
 
 
 def emit_svg(title: str, svg: str) -> None:
-    """Save a rendered SVG figure to out/ (the graphical half of a figure)."""
-    OUT_DIR.mkdir(exist_ok=True)
-    path = OUT_DIR / f"{_slug(title)}.svg"
+    """Save a rendered SVG figure (the graphical half of a figure)."""
+    _write_svg(_slug(title), svg)
+
+
+def _write_svg(file_slug: str, svg: str) -> None:
+    d = out_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    path = d / f"{file_slug}.svg"
     path.write_text(svg)
     sys.__stdout__.write(f"[figure saved: {path}]\n")
     sys.__stdout__.flush()
+
+
+def emit_doc(doc: ReportDoc) -> None:
+    """Emit a rendered campaign report doc: table to txt, figures to svg."""
+    emit(doc.title, doc.body)
+    for file_slug, svg in doc.svgs:
+        _write_svg(file_slug, svg)
+
+
+def bench_spec(name: str) -> CampaignSpec:
+    """Load a committed spec, applying the benchmark-scale env knobs.
+
+    Only the suite scenarios take the knobs; overriding with the default
+    values is a no-op on the plan fingerprint, so default-knob benches and
+    a plain ``stencil-ivc campaign run`` compile the identical plan.
+    """
+    spec = load_spec(CAMPAIGNS_DIR / name)
+    kind = spec.scenario.get("kind")
+    if kind == "suite2d":
+        spec = spec.with_scenario(scale=BENCH_SCALE, dim_cap=DIM_CAP_2D)
+    elif kind == "suite3d":
+        spec = spec.with_scenario(scale=BENCH_SCALE, dim_cap=DIM_CAP_3D)
+    return spec
+
+
+def bench_campaign(spec_name: str) -> dict:
+    """Run (or resume-adopt) a spec's campaign and return its harvest.
+
+    The artifact dir is keyed by plan fingerprint, so re-runs adopt every
+    completed cell from disk and figure specs sharing a plan share one run.
+    """
+    spec = bench_spec(spec_name)
+    fp = spec.plan_fingerprint()
+    if fp in _HARVESTS:
+        return _HARVESTS[fp]
+    run_dir = OUT_ROOT / "benchmarks" / "plans" / fp[:16]
+    resume = (run_dir / "runs.jsonl").is_file()
+    run_campaign(spec, out_dir=run_dir, jobs=BENCH_JOBS, resume=resume)
+    harvest = harvest_campaign(run_dir)
+    _HARVESTS[fp] = harvest
+    return harvest
+
+
+def campaign_docs(spec_name: str) -> list[ReportDoc]:
+    """Render a spec's reports from its (possibly shared) campaign harvest."""
+    return render_reports(bench_campaign(spec_name), bench_spec(spec_name).reports)
 
 
 @pytest.fixture(scope="session")
@@ -81,12 +176,12 @@ def suite3d(datasets):
 
 
 @pytest.fixture(scope="session")
-def result2d(suite2d):
-    """All seven algorithms run over the 2D suite (shared by figs 5, 6, 9)."""
-    return run_suite(suite2d, jobs=BENCH_JOBS)
+def harvest2d():
+    """Harvest of the shared 2D base campaign (figs 5, 6, 9a ride it)."""
+    return bench_campaign("_base_2d.toml")
 
 
 @pytest.fixture(scope="session")
-def result3d(suite3d):
-    """All seven algorithms run over the 3D suite (shared by figs 7, 8, 9)."""
-    return run_suite(suite3d, jobs=BENCH_JOBS)
+def harvest3d():
+    """Harvest of the shared 3D base campaign (figs 7, 8, 9b ride it)."""
+    return bench_campaign("_base_3d.toml")

@@ -1,0 +1,88 @@
+"""Declarative experiment campaigns: ``spec → plan → run → harvest → report``.
+
+The campaign subsystem (the Grond-style experiment shape adapted to this
+repo) turns the paper's figure experiments into data:
+
+* a **spec** (:mod:`~repro.campaign.spec`) is one TOML file declaring
+  scenario × matrix × algorithms × runtime overrides × reports;
+* :func:`compile_plan` expands it into a deterministic
+  (instance × algorithm) grid;
+* :func:`run_campaign` (:mod:`~repro.campaign.runner`) executes the grid
+  through the crash-supervised batch engine into an artifact directory
+  with JSONL run logs, spec/plan/git fingerprints, and ``--resume``;
+* :func:`harvest_campaign` (:mod:`~repro.campaign.harvest`) folds the logs
+  and merged metrics into one versioned ``harvest.json``;
+* :func:`render_reports` (:mod:`~repro.campaign.report`) renders the
+  paper's figure tables (txt/SVG/Markdown/HTML/JSON) from a harvest.
+
+The committed specs live under ``campaigns/`` at the repo root; the CLI
+verbs are ``stencil-ivc campaign plan|run|harvest|report``.
+"""
+
+from repro.campaign.artifacts import artifact_root, bench_dir, campaign_dir, slug
+from repro.campaign.errors import (
+    CampaignError,
+    HarvestError,
+    PlanError,
+    ReportError,
+    ResumeMismatchError,
+    SpecError,
+    UnknownReportError,
+    UnknownScenarioError,
+)
+from repro.campaign.harvest import (
+    harvest_campaign,
+    harvest_digest,
+    load_harvest,
+    suite_result_from_harvest,
+)
+from repro.campaign.plan import RunPlan, compile_plan
+from repro.campaign.report import (
+    REPORTS,
+    ReportDoc,
+    render_reports,
+    write_reports,
+)
+from repro.campaign.runner import CampaignRunResult, read_manifest, run_campaign
+from repro.campaign.scenarios import SCENARIOS
+from repro.campaign.spec import (
+    CampaignSpec,
+    ReportSpec,
+    load_spec,
+    parse_spec,
+    spec_from_canonical,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignRunResult",
+    "CampaignSpec",
+    "HarvestError",
+    "PlanError",
+    "REPORTS",
+    "ReportDoc",
+    "ReportError",
+    "ReportSpec",
+    "ResumeMismatchError",
+    "RunPlan",
+    "SCENARIOS",
+    "SpecError",
+    "UnknownReportError",
+    "UnknownScenarioError",
+    "artifact_root",
+    "bench_dir",
+    "campaign_dir",
+    "compile_plan",
+    "harvest_campaign",
+    "harvest_digest",
+    "load_harvest",
+    "load_spec",
+    "parse_spec",
+    "read_manifest",
+    "render_reports",
+    "run_campaign",
+    "slug",
+    "spec_from_canonical",
+    "suite_result_from_harvest",
+    "write_reports",
+]

@@ -1,0 +1,120 @@
+"""Typed errors for the campaign subsystem.
+
+Every failure mode a campaign can hit — malformed spec, unknown scenario or
+report kind, an unrunnable plan, an incomplete harvest — raises a distinct
+class below, each carrying enough context (spec path, offending key,
+did-you-mean suggestions) that the CLI can print the problem without a
+traceback.  All of them derive from :class:`CampaignError`, so callers that
+only care about "the campaign failed" catch one type.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "CampaignError",
+    "SpecError",
+    "UnknownScenarioError",
+    "UnknownReportError",
+    "PlanError",
+    "ResumeMismatchError",
+    "HarvestError",
+    "ReportError",
+]
+
+
+class CampaignError(Exception):
+    """Base class for every campaign failure."""
+
+
+class SpecError(CampaignError):
+    """A campaign spec failed to parse or validate.
+
+    ``path`` is the spec file (when known) and ``key`` the offending TOML
+    key in dotted form (``"scenario.kind"``), both folded into the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[Path | str] = None,
+        key: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.key = key
+        prefix = ""
+        if self.path is not None:
+            prefix += f"{self.path}: "
+        if key:
+            prefix += f"[{key}] "
+        super().__init__(prefix + message)
+
+
+def _suggest(name: str, known: Iterable[str]) -> str:
+    close = difflib.get_close_matches(name, list(known), n=1)
+    return f" — did you mean {close[0]!r}?" if close else ""
+
+
+class UnknownScenarioError(SpecError):
+    """``scenario.kind`` names no registered scenario builder."""
+
+    def __init__(self, kind: str, known: Iterable[str], **ctx) -> None:
+        known = sorted(known)
+        super().__init__(
+            f"unknown scenario kind {kind!r}{_suggest(kind, known)} "
+            f"(known: {', '.join(known)})",
+            key="scenario.kind",
+            **ctx,
+        )
+        self.kind = kind
+
+
+class UnknownReportError(SpecError):
+    """A ``[[report]]`` entry names no registered report builder."""
+
+    def __init__(self, kind: str, known: Iterable[str], **ctx) -> None:
+        known = sorted(known)
+        super().__init__(
+            f"unknown report kind {kind!r}{_suggest(kind, known)} "
+            f"(known: {', '.join(known)})",
+            key="report.kind",
+            **ctx,
+        )
+        self.kind = kind
+
+
+class PlanError(CampaignError):
+    """A validated spec still cannot be compiled into a runnable plan
+    (duplicate instance names, an empty matrix axis product, ...)."""
+
+
+class ResumeMismatchError(PlanError):
+    """``--resume`` pointed at an artifact dir built from a different plan.
+
+    Adopting records across plans would silently mix experiments; the run
+    refuses instead.  Carries both fingerprints for the error message.
+    """
+
+    def __init__(self, out_dir: Path, expected: str, found: str) -> None:
+        self.out_dir = Path(out_dir)
+        self.expected = expected
+        self.found = found
+        super().__init__(
+            f"{out_dir}: artifact dir was created from a different plan "
+            f"(manifest plan fingerprint {found[:12]}…, this spec compiles "
+            f"to {expected[:12]}…) — use a fresh --out dir, or rerun the "
+            "original spec"
+        )
+
+
+class HarvestError(CampaignError):
+    """The artifact dir cannot be harvested (missing manifest, missing
+    cells, torn logs beyond repair)."""
+
+
+class ReportError(CampaignError):
+    """Report rendering failed (duplicate slugs, unusable harvest data)."""

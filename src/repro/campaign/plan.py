@@ -1,0 +1,111 @@
+"""Compile a validated spec into a deterministic run plan.
+
+A :class:`RunPlan` is the bridge between a declarative
+:class:`~repro.campaign.spec.CampaignSpec` and the batch engine: the full
+instance list (matrix axes expanded into scenario variants, cross-product
+in declaration order) plus the algorithm set — i.e. exactly the
+(instance × algorithm) grid :func:`repro.engine.run_grid` executes.
+Compilation is pure: the same spec always compiles to the same plan, and
+the plan's identity is the spec's
+:meth:`~repro.campaign.spec.CampaignSpec.plan_fingerprint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+
+from repro.campaign.errors import PlanError
+from repro.campaign.scenarios import build_instances
+from repro.campaign.spec import CampaignSpec
+from repro.core.problem import IVCInstance
+from repro.experiments import InstanceHandle
+
+__all__ = ["RunPlan", "compile_plan", "expand_matrix"]
+
+
+def expand_matrix(matrix: dict) -> list[dict]:
+    """Cross-product of matrix axes, in declaration order (last axis
+    fastest).  An empty matrix yields the single empty variant."""
+    if not matrix:
+        return [{}]
+    axes = list(matrix)
+    return [dict(zip(axes, combo)) for combo in product(*(matrix[a] for a in axes))]
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """The compiled (instance × algorithm) grid of one campaign."""
+
+    spec: CampaignSpec
+    instances: tuple[IVCInstance, ...]
+    algorithms: tuple[str, ...]
+    variants: tuple[dict, ...]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.instances) * len(self.algorithms)
+
+    def fingerprint(self) -> str:
+        """The plan identity (see ``CampaignSpec.plan_fingerprint``)."""
+        return self.spec.plan_fingerprint()
+
+    def handles(self) -> list[InstanceHandle]:
+        """Lightweight instance stand-ins for the manifest / harvest."""
+        return [
+            InstanceHandle(
+                name=inst.name,
+                shape=(
+                    tuple(inst.geometry.shape)
+                    if inst.geometry is not None
+                    else None
+                ),
+                num_vertices=inst.num_vertices,
+                metadata=dict(inst.metadata),
+            )
+            for inst in self.instances
+        ]
+
+
+def _variant_tag(variant: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in variant.items())
+
+
+def compile_plan(spec: CampaignSpec) -> RunPlan:
+    """Expand the spec's matrix and build every scenario variant.
+
+    Raises :class:`PlanError` when the plan is empty or instance names
+    collide (names key ``--resume`` adoption, so they must be unique).
+    """
+    variants = expand_matrix(spec.matrix)
+    instances: list[IVCInstance] = []
+    for variant in variants:
+        built = build_instances(spec.scenario, variant)
+        if len(variants) > 1:
+            tag = _variant_tag(variant)
+            built = [
+                replace(inst, name=f"{inst.name}[{tag}]") for inst in built
+            ]
+        instances.extend(built)
+    if not instances:
+        raise PlanError(
+            f"campaign {spec.name!r}: scenario "
+            f"{spec.scenario.get('kind')!r} produced no instances "
+            "(parameters too restrictive?)"
+        )
+    seen: dict[str, int] = {}
+    for i, inst in enumerate(instances):
+        if inst.name in seen:
+            raise PlanError(
+                f"campaign {spec.name!r}: duplicate instance name "
+                f"{inst.name!r} (positions {seen[inst.name]} and {i}) — "
+                "resume adoption needs unique names; give scenario variants "
+                "distinct parameters"
+            )
+        seen[inst.name] = i
+    return RunPlan(
+        spec=spec,
+        instances=tuple(instances),
+        algorithms=tuple(spec.algorithms),
+        variants=tuple(variants),
+    )

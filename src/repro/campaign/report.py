@@ -1,0 +1,339 @@
+"""Render paper-figure tables from harvest documents.
+
+Each ``[[report]]`` entry in a spec names a *kind* registered here; a kind
+is a builder ``(SuiteResult, harvest, ReportSpec) -> ReportDoc``.  The
+``body`` of every doc is byte-identical to what the legacy
+``benchmarks/bench_fig*.py`` scripts printed — the text builders live in
+:mod:`repro.reports`; this module only wires harvest data into them and
+attaches the SVG figures.
+
+Output formats (``write_reports``): one raw ``<slug>.txt`` per doc (the
+authoritative table, compared byte-for-byte by the differential CI test),
+the SVG figures, plus combined ``report.md`` / ``report.html`` /
+``report.json`` renderings of all docs.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.campaign.artifacts import slug as _slug
+from repro.campaign.errors import ReportError, SpecError
+from repro.campaign.harvest import suite_result_from_harvest
+from repro.campaign.spec import ReportSpec, spec_from_canonical
+from repro.experiments import SuiteResult
+from repro.reports import (
+    extension_report,
+    group_ratio_report,
+    per_dataset_report,
+    restrict_to_max_cells,
+    scaling_report,
+    suite_quality_report,
+    suite_runtime_report,
+    three_d_statistics_report,
+    vs_optimal_report,
+    bd_improvement_report,
+)
+
+__all__ = ["ReportDoc", "REPORTS", "render_reports", "write_reports", "validate_report_params"]
+
+DEFAULT_DATASETS = ("Dengue", "FluAnimal", "Pollen", "PollenUS")
+
+
+@dataclass(frozen=True)
+class ReportDoc:
+    """One rendered report: a text body plus optional SVG figures."""
+
+    slug: str
+    title: str
+    kind: str
+    body: str
+    data: dict = field(default_factory=dict)
+    svgs: tuple[tuple[str, str], ...] = ()  # (file slug, svg markup)
+
+
+def _doc(
+    spec: ReportSpec, body: str, result: SuiteResult, svgs=()
+) -> ReportDoc:
+    return ReportDoc(
+        slug=_slug(spec.title),
+        title=spec.title,
+        kind=spec.kind,
+        body=body,
+        data={
+            "instances": result.num_instances,
+            "algorithms": list(result.algorithms),
+        },
+        svgs=tuple(svgs),
+    )
+
+
+# ------------------------------------------------------------------ builders
+
+
+def _build_quality(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """Figure 5b/7b: performance profile + per-algorithm statistics table,
+    optionally followed by the §VI.B (``bd_improvement``) or §VI.C
+    (``stats_3d``) statistics blocks."""
+    parts = [suite_quality_report(result, spec.params["bound_label"])]
+    if spec.params.get("bd_improvement"):
+        parts.append(bd_improvement_report(result))
+    if spec.params.get("stats_3d"):
+        parts.append(three_d_statistics_report(result))
+    svgs = []
+    svg_title = spec.params.get("svg_title")
+    if svg_title:
+        from repro.analysis.svgplot import profile_svg
+
+        svgs.append((_slug(spec.title), profile_svg(result.profile(), title=svg_title)))
+    return _doc(spec, "\n\n".join(parts), result, svgs)
+
+
+def _build_runtime(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """Figure 5a/7a: total/mean/max runtime per algorithm."""
+    body = suite_runtime_report(result)
+    svgs = []
+    svg_title = spec.params.get("svg_title")
+    if svg_title:
+        from repro.analysis.stats import runtime_summary
+        from repro.analysis.svgplot import bars_svg
+
+        summary = runtime_summary(result.times)
+        svgs.append(
+            (
+                _slug(spec.params.get("svg_slug", spec.title)),
+                bars_svg(
+                    list(summary),
+                    [s["total"] for s in summary.values()],
+                    title=svg_title,
+                ),
+            )
+        )
+    return _doc(spec, body, result, svgs)
+
+
+def _build_per_dataset(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """Figure 6/8: one performance profile per dataset."""
+    datasets = tuple(spec.params.get("datasets", DEFAULT_DATASETS))
+    body = per_dataset_report(result, datasets)
+    svgs = []
+    svg_title = spec.params.get("svg_title")
+    svg_slug = spec.params.get("svg_slug")
+    if svg_title and svg_slug:
+        from repro.analysis.svgplot import profile_svg
+
+        for name in datasets:
+            idx = result.indices_by_metadata("dataset", name)
+            if idx:
+                svgs.append(
+                    (
+                        _slug(svg_slug.format(name=name)),
+                        profile_svg(
+                            result.subset(idx).profile(),
+                            title=svg_title.format(name=name),
+                        ),
+                    )
+                )
+    return _doc(spec, body, result, svgs)
+
+
+def _build_vs_optimal(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """Figure 9a/9b: profile against MILP-proven optima (§VI.D).
+
+    The only builder that needs *real* instances (the MILP re-solves them),
+    so it rebuilds the suite from the deterministic scenario spec embedded
+    in the harvest and marries it to the harvested records.
+    """
+    from repro.campaign.plan import compile_plan
+    from repro.engine import RunRecord
+    from repro.experiments import suite_result_from_records
+
+    plan = compile_plan(spec_from_canonical(harvest["spec"]))
+    names = [inst["name"] for inst in harvest["instances"]]
+    if [inst.name for inst in plan.instances] != names:
+        raise ReportError(
+            f"report {spec.title!r}: harvest instances do not match its "
+            "embedded spec (scenario builders changed since the run?) — "
+            "re-run the campaign before the MILP comparison"
+        )
+    records = [RunRecord.from_json(rec) for rec in harvest["records"]]
+    full = suite_result_from_records(
+        list(plan.instances), harvest["algorithms"], records, on_error="record"
+    )
+    max_cells = spec.params.get("max_cells")
+    small = restrict_to_max_cells(full, int(max_cells)) if max_cells else full
+    body, profile = vs_optimal_report(
+        small, spec.params["label"], time_limit=float(spec.params.get("time_limit", 5.0))
+    )
+    svgs = []
+    svg_title = spec.params.get("svg_title")
+    if svg_title:
+        from repro.analysis.svgplot import profile_svg
+
+        svgs.append((_slug(spec.title), profile_svg(profile, title=svg_title)))
+    return _doc(spec, body, small, svgs)
+
+
+def _build_extensions(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """The extension-heuristics table (profile + ratio/runtime rows)."""
+    return _doc(spec, extension_report(result), result)
+
+
+def _build_group_ratio(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """Per-metadata-group total-colors/lower-bound ratio table (the
+    weight-regime ablation)."""
+    note = spec.params.get("note", "")
+    body = group_ratio_report(
+        result,
+        spec.params.get("group_key", "regime"),
+        note=f"\n\n{note}" if note else "",
+    )
+    return _doc(spec, body, result)
+
+
+def _build_scaling(result: SuiteResult, harvest: dict, spec: ReportSpec) -> ReportDoc:
+    """Runtime growth per grid-side doubling (the complexity-claim table)."""
+    note = spec.params.get("note", "")
+    body = scaling_report(result, note=f"\n\n{note}" if note else "")
+    return _doc(spec, body, result)
+
+
+#: kind -> builder.
+REPORTS: dict[str, Callable[[SuiteResult, dict, ReportSpec], ReportDoc]] = {
+    "quality": _build_quality,
+    "runtime": _build_runtime,
+    "per_dataset": _build_per_dataset,
+    "vs_optimal": _build_vs_optimal,
+    "extensions": _build_extensions,
+    "group_ratio": _build_group_ratio,
+    "scaling": _build_scaling,
+}
+
+_KNOWN_PARAMS: dict[str, set[str]] = {
+    "quality": {"bound_label", "bd_improvement", "stats_3d", "svg_title"},
+    "runtime": {"svg_slug", "svg_title"},
+    "per_dataset": {"datasets", "svg_slug", "svg_title"},
+    "vs_optimal": {"label", "max_cells", "time_limit", "svg_title"},
+    "extensions": set(),
+    "group_ratio": {"group_key", "note"},
+    "scaling": {"note"},
+}
+
+_REQUIRED_PARAMS: dict[str, set[str]] = {
+    "quality": {"bound_label"},
+    "vs_optimal": {"label"},
+}
+
+
+def validate_report_params(kind: str, params: Mapping, ctx: Mapping) -> None:
+    """Spec-time validation of a ``[[report]]`` entry's parameters."""
+    known = _KNOWN_PARAMS[kind]
+    for key in params:
+        if key not in known:
+            raise SpecError(
+                f"report kind {kind!r} has no parameter {key!r} "
+                f"(accepts: {', '.join(sorted(known)) or 'none'})",
+                key=f"report.{key}",
+                **ctx,
+            )
+    for key in _REQUIRED_PARAMS.get(kind, ()):
+        if key not in params:
+            raise SpecError(
+                f"report kind {kind!r} requires parameter {key!r}",
+                key=f"report.{key}",
+                **ctx,
+            )
+
+
+# ----------------------------------------------------------------- rendering
+
+
+def render_reports(
+    harvest: dict, reports: Optional[Sequence[ReportSpec]] = None
+) -> list[ReportDoc]:
+    """Build every report of a harvest (default: the spec's own list)."""
+    if reports is None:
+        reports = spec_from_canonical(harvest["spec"]).reports
+    result = suite_result_from_harvest(harvest)
+    docs: list[ReportDoc] = []
+    seen: set[str] = set()
+    for spec in reports:
+        doc = REPORTS[spec.kind](result, harvest, spec)
+        if doc.slug in seen:
+            raise ReportError(
+                f"duplicate report slug {doc.slug!r} — give the entries "
+                "distinct titles"
+            )
+        seen.add(doc.slug)
+        docs.append(doc)
+    return docs
+
+
+def write_reports(
+    docs: Sequence[ReportDoc],
+    out_dir: str | Path,
+    formats: Sequence[str] = ("txt", "svg", "md", "html", "json"),
+    *,
+    campaign: str = "",
+) -> list[Path]:
+    """Persist rendered docs under ``out_dir`` in the requested formats."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    if "txt" in formats:
+        for doc in docs:
+            path = out / f"{doc.slug}.txt"
+            path.write_text(doc.body + "\n")
+            written.append(path)
+    if "svg" in formats:
+        for doc in docs:
+            for svg_slug, svg in doc.svgs:
+                path = out / f"{svg_slug}.svg"
+                path.write_text(svg)
+                written.append(path)
+    if "md" in formats:
+        lines = [f"# Campaign report — {campaign}" if campaign else "# Campaign report", ""]
+        for doc in docs:
+            lines += [f"## {doc.title}", "", "```text", doc.body, "```", ""]
+        path = out / "report.md"
+        path.write_text("\n".join(lines))
+        written.append(path)
+    if "html" in formats:
+        parts = [
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{_html.escape(campaign or 'campaign report')}</title></head><body>",
+            f"<h1>{_html.escape(campaign or 'campaign report')}</h1>",
+        ]
+        for doc in docs:
+            parts.append(f"<h2>{_html.escape(doc.title)}</h2>")
+            parts.append(f"<pre>{_html.escape(doc.body)}</pre>")
+            for svg_slug, svg in doc.svgs:
+                parts.append(svg)
+        parts.append("</body></html>")
+        path = out / "report.html"
+        path.write_text("\n".join(parts))
+        written.append(path)
+    if "json" in formats:
+        payload = {
+            "campaign": campaign,
+            "reports": [
+                {
+                    "slug": doc.slug,
+                    "title": doc.title,
+                    "kind": doc.kind,
+                    "body": doc.body,
+                    "data": doc.data,
+                    "svgs": [s for s, _ in doc.svgs],
+                }
+                for doc in docs
+            ],
+        }
+        path = out / "report.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written

@@ -1,0 +1,192 @@
+"""Scenario builders: named, deterministic instance-suite generators.
+
+A campaign's ``[scenario]`` table names one builder here by ``kind``; the
+remaining keys (merged with any ``[matrix]`` axes per variant) become the
+builder's keyword arguments.  Builders are **pure functions of their
+parameters** — same params, same instances, byte-for-byte — which is what
+makes a compiled run plan deterministic and a harvest artifact
+reconstructible: a report that needs real instances (the MILP comparison)
+rebuilds them from the spec embedded in the artifact.
+
+The regime and scaling builders replicate the exact RNG draw order of the
+legacy ``bench_ablation_weight_regime.py`` / ``bench_scaling.py`` scripts
+(one shared generator threaded sequentially through regimes × repeats),
+so campaign tables are bit-identical to what those scripts printed.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.campaign.errors import SpecError, UnknownScenarioError
+from repro.core.problem import IVCInstance
+from repro.data.instances import SuiteConfig, build_suite_2d, build_suite_3d
+from repro.data.synthetic import standard_datasets
+
+__all__ = ["SCENARIOS", "scenario_params", "validate_scenario_params", "build_instances"]
+
+
+def _thin(instances: list[IVCInstance], sample_target: int) -> list[IVCInstance]:
+    """Every-nth subsample aiming at ``sample_target`` instances (0 = all).
+
+    The exact rule the extension bench used: ``suite[:: max(1, n // t)]``.
+    """
+    if sample_target <= 0:
+        return instances
+    return instances[:: max(1, len(instances) // sample_target)]
+
+
+def suite2d(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    dim_cap: int = 16,
+    max_cells: int = 1024,
+    sample_target: int = 0,
+) -> list[IVCInstance]:
+    """The Section VI.A 2DS-IVC suite: dataset × plane × bandwidth × dims."""
+    datasets = standard_datasets(scale=scale, seed=seed)
+    config = SuiteConfig(dim_cap=dim_cap, max_cells=max_cells)
+    return _thin(build_suite_2d(datasets, config), sample_target)
+
+
+def suite3d(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    dim_cap: int = 8,
+    max_cells: int = 1024,
+    sample_target: int = 0,
+) -> list[IVCInstance]:
+    """The Section VI.A 3DS-IVC suite: dataset × bandwidth × dims."""
+    datasets = standard_datasets(scale=scale, seed=seed)
+    config = SuiteConfig(dim_cap=dim_cap, max_cells=max_cells)
+    return _thin(build_suite_3d(datasets, config), sample_target)
+
+
+def weight_regimes(
+    *,
+    shape: Sequence[int] = (16, 16),
+    repeats: int = 8,
+    seed: int = 42,
+    spikes: int = 30,
+) -> list[IVCInstance]:
+    """Controlled weight-distribution regimes (the ranking-flip ablation).
+
+    One instance per (regime, repeat); ``metadata["regime"]`` groups them
+    for :func:`repro.reports.group_ratio_report`.  A single generator is
+    threaded through all draws in regime order.
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+
+    def regimes():
+        yield "near-constant", lambda: rng.integers(45, 55, size=shape)
+        yield "uniform dense", lambda: rng.integers(10, 50, size=shape)
+        yield "exponential", lambda: rng.poisson(rng.exponential(5.0, size=shape))
+
+        def sparse_spiky():
+            grid = np.zeros(shape, dtype=int)
+            idx = rng.integers(0, shape[0], size=(spikes, 2))
+            for i, j in idx:
+                grid[i, j] += int(rng.integers(5, 60))
+            return grid
+
+        yield "sparse spiky", sparse_spiky
+
+    instances = []
+    for label, gen in regimes():
+        for rep in range(repeats):
+            instances.append(
+                IVCInstance.from_grid_2d(
+                    gen(),
+                    name=f"regime-{label.replace(' ', '-')}-r{rep}",
+                    metadata={"regime": label, "repeat": rep},
+                )
+            )
+    return instances
+
+
+def scaling_grids(
+    *,
+    sides: Sequence[int] = (8, 16, 32, 64),
+    low: int = 0,
+    high: int = 50,
+    seed: int = 0,
+) -> list[IVCInstance]:
+    """Square 2D grids of doubling side (the Section V complexity study).
+
+    ``metadata["side"]`` feeds :func:`repro.reports.scaling_report`.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        IVCInstance.from_grid_2d(
+            rng.integers(low, high, size=(side, side)),
+            name=f"scaling-{side}x{side}",
+            metadata={"side": int(side)},
+        )
+        for side in (int(s) for s in sides)
+    ]
+
+
+#: kind -> builder.  Every builder takes keyword-only parameters and returns
+#: a deterministic instance list.
+SCENARIOS: dict[str, Callable[..., list[IVCInstance]]] = {
+    "suite2d": suite2d,
+    "suite3d": suite3d,
+    "weight_regimes": weight_regimes,
+    "scaling_grids": scaling_grids,
+}
+
+
+def scenario_params(kind: str) -> set[str]:
+    """The keyword parameter names a scenario builder accepts."""
+    builder = SCENARIOS.get(kind)
+    if builder is None:
+        raise UnknownScenarioError(kind, SCENARIOS)
+    return set(inspect.signature(builder).parameters)
+
+
+def validate_scenario_params(
+    kind: str, scenario: Mapping, matrix: Mapping, ctx: Mapping
+) -> None:
+    """Spec-time validation: scenario keys and matrix axes must be builder
+    parameters (typed errors, with the builder's signature in the message)."""
+    if kind not in SCENARIOS:
+        raise UnknownScenarioError(kind, SCENARIOS, **ctx)
+    allowed = scenario_params(kind)
+    for key in scenario:
+        if key != "kind" and key not in allowed:
+            raise SpecError(
+                f"scenario {kind!r} has no parameter {key!r} "
+                f"(accepts: {', '.join(sorted(allowed))})",
+                key=f"scenario.{key}",
+                **ctx,
+            )
+    for axis in matrix:
+        if axis not in allowed:
+            raise SpecError(
+                f"matrix axis {axis!r} is not a parameter of scenario {kind!r} "
+                f"(accepts: {', '.join(sorted(allowed))})",
+                key=f"matrix.{axis}",
+                **ctx,
+            )
+
+
+def build_instances(
+    scenario: Mapping, variant: Mapping | None = None
+) -> list[IVCInstance]:
+    """Instantiate one scenario variant (matrix axis values merged in)."""
+    params = {k: v for k, v in scenario.items() if k != "kind"}
+    if variant:
+        params.update(variant)
+    builder = SCENARIOS[scenario["kind"]]
+    instances = builder(**params)
+    if variant:
+        for inst in instances:
+            for axis, value in variant.items():
+                inst.metadata.setdefault(axis, value)
+    return instances

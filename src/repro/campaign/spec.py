@@ -1,0 +1,431 @@
+"""Campaign spec: declarative TOML experiment descriptions.
+
+A campaign spec is one TOML file declaring *what* to run — scenario,
+algorithm set, matrix axes, runtime overrides — and *what to render* from
+the results.  The schema::
+
+    include = ["_base_2d.toml"]        # merged first, this file wins
+
+    [campaign]
+    name = "fig5-2d"                   # required; artifact dir name
+    version = 1                        # spec schema version (always 1)
+    description = "Figures 5a/5b"
+
+    [scenario]
+    kind = "suite2d"                   # registered builder (scenarios.py)
+    scale = 1.0                        # …builder keyword parameters
+
+    [matrix]                           # optional cross-product axes
+    algorithms = ["GLL", "GZO", ...]   # special axis: registry names
+    seed = [0, 1, 2]                   # any other key: a scenario parameter
+
+    [runtime]                          # RuntimeConfig field overrides
+    max_cell_retries = 2
+
+    [run]                              # engine execution knobs
+    validate = true
+    cell_timeout = 30.0
+    jobs = 1
+
+    [[report]]                         # rendered by `campaign report`
+    kind = "quality"
+    title = "fig5b 2d performance profile"
+    bound_label = "K4 LB"
+
+Validation is eager and typed: every schema problem raises
+:class:`~repro.campaign.errors.SpecError` (or a subclass with a
+did-you-mean suggestion) naming the file and the dotted key.  A validated
+:class:`CampaignSpec` is canonicalizable to a JSON document with two stable
+blake2b fingerprints: :meth:`CampaignSpec.fingerprint` covers the whole
+spec, :meth:`CampaignSpec.plan_fingerprint` only the parts that determine
+the run plan (scenario × matrix × algorithms × runtime × run) — specs that
+differ only in name, description, or report list share a plan fingerprint
+and therefore can adopt each other's run artifacts via ``--resume``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    import tomli as tomllib  # type: ignore[no-redef]
+
+from repro.campaign.errors import SpecError, UnknownReportError
+from repro.runtime.config import RuntimeConfig
+
+__all__ = [
+    "CampaignSpec",
+    "ReportSpec",
+    "load_spec",
+    "parse_spec",
+    "spec_from_canonical",
+]
+
+SPEC_VERSION = 1
+
+_TOP_LEVEL_KEYS = {"include", "campaign", "scenario", "matrix", "runtime", "run", "report"}
+_RUN_KEYS = {"validate", "cell_timeout", "jobs"}
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """One ``[[report]]`` entry: a registered kind plus its parameters."""
+
+    kind: str
+    title: str
+    params: dict = field(default_factory=dict)
+
+    def canonical(self) -> dict:
+        return {"kind": self.kind, "title": self.title, **self.params}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated campaign: everything needed to plan, run, and report."""
+
+    name: str
+    description: str = ""
+    version: int = SPEC_VERSION
+    scenario: dict = field(default_factory=dict)  # includes "kind"
+    matrix: dict = field(default_factory=dict)  # axis -> list (no algorithms)
+    algorithms: tuple[str, ...] = ()
+    runtime: dict = field(default_factory=dict)
+    run: dict = field(default_factory=dict)
+    reports: tuple[ReportSpec, ...] = ()
+    source: Optional[Path] = None
+
+    # ---------------------------------------------------------- canonical
+    def canonical(self) -> dict:
+        """The full spec as a canonical JSON-serializable dict."""
+        return {
+            "campaign": {
+                "name": self.name,
+                "version": self.version,
+                "description": self.description,
+            },
+            **self.plan_canonical(),
+            "reports": [r.canonical() for r in self.reports],
+        }
+
+    def plan_canonical(self) -> dict:
+        """The plan-determining subset: scenario, matrix, algorithms,
+        runtime, run — name/description/reports deliberately excluded."""
+        return {
+            "scenario": self.scenario,
+            "matrix": self.matrix,
+            "algorithms": list(self.algorithms),
+            "runtime": self.runtime,
+            "run": self.run,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the whole spec."""
+        return _digest(self.canonical())
+
+    def plan_fingerprint(self) -> str:
+        """Stable hex digest of the plan-determining subset.
+
+        Two specs with equal plan fingerprints compile to the same run plan
+        and may share one artifact dir through ``--resume``.
+        """
+        return _digest(self.plan_canonical())
+
+    # ---------------------------------------------------------- derivation
+    def with_scenario(self, **params) -> "CampaignSpec":
+        """A copy with scenario parameters overridden (revalidated).
+
+        The benchmark harness uses this to apply ``REPRO_BENCH_*`` scaling
+        knobs on top of a committed spec; passing the spec's own defaults
+        yields an identical spec (and identical fingerprints).
+        """
+        raw = {
+            "campaign": {
+                "name": self.name,
+                "version": self.version,
+                "description": self.description,
+            },
+            "scenario": {**self.scenario, **params},
+            "matrix": {**self.matrix, "algorithms": list(self.algorithms)},
+            "runtime": dict(self.runtime),
+            "run": dict(self.run),
+            "report": [r.canonical() for r in self.reports],
+        }
+        return parse_spec(raw, source=self.source)
+
+
+def _digest(obj: dict) -> str:
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def spec_from_canonical(canonical: Mapping[str, Any]) -> CampaignSpec:
+    """Rehydrate a spec from its :meth:`CampaignSpec.canonical` form.
+
+    Harvest artifacts embed the canonical spec; report builders that must
+    rebuild real instances (the MILP comparison) parse it back through the
+    same validation as a TOML file.
+    """
+    raw = {
+        "campaign": dict(canonical["campaign"]),
+        "scenario": dict(canonical["scenario"]),
+        "matrix": {**canonical["matrix"], "algorithms": list(canonical["algorithms"])},
+        "runtime": dict(canonical["runtime"]),
+        "run": dict(canonical["run"]),
+        "report": [dict(r) for r in canonical.get("reports", [])],
+    }
+    return parse_spec(raw)
+
+
+# ------------------------------------------------------------------ loading
+
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Load, include-merge, and validate a TOML campaign spec."""
+    path = Path(path)
+    raw = _load_raw(path, seen=())
+    return parse_spec(raw, source=path)
+
+
+def _load_raw(path: Path, seen: tuple[Path, ...]) -> dict:
+    resolved = path.resolve()
+    if resolved in seen:
+        cycle = " -> ".join(str(p) for p in (*seen, resolved))
+        raise SpecError(f"include cycle: {cycle}", path=path, key="include")
+    if not path.is_file():
+        raise SpecError("spec file not found", path=path)
+    try:
+        with open(path, "rb") as fh:
+            doc = tomllib.load(fh)
+    except tomllib.TOMLDecodeError as exc:
+        raise SpecError(f"invalid TOML: {exc}", path=path) from exc
+
+    includes = doc.pop("include", [])
+    if isinstance(includes, str):
+        includes = [includes]
+    if not isinstance(includes, list) or not all(isinstance(i, str) for i in includes):
+        raise SpecError("include must be a list of paths", path=path, key="include")
+
+    merged: dict = {}
+    for inc in includes:
+        base = _load_raw(path.parent / inc, seen=(*seen, resolved))
+        merged = _merge(merged, base)
+    return _merge(merged, doc)
+
+
+def _merge(base: dict, child: dict) -> dict:
+    """Spec merge: tables merge key-by-key (child wins), everything else —
+    scalars and the ``[[report]]`` list included — is replaced outright."""
+    out = dict(base)
+    for key, value in child.items():
+        if isinstance(value, dict) and isinstance(out.get(key), dict):
+            out[key] = {**out[key], **value}
+        else:
+            out[key] = value
+    return out
+
+
+# --------------------------------------------------------------- validation
+
+
+def parse_spec(raw: Mapping[str, Any], source: Optional[Path] = None) -> CampaignSpec:
+    """Validate a merged raw spec dict into a :class:`CampaignSpec`."""
+    ctx = {"path": source}
+    unknown = set(raw) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown top-level key(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(_TOP_LEVEL_KEYS))})",
+            **ctx,
+        )
+
+    campaign = _table(raw, "campaign", ctx, required=True)
+    name = campaign.get("name")
+    if not isinstance(name, str) or not name:
+        raise SpecError("campaign.name is required (a non-empty string)", key="campaign.name", **ctx)
+    if not all(c.isalnum() or c in "._-" for c in name):
+        raise SpecError(
+            f"campaign.name {name!r} must use only letters, digits, '.', '_', '-' "
+            "(it names the artifact directory)",
+            key="campaign.name",
+            **ctx,
+        )
+    version = campaign.get("version", SPEC_VERSION)
+    if version != SPEC_VERSION:
+        raise SpecError(
+            f"unsupported spec version {version!r} (this build reads version {SPEC_VERSION})",
+            key="campaign.version",
+            **ctx,
+        )
+    description = campaign.get("description", "")
+    if not isinstance(description, str):
+        raise SpecError("campaign.description must be a string", key="campaign.description", **ctx)
+    extra = set(campaign) - {"name", "version", "description"}
+    if extra:
+        raise SpecError(
+            f"unknown campaign key(s): {', '.join(sorted(extra))}", key="campaign", **ctx
+        )
+
+    scenario = _table(raw, "scenario", ctx, required=True)
+    kind = scenario.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise SpecError("scenario.kind is required", key="scenario.kind", **ctx)
+    _check_json_values(scenario, "scenario", ctx)
+
+    matrix_raw = _table(raw, "matrix", ctx)
+    algorithms: Sequence[str] = matrix_raw.pop("algorithms", None) or _default_algorithms()
+    matrix: dict = {}
+    for axis, values in matrix_raw.items():
+        if not isinstance(values, list) or not values:
+            raise SpecError(
+                f"matrix axis {axis!r} must be a non-empty list", key=f"matrix.{axis}", **ctx
+            )
+        matrix[axis] = values
+    _check_json_values(matrix, "matrix", ctx)
+    if not isinstance(algorithms, (list, tuple)) or not all(
+        isinstance(a, str) for a in algorithms
+    ):
+        raise SpecError(
+            "matrix.algorithms must be a list of algorithm names",
+            key="matrix.algorithms",
+            **ctx,
+        )
+    _validate_algorithms(algorithms, ctx)
+
+    # scenario params (and matrix axes, which merge into them per variant)
+    # must match the builder's keyword signature.
+    from repro.campaign.scenarios import validate_scenario_params
+
+    validate_scenario_params(kind, scenario, matrix, ctx)
+
+    runtime = _table(raw, "runtime", ctx)
+    _check_json_values(runtime, "runtime", ctx)
+    try:
+        RuntimeConfig().with_overrides(**runtime)
+    except TypeError as exc:
+        fields = ", ".join(sorted(RuntimeConfig.__dataclass_fields__))
+        raise SpecError(
+            f"invalid runtime override ({exc}); RuntimeConfig fields: {fields}",
+            key="runtime",
+            **ctx,
+        ) from exc
+    except (ValueError,) as exc:
+        raise SpecError(f"invalid runtime override value: {exc}", key="runtime", **ctx) from exc
+
+    run = _table(raw, "run", ctx)
+    unknown = set(run) - _RUN_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown run key(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(_RUN_KEYS))})",
+            key="run",
+            **ctx,
+        )
+    if "validate" in run and not isinstance(run["validate"], bool):
+        raise SpecError("run.validate must be a boolean", key="run.validate", **ctx)
+    if "cell_timeout" in run and not isinstance(run["cell_timeout"], (int, float)):
+        raise SpecError("run.cell_timeout must be a number", key="run.cell_timeout", **ctx)
+    if "jobs" in run and not isinstance(run["jobs"], int):
+        raise SpecError("run.jobs must be an integer", key="run.jobs", **ctx)
+
+    reports_raw = raw.get("report", [])
+    if isinstance(reports_raw, dict):
+        reports_raw = [reports_raw]
+    if not isinstance(reports_raw, list):
+        raise SpecError("report must be an array of tables ([[report]])", key="report", **ctx)
+    reports = tuple(_parse_report(entry, i, ctx) for i, entry in enumerate(reports_raw))
+
+    return CampaignSpec(
+        name=name,
+        description=description,
+        version=int(version),
+        scenario=dict(scenario),
+        matrix=matrix,
+        algorithms=tuple(algorithms),
+        runtime=dict(runtime),
+        run=dict(run),
+        reports=reports,
+        source=source,
+    )
+
+
+def _table(raw: Mapping[str, Any], key: str, ctx: dict, required: bool = False) -> dict:
+    value = raw.get(key)
+    if value is None:
+        if required:
+            raise SpecError(f"missing required [{key}] table", key=key, **ctx)
+        return {}
+    if not isinstance(value, dict):
+        raise SpecError(f"[{key}] must be a table", key=key, **ctx)
+    return dict(value)
+
+
+def _check_json_values(table: Mapping[str, Any], where: str, ctx: dict) -> None:
+    for key, value in table.items():
+        if not _is_json(value):
+            raise SpecError(
+                f"value of type {type(value).__name__} is not supported "
+                "(use strings, numbers, booleans, lists, or tables)",
+                key=f"{where}.{key}",
+                **ctx,
+            )
+
+
+def _is_json(value: Any) -> bool:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return True
+    if isinstance(value, list):
+        return all(_is_json(v) for v in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and _is_json(v) for k, v in value.items())
+    return False
+
+
+def _default_algorithms() -> list[str]:
+    from repro.core.algorithms.registry import ALGORITHMS
+
+    return list(ALGORITHMS)
+
+
+def _validate_algorithms(names: Sequence[str], ctx: dict) -> None:
+    from repro.core.algorithms.registry import EXTENDED_ALGORITHMS
+
+    known = list(EXTENDED_ALGORITHMS)
+    for name in names:
+        if name not in known:
+            import difflib
+
+            close = difflib.get_close_matches(name, known, n=1)
+            hint = f" — did you mean {close[0]!r}?" if close else ""
+            raise SpecError(
+                f"unknown algorithm {name!r}{hint} (known: {', '.join(known)})",
+                key="matrix.algorithms",
+                **ctx,
+            )
+    if len(set(names)) != len(names):
+        raise SpecError("matrix.algorithms contains duplicates", key="matrix.algorithms", **ctx)
+
+
+def _parse_report(entry: Any, index: int, ctx: dict) -> ReportSpec:
+    if not isinstance(entry, dict):
+        raise SpecError(f"report entry {index} must be a table", key="report", **ctx)
+    entry = dict(entry)
+    kind = entry.pop("kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise SpecError(f"report entry {index} needs a kind", key="report.kind", **ctx)
+
+    from repro.campaign.report import REPORTS, validate_report_params
+
+    if kind not in REPORTS:
+        raise UnknownReportError(kind, REPORTS, **ctx)
+    title = entry.pop("title", kind)
+    if not isinstance(title, str) or not title:
+        raise SpecError(f"report entry {index} title must be a string", key="report.title", **ctx)
+    _check_json_values(entry, f"report[{index}]", ctx)
+    validate_report_params(kind, entry, ctx)
+    return ReportSpec(kind=kind, title=title, params=entry)

@@ -30,6 +30,13 @@ Subcommands
                 ``--recolor N`` it switches to delta-stream mode: seed grids
                 into recolor sessions and stream sparse weight deltas through
                 the ``recolor`` verb.
+``campaign``    Declarative experiment campaigns (``campaigns/*.toml``):
+                ``plan`` compiles a spec and prints the deterministic
+                (instance × algorithm) grid, ``run`` executes it through the
+                crash-supervised engine into a resumable artifact dir,
+                ``harvest`` folds the run logs + merged metrics into one
+                versioned ``harvest.json``, and ``report`` renders the
+                paper's figure tables (txt/SVG/Markdown/HTML/JSON) from it.
 ``recolor``     Offline incremental-recoloring demo: color a seeded grid,
                 apply a sequence of sparse weight deltas through the
                 dirty-region engine, and report cone sizes, fallbacks, and
@@ -946,6 +953,102 @@ def cmd_npc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_plan(args: argparse.Namespace) -> int:
+    from repro.campaign import compile_plan, load_spec
+
+    spec = load_spec(args.spec)
+    plan = compile_plan(spec)
+    print(f"campaign:          {spec.name}")
+    if spec.description:
+        print(f"description:       {spec.description}")
+    print(f"scenario:          {spec.scenario.get('kind')}")
+    print(f"spec fingerprint:  {spec.fingerprint()}")
+    print(f"plan fingerprint:  {plan.fingerprint()}")
+    print(f"variants:          {len(plan.variants)}")
+    print(f"instances:         {len(plan.instances)}")
+    print(f"algorithms:        {', '.join(plan.algorithms)}")
+    print(f"cells:             {plan.num_cells}")
+    print(f"reports:           {', '.join(r.title for r in spec.reports) or '(none)'}")
+    if args.verbose:
+        for inst in plan.instances:
+            print(f"  {inst.name}  ({inst.num_vertices} vertices)")
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import load_spec, run_campaign
+
+    spec = load_spec(args.spec)
+    context = None
+    if args.faults:
+        from repro.runtime.context import ExecutionContext, get_context
+
+        context = ExecutionContext(
+            get_context().config.with_overrides(fault_spec=args.faults)
+        )
+    result = run_campaign(
+        spec,
+        out_dir=args.out_dir or None,
+        jobs=args.jobs if args.jobs else None,
+        resume=args.resume,
+        cell_timeout=args.cell_timeout,
+        max_cell_retries=args.retries,
+        root=args.out or None,
+        context=context,
+    )
+    session = result.session
+    print(f"campaign {spec.name}: {len(result.records)} cells -> {result.out_dir}")
+    print(
+        f"  executed {session['cells_executed']}, "
+        f"resumed {session['cells_resumed']}, "
+        f"retried {session['cells_retried']}, "
+        f"pool restarts {session['pool_restarts']} "
+        f"({session['elapsed']:.2f}s, jobs={session['jobs']})"
+    )
+    failures = sum(1 for r in result.records if not r.ok)
+    if failures:
+        print(f"  {failures} cell(s) failed — rerun with --resume to retry them")
+        return 1
+    return 0
+
+
+def cmd_campaign_harvest(args: argparse.Namespace) -> int:
+    from repro.campaign import harvest_campaign, harvest_digest
+
+    harvest = harvest_campaign(args.dir)
+    print(f"harvested {harvest['campaign']}: {len(harvest['records'])} records, "
+          f"{harvest['sessions']} session(s), {harvest['failures']} failure(s)")
+    print(f"  plan fingerprint: {harvest['plan_fingerprint']}")
+    print(f"  harvest digest:   {harvest_digest(harvest)}")
+    print(f"  -> {args.dir}/harvest.json")
+    return 1 if harvest["failures"] else 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import load_harvest, load_spec, render_reports, write_reports
+
+    harvest = load_harvest(args.dir)
+    reports = None
+    if args.spec:
+        reports = load_spec(args.spec).reports
+    docs = render_reports(harvest, reports)
+    if not docs:
+        print("no [[report]] entries to render (pass --spec with some)")
+        return 1
+    formats = (
+        ("txt", "svg", "md", "html", "json")
+        if args.format == "all"
+        else tuple(f.strip() for f in args.format.split(","))
+    )
+    out_dir = Path(args.report_dir) if args.report_dir else Path(args.dir) / "reports"
+    written = write_reports(docs, out_dir, formats, campaign=harvest["campaign"])
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _add_runtime_option(p: argparse.ArgumentParser) -> None:
     """``--runtime`` plus the legacy ``--fast-path`` flags as hidden aliases."""
     p.add_argument(
@@ -1324,6 +1427,89 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable list output")
     p.set_defaults(func=cmd_sessions)
 
+    p = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns: plan, run, harvest, report",
+        description="Declarative experiment campaigns (campaigns/*.toml): "
+                    "compile a TOML spec into a deterministic "
+                    "(instance × algorithm) plan, execute it through the "
+                    "crash-supervised engine into a resumable artifact dir, "
+                    "fold the run logs into one versioned harvest.json, and "
+                    "render the paper's figure tables from it.",
+        epilog="Example: stencil-ivc campaign run campaigns/smoke.toml && "
+               "stencil-ivc campaign harvest out/campaigns/smoke && "
+               "stencil-ivc campaign report out/campaigns/smoke",
+    )
+    campaign_sub = p.add_subparsers(dest="verb", required=True)
+
+    cp = campaign_sub.add_parser(
+        "plan", help="compile a spec and print the plan (nothing runs)"
+    )
+    cp.add_argument("spec", help="campaign spec (TOML)")
+    cp.add_argument("--verbose", action="store_true", help="list every instance")
+    cp.set_defaults(func=cmd_campaign_plan)
+
+    cp = campaign_sub.add_parser(
+        "run", help="execute a campaign spec into an artifact dir"
+    )
+    cp.add_argument("spec", help="campaign spec (TOML)")
+    cp.add_argument(
+        "--out", default="", metavar="DIR",
+        help="artifact root (default: $REPRO_OUT_DIR or ./out); the campaign "
+             "lands in <root>/campaigns/<name>",
+    )
+    cp.add_argument(
+        "--out-dir", default="", metavar="DIR",
+        help="exact artifact directory (overrides --out)",
+    )
+    cp.add_argument(
+        "--resume", action="store_true",
+        help="adopt completed cells from the dir's existing runs.jsonl; "
+             "only missing/errored cells execute",
+    )
+    _add_jobs_option(cp)
+    cp.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-cell wall-clock limit in seconds (beats run.cell_timeout)",
+    )
+    cp.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per cell after a worker crash (beats the "
+             "runtime config)",
+    )
+    cp.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="fault-injection spec for this run, e.g. "
+             "'seed=11;engine.cell:crash=0.05' (beats REPRO_FAULTS)",
+    )
+    cp.set_defaults(func=cmd_campaign_run)
+
+    cp = campaign_sub.add_parser(
+        "harvest", help="fold an artifact dir's run logs into harvest.json"
+    )
+    cp.add_argument("dir", help="campaign artifact directory")
+    cp.set_defaults(func=cmd_campaign_harvest)
+
+    cp = campaign_sub.add_parser(
+        "report", help="render figure tables from a harvested artifact"
+    )
+    cp.add_argument("dir", help="campaign artifact directory (harvested)")
+    cp.add_argument(
+        "--spec", default="", metavar="SPEC",
+        help="render this spec's [[report]] entries instead of the ones "
+             "embedded in the harvest (the spec must share the harvest's "
+             "plan)",
+    )
+    cp.add_argument(
+        "--format", default="all", metavar="LIST",
+        help="comma-separated subset of txt,svg,md,html,json (default: all)",
+    )
+    cp.add_argument(
+        "--report-dir", default="", metavar="DIR",
+        help="where to write rendered reports (default: <dir>/reports)",
+    )
+    cp.set_defaults(func=cmd_campaign_report)
+
     p = sub.add_parser("npc", help="NAE-3SAT reduction demo (Section IV)")
     p.add_argument("--vars", type=int, default=4)
     p.add_argument("--clauses", type=int, default=3)
@@ -1342,6 +1528,7 @@ def main(argv: list[str] | None = None) -> int:
     direct dispatch, kernels, engine workers, the service — share one
     runtime configuration per invocation.
     """
+    from repro.campaign.errors import CampaignError
     from repro.core.algorithms.registry import UnknownAlgorithmError
     from repro.runtime.context import ExecutionContext, use_context
 
@@ -1351,7 +1538,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with use_context(context):
             return args.func(args)
-    except UnknownAlgorithmError as exc:
+    except (UnknownAlgorithmError, CampaignError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

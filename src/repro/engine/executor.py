@@ -35,8 +35,10 @@ missing/``error`` cells execute.  Because every registry algorithm is
 deterministic, a resumed grid is bit-identical to an uninterrupted one.
 
 Serial execution is ``jobs=1`` of the same code path: the identical
-initializer and chunk runner execute in-process, so parallel and serial runs
-are byte-identical in everything but ``elapsed`` and ``worker``.
+initializer and chunk runner execute in-process (streaming the run log cell
+by cell, so a killed serial run leaves an adoptable prefix just like a
+killed pool), so parallel and serial runs are byte-identical in everything
+but ``elapsed`` and ``worker``.
 
 Chaos hooks: each cell attempt passes through the ``engine.cell`` fault
 injection site (:mod:`repro.resilience.faults`) with token
@@ -564,6 +566,7 @@ def run_grid(
     max_cell_retries: Optional[int] = None,
     resume_from: str | Path | None = None,
     context: Optional[ExecutionContext] = None,
+    metrics_state: bool = False,
 ) -> GridResult:
     """Run every algorithm on every instance, one :class:`RunRecord` per cell.
 
@@ -617,6 +620,11 @@ def run_grid(
         config is shipped to every worker, which rebuilds a context of its
         own around it; worker metrics snapshots are merged into
         :attr:`GridResult.metrics`.  ``None`` uses the ambient context.
+    metrics_state:
+        Keep raw histogram bucket state on :attr:`GridResult.metrics` so the
+        snapshot can be merged again later (campaign harvests fold one
+        snapshot per run session).  The default plain snapshot carries
+        summaries only.
 
     Returns
     -------
@@ -680,7 +688,11 @@ def run_grid(
                 context=ctx,
             )
             try:
-                store(_run_chunk(cells))
+                # Stream cell by cell (chunk_size 1 unless asked otherwise)
+                # so the run log grows as cells complete — a killed serial
+                # run leaves an adoptable prefix, same as a killed pool.
+                for chunk in _chunked(cells, chunk_size or 1):
+                    store(_run_chunk(chunk))
             finally:
                 global _STATE
                 _STATE = None
@@ -706,6 +718,8 @@ def run_grid(
             writer.close()
 
     assert all(r is not None for r in records)
-    result.metrics = merge_snapshots(snap for _, snap in worker_snaps.values())
+    result.metrics = merge_snapshots(
+        (snap for _, snap in worker_snaps.values()), include_state=metrics_state
+    )
     result.extend(records)
     return result

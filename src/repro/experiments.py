@@ -13,13 +13,24 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.analysis.performance_profiles import PerformanceProfile, performance_profile
 from repro.core.algorithms.registry import ALGORITHMS
 from repro.core.problem import IVCInstance
 from repro.engine import RunRecord, run_grid
 from repro.runtime.context import ExecutionContext
+
+
+class EmptySuiteError(ValueError):
+    """A profile/report was requested on a suite with nothing to profile.
+
+    Raised by :meth:`SuiteResult.profile` when the suite holds no instances
+    at all, or when every instance has at least one failed cell (so
+    ``subset(ok_indices())`` would be empty).  Before this error existed the
+    failure surfaced as a cryptic empty-array ``ValueError`` (or a
+    ``ZeroDivisionError``) deep inside the profile math.
+    """
 
 
 class SuiteExecutionError(RuntimeError):
@@ -95,9 +106,21 @@ class SuiteResult:
 
         Raises :class:`ValueError` when failed cells are present — subset to
         :meth:`ok_indices` first so ``-1`` placeholders cannot masquerade as
-        best-in-class quality.
+        best-in-class quality — and :class:`EmptySuiteError` when there is
+        nothing left to profile (no instances, or every instance failed).
         """
+        if self.num_instances == 0 or not self.maxcolors:
+            raise EmptySuiteError(
+                "suite holds no instances (or no algorithms) — nothing to "
+                "profile; did every cell get filtered out?"
+            )
         if self.errors:
+            if not self.ok_indices():
+                raise EmptySuiteError(
+                    f"every instance has a failed cell ({len(self.errors)} "
+                    f"failures over {self.num_instances} instances) — no "
+                    "clean instances left to profile; inspect result.errors"
+                )
             raise ValueError(
                 f"{len(self.errors)} failed cells in the suite; "
                 "profile over result.subset(result.ok_indices())"
@@ -128,13 +151,36 @@ class SuiteResult:
         ]
 
 
+@dataclass(frozen=True)
+class InstanceHandle:
+    """A lightweight stand-in for an :class:`~repro.core.problem.IVCInstance`.
+
+    Harvest artifacts (:mod:`repro.campaign.harvest`) persist only what the
+    report builders actually read — the name, stencil shape, vertex count,
+    and metadata — so a :class:`SuiteResult` can be reconstructed from disk
+    without re-voxelizing the instance grids.  Every report in
+    :mod:`repro.reports` works identically over handles and real instances;
+    only recomputation (e.g. :func:`solve_suite_optimal`) needs the real
+    thing, and rebuilds it from the campaign's deterministic scenario spec.
+    """
+
+    name: str = ""
+    shape: Optional[tuple[int, ...]] = None
+    num_vertices: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
 def suite_result_from_records(
-    instances: Sequence[IVCInstance],
+    instances: Sequence[IVCInstance | InstanceHandle],
     algorithms: Sequence[str],
     records: Sequence[RunRecord],
     on_error: str = "raise",
 ) -> SuiteResult:
     """Aggregate engine records into a :class:`SuiteResult`.
+
+    ``instances`` may be real :class:`~repro.core.problem.IVCInstance`
+    objects (the live engine path) or :class:`InstanceHandle` stand-ins (the
+    harvest path) — reports only touch the shared fields.
 
     ``on_error="raise"`` re-raises the first failed cell as
     :class:`SuiteExecutionError` (the strict pre-engine behavior);

@@ -230,15 +230,18 @@ class MetricsRegistry:
             self.histogram(name).merge_state(state)
 
 
-def merge_snapshots(snapshots: Iterable[dict]) -> dict:
-    """Merge ``include_state=True`` snapshots into one plain snapshot.
+def merge_snapshots(snapshots: Iterable[dict], *, include_state: bool = False) -> dict:
+    """Merge ``include_state=True`` snapshots into one snapshot.
 
     Used by the batch engine to fold per-worker registries into the
     :class:`~repro.engine.executor.GridResult` metrics: counters add, gauges
     keep the maximum, histogram percentiles are recomputed from the summed
-    bucket counts.
+    bucket counts.  With ``include_state=True`` the merged snapshot keeps
+    raw histogram bucket state, so it can itself be merged again later —
+    campaign harvests fold one such snapshot per run session
+    (:mod:`repro.campaign.harvest`) into the artifact's combined metrics.
     """
     merged = MetricsRegistry()
     for snapshot in snapshots:
         merged.merge_snapshot(snapshot)
-    return merged.snapshot()
+    return merged.snapshot(include_state=include_state)

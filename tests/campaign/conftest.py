@@ -1,0 +1,44 @@
+"""Shared fixtures for the campaign subsystem tests.
+
+The tiny spec keeps every run under a second: two 2D grids (sides 4 and
+6) × two algorithms = 4 cells.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import load_spec
+
+TINY_SPEC = """\
+[campaign]
+name = "tiny"
+description = "test campaign"
+
+[scenario]
+kind = "scaling_grids"
+sides = [4, 6]
+low = 0
+high = 20
+seed = 3
+
+[matrix]
+algorithms = ["GLL", "BD"]
+
+[[report]]
+kind = "runtime"
+title = "tiny runtime"
+"""
+
+
+def write_spec(dir_path: Path, text: str = TINY_SPEC, name: str = "tiny.toml") -> Path:
+    path = Path(dir_path) / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture
+def tiny_spec(tmp_path):
+    return load_spec(write_spec(tmp_path))

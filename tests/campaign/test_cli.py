@@ -1,0 +1,88 @@
+"""The four ``stencil-ivc campaign`` verbs, driven through ``main()``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.campaign.conftest import TINY_SPEC, write_spec
+
+
+@pytest.fixture
+def tiny_path(tmp_path):
+    return write_spec(tmp_path, TINY_SPEC)
+
+
+def test_plan_prints_fingerprints_and_cells(tiny_path, capsys):
+    assert main(["campaign", "plan", str(tiny_path)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign:          tiny" in out
+    assert "cells:             4" in out
+    assert "plan fingerprint:" in out
+
+
+def test_run_harvest_report_pipeline(tiny_path, tmp_path, capsys):
+    out_dir = tmp_path / "artifact"
+    assert main(
+        ["campaign", "run", str(tiny_path), "--out-dir", str(out_dir)]
+    ) == 0
+    assert "executed 4, resumed 0" in capsys.readouterr().out
+    assert (out_dir / "runs.jsonl").is_file()
+    assert (out_dir / "manifest.json").is_file()
+
+    assert main(["campaign", "harvest", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "harvested tiny: 4 records" in out
+    harvest = json.loads((out_dir / "harvest.json").read_text())
+    assert harvest["campaign"] == "tiny"
+
+    assert main(
+        ["campaign", "report", str(out_dir), "--format", "txt,json"]
+    ) == 0
+    assert (out_dir / "reports" / "tiny_runtime.txt").is_file()
+    assert (out_dir / "reports" / "report.json").is_file()
+
+
+def test_run_resume_adopts_completed_cells(tiny_path, tmp_path, capsys):
+    out_dir = tmp_path / "artifact"
+    main(["campaign", "run", str(tiny_path), "--out-dir", str(out_dir)])
+    capsys.readouterr()
+    assert main(
+        ["campaign", "run", str(tiny_path), "--out-dir", str(out_dir), "--resume"]
+    ) == 0
+    assert "executed 0, resumed 4" in capsys.readouterr().out
+
+
+def test_run_refuses_dirty_dir_without_resume(tiny_path, tmp_path, capsys):
+    out_dir = tmp_path / "artifact"
+    main(["campaign", "run", str(tiny_path), "--out-dir", str(out_dir)])
+    capsys.readouterr()
+    assert main(
+        ["campaign", "run", str(tiny_path), "--out-dir", str(out_dir)]
+    ) == 2
+    assert "resume" in capsys.readouterr().err
+
+
+def test_spec_error_exits_2_with_message(tmp_path, capsys):
+    bad = write_spec(
+        tmp_path,
+        TINY_SPEC.replace('kind = "scaling_grids"', 'kind = "scaling_grid"'),
+        "bad.toml",
+    )
+    assert main(["campaign", "plan", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "scaling_grids" in err
+
+
+def test_harvest_incomplete_dir_hints_resume(tiny_path, tmp_path, capsys):
+    out_dir = tmp_path / "artifact"
+    main(["campaign", "run", str(tiny_path), "--out-dir", str(out_dir)])
+    capsys.readouterr()
+    runs = out_dir / "runs.jsonl"
+    lines = runs.read_text().splitlines(keepends=True)
+    runs.write_text("".join(lines[:-1]))
+    assert main(["campaign", "harvest", str(out_dir)]) == 2
+    assert "--resume" in capsys.readouterr().err

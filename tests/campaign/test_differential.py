@@ -1,0 +1,62 @@
+"""Differential check: the CLI reproduces API-rendered tables byte for byte.
+
+Runs the committed ``campaigns/smoke.toml`` spec once through the Python
+API, then re-enters the same artifact directory through the CLI with
+``--resume`` (adopting every cell, timings included) and renders the same
+reports.  Every table must match bit-identically — this is the contract
+that lets a paper figure be regenerated from a committed spec alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.campaign import (
+    harvest_campaign,
+    harvest_digest,
+    load_spec,
+    render_reports,
+    run_campaign,
+    write_reports,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SMOKE_SPEC = REPO_ROOT / "campaigns" / "smoke.toml"
+
+
+def test_cli_reproduces_api_tables_bit_identically(tmp_path, capsys):
+    spec = load_spec(SMOKE_SPEC)
+    out = tmp_path / "artifact"
+
+    # API pass: run, harvest, render.
+    run_campaign(spec, out_dir=out)
+    harvest = harvest_campaign(out)
+    api_dir = tmp_path / "api-reports"
+    api_paths = write_reports(render_reports(harvest), api_dir, formats=("txt",))
+    assert api_paths, "smoke campaign rendered no reports"
+
+    # CLI pass over the SAME artifact dir: --resume adopts all cells
+    # (elapsed times verbatim), so the tables must come out byte-identical.
+    assert main(
+        ["campaign", "run", str(SMOKE_SPEC), "--out-dir", str(out), "--resume"]
+    ) == 0
+    assert "executed 0" in capsys.readouterr().out
+    assert main(["campaign", "harvest", str(out)]) == 0
+    cli_dir = tmp_path / "cli-reports"
+    assert main(
+        [
+            "campaign", "report", str(out),
+            "--format", "txt", "--report-dir", str(cli_dir),
+        ]
+    ) == 0
+
+    # Resume did not disturb the artifact.
+    assert harvest_digest(harvest_campaign(out)) == harvest_digest(harvest)
+
+    cli_files = sorted(p.name for p in cli_dir.glob("*.txt"))
+    assert cli_files == sorted(p.name for p in api_paths)
+    for path in api_paths:
+        assert (cli_dir / path.name).read_bytes() == path.read_bytes(), (
+            f"{path.name} differs between API and CLI rendering"
+        )

@@ -1,0 +1,87 @@
+"""Plan compilation: matrix expansion, variant naming, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import PlanError, compile_plan, load_spec
+from repro.campaign.plan import expand_matrix
+
+from tests.campaign.conftest import write_spec
+
+
+def test_expand_matrix_declaration_order():
+    variants = expand_matrix({"a": [1, 2], "b": ["x", "y"]})
+    assert variants == [
+        {"a": 1, "b": "x"},
+        {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"},
+        {"a": 2, "b": "y"},
+    ]
+    assert expand_matrix({}) == [{}]
+
+
+def test_compile_tiny(tiny_spec):
+    plan = compile_plan(tiny_spec)
+    assert plan.num_cells == 4  # 2 sides x 2 algorithms
+    assert plan.algorithms == ("GLL", "BD")
+    assert [i.name for i in plan.instances] == ["scaling-4x4", "scaling-6x6"]
+    assert plan.variants == ({},)
+    assert plan.fingerprint() == tiny_spec.plan_fingerprint()
+
+
+def test_compile_is_deterministic(tiny_spec):
+    a = compile_plan(tiny_spec)
+    b = compile_plan(tiny_spec)
+    assert [i.name for i in a.instances] == [i.name for i in b.instances]
+    assert [h.num_vertices for h in a.handles()] == [
+        h.num_vertices for h in b.handles()
+    ]
+
+
+def test_matrix_axis_variants_tag_names(tmp_path):
+    path = write_spec(
+        tmp_path,
+        '[campaign]\nname = "m"\n\n[scenario]\nkind = "scaling_grids"\n'
+        "sides = [4]\n\n[matrix]\nseed = [0, 1]\n"
+        'algorithms = ["GLL"]\n',
+        "m.toml",
+    )
+    plan = compile_plan(load_spec(path))
+    assert [i.name for i in plan.instances] == [
+        "scaling-4x4[seed=0]",
+        "scaling-4x4[seed=1]",
+    ]
+    assert plan.variants == ({"seed": 0}, {"seed": 1})
+    # The axis value lands in the instance metadata for harvest grouping.
+    assert [i.metadata["seed"] for i in plan.instances] == [0, 1]
+
+
+def test_empty_plan_raises(tmp_path):
+    path = write_spec(
+        tmp_path,
+        '[campaign]\nname = "e"\n\n[scenario]\nkind = "scaling_grids"\nsides = []\n',
+        "e.toml",
+    )
+    with pytest.raises(PlanError, match="no instances"):
+        compile_plan(load_spec(path))
+
+
+def test_duplicate_instance_names_raise(tmp_path):
+    path = write_spec(
+        tmp_path,
+        '[campaign]\nname = "d"\n\n[scenario]\nkind = "scaling_grids"\nsides = [4, 4]\n',
+        "d.toml",
+    )
+    with pytest.raises(PlanError, match="duplicate instance name"):
+        compile_plan(load_spec(path))
+
+
+def test_handles_mirror_instances(tiny_spec):
+    plan = compile_plan(tiny_spec)
+    handles = plan.handles()
+    assert [h.name for h in handles] == [i.name for i in plan.instances]
+    assert all(
+        h.num_vertices == i.num_vertices
+        for h, i in zip(handles, plan.instances)
+    )

@@ -1,0 +1,120 @@
+"""Report rendering and multi-format writing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    ReportError,
+    harvest_campaign,
+    load_spec,
+    render_reports,
+    run_campaign,
+    write_reports,
+)
+from repro.campaign.spec import ReportSpec
+
+from tests.campaign.conftest import write_spec
+
+RICH_SPEC = """\
+[campaign]
+name = "rich"
+
+[scenario]
+kind = "scaling_grids"
+sides = [4, 6]
+low = 0
+high = 20
+seed = 3
+
+[[report]]
+kind = "runtime"
+title = "rich runtime"
+
+[[report]]
+kind = "scaling"
+title = "rich scaling"
+note = "a note line."
+"""
+
+
+@pytest.fixture(scope="module")
+def rich_harvest(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("rich")
+    spec = load_spec(write_spec(tmp, RICH_SPEC, "rich.toml"))
+    out = tmp / "run"
+    run_campaign(spec, out_dir=out)
+    return harvest_campaign(out)
+
+
+def test_render_defaults_to_spec_reports(rich_harvest):
+    docs = render_reports(rich_harvest)
+    assert [d.slug for d in docs] == ["rich_runtime", "rich_scaling"]
+    assert docs[1].body.endswith("a note line.")
+    assert "max ratio/doubling" in docs[1].body
+
+
+def test_render_rejects_duplicate_slugs(rich_harvest):
+    reports = [
+        ReportSpec(kind="runtime", title="same title"),
+        ReportSpec(kind="scaling", title="same title"),
+    ]
+    with pytest.raises(ReportError, match="duplicate report slug"):
+        render_reports(rich_harvest, reports)
+
+
+def test_write_reports_all_formats(rich_harvest, tmp_path):
+    docs = render_reports(rich_harvest)
+    written = write_reports(docs, tmp_path, campaign="rich")
+    names = {p.name for p in written}
+    assert {"rich_runtime.txt", "rich_scaling.txt", "report.md",
+            "report.html", "report.json"} <= names
+    # txt is the raw body plus one newline — the legacy emit convention.
+    assert (tmp_path / "rich_scaling.txt").read_text() == docs[1].body + "\n"
+    payload = json.loads((tmp_path / "report.json").read_text())
+    assert payload["campaign"] == "rich"
+    assert [r["slug"] for r in payload["reports"]] == [
+        "rich_runtime",
+        "rich_scaling",
+    ]
+    html = (tmp_path / "report.html").read_text()
+    assert "rich runtime" in html and "<pre>" in html
+
+
+def test_write_reports_format_subset(rich_harvest, tmp_path):
+    docs = render_reports(rich_harvest)
+    written = write_reports(docs, tmp_path, formats=("txt",))
+    assert all(p.suffix == ".txt" for p in written)
+
+
+def test_group_ratio_report_groups_by_metadata(tmp_path):
+    spec = load_spec(
+        write_spec(
+            tmp_path,
+            """\
+[campaign]
+name = "grp"
+
+[scenario]
+kind = "weight_regimes"
+shape = [8, 8]
+repeats = 2
+seed = 1
+spikes = 5
+
+[[report]]
+kind = "group_ratio"
+title = "grp ratios"
+group_key = "regime"
+""",
+            "grp.toml",
+        )
+    )
+    out = tmp_path / "run"
+    run_campaign(spec, out_dir=out)
+    docs = render_reports(harvest_campaign(out))
+    body = docs[0].body
+    for regime in ("near-constant", "uniform dense", "exponential", "sparse spiky"):
+        assert regime in body

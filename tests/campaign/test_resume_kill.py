@@ -1,0 +1,129 @@
+"""Satellite hard case: SIGKILL mid-plan, then ``--resume``.
+
+A campaign run (CLI subprocess, seeded FaultPlan slowing every cell so the
+kill lands mid-plan) is SIGKILLed once part of the run log exists.  Resume
+must adopt every completed cell verbatim — zero re-execution — and the
+final harvest must be identical to an uninterrupted run of the same plan,
+report bytes included.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    harvest_campaign,
+    harvest_digest,
+    load_spec,
+    render_reports,
+    run_campaign,
+    write_reports,
+)
+from repro.engine import read_run_log
+
+from tests.campaign.conftest import write_spec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+KILL_SPEC = """\
+[campaign]
+name = "kill-test"
+
+[scenario]
+kind = "weight_regimes"
+shape = [12, 12]
+repeats = 3
+seed = 9
+spikes = 10
+
+[[report]]
+kind = "group_ratio"
+title = "kill test ratios"
+group_key = "regime"
+"""
+
+NUM_CELLS = 4 * 3 * 7  # regimes x repeats x the paper's seven algorithms
+
+#: Seeded plan: every cell sleeps 50ms, so the run lasts >=4s and the kill
+#: reliably lands mid-plan.
+FAULTS = "seed=7;engine.cell:slow=1.0,delay=0.05"
+
+
+def _render_txt(out_dir: Path) -> bytes:
+    harvest = harvest_campaign(out_dir)
+    docs = render_reports(harvest)
+    write_reports(docs, out_dir / "reports", formats=("txt",))
+    return (out_dir / "reports" / "kill_test_ratios.txt").read_bytes()
+
+
+@pytest.mark.slow
+def test_sigkill_mid_plan_resumes_without_reexecution(tmp_path):
+    spec_path = write_spec(tmp_path, KILL_SPEC, "kill.toml")
+    out = tmp_path / "interrupted"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "campaign",
+            "run",
+            str(spec_path),
+            "--out-dir",
+            str(out),
+            "--faults",
+            FAULTS,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    runs = out / "runs.jsonl"
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                _, stderr = proc.communicate()
+                pytest.fail(
+                    "campaign run exited before the kill landed: "
+                    + stderr.decode()
+                )
+            if runs.is_file() and runs.read_bytes().count(b"\n") >= 10:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("run log never reached 10 records")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    completed = read_run_log(runs, strict=False)
+    assert 0 < len(completed) < NUM_CELLS, "kill did not land mid-plan"
+
+    # Resume (no faults): adopts every completed cell, executes the rest.
+    spec = load_spec(spec_path)
+    result = run_campaign(spec, out_dir=out, resume=True)
+    assert result.session["cells_resumed"] == len(completed)
+    assert result.session["cells_executed"] == NUM_CELLS - len(completed)
+
+    # The interrupted-and-resumed artifact is indistinguishable from an
+    # uninterrupted run: same harvest digest, same report bytes.
+    reference = tmp_path / "reference"
+    run_campaign(spec, out_dir=reference)
+    assert harvest_digest(harvest_campaign(out)) == harvest_digest(
+        harvest_campaign(reference)
+    )
+    assert _render_txt(out) == _render_txt(reference)

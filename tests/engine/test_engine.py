@@ -16,7 +16,12 @@ from repro.engine import (
     resolve_jobs,
     run_grid,
 )
-from repro.experiments import SuiteExecutionError, run_suite
+from repro.experiments import (
+    EmptySuiteError,
+    SuiteExecutionError,
+    SuiteResult,
+    run_suite,
+)
 from tests.conftest import random_2d_instances
 
 ALGOS = ["GLL", "GLF", "BDP"]
@@ -159,8 +164,37 @@ class TestSuiteIntegration:
             instances, algorithms=["GLF", crashing_algorithm],
             jobs=1, on_error="record",
         )
-        with pytest.raises(ValueError, match="failed cells"):
+        # The crasher fails on every instance, so nothing is left to
+        # profile — the typed empty-suite error, not a cryptic ValueError
+        # from the profile math.
+        with pytest.raises(EmptySuiteError, match="every instance"):
             result.profile()
+
+    def test_profile_refuses_partially_failed_suite(self, crashing_algorithm):
+        instances = random_2d_instances(count=2, max_dim=4)
+        result = run_suite(
+            instances, algorithms=["GLF", crashing_algorithm],
+            jobs=1, on_error="record",
+        )
+        # Graft clean cells for instance 1 so only instance 0 is dirty: the
+        # failed-cells guard (subset to ok_indices first) still applies.
+        clean = run_suite(instances[1:], algorithms=["GLF", "BD"], jobs=1)
+        mixed = SuiteResult(
+            instances=result.instances,
+            maxcolors={
+                "GLF": result.maxcolors["GLF"],
+                crashing_algorithm: [
+                    result.maxcolors[crashing_algorithm][0],
+                    clean.maxcolors["BD"][0],
+                ],
+            },
+            times=result.times,
+            lower_bounds=result.lower_bounds,
+            records=[r for r in result.records if r.instance_index == 0],
+        )
+        assert mixed.ok_indices() == [1]
+        with pytest.raises(ValueError, match="failed cells"):
+            mixed.profile()
 
     def test_subset_remaps_records(self):
         instances = random_2d_instances(count=3, max_dim=4)

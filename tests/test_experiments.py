@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.problem import IVCInstance
-from repro.experiments import SuiteResult, run_suite, solve_suite_optimal
+from repro.experiments import (
+    EmptySuiteError,
+    SuiteResult,
+    run_suite,
+    solve_suite_optimal,
+)
 from tests.conftest import random_2d_instances
 
 
@@ -47,6 +52,17 @@ class TestRunSuite:
             suite_result.maxcolors["GLF"][0],
             suite_result.maxcolors["GLF"][2],
         ]
+
+    def test_profile_empty_suite_raises_typed_error(self):
+        empty = SuiteResult(
+            instances=[], maxcolors={}, times={}, lower_bounds=[], records=[]
+        )
+        with pytest.raises(EmptySuiteError, match="no instances"):
+            empty.profile()
+
+    def test_empty_suite_error_is_a_value_error(self):
+        # Callers that caught the old cryptic ValueError keep working.
+        assert issubclass(EmptySuiteError, ValueError)
 
     def test_indices_by_metadata(self):
         instances = [

@@ -103,6 +103,67 @@ def test_lint_bans_tiling_import_in_incremental(tmp_path):
     assert any("repro.tiling" in v for v in violations)
 
 
+def test_campaign_is_a_known_layer():
+    """The campaign driver sits with experiments/reports, below api/cli."""
+    checker = _load_checker()
+    assert checker.LAYERS["campaign"] == checker.LAYERS["experiments"]
+    assert checker.LAYERS["campaign"] < checker.LAYERS["api"]
+    assert checker.CAMPAIGN_BANNED == frozenset({"service", "tiling", "incremental"})
+
+
+def test_lint_bans_lazy_service_import_in_campaign(tmp_path):
+    """Campaigns execute through the batch engine only — even a lazy
+    service/tiling/incremental import is a forbidden edge."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "campaign"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "def f():\n    from repro.service import client\n    return client\n"
+    )
+    violations = checker.check(tmp_path)
+    assert len(violations) == 1
+    assert "repro.service" in violations[0]
+
+
+def test_lint_allows_engine_import_in_campaign(tmp_path):
+    """Composing the engine with obs/runtime is the campaign's job."""
+    checker = _load_checker()
+    pkg = tmp_path / "src" / "repro" / "campaign"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        "from repro.engine import run_grid\n"
+        "from repro.obs.metrics import merge_snapshots\n"
+        "from repro.runtime.config import RuntimeConfig\n"
+    )
+    assert checker.check(tmp_path) == []
+
+
+def test_lint_bans_engine_import_in_benchmarks(tmp_path):
+    """benchmarks/ reach execution via repro.campaign, never the engine."""
+    checker = _load_checker()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    bench = tmp_path / "benchmarks"
+    bench.mkdir()
+    (bench / "bench_bad.py").write_text(
+        "def f():\n    from repro.engine import run_grid\n    return run_grid\n"
+    )
+    violations = checker.check(tmp_path)
+    assert len(violations) == 1
+    assert "repro.engine" in violations[0]
+    assert "bench_bad.py:2" in violations[0]
+
+
+def test_lint_allows_campaign_import_in_benchmarks(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    bench = tmp_path / "benchmarks"
+    bench.mkdir()
+    (bench / "bench_ok.py").write_text(
+        "from repro.campaign import run_campaign\n"
+    )
+    assert checker.check(tmp_path) == []
+
+
 def test_lint_allows_kernels_import_in_incremental(tmp_path):
     """kernels/core are the engine's sanctioned dependencies."""
     checker = _load_checker()

@@ -11,7 +11,7 @@ The repo is layered (see ``docs/architecture.md``)::
     npc, stkde, apps                (5)  applications of the core
     engine, tiling, incremental     (6)  batch execution, tiler, recolorer
     service                         (7)  online serving
-    experiments, reports            (8)  drivers
+    experiments, reports, campaign  (8)  drivers
     api                             (9)  stable facade
     cli                             (10) entry point
 
@@ -38,6 +38,14 @@ The fourth check isolates the incremental recolor engine: nothing under
 **anywhere** — function bodies included, unlike the layering rule.  The
 engine must stay composable below the service and the tiler; only
 ``repro/api.py`` wires them together.
+
+The fifth check scopes the campaign subsystem: ``repro/campaign/`` may
+compose the engine with obs/runtime/experiments (that is its job), but may
+never import ``repro.service``, ``repro.tiling`` or ``repro.incremental``
+— campaigns execute through the batch engine only.  And ``benchmarks/``
+may not import ``repro.engine`` at all: benches reach execution through
+:mod:`repro.campaign` (or :mod:`repro.experiments`), never engine
+internals.
 
 Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
 Run from the repo root::
@@ -71,6 +79,7 @@ LAYERS = {
     "service": 7,
     "experiments": 8,
     "reports": 8,
+    "campaign": 8,
     "api": 9,
     "cli": 10,
 }
@@ -82,6 +91,15 @@ SUBSYSTEMS = frozenset({"engine", "incremental", "kernels", "service", "tiling"}
 #: Packages src/repro/incremental/ may never import — not even lazily.  The
 #: recolor engine sits below the service and the tiler by construction.
 INCREMENTAL_BANNED = frozenset({"service", "tiling"})
+
+#: Packages src/repro/campaign/ may never import — not even lazily.
+#: Campaigns run through the batch engine; the service tier, the tiler and
+#: the incremental recolorer are out of scope by construction.
+CAMPAIGN_BANNED = frozenset({"service", "tiling", "incremental"})
+
+#: Packages benchmarks/ may never import — not even lazily.  Benches go
+#: through repro.campaign / repro.experiments, not engine internals.
+BENCHMARKS_BANNED = frozenset({"engine"})
 
 #: Modules allowed to module-level import any number of subsystems.
 CROSS_EXEMPT = ("src/repro/api.py",)
@@ -247,6 +265,17 @@ def check(repo_root: Path) -> list[str]:
                         "lazily); compose through repro/api.py"
                     )
 
+        # --- campaign scope ----------------------------------------------
+        if rel.startswith("src/repro/campaign/"):
+            for lineno, imported in _all_imported_packages(tree):
+                if imported in CAMPAIGN_BANNED:
+                    violations.append(
+                        f"{rel}:{lineno}: repro.campaign imports "
+                        f"'repro.{imported}' — campaigns execute through the "
+                        "batch engine only (even lazily); compose through "
+                        "repro/api.py"
+                    )
+
         # --- environment discipline --------------------------------------
         if not any(rel.startswith(prefix) for prefix in ENV_ALLOWED):
             visitor = _EnvVisitor()
@@ -257,6 +286,25 @@ def check(repo_root: Path) -> list[str]:
                     "repro/runtime/config.py and repro/resilience/ — "
                     "route the knob through RuntimeConfig"
                 )
+
+    # --- benchmark discipline --------------------------------------------
+    bench_root = repo_root / "benchmarks"
+    if bench_root.is_dir():
+        for path in sorted(bench_root.glob("*.py")):
+            rel = path.relative_to(repo_root).as_posix()
+            try:
+                tree = ast.parse(path.read_text(), filename=rel)
+            except SyntaxError as exc:
+                violations.append(f"{rel}:{exc.lineno}: does not parse: {exc.msg}")
+                continue
+            for lineno, imported in _all_imported_packages(tree):
+                if imported in BENCHMARKS_BANNED:
+                    violations.append(
+                        f"{rel}:{lineno}: benchmarks import "
+                        f"'repro.{imported}' — benches run through "
+                        "repro.campaign (or repro.experiments), never the "
+                        "engine directly"
+                    )
     return violations
 
 
